@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Ablation -- minimizing compositions before the equivalence test.
+
+Composition brings one fresh view-body copy per resolution goal (the
+fusion-correct unfolding), so raw compositions carry heavy redundancy.
+DESIGN.md calls out the design choice of running CQ-style minimization on
+each composed rule before Theorem 4.2's mutual-mapping search.  This
+ablation measures the end-to-end equivalence-test time with and without
+that pass, over the paper's (Q4)/(V1) composition and the fan-out family.
+
+Expected shape: minimization costs a little on tiny inputs and saves a
+lot as compositions grow (the mapping search is exponential in the number
+of body paths).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rewriting import chase, compose, programs_equivalent
+from repro.rewriting.equivalence import prepare_program
+from repro.tsl import parse_query, query_paths
+from repro.workloads import fanout_probe_query, fanout_view, view_v1
+
+FANOUTS = (1, 2, 3)
+
+
+def _paper_case():
+    v1 = view_v1()
+    q4n = parse_query(
+        "<f(P) stanford yes> :- "
+        "<g(P) p {<pp(P,Y) pr Y>}>@V1 AND "
+        "<g(P) p {<h(X) v leland>}>@V1")
+    q3 = parse_query("<f(P) stanford yes> :- <P p {<X Y leland>}>@db")
+    return compose(q4n, {"V1": v1}), q3
+
+
+def _fanout_case(fanout: int):
+    view = fanout_view(fanout, name="V")
+    probe = fanout_probe_query("V")
+    composed = compose(probe, {"V": view})
+    reference = prepare_program(composed, minimize_rules=True)
+    return composed, reference
+
+
+def equivalence_time(composed, reference, minimize_rules: bool) -> float:
+    started = time.perf_counter()
+    assert programs_equivalent(
+        prepare_program(composed, minimize_rules=minimize_rules),
+        reference)
+    return time.perf_counter() - started
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    composed, q3 = _paper_case()
+    for minimize_rules in (False, True):
+        rows.append({
+            "case": "(V1) o (Q4)n vs (Q3)",
+            "minimize": minimize_rules,
+            "paths": sum(len(query_paths(r)) for r in composed),
+            "seconds": equivalence_time(composed, [q3], minimize_rules),
+        })
+    for fanout in FANOUTS:
+        composed, reference = _fanout_case(fanout)
+        for minimize_rules in (False, True):
+            rows.append({
+                "case": f"fanout({fanout}) self-equivalence",
+                "minimize": minimize_rules,
+                "paths": sum(len(query_paths(r)) for r in composed),
+                "seconds": equivalence_time(composed, reference,
+                                            minimize_rules),
+            })
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'case':28} {'minimize':>8} {'paths':>6} {'seconds':>9}")
+    for row in rows:
+        print(f"{row['case']:28} {str(row['minimize']):>8} "
+              f"{row['paths']:>6} {row['seconds']:>9.4f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_paper_case_minimized(benchmark):
+    composed, q3 = _paper_case()
+    benchmark(equivalence_time, composed, [q3], True)
+
+
+def test_paper_case_raw(benchmark):
+    composed, q3 = _paper_case()
+    benchmark(equivalence_time, composed, [q3], False)
+
+
+def test_decisions_agree():
+    composed, q3 = _paper_case()
+    assert programs_equivalent(
+        prepare_program(composed, minimize_rules=True), [q3])
+    assert programs_equivalent(
+        prepare_program(composed, minimize_rules=False), [q3])
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

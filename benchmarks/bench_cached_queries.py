@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""E10 -- answering from cached queries beats re-scanning (Section 1).
+
+The Section 1 scenario: the cache holds "all SIGMOD publications"; the
+"SIGMOD 97" query is answered by *rewriting over the cache* -- filtering
+the (small) cached result instead of scanning the (large) database.
+
+Series reported: database size N -> direct evaluation time vs cache-hit
+time and the speedup.  The speedup must grow with N (the cache is a
+fixed fraction of the data, and rewriting cost is size-independent).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.repository import Repository
+from repro.tsl import evaluate
+from repro.workloads import (conference_query, generate_bibliography,
+                             sigmod_97_query)
+
+SIZES = (500, 2000, 8000)
+SIGMOD_FRACTION = 0.15
+
+
+def build_repo(size: int) -> Repository:
+    db = generate_bibliography(size, seed=size,
+                               sigmod_fraction=SIGMOD_FRACTION)
+    repo = Repository.from_database(db)
+    repo.query(conference_query("sigmod"), use_views=False)  # warm cache
+    return repo
+
+
+def cached_lookup(repo: Repository):
+    report = repo.query_with_report(sigmod_97_query(), use_views=False)
+    assert report.method == "cache"
+    return report.answer
+
+
+def direct_lookup(repo: Repository):
+    return evaluate(sigmod_97_query(), repo.store.db)
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for size in SIZES:
+        repo = build_repo(size)
+        started = time.perf_counter()
+        direct = direct_lookup(repo)
+        t_direct = time.perf_counter() - started
+        started = time.perf_counter()
+        cached = cached_lookup(repo)
+        t_cached = time.perf_counter() - started
+        rows.append({
+            "pubs": size,
+            "answers": len(direct.roots),
+            "direct_s": t_direct,
+            "cached_s": t_cached,
+            "speedup": t_direct / max(t_cached, 1e-9),
+        })
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'pubs':>6} {'answers':>8} {'direct(s)':>10} "
+          f"{'cached(s)':>10} {'speedup':>8}")
+    for row in rows:
+        print(f"{row['pubs']:>6} {row['answers']:>8} "
+              f"{row['direct_s']:>10.3f} {row['cached_s']:>10.3f} "
+              f"{row['speedup']:>7.1f}x")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_direct_2000(benchmark):
+    repo = build_repo(2000)
+    benchmark(direct_lookup, repo)
+
+
+def test_cached_2000(benchmark):
+    repo = build_repo(2000)
+    benchmark(cached_lookup, repo)
+
+
+def test_cache_wins_and_agrees():
+    from repro.oem import identical
+    repo = build_repo(2000)
+    t0 = time.perf_counter()
+    direct = direct_lookup(repo)
+    t_direct = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cached = cached_lookup(repo)
+    t_cached = time.perf_counter() - t0
+    assert identical(direct, cached)
+    assert t_cached < t_direct
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""E7 -- query-view composition is exponential (Sections 5, 5.1).
+
+Claim: "the construction of Q'(V1..Vn) using a query composition
+algorithm takes exponential time"; the cause is fusion -- every goal of a
+condition chain can resolve against every component of the fused view
+head.
+
+Series reported: view head fan-out f -> #rules in the composed union,
+total composed conditions, time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rewriting import compose
+from repro.workloads import fanout_probe_query, fanout_view
+
+FANOUTS = (1, 2, 3, 4)
+
+
+def compose_fanout(fanout: int) -> tuple[int, int]:
+    view = fanout_view(fanout, name="V")
+    probe = fanout_probe_query(source="V")
+    rules = compose(probe, {"V": view})
+    conditions = sum(len(rule.body) for rule in rules)
+    return len(rules), conditions
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for fanout in FANOUTS:
+        started = time.perf_counter()
+        rules, conditions = compose_fanout(fanout)
+        elapsed = time.perf_counter() - started
+        rows.append({"fanout": fanout, "rules": rules,
+                     "conditions": conditions, "seconds": elapsed})
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'fanout':>6} {'union rules':>12} {'conditions':>11} "
+          f"{'seconds':>9}")
+    for row in rows:
+        print(f"{row['fanout']:>6} {row['rules']:>12} "
+              f"{row['conditions']:>11} {row['seconds']:>9.4f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_compose_fanout_3(benchmark):
+    rules, conditions = benchmark(compose_fanout, 3)
+    benchmark.extra_info.update({"rules": rules, "conditions": conditions})
+
+
+def test_union_grows_with_fanout():
+    sizes = [compose_fanout(f)[0] for f in FANOUTS]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

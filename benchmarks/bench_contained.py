@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Extension bench -- maximally contained rewritings (Section 7).
+
+When the views are *partial archives* (each holding one conference's
+publications), an all-titles query has no equivalent rewriting; the
+maximally contained rewritings recover the union of the archives.  Series
+reported: number of archives -> contained rewritings found, fraction of
+the full answer recovered, time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rewriting import maximally_contained_rewritings
+from repro.tsl import evaluate, evaluate_program, parse_query
+from repro.workloads import CONFERENCES, conference_view, \
+    generate_bibliography
+
+ARCHIVE_COUNTS = (1, 2, 3, 4)
+DB_SIZE = 300
+
+
+def build_views(count: int) -> dict:
+    return {f"arch_{conf}": conference_view(conf, f"arch_{conf}")
+            for conf in CONFERENCES[:count]}
+
+
+def titles_query():
+    return parse_query("<f(P) title T> :- <P pub {<X title T>}>@db")
+
+
+def run_once(count: int) -> dict:
+    db = generate_bibliography(DB_SIZE, seed=17)
+    views = build_views(count)
+    query = titles_query()
+    started = time.perf_counter()
+    contained = maximally_contained_rewritings(query, views)
+    elapsed = time.perf_counter() - started
+    materialized = {name: evaluate(view, db, answer_name=name)
+                    for name, view in views.items()}
+    union = evaluate_program([r.query for r in contained], materialized)
+    full = evaluate(query, db)
+    coverage = (len(union.roots) / len(full.roots)) if full.roots else 1.0
+    return {"archives": count,
+            "rewritings": len(contained.rewritings),
+            "coverage": coverage,
+            "seconds": elapsed}
+
+
+def run_experiment() -> list[dict]:
+    return [run_once(count) for count in ARCHIVE_COUNTS]
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'archives':>8} {'rewritings':>11} {'coverage':>9} "
+          f"{'seconds':>9}")
+    for row in rows:
+        print(f"{row['archives']:>8} {row['rewritings']:>11} "
+              f"{row['coverage']:>8.0%} {row['seconds']:>9.3f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_contained_three_archives(benchmark):
+    row = benchmark(run_once, 3)
+    benchmark.extra_info.update(
+        {k: v for k, v in row.items() if k != "seconds"})
+
+
+def test_coverage_grows_with_archives():
+    coverages = [run_once(count)["coverage"]
+                 for count in ARCHIVE_COUNTS]
+    assert coverages == sorted(coverages)
+    assert coverages[-1] > coverages[0]
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""E9 -- the Section 4 equivalence test over growing decompositions.
+
+The test decomposes each rule into graph component queries (one top rule,
+one member + one object rule per head object) and searches mutual
+mappings (Theorem 4.2).  Series reported: head components c ->
+decomposition size, time on an equivalent pair (alpha-renamed) and on an
+inequivalent pair (one label perturbed).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rewriting import programs_equivalent
+from repro.tsl import decompose, parse_query
+from repro.workloads import star_query
+
+COMPONENTS = (2, 4, 8, 12)
+
+
+def renamed(query):
+    return query.rename_apart("_r")
+
+
+def perturbed(branches: int):
+    text_query = star_query(branches, distinct_labels=True)
+    # Change one head label by rebuilding via text surgery.
+    from repro.tsl import print_query
+    text = print_query(text_query).replace("item", "itemx", 1)
+    return parse_query(text)
+
+
+def check_equivalent_pair(branches: int) -> bool:
+    query = star_query(branches, distinct_labels=True)
+    return programs_equivalent([query], [renamed(query)])
+
+
+def check_inequivalent_pair(branches: int) -> bool:
+    query = star_query(branches, distinct_labels=True)
+    return programs_equivalent([query], [perturbed(branches)])
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for branches in COMPONENTS:
+        components = len(decompose(star_query(branches,
+                                              distinct_labels=True)))
+        started = time.perf_counter()
+        same = check_equivalent_pair(branches)
+        t_same = time.perf_counter() - started
+        started = time.perf_counter()
+        different = check_inequivalent_pair(branches)
+        t_diff = time.perf_counter() - started
+        rows.append({"branches": branches, "components": components,
+                     "equivalent": same, "sec_equal": t_same,
+                     "inequivalent": not different, "sec_diff": t_diff})
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'branches':>8} {'components':>11} {'eq ok':>6} "
+          f"{'sec(eq)':>9} {'neq ok':>7} {'sec(neq)':>9}")
+    for row in rows:
+        print(f"{row['branches']:>8} {row['components']:>11} "
+              f"{str(row['equivalent']):>6} {row['sec_equal']:>9.4f} "
+              f"{str(row['inequivalent']):>7} {row['sec_diff']:>9.4f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_equivalence_8_components(benchmark):
+    assert benchmark(check_equivalent_pair, 8)
+
+
+def test_inequivalence_8_components(benchmark):
+    assert not benchmark(check_inequivalent_pair, 8)
+
+
+def test_decision_correct_across_sizes():
+    for branches in (2, 4):
+        assert check_equivalent_pair(branches)
+        assert not check_inequivalent_pair(branches)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

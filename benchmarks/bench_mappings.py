@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""E5 -- mapping discovery is worst-case exponential (Section 5.1).
+
+Claim: "Step 1 can generate an exponential in the size of the view bodies
+number of mappings."  The self-similar star family exhibits it (b^b
+mappings for b identical branches); the distinct-label variant and the
+chain family stay at one mapping and polynomial time.
+
+Series reported: branches/depth -> #mappings, time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rewriting import body_mappings
+from repro.tsl import query_paths
+from repro.workloads import chain_query, chain_view, star_query, star_view
+
+STAR_SIZES = (2, 3, 4, 5)
+CHAIN_SIZES = (4, 8, 16, 32)
+
+
+def count_star_mappings(branches: int, distinct: bool = False) -> int:
+    view = star_view(branches, distinct_labels=distinct)
+    query = star_query(branches, distinct_labels=distinct)
+    return len(body_mappings(query_paths(view), query_paths(query)))
+
+
+def count_chain_mappings(depth: int) -> int:
+    view = chain_view(depth)
+    query = chain_query(depth)
+    return len(body_mappings(query_paths(view), query_paths(query)))
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for branches in STAR_SIZES:
+        started = time.perf_counter()
+        count = count_star_mappings(branches)
+        elapsed = time.perf_counter() - started
+        rows.append({"family": "star(identical)", "size": branches,
+                     "mappings": count, "seconds": elapsed})
+    for branches in STAR_SIZES:
+        started = time.perf_counter()
+        count = count_star_mappings(branches, distinct=True)
+        elapsed = time.perf_counter() - started
+        rows.append({"family": "star(distinct)", "size": branches,
+                     "mappings": count, "seconds": elapsed})
+    for depth in CHAIN_SIZES:
+        started = time.perf_counter()
+        count = count_chain_mappings(depth)
+        elapsed = time.perf_counter() - started
+        rows.append({"family": "chain", "size": depth,
+                     "mappings": count, "seconds": elapsed})
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'family':18} {'size':>4} {'mappings':>10} {'seconds':>10}")
+    for row in rows:
+        print(f"{row['family']:18} {row['size']:>4} "
+              f"{row['mappings']:>10} {row['seconds']:>10.4f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_star_identical_explodes(benchmark):
+    count = benchmark(count_star_mappings, 4)
+    assert count == 4 ** 4
+    benchmark.extra_info["mappings"] = count
+
+
+def test_star_distinct_stays_flat(benchmark):
+    count = benchmark(count_star_mappings, 4, True)
+    assert count == 1
+    benchmark.extra_info["mappings"] = count
+
+
+def test_chain_polynomial(benchmark):
+    count = benchmark(count_chain_mappings, 32)
+    assert count == 1
+    benchmark.extra_info["mappings"] = count
+
+
+def test_exponential_shape():
+    counts = [count_star_mappings(b) for b in STAR_SIZES]
+    # Strictly super-exponential growth: b^b.
+    assert counts == [b ** b for b in STAR_SIZES]
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""E11 -- the Figure 1/2 mediation pipeline ("SIGMOD 97" decomposition).
+
+For a growing number of sources (each with a year-selection capability),
+the mediator plans and executes the SIGMOD-97 query per source.  Series
+reported: source data size -> plan time, execute time, objects
+transferred.  The shape to observe: planning cost is independent of data
+size (the rewriter never looks at the data), while execution scales with
+the selected fraction only (the year filter is pushed down).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.mediator import CapabilityView, Mediator, Source
+from repro.oem import build_database, obj
+from repro.tsl import parse_query
+
+SIZES = (100, 400, 1600)
+
+
+def make_source(name: str, pubs: int, seed: int) -> Source:
+    rng = random.Random(seed)
+    confs = ("sigmod", "vldb", "icde", "pods")
+    records = []
+    for index in range(pubs):
+        records.append(obj("pub", [
+            obj("title", f"{name}-{index}"),
+            obj("conf", rng.choice(confs)),
+            obj("year", rng.choice((1995, 1996, 1997))),
+        ]))
+    db = build_database(name, records)
+    capability = CapabilityView.from_text(f"{name}_by_year", f"""
+        <v(P) pub {{<c(P,L,W) L W>}}> :-
+            <P pub {{<Y year $YEAR>}}>@{name} AND
+            <P pub {{<X L W>}}>@{name}
+    """)
+    return Source(name, db, [capability])
+
+
+def sigmod_97(source: str):
+    return parse_query(
+        f"<f(P) hit yes> :- <P pub {{<Y year 1997>}}>@{source} AND "
+        f"<P pub {{<C conf sigmod>}}>@{source}")
+
+
+def plan_only(mediator: Mediator, query):
+    return mediator.plan(query)
+
+
+def plan_and_execute(mediator: Mediator, query):
+    return mediator.answer_with_report(query)
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for size in SIZES:
+        source = make_source("s1", size, seed=size)
+        mediator = Mediator(sources={"s1": source})
+        query = sigmod_97("s1")
+        started = time.perf_counter()
+        plans = plan_only(mediator, query)
+        t_plan = time.perf_counter() - started
+        started = time.perf_counter()
+        report = plan_and_execute(mediator, query)
+        t_exec = time.perf_counter() - started
+        rows.append({
+            "pubs": size,
+            "plan_s": t_plan,
+            "exec_s": t_exec,
+            "answers": len(report.answer.roots),
+            "transferred": report.objects_transferred,
+            "cost": plans[0].estimated_cost,
+        })
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'pubs':>6} {'plan(s)':>9} {'exec(s)':>9} {'answers':>8} "
+          f"{'transferred':>12} {'est.cost':>9}")
+    for row in rows:
+        print(f"{row['pubs']:>6} {row['plan_s']:>9.3f} "
+              f"{row['exec_s']:>9.3f} {row['answers']:>8} "
+              f"{row['transferred']:>12} {row['cost']:>9.1f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_plan_400(benchmark):
+    mediator = Mediator(sources={"s1": make_source("s1", 400, seed=400)})
+    plans = benchmark(plan_only, mediator, sigmod_97("s1"))
+    assert plans
+
+
+def test_execute_400(benchmark):
+    mediator = Mediator(sources={"s1": make_source("s1", 400, seed=400)})
+    report = benchmark(plan_and_execute, mediator, sigmod_97("s1"))
+    assert report.answer.roots
+
+
+def test_planning_is_data_size_independent():
+    timings = []
+    for size in (100, 1600):
+        mediator = Mediator(
+            sources={"s1": make_source("s1", size, seed=size)})
+        query = sigmod_97("s1")
+        mediator.plan(query)  # warm any import costs
+        started = time.perf_counter()
+        for _ in range(3):
+            mediator.plan(query)
+        timings.append((time.perf_counter() - started) / 3)
+    # 16x more data must not make planning even 4x slower.
+    assert timings[1] < 4 * max(timings[0], 1e-4)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

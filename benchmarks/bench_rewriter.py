@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""End-to-end rewriter benchmark on the paper's workload (E2 timing).
+
+Times the complete Section 3.4 pipeline -- mapping discovery, candidate
+enumeration with the covering heuristic, chase, composition, equivalence
+-- on the paper's own queries over (V1), and on the multi-view
+per-condition workload.  This is the headline "how fast is the
+algorithm" number for the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rewriting import paper_dtd, rewrite
+from repro.workloads import (condition_view, k_conditions_query, query_q3,
+                             query_q5, query_q7, view_v1)
+
+
+def rewrite_q3():
+    return rewrite(query_q3(), {"V1": view_v1()})
+
+
+def rewrite_q5():
+    return rewrite(query_q5(), {"V1": view_v1()})
+
+
+def rewrite_q7_plain():
+    return rewrite(query_q7(), {"V1": view_v1()})
+
+
+def rewrite_q7_dtd():
+    return rewrite(query_q7(), {"V1": view_v1()}, constraints=paper_dtd())
+
+
+def rewrite_k(k: int):
+    views = {f"V{i}": condition_view(i) for i in range(1, k + 1)}
+    return rewrite(k_conditions_query(k), views, total_only=True)
+
+
+SCENARIOS = {
+    "Q3 over V1": rewrite_q3,
+    "Q5 over V1 (set mapping)": rewrite_q5,
+    "Q7 over V1 (reject)": rewrite_q7_plain,
+    "Q7 over V1 + DTD": rewrite_q7_dtd,
+    "k=3 per-condition views": lambda: rewrite_k(3),
+    "k=4 per-condition views": lambda: rewrite_k(4),
+}
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for name, scenario in SCENARIOS.items():
+        started = time.perf_counter()
+        result = scenario()
+        elapsed = time.perf_counter() - started
+        rows.append({"scenario": name,
+                     "rewritings": len(result.rewritings),
+                     "tested": result.stats.candidates_tested,
+                     "seconds": elapsed})
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'scenario':26} {'rewritings':>11} {'tested':>7} "
+          f"{'seconds':>9}")
+    for row in rows:
+        print(f"{row['scenario']:26} {row['rewritings']:>11} "
+              f"{row['tested']:>7} {row['seconds']:>9.3f}")
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_rewrite_q3(benchmark):
+    result = benchmark(rewrite_q3)
+    assert len(result.rewritings) == 1
+
+
+def test_rewrite_q5(benchmark):
+    result = benchmark(rewrite_q5)
+    assert len(result.rewritings) == 1
+
+
+def test_rewrite_q7_with_dtd(benchmark):
+    result = benchmark(rewrite_q7_dtd)
+    assert len(result.rewritings) == 1
+
+
+def test_rewrite_k3(benchmark):
+    result = benchmark(rewrite_k, 3)
+    assert result.rewritings
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print_table(run_experiment())

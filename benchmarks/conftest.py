@@ -1,0 +1,10 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one experiment of DESIGN.md's
+index (E5-E11 plus ablations).  Modules double as scripts: running
+``python benchmarks/bench_mappings.py`` prints the experiment's full
+table; running them under ``pytest --benchmark-only`` times the headline
+configurations and attaches the measured counts as ``extra_info``.
+"""
+
+from __future__ import annotations

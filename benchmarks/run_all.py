@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table (the data behind EXPERIMENTS.md).
+
+Runs the ``run_experiment()`` of each bench module and prints the tables
+in DESIGN.md experiment order.  Usage::
+
+    python benchmarks/run_all.py            # all experiments
+    python benchmarks/run_all.py E5 E6      # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import bench_ablation_minimize
+import bench_cached_queries
+import bench_candidates
+import bench_chase
+import bench_composition
+import bench_contained
+import bench_constraints_gain
+import bench_equivalence
+import bench_evaluator
+import bench_mappings
+import bench_mediator
+import bench_rewriter
+
+EXPERIMENTS = {
+    "E4": ("structural-constraint gain (Section 3.3)",
+           bench_constraints_gain),
+    "E5": ("mapping discovery blowup (Section 5.1)", bench_mappings),
+    "E6": ("candidate space and the covering heuristic (Section 3.4)",
+           bench_candidates),
+    "E7": ("composition blowup (Section 5.1)", bench_composition),
+    "E8": ("chase + label inference are polynomial (Section 3.3)",
+           bench_chase),
+    "E9": ("equivalence test scaling (Section 4)", bench_equivalence),
+    "E10": ("cached-query answering (Section 1)", bench_cached_queries),
+    "E11": ("mediator CBR pipeline (Figures 1-2)", bench_mediator),
+    "end-to-end": ("rewriter on the paper's workload", bench_rewriter),
+    "substrate": ("evaluation baselines", bench_evaluator),
+    "ablation": ("composition minimization on/off",
+                 bench_ablation_minimize),
+    "contained": ("maximally contained rewritings (Section 7)",
+                  bench_contained),
+}
+
+
+def main(selected: list[str]) -> None:
+    for key, (title, module) in EXPERIMENTS.items():
+        if selected and key not in selected:
+            continue
+        print("=" * 72)
+        print(f"{key}: {title}")
+        print("=" * 72)
+        started = time.perf_counter()
+        module.print_table(module.run_experiment())
+        print(f"[{time.perf_counter() - started:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

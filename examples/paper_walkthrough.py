@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The worked examples of Section 3, executed end to end.
+
+Walks through Examples 3.1-3.5 exactly as the paper presents them:
+
+* (Q3) over (V1)  -- rewritable: produces (Q4).
+* (Q5) over (V1)  -- rewritable via a *set mapping*: produces (Q6).
+* (Q7) over (V1)  -- mapping (M6) exists, candidate (Q8) is built, but
+  its composition (Q9) is not equivalent to (Q7): no rewriting.
+* (Q11)           -- the chase turns the set variable into (Q10).
+* (Q7) + the Section 3.3 DTD -- label inference and the labeled FD make
+  (Q8) a valid rewriting after all.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.rewriting import (chase, compose, find_mappings, paper_dtd,
+                             rewrite)
+from repro.tsl import parse_query, print_query
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def show_rewritings(label, query, views, constraints=None):
+    result = rewrite(query, views, constraints=constraints)
+    print(f"{label}: {len(result.rewritings)} rewriting(s)")
+    for rewriting in result.rewritings:
+        print("   ", print_query(rewriting.query))
+    return result
+
+
+def main() -> None:
+    v1 = parse_query("""
+        <g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :-
+            <P' p {<X' Y' Z'>}>@db
+    """, name="V1")
+    views = {"V1": v1}
+
+    banner("The view (V1): groups labels under pr, values under v")
+    print(print_query(v1, multiline=True))
+
+    banner("Example 3.1: (Q3) asks whether the value leland appears")
+    q3 = parse_query("<f(P) stanford yes> :- <P p {<X Y leland>}>@db")
+    print("query:", print_query(q3))
+    [mapping] = find_mappings(chase(v1), chase(q3))
+    print("the mapping (M2):", mapping.subst)
+    show_rewritings("(Q4)", q3, views)
+
+    banner("Example 3.2: (Q5) needs a set mapping")
+    q5 = parse_query(
+        "<f(P) stanford yes> :- <P p {<X Y {<Z last stanford>}>}>@db")
+    print("query:", print_query(q5))
+    [mapping] = find_mappings(chase(v1), chase(q5))
+    print("the mapping (M5):", mapping.subst)
+    print("   (note Z' mapped to the set pattern {<Z last stanford>})")
+    show_rewritings("(Q6)", q5, views)
+
+    banner("Example 3.3: (Q7) has a mapping but NO rewriting")
+    q7 = parse_query(
+        "<f(P) stanford yes> :- <P p {<X name {<Z last stanford>}>}>@db")
+    print("query:", print_query(q7))
+    [mapping] = find_mappings(chase(v1), chase(q7))
+    print("the mapping (M6):", mapping.subst)
+    q8 = parse_query("""
+        <f(P) stanford yes> :-
+            <g(P) p {<pp(P,Y) pr name>
+                     <h(X) v {<Z last stanford>}>}>@V1
+    """)
+    print("candidate (Q8):", print_query(q8))
+    composed = compose(q8, views)
+    print(f"composition (Q9): a union of {len(composed)} rule(s); "
+          "not equivalent to (Q7) --")
+    print("  the view 'loses' the label-value correspondence.")
+    show_rewritings("(Q7) without constraints", q7, views)
+
+    banner("Example 3.4: the chase extension for set variables")
+    q11 = parse_query("""
+        <f(P) stan-student V> :-
+            <P p {<U university stanford>}>@db AND <P p V>@db
+    """)
+    print("(Q11):", print_query(q11))
+    print("chased:", print_query(chase(q11)))
+    print("   (V became a fresh set pattern; the head was rewritten too)")
+
+    banner("Example 3.5: with the Section 3.3 DTD, (Q7) IS rewritable")
+    dtd = paper_dtd()
+    print("label inference: p . ? . last  =>",
+          dtd.infer_middle_label("p", "last"))
+    print("labeled FD: p -> name:", dtd.functional_child("p", "name"))
+    show_rewritings("(Q7) with the DTD", q7, views, constraints=dtd)
+
+
+if __name__ == "__main__":
+    main()

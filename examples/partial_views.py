@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Maximally contained rewritings (Section 7 future work).
+
+When the views do not retain enough information for an *equivalent*
+rewriting, the paper's future-work direction (in the spirit of Duschka &
+Genesereth / Duschka & Levy) is to return the best *sound* answer: a
+rewriting whose result is contained in the query's, maximal among such.
+
+Scenario: the mediator can only reach two partial archives -- one holding
+SIGMOD publications, one holding 1997 publications.  A query for ALL
+titles has no equivalent rewriting, but the union of both archives'
+titles is the maximally contained answer.
+
+Run:  python examples/partial_views.py
+"""
+
+from repro.oem import build_database, obj
+from repro.rewriting import maximally_contained_rewritings, rewrite
+from repro.tsl import evaluate, evaluate_program, parse_query, print_query
+
+
+def main() -> None:
+    db = build_database("db", [
+        obj("pub", [obj("title", "views-paper"),
+                    obj("booktitle", "sigmod"), obj("year", 1993)]),
+        obj("pub", [obj("title", "mediators-paper"),
+                    obj("booktitle", "vldb"), obj("year", 1997)]),
+        obj("pub", [obj("title", "obscure-paper"),
+                    obj("booktitle", "icde"), obj("year", 1995)]),
+    ])
+    views = {
+        "sigmod_arch": parse_query(
+            "<v(P) pub {<c(P,L,W) L W>}> :- "
+            "<P pub {<B booktitle sigmod>}>@db AND <P pub {<X L W>}>@db",
+            name="sigmod_arch"),
+        "y97_arch": parse_query(
+            "<w(P) pub {<d(P,L,W) L W>}> :- "
+            "<P pub {<Y year 1997>}>@db AND <P pub {<X L W>}>@db",
+            name="y97_arch"),
+    }
+    query = parse_query("<f(P) title T> :- <P pub {<X title T>}>@db")
+
+    print("query:", print_query(query))
+    print("views: partial archives (sigmod pubs; 1997 pubs)\n")
+
+    equivalent_result = rewrite(query, views, total_only=True)
+    print("equivalent rewritings:", len(equivalent_result.rewritings),
+          "(the archives cover only part of the data)")
+
+    contained = maximally_contained_rewritings(query, views)
+    print(f"\nmaximally contained rewritings: {len(contained)}")
+    for rewriting in contained:
+        print("   ", rewriting)
+
+    # Execute the union of the maximal rewritings over the materialized
+    # archives: the best obtainable answer.
+    materialized = {name: evaluate(view, db, answer_name=name)
+                    for name, view in views.items()}
+    union = evaluate_program([r.query for r in contained], materialized)
+    got = sorted(r.value for r in union.root_objects())
+    full = sorted(r.value for r in evaluate(query, db).root_objects())
+    print("\nfull answer:        ", full)
+    print("best sound answer:  ", got)
+    print("missing (unreachable through the views):",
+          sorted(set(full) - set(got)))
+
+
+if __name__ == "__main__":
+    main()

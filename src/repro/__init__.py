@@ -1,0 +1,39 @@
+"""repro: a reproduction of "Query Rewriting for Semistructured Data".
+
+Papakonstantinou & Vassalos, SIGMOD 1999.  The package implements the OEM
+data model, the TSL query language, and the paper's sound & complete
+algorithm for rewriting TSL queries using TSL views, together with the
+TSIMMIS-style mediator and Lore-style repository substrates the paper
+motivates.
+
+Quickstart::
+
+    from repro import parse_query, evaluate
+    from repro.oem import build_database, obj
+
+    db = build_database("db", [
+        obj("person", [obj("gender", "female"), obj("name", "ann")]),
+    ])
+    q = parse_query("<f(P) female {<f(X) Y Z>}> :- "
+                    "<P person {<G gender female> <X Y Z>}>@db")
+    answer = evaluate(q, db)
+"""
+
+from .errors import (ChaseContradictionError, FusionConflictError,
+                     OemError, ReproError, RewritingError, SafetyError,
+                     TslError, TslSyntaxError, ValidationError)
+from .oem import OemDatabase, build_database, identical, isomorphic, obj
+from .tsl import (Query, evaluate, evaluate_program, normalize, parse_query,
+                  print_query, validate)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError", "OemError", "TslError", "TslSyntaxError",
+    "ValidationError", "SafetyError", "FusionConflictError",
+    "RewritingError", "ChaseContradictionError",
+    "OemDatabase", "build_database", "obj", "identical", "isomorphic",
+    "Query", "parse_query", "print_query", "normalize", "validate",
+    "evaluate", "evaluate_program",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface: validate, evaluate, and rewrite TSL queries.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro validate QUERY.tsl
+    python -m repro evaluate QUERY.tsl --db DATA.json [--dot]
+    python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
+        [--dtd FILE.dtd] [--total] [--contained]
+    python -m repro import-xml DOC.xml -o DATA.json
+
+Queries and views are TSL text files (``%`` comments allowed); databases
+are the JSON encoding of :mod:`repro.oem.serialize`; XML documents import
+through :mod:`repro.xmlbridge`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import ReproError
+from .oem.dot import to_dot
+from .oem.serialize import dumps, loads
+from .rewriting import (maximally_contained_rewritings, parse_dtd, rewrite)
+from .tsl import evaluate, parse_query, print_query, validate
+from .xmlbridge import dtd_from_document, xml_to_oem
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _load_query(path: str):
+    return validate(parse_query(_read(path)))
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    print("ok:", print_query(query))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    db = loads(_read(args.db))
+    answer = evaluate(query, db)
+    if args.dot:
+        print(to_dot(answer, graph_name="answer"))
+    else:
+        print(dumps(answer, indent=2))
+    print(f"# {len(answer.roots)} root object(s), "
+          f"{answer.stats()['objects']} objects", file=sys.stderr)
+    return 0
+
+
+def _parse_view_spec(spec: str):
+    if "=" not in spec:
+        raise ReproError(
+            f"--view expects NAME=FILE, got {spec!r}")
+    name, _, path = spec.partition("=")
+    return name, parse_query(_read(path), name=name)
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    views = dict(_parse_view_spec(spec) for spec in args.view)
+    constraints = None
+    if args.dtd:
+        constraints = parse_dtd(_read(args.dtd))
+    if args.contained:
+        outcome = maximally_contained_rewritings(
+            query, views, constraints, total_only=args.total)
+        rewritings = [(r.query, "equivalent" if r.is_equivalent
+                       else "contained") for r in outcome.rewritings]
+    else:
+        result = rewrite(query, views, constraints,
+                         total_only=args.total)
+        rewritings = [(r.query, "equivalent") for r in result.rewritings]
+    if not rewritings:
+        print("no rewriting found", file=sys.stderr)
+        return 1
+    for rewriting, flavor in rewritings:
+        print(f"% {flavor}")
+        print(print_query(rewriting, multiline=True))
+    return 0
+
+
+def _cmd_import_xml(args: argparse.Namespace) -> int:
+    text = _read(args.document)
+    db = xml_to_oem(text, name=args.name)
+    encoded = dumps(db, indent=2)
+    if args.output:
+        Path(args.output).write_text(encoded, encoding="utf-8")
+    else:
+        print(encoded)
+    dtd = dtd_from_document(text)
+    if dtd is not None:
+        print(f"# internal DTD found ({len(dtd.elements)} elements); "
+              "pass it to rewrite via --dtd", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query rewriting for semistructured data "
+                    "(SIGMOD 1999 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate_cmd = commands.add_parser(
+        "validate", help="parse + validate a TSL query file")
+    validate_cmd.add_argument("query")
+    validate_cmd.set_defaults(handler=_cmd_validate)
+
+    evaluate_cmd = commands.add_parser(
+        "evaluate", help="evaluate a TSL query over a JSON OEM database")
+    evaluate_cmd.add_argument("query")
+    evaluate_cmd.add_argument("--db", required=True,
+                              help="database JSON file")
+    evaluate_cmd.add_argument("--dot", action="store_true",
+                              help="emit Graphviz DOT instead of JSON")
+    evaluate_cmd.set_defaults(handler=_cmd_evaluate)
+
+    rewrite_cmd = commands.add_parser(
+        "rewrite", help="find rewritings of a query using views")
+    rewrite_cmd.add_argument("query")
+    rewrite_cmd.add_argument("--view", action="append", default=[],
+                             metavar="NAME=FILE", required=True)
+    rewrite_cmd.add_argument("--dtd", help="structural constraints file")
+    rewrite_cmd.add_argument("--total", action="store_true",
+                             help="views-only (total) rewritings")
+    rewrite_cmd.add_argument("--contained", action="store_true",
+                             help="maximally contained instead of "
+                                  "equivalent rewritings")
+    rewrite_cmd.set_defaults(handler=_cmd_rewrite)
+
+    import_cmd = commands.add_parser(
+        "import-xml", help="convert an XML document to OEM JSON")
+    import_cmd.add_argument("document")
+    import_cmd.add_argument("-o", "--output")
+    import_cmd.add_argument("--name", default="db",
+                            help="database/source name (default: db)")
+    import_cmd.set_defaults(handler=_cmd_import_xml)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

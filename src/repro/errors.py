@@ -1,0 +1,122 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subtrees mirror
+the subsystems: OEM model errors, TSL language errors, and rewriting errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# OEM data model
+# --------------------------------------------------------------------------
+
+class OemError(ReproError):
+    """Base class for OEM data model errors."""
+
+
+class DuplicateOidError(OemError):
+    """An object id was inserted twice with conflicting label or value."""
+
+
+class UnknownOidError(OemError):
+    """An object id was referenced but is not present in the database."""
+
+
+class FusionConflictError(OemError):
+    """Two assignments fused the same head oid with different atomic values.
+
+    TSL's fusion semantics merge the *set* values of objects that share an
+    object id; an atomic object cannot carry two distinct atomic values, so
+    producing one is an error in the query, not in the data.
+    """
+
+
+# --------------------------------------------------------------------------
+# TSL language
+# --------------------------------------------------------------------------
+
+class TslError(ReproError):
+    """Base class for TSL language errors."""
+
+
+class TslSyntaxError(TslError):
+    """The TSL text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(TslError):
+    """A parsed query violates a well-formedness rule of the paper."""
+
+
+class SafetyError(ValidationError):
+    """A head variable does not appear in the query body (unsafe query)."""
+
+
+class CyclicPatternError(ValidationError):
+    """A body condition contains a cyclic object pattern (disallowed, par. 2)."""
+
+
+class OidDisciplineError(ValidationError):
+    """A variable is used both in an object-id field and a label/value field.
+
+    The paper requires the sets of object-id variables and other variables
+    to be disjoint; this is what keeps the completeness proof of Section 5
+    valid (no hidden functional dependencies).
+    """
+
+
+# --------------------------------------------------------------------------
+# Rewriting
+# --------------------------------------------------------------------------
+
+class RewritingError(ReproError):
+    """Base class for errors in the rewriting subsystem."""
+
+
+class ChaseContradictionError(RewritingError):
+    """The chase equated two distinct constants.
+
+    Per Section 3.2, the query "cannot be chased to an equivalent query
+    satisfying the object id key dependency"; it has an empty result on
+    every legal database.
+    """
+
+
+class ConstraintError(RewritingError):
+    """A structural constraint description (e.g. a DTD) is malformed."""
+
+
+class CompositionError(RewritingError):
+    """Query-view composition failed structurally (not merely no unifier)."""
+
+
+# --------------------------------------------------------------------------
+# Mediator / repository substrates
+# --------------------------------------------------------------------------
+
+class MediatorError(ReproError):
+    """Base class for mediator-layer errors."""
+
+
+class CapabilityError(MediatorError):
+    """No capability-respecting plan exists for a query."""
+
+
+class RepositoryError(ReproError):
+    """Base class for repository-layer errors."""

@@ -1,0 +1,21 @@
+"""Term algebra, unification, and Datalog substrate."""
+
+from .terms import (Atom, Constant, FunctionTerm, SetValue, Term, Variable,
+                    const, fn, rename_term, var, variables_of)
+from .subst import EMPTY_SUBSTITUTION, Substitution
+from .unify import match, unify, unify_all
+from .datalog import (Atom, Database, DatalogError, Literal, Rule,
+                      evaluate as datalog_evaluate, fact, query as
+                      datalog_query, rule)
+
+# The TSL translation lives in repro.logic.translate; it is not re-exported
+# here because it depends on repro.oem and repro.tsl (import it directly).
+
+__all__ = [
+    "Atom", "Literal", "Rule", "Database", "DatalogError",
+    "fact", "rule", "datalog_evaluate", "datalog_query",
+    "Term", "Constant", "Variable", "FunctionTerm", "SetValue", "Atom",
+    "const", "var", "fn", "variables_of", "rename_term",
+    "Substitution", "EMPTY_SUBSTITUTION",
+    "unify", "unify_all", "match",
+]

@@ -1,0 +1,100 @@
+"""Most-general unification over the term algebra of :mod:`repro.logic.terms`.
+
+Unification is the engine behind query-view composition (Section 3.1,
+Step 2A of the paper): a condition over a view is resolved against the view
+head by unifying object-id terms, labels, and values.  Function symbols are
+uninterpreted, so ``f(X) = g(Y)`` fails unless the functors and arities
+match, and ``f(X1..Xn) = f(Y1..Yn)`` reduces to pointwise unification --
+exactly the "key dependency on object id" reasoning the paper relies on.
+
+The occurs check is enabled: TSL forbids cyclic object patterns, and a
+binding ``X -> f(X)`` would denote exactly such a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .subst import Substitution
+from .terms import Constant, FunctionTerm, Term, Variable
+
+
+def _occurs(v: Variable, term: Term) -> bool:
+    return any(v == w for w in term.variables())
+
+
+def unify(left: Term, right: Term,
+          subst: Substitution | None = None) -> Substitution | None:
+    """Return a most general unifier of *left* and *right*, or None.
+
+    When *subst* is given, unification proceeds under it (both sides are
+    rewritten by it first) and the result extends it.
+    """
+    subst = subst or Substitution()
+    stack: list[tuple[Term, Term]] = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = subst.apply(a)
+        b = subst.apply(b)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            if _occurs(a, b):
+                return None
+            subst = subst.bind(a, b)
+        elif isinstance(b, Variable):
+            if _occurs(b, a):
+                return None
+            subst = subst.bind(b, a)
+        elif isinstance(a, Constant) and isinstance(b, Constant):
+            if a.value != b.value:
+                return None
+        elif isinstance(a, FunctionTerm) and isinstance(b, FunctionTerm):
+            if a.functor != b.functor or len(a.args) != len(b.args):
+                return None
+            stack.extend(zip(a.args, b.args))
+        else:
+            return None
+    return subst
+
+
+def unify_all(pairs: Iterable[tuple[Term, Term]],
+              subst: Substitution | None = None) -> Substitution | None:
+    """Unify every pair in *pairs* simultaneously; None on failure."""
+    subst = subst or Substitution()
+    for a, b in pairs:
+        result = unify(a, b, subst)
+        if result is None:
+            return None
+        subst = result
+    return subst
+
+
+def match(pattern: Term, target: Term,
+          subst: Substitution | None = None) -> Substitution | None:
+    """One-way matching: bind variables of *pattern* to make it *target*.
+
+    Variables occurring in *target* are treated as constants (they are never
+    bound).  Matching is what containment mappings use -- a mapping sends
+    the view's variables onto the query's terms, never the reverse.
+    """
+    subst = subst or Substitution()
+    bindable = set(pattern.variables()) | set(subst)
+    stack: list[tuple[Term, Term]] = [(pattern, target)]
+    while stack:
+        a, b = stack.pop()
+        a = subst.apply(a)
+        if a == b:
+            continue
+        if isinstance(a, Variable) and a in bindable and a not in subst:
+            subst = subst.bind(a, b)
+        elif isinstance(a, Constant) and isinstance(b, Constant):
+            if a.value != b.value:
+                return None
+        elif isinstance(a, FunctionTerm) and isinstance(b, FunctionTerm):
+            if a.functor != b.functor or len(a.args) != len(b.args):
+                return None
+            stack.extend(zip(a.args, b.args))
+        else:
+            return None
+    return subst

@@ -1,0 +1,89 @@
+"""Capability descriptions of information sources (Section 1).
+
+"The different and limited query capabilities of the sources are often
+described by views where the constants are parameterized.  For example,
+the parameterized view ``SELECT * FROM R WHERE R.A=$X`` ... declares that
+S can answer queries that pick all attributes of R and have R.A bound to a
+constant."
+
+A :class:`CapabilityView` is a TSL view over one source whose
+``$``-prefixed variables are *parameters*: any query shipped to the source
+must instantiate every parameter with a constant.  The paper defers the
+parameterized machinery to [25, 37] and notes parameters "do not seriously
+affect the complexity"; accordingly, the CBR handles them by instantiating
+each capability into a plain view per parameter binding discovered by the
+mapping step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapabilityError
+from ..logic.subst import Substitution
+from ..logic.terms import Constant, Variable
+from ..tsl.ast import Query
+from ..tsl.parser import parse_query
+from ..tsl.printer import print_query
+
+
+def parameters_of(query: Query) -> frozenset[Variable]:
+    """The ``$``-prefixed variables of a capability view."""
+    return frozenset(v for v in query.all_variables()
+                     if v.name.startswith("$"))
+
+
+@dataclass(frozen=True)
+class CapabilityView:
+    """One supported query template of a source."""
+
+    name: str
+    query: Query
+    parameters: frozenset[Variable] = field(default=frozenset())
+
+    @staticmethod
+    def from_text(name: str, text: str) -> "CapabilityView":
+        query = parse_query(text, name=name)
+        return CapabilityView(name, query, parameters_of(query))
+
+    def instantiate(self, bindings: Substitution) -> "PlainCapability":
+        """Bind every parameter to a constant, yielding a plain view."""
+        missing = [p for p in self.parameters
+                   if not isinstance(bindings.get(p), Constant)]
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise CapabilityError(
+                f"capability {self.name}: parameters not bound to "
+                f"constants: {names}")
+        narrowed = Substitution(
+            {p: bindings[p] for p in self.parameters})
+        values = tuple(sorted(
+            (p.name, str(bindings[p])) for p in self.parameters))
+        suffix = "".join(f"[{n}={v}]" for n, v in values)
+        plain = self.query.substitute(narrowed)
+        instance_name = f"{self.name}{suffix}"
+        return PlainCapability(instance_name, self,
+                               Query(plain.head, plain.body,
+                                     name=instance_name))
+
+    def sources(self) -> set[str]:
+        return self.query.sources()
+
+    def __str__(self) -> str:
+        params = " ".join(sorted(v.name for v in self.parameters))
+        header = f"capability {self.name}"
+        if params:
+            header += f" ({params})"
+        return f"{header}: {print_query(self.query)}"
+
+
+@dataclass(frozen=True)
+class PlainCapability:
+    """A capability with all parameters bound: an executable plain view."""
+
+    name: str
+    template: CapabilityView
+    query: Query
+
+    def __str__(self) -> str:
+        return f"{self.name}: {print_query(self.query)}"

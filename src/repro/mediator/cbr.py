@@ -1,0 +1,117 @@
+"""The Capability-Based Rewriter (Figure 2; Section 1; [25]).
+
+Given a mediator query over source data, the CBR decides "how to extract
+the necessary information from the sources" using only their declared
+capabilities: it instantiates each parameterized capability via the
+containment mappings into the query (binding every parameter to a
+constant), then runs the paper's rewriting algorithm with the instantiated
+capabilities as the views, requiring *total* rewritings -- source data is
+only reachable through capabilities.
+
+The running example of the paper works exactly this way: for a "SIGMOD
+1997" query against a source that only supports selections on ``year``,
+the mapping binds ``$YEAR = 1997``, the total rewriting fetches the 1997
+publications through that capability, and the SIGMOD filter lands in the
+rewriting's conditions *over the view* -- i.e., it "will be done at the
+mediator".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapabilityError
+from ..logic.terms import Constant
+from ..rewriting.chase import StructuralConstraints, chase
+from ..rewriting.mappings import find_mappings
+from ..rewriting.rewriter import Rewriting, rewrite
+from ..tsl.ast import Query
+from ..tsl.normalize import normalize
+from .capabilities import PlainCapability
+from .cost import CostModel
+from .source import Source
+from .wrapper import NativeQuery, translate_to_native
+
+
+@dataclass
+class Plan:
+    """One executable plan: a total rewriting over capability instances."""
+
+    rewriting: Rewriting
+    capabilities: dict[str, PlainCapability]
+    estimated_cost: float
+    native_queries: list[NativeQuery] = field(default_factory=list)
+
+    @property
+    def query(self) -> Query:
+        return self.rewriting.query
+
+    def describe(self) -> str:
+        lines = [f"plan (estimated cost {self.estimated_cost:.1f}):"]
+        for native in self.native_queries:
+            lines.append(f"  ship {native}")
+        lines.append(f"  mediator: {self.query}")
+        return "\n".join(lines)
+
+
+def instantiate_capabilities(query: Query, sources: dict[str, Source],
+                             constraints: StructuralConstraints | None = None
+                             ) -> dict[str, PlainCapability]:
+    """Step 1 of the CBR: bind capability parameters via mappings.
+
+    For each capability of each source, every containment mapping from the
+    capability body into the query proposes parameter bindings; mappings
+    that bind every parameter to a constant yield a plain capability
+    instance.  Parameterless capabilities are always available.
+    """
+    target = chase(normalize(query), constraints)
+    instances: dict[str, PlainCapability] = {}
+    for source in sources.values():
+        for capability in source.capabilities:
+            if not capability.parameters:
+                plain = PlainCapability(capability.name, capability,
+                                        capability.query)
+                instances.setdefault(plain.name, plain)
+                continue
+            for mapping in find_mappings(chase(capability.query,
+                                                constraints), target):
+                bound = {p: mapping.subst.get(p)
+                         for p in capability.parameters}
+                if all(isinstance(t, Constant) for t in bound.values()):
+                    plain = capability.instantiate(mapping.subst)
+                    instances.setdefault(plain.name, plain)
+    return instances
+
+
+def plan_query(query: Query, sources: dict[str, Source],
+               constraints: StructuralConstraints | None = None,
+               cost_model: CostModel | None = None,
+               max_plans: int | None = None) -> list[Plan]:
+    """Produce executable plans, cheapest first.
+
+    Raises :class:`CapabilityError` when no capability-respecting plan
+    exists (the query is unanswerable through the sources' interfaces).
+    """
+    cost_model = cost_model or CostModel()
+    instances = instantiate_capabilities(query, sources, constraints)
+    if not instances:
+        raise CapabilityError(
+            "no source capability is relevant to the query "
+            "(no containment mapping binds the required parameters)")
+    views = {name: plain.query for name, plain in instances.items()}
+    outcome = rewrite(query, views, constraints, total_only=True)
+    plans: list[Plan] = []
+    for rewriting in outcome.rewritings:
+        used = {name: instances[name] for name in rewriting.views_used}
+        cost = cost_model.estimate_plan(used, sources)
+        natives = [translate_to_native(plain)
+                   for _, plain in sorted(used.items())]
+        plans.append(Plan(rewriting, used, cost, natives))
+    if not plans:
+        raise CapabilityError(
+            "no total rewriting over the source capabilities exists; "
+            "the query exceeds the sources' interfaces")
+    plans.sort(key=lambda p: (p.estimated_cost, str(p.query)))
+    if max_plans is not None:
+        plans = plans[:max_plans]
+    return plans

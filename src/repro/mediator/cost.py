@@ -1,0 +1,58 @@
+"""A simple plan cost model (the "Cost estimator" box of Figure 2).
+
+Plans are ranked before execution, so costs are estimates: each source
+query pays a fixed round-trip overhead plus a transfer charge proportional
+to the estimated result size.  Result sizes are estimated from the source
+size and a selectivity guess based on how many constant selections the
+shipped capability applies -- crude, but it orders plans the way the
+TSIMMIS cost estimator's much richer statistics would (fewer round trips
+and more selective pushdown win).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.terms import Constant
+from ..tsl.ast import Query
+from ..tsl.normalize import query_paths
+from .capabilities import PlainCapability
+from .source import Source
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable cost coefficients."""
+
+    per_query_cost: float = 10.0
+    per_object_cost: float = 0.1
+    constant_selectivity: float = 0.1
+
+    def selectivity(self, query: Query) -> float:
+        """Estimated fraction of source objects a capability returns."""
+        constants = 0
+        for path in query_paths(query):
+            if isinstance(path.leaf, Constant):
+                constants += 1
+            constants += sum(
+                1 for _, label in path.steps[1:]
+                if isinstance(label, Constant))
+        # Each constant *selection* (leaf constant) narrows the result;
+        # constant labels mostly describe structure, so weigh leaves only.
+        leaf_constants = sum(
+            1 for path in query_paths(query)
+            if isinstance(path.leaf, Constant))
+        return self.constant_selectivity ** leaf_constants
+
+    def estimate_access(self, capability: PlainCapability,
+                        source: Source) -> float:
+        objects = len(source.db) * self.selectivity(capability.query)
+        return self.per_query_cost + self.per_object_cost * objects
+
+    def estimate_plan(self, capabilities: dict[str, PlainCapability],
+                      sources: dict[str, Source]) -> float:
+        total = 0.0
+        for capability in capabilities.values():
+            source_name = next(iter(capability.query.sources()))
+            total += self.estimate_access(capability, sources[source_name])
+        return total

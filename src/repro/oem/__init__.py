@@ -1,0 +1,24 @@
+"""The OEM data model (Section 2) and its equivalence relations (Sections 3, 6)."""
+
+from .model import OemDatabase, OemObject, Oid, as_oid, merge_databases
+from .builder import DatabaseBuilder, build_database, obj, ref
+from .equivalence import explain_difference, identical
+from .isomorphism import find_isomorphism, isomorphic
+from .bisimulation import bisimilar, bisimulation_classes, objects_bisimilar
+from .edge_labeled import (EdgeLabeledDatabase, from_node_labeled,
+                           to_node_labeled)
+from .serialize import (database_from_json, database_to_json, dumps, loads,
+                        term_from_json, term_to_json)
+from .dot import to_dot
+
+__all__ = [
+    "OemDatabase", "OemObject", "Oid", "as_oid", "merge_databases",
+    "DatabaseBuilder", "build_database", "obj", "ref",
+    "identical", "explain_difference",
+    "isomorphic", "find_isomorphism",
+    "bisimilar", "bisimulation_classes", "objects_bisimilar",
+    "EdgeLabeledDatabase", "to_node_labeled", "from_node_labeled",
+    "database_to_json", "database_from_json", "dumps", "loads",
+    "term_to_json", "term_from_json",
+    "to_dot",
+]

@@ -1,0 +1,134 @@
+"""Fluent construction of OEM databases from nested Python specifications.
+
+The paper's Figure 3 data, for example, is written as::
+
+    db = build_database("db", [
+        obj("person", [
+            obj("name", "A. Gupta"),
+            obj("pub", [obj("title", "Constraint Views"),
+                        obj("booktitle", "SIGMOD"),
+                        obj("year", 1993)]),
+        ]),
+    ])
+
+Oids default to fresh constants ``&1, &2, ...``; pass ``oid=`` to pin one,
+and use :func:`ref` to point at an already-registered object (for building
+shared subobjects, DAGs, and cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..logic.terms import Atom
+from .model import OemDatabase, OidLike
+
+
+@dataclass
+class ObjSpec:
+    """Specification of one object to build."""
+
+    label: Atom
+    value: Union[Atom, Sequence["NodeSpec"], None]
+    oid: OidLike | None = None
+
+
+@dataclass
+class RefSpec:
+    """A reference to an object registered elsewhere in the build."""
+
+    oid: OidLike
+
+
+NodeSpec = Union[ObjSpec, RefSpec]
+
+
+def obj(label: Atom, value: Union[Atom, Sequence[NodeSpec], None] = None,
+        oid: OidLike | None = None) -> ObjSpec:
+    """Describe an object: atomic when *value* is an atom, set otherwise."""
+    return ObjSpec(label=label, value=value, oid=oid)
+
+
+def ref(oid: OidLike) -> RefSpec:
+    """Reference an object built elsewhere (enables sharing and cycles)."""
+    return RefSpec(oid=oid)
+
+
+@dataclass
+class _Counter:
+    next_id: int = 1
+
+    def fresh(self) -> str:
+        oid = f"&{self.next_id}"
+        self.next_id += 1
+        return oid
+
+
+def _build_node(db: OemDatabase, spec: NodeSpec, counter: _Counter) -> OidLike:
+    if isinstance(spec, RefSpec):
+        return spec.oid
+    oid = spec.oid if spec.oid is not None else counter.fresh()
+    if spec.value is None or isinstance(spec.value, (list, tuple)):
+        db.add_set(oid, spec.label)
+        for child in spec.value or ():
+            child_oid = _build_node(db, child, counter)
+            db.add_child(oid, child_oid)
+    else:
+        db.add_atomic(oid, spec.label, spec.value)
+    return oid
+
+
+def build_database(name: str, roots: Sequence[NodeSpec],
+                   extra: Sequence[NodeSpec] = ()) -> OemDatabase:
+    """Build an :class:`OemDatabase` from root object specifications.
+
+    *extra* objects are registered but not made roots; useful for building
+    shared targets that :func:`ref` points to.  References may be forward:
+    extras are built first.
+    """
+    db = OemDatabase(name)
+    counter = _Counter()
+    for spec in extra:
+        _build_node(db, spec, counter)
+    for spec in roots:
+        oid = _build_node(db, spec, counter)
+        db.add_root(oid)
+    db.check_integrity()
+    return db
+
+
+@dataclass
+class DatabaseBuilder:
+    """Incremental builder for an :class:`OemDatabase`.
+
+    Useful when objects are created over several passes, e.g. by the
+    synthetic workload generators.
+    """
+
+    name: str = "db"
+    _db: OemDatabase = field(init=False)
+    _counter: _Counter = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._db = OemDatabase(self.name)
+        self._counter = _Counter()
+
+    def atomic(self, label: Atom, value: Atom,
+               oid: OidLike | None = None) -> OidLike:
+        oid = oid if oid is not None else self._counter.fresh()
+        return self._db.add_atomic(oid, label, value)
+
+    def set(self, label: Atom, oid: OidLike | None = None) -> OidLike:
+        oid = oid if oid is not None else self._counter.fresh()
+        return self._db.add_set(oid, label)
+
+    def edge(self, parent: OidLike, child: OidLike) -> None:
+        self._db.add_child(parent, child)
+
+    def root(self, oid: OidLike) -> None:
+        self._db.add_root(oid)
+
+    def finish(self) -> OemDatabase:
+        self._db.check_integrity()
+        return self._db

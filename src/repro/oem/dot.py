@@ -1,0 +1,50 @@
+"""Graphviz DOT export for OEM databases and answer graphs.
+
+Handy for inspecting fused answers and hanging subgraphs; pipe the output
+through ``dot -Tsvg``.  Roots are drawn as double circles, atomic objects
+as boxes labeled ``label = value``, set objects as ellipses.
+"""
+
+from __future__ import annotations
+
+from .model import OemDatabase, Oid
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _quote(text: str) -> str:
+    return '"' + _escape(text) + '"'
+
+
+def _node_id(oid: Oid) -> str:
+    return _quote(str(oid))
+
+
+def to_dot(db: OemDatabase, graph_name: str = "oem",
+           reachable_only: bool = True) -> str:
+    """Render *db* as a Graphviz digraph."""
+    lines = [f"digraph {_quote(graph_name)} {{",
+             "  rankdir=TB;",
+             "  node [fontsize=10];"]
+    oids = db.reachable_oids() if reachable_only else set(db.oids())
+    for oid in sorted(oids, key=str):
+        shape = "box" if db.is_atomic(oid) else "ellipse"
+        if db.is_root(oid):
+            extra = ", peripheries=2"
+        else:
+            extra = ""
+        if db.is_atomic(oid):
+            label = f"{db.label(oid)} = {db.atomic_value(oid)}"
+        else:
+            label = str(db.label(oid))
+        node_label = '"' + _escape(label) + "\\n" + _escape(str(oid)) + '"'
+        lines.append(f"  {_node_id(oid)} [shape={shape}, "
+                     f"label={node_label}{extra}];")
+    for oid in sorted(oids, key=str):
+        for child in db.children(oid):
+            if child in oids:
+                lines.append(f"  {_node_id(oid)} -> {_node_id(child)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""The edge-labeled OEM variant (Section 6, "OEM variants and rewriting").
+
+A popular variant of OEM (used by Lore [26]) puts labels on the *edges*
+instead of the nodes.  Section 6 notes the paper's techniques apply with
+little change; "one noteworthy difference is that the only implicit
+functional dependency present in this variant is object id to value".
+
+This module provides the variant as a small data structure plus lossless
+conversions to and from node-labeled OEM.  The conversion to node-labeled
+form pushes each edge label onto its target node; when a node is reached
+through edges with *different* labels it must be split (one copy per
+incoming label), so the conversion derives fresh function-term oids
+``labeled(<oid>, <label>)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..logic.terms import Atom, Constant, FunctionTerm, Term
+from ..errors import OemError, UnknownOidError
+from .model import OemDatabase, Oid, OidLike, as_oid
+
+ROOT_LABEL = "root"
+
+
+class EdgeLabeledDatabase:
+    """An OEM graph with labels on edges and values on leaf nodes."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._atoms: dict[Oid, Atom] = {}
+        self._nodes: set[Oid] = set()
+        self._edges: dict[Oid, list[tuple[Atom, Oid]]] = {}
+        self._roots: list[Oid] = []
+
+    def add_node(self, oid: OidLike, value: Atom | None = None) -> Oid:
+        """Add a node; leaf nodes carry an atomic *value*."""
+        oid = as_oid(oid)
+        if oid in self._nodes:
+            if self._atoms.get(oid) != value:
+                raise OemError(f"node {oid} already added with another value")
+            return oid
+        self._nodes.add(oid)
+        self._edges[oid] = []
+        if value is not None:
+            self._atoms[oid] = value
+        return oid
+
+    def add_edge(self, parent: OidLike, label: Atom, child: OidLike) -> None:
+        parent, child = as_oid(parent), as_oid(child)
+        if parent not in self._nodes:
+            raise UnknownOidError(f"unknown node {parent}")
+        if (label, child) not in self._edges[parent]:
+            self._edges[parent].append((label, child))
+
+    def add_root(self, oid: OidLike) -> None:
+        oid = as_oid(oid)
+        if oid not in self._roots:
+            self._roots.append(oid)
+
+    @property
+    def roots(self) -> tuple[Oid, ...]:
+        return tuple(self._roots)
+
+    def nodes(self) -> Iterator[Oid]:
+        return iter(self._nodes)
+
+    def edges(self, oid: OidLike) -> tuple[tuple[Atom, Oid], ...]:
+        return tuple(self._edges[as_oid(oid)])
+
+    def value(self, oid: OidLike) -> Atom | None:
+        return self._atoms.get(as_oid(oid))
+
+
+def to_node_labeled(db: EdgeLabeledDatabase) -> OemDatabase:
+    """Convert edge-labeled OEM to the paper's node-labeled OEM.
+
+    Each (incoming-label, node) pair becomes one node-labeled object with
+    oid ``labeled(<oid>, <label>)``; roots get the synthetic label
+    ``root``.  Reachability and values are preserved; nodes reachable under
+    k distinct labels are split into k label-variants sharing subobjects.
+    """
+    out = OemDatabase(db.name)
+
+    def variant_oid(oid: Oid, label: Atom) -> Term:
+        return FunctionTerm("labeled", (oid, Constant(label)))
+
+    # Discover all (node, incoming-label) variants reachable from roots.
+    pending: list[tuple[Oid, Atom]] = [(r, ROOT_LABEL) for r in db.roots]
+    seen: set[tuple[Oid, Atom]] = set()
+    while pending:
+        node, label = pending.pop()
+        if (node, label) in seen:
+            continue
+        seen.add((node, label))
+        value = db.value(node)
+        if value is not None and not db.edges(node):
+            out.add_atomic(variant_oid(node, label), label, value)
+        else:
+            out.add_set(variant_oid(node, label), label)
+            for edge_label, child in db.edges(node):
+                pending.append((child, edge_label))
+    for node, label in sorted(seen, key=lambda p: (str(p[0]), str(p[1]))):
+        if not out.is_atomic(variant_oid(node, label)):
+            for edge_label, child in db.edges(node):
+                out.add_child(variant_oid(node, label),
+                              variant_oid(child, edge_label))
+    for root in db.roots:
+        out.add_root(variant_oid(root, ROOT_LABEL))
+    return out
+
+
+def from_node_labeled(db: OemDatabase) -> EdgeLabeledDatabase:
+    """Convert node-labeled OEM to the edge-labeled variant.
+
+    Each object becomes a node keeping its oid; its label moves onto every
+    incoming edge.  Roots keep their label on a virtual incoming edge by
+    being registered as roots directly (the label is recoverable from any
+    parent edge; for roots it is recorded as an edge from a synthetic
+    root-holder only implicitly -- the typical Lore encoding).
+    """
+    out = EdgeLabeledDatabase(db.name)
+    reachable = db.reachable_oids()
+    for oid in sorted(reachable, key=str):
+        value = db.atomic_value(oid) if db.is_atomic(oid) else None
+        out.add_node(oid, value)
+    for oid in sorted(reachable, key=str):
+        for child in db.children(oid):
+            out.add_edge(oid, db.label(child), child)
+    for root in db.roots:
+        out.add_root(root)
+    return out

@@ -1,0 +1,91 @@
+"""Equivalence of OEM databases, per Section 3 of the paper.
+
+Two OEM databases are equivalent iff they are *identical*: the same set of
+object ids, and each shared oid has the same label, the same atomic/set
+kind, the same atomic value (if atomic), and identical subobject sets (if a
+set object).  The paper restricts attention to objects reachable from the
+roots ("we ignore objects that are not reachable from the roots"), so the
+comparison is over the reachable portions, and the root sets themselves
+must coincide.
+"""
+
+from __future__ import annotations
+
+from .model import OemDatabase, Oid
+
+
+def identical(left: OemDatabase, right: OemDatabase) -> bool:
+    """Return True iff the two databases are identical (Section 3)."""
+    return not explain_difference(left, right, limit=1)
+
+
+def explain_difference(left: OemDatabase, right: OemDatabase,
+                       limit: int | None = None) -> list[str]:
+    """Return human-readable differences between two databases.
+
+    An empty list means the databases are identical.  *limit* caps the
+    number of differences reported (None means all).
+    """
+    diffs: list[str] = []
+
+    def done() -> bool:
+        return limit is not None and len(diffs) >= limit
+
+    left_roots = set(left.roots)
+    right_roots = set(right.roots)
+    for root in sorted(left_roots - right_roots, key=str):
+        diffs.append(f"root {root} only in {left.name}")
+        if done():
+            return diffs
+    for root in sorted(right_roots - left_roots, key=str):
+        diffs.append(f"root {root} only in {right.name}")
+        if done():
+            return diffs
+
+    left_oids = left.reachable_oids()
+    right_oids = right.reachable_oids()
+    for oid in sorted(left_oids - right_oids, key=str):
+        diffs.append(f"object {oid} only in {left.name}")
+        if done():
+            return diffs
+    for oid in sorted(right_oids - left_oids, key=str):
+        diffs.append(f"object {oid} only in {right.name}")
+        if done():
+            return diffs
+
+    for oid in sorted(left_oids & right_oids, key=str):
+        diff = _compare_object(left, right, oid)
+        if diff is not None:
+            diffs.append(diff)
+            if done():
+                return diffs
+    return diffs
+
+
+def _compare_object(left: OemDatabase, right: OemDatabase,
+                    oid: Oid) -> str | None:
+    if left.label(oid) != right.label(oid):
+        return (f"object {oid}: label {left.label(oid)!r} in {left.name} "
+                f"vs {right.label(oid)!r} in {right.name}")
+    left_atomic = left.is_atomic(oid)
+    right_atomic = right.is_atomic(oid)
+    if left_atomic != right_atomic:
+        kinds = ("atomic" if left_atomic else "set",
+                 "atomic" if right_atomic else "set")
+        return (f"object {oid}: {kinds[0]} in {left.name} "
+                f"vs {kinds[1]} in {right.name}")
+    if left_atomic:
+        if left.atomic_value(oid) != right.atomic_value(oid):
+            return (f"object {oid}: value {left.atomic_value(oid)!r} in "
+                    f"{left.name} vs {right.atomic_value(oid)!r} in "
+                    f"{right.name}")
+        return None
+    left_kids = set(left.children(oid))
+    right_kids = set(right.children(oid))
+    if left_kids != right_kids:
+        only_left = sorted(left_kids - right_kids, key=str)
+        only_right = sorted(right_kids - left_kids, key=str)
+        return (f"object {oid}: subobjects differ "
+                f"(only in {left.name}: {only_left}; "
+                f"only in {right.name}: {only_right})")
+    return None

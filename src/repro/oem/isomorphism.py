@@ -1,0 +1,61 @@
+"""OEM database equivalence up to object-id renaming (Section 6).
+
+Under the isomorphism view, "two OEM databases D1 and D2 would be
+equivalent if for every object z1 of D1 we can find an object z2 of D2 such
+that z1 and z2 have the same label, same value if atomic, or equivalent
+(i.e. isomorphic) sets of subobjects" -- i.e. the oids only matter for the
+object-subobject relationships they create.
+
+We reduce the question to directed-graph isomorphism with node attributes
+(label, kind, atomic value) plus a virtual super-root that fixes the root
+sets, and solve it with :mod:`networkx`'s VF2 matcher.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .model import OemDatabase, Oid
+
+_SUPER_ROOT = "__super_root__"
+
+
+def _to_nx(db: OemDatabase) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_node(_SUPER_ROOT, label=_SUPER_ROOT, kind="super", value=None)
+    for oid in db.reachable_oids():
+        if db.is_atomic(oid):
+            graph.add_node(oid, label=db.label(oid), kind="atomic",
+                           value=db.atomic_value(oid))
+        else:
+            graph.add_node(oid, label=db.label(oid), kind="set", value=None)
+    for oid in db.reachable_oids():
+        for child in db.children(oid):
+            graph.add_edge(oid, child)
+    for root in db.roots:
+        graph.add_edge(_SUPER_ROOT, root)
+    return graph
+
+
+def _node_match(a: dict, b: dict) -> bool:
+    return (a["label"] == b["label"] and a["kind"] == b["kind"]
+            and a["value"] == b["value"])
+
+
+def isomorphic(left: OemDatabase, right: OemDatabase) -> bool:
+    """True iff the reachable portions are isomorphic up to oid renaming."""
+    return nx.is_isomorphic(_to_nx(left), _to_nx(right),
+                            node_match=_node_match)
+
+
+def find_isomorphism(left: OemDatabase,
+                     right: OemDatabase) -> dict[Oid, Oid] | None:
+    """Return an oid renaming witnessing isomorphism, or None.
+
+    The returned dict maps oids of *left* to oids of *right*.
+    """
+    matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+        _to_nx(left), _to_nx(right), node_match=_node_match)
+    if not matcher.is_isomorphic():
+        return None
+    return {a: b for a, b in matcher.mapping.items() if a != _SUPER_ROOT}

@@ -1,0 +1,89 @@
+"""JSON (de)serialization of OEM databases and Herbrand terms.
+
+Oids are Herbrand terms, so a small term codec is included.  The encoding
+is flat (one record per object) to preserve sharing and cycles exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import OemError
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from .model import OemDatabase
+
+
+def term_to_json(term: Term) -> Any:
+    """Encode a term as JSON-compatible data."""
+    if isinstance(term, Constant):
+        return {"c": term.value}
+    if isinstance(term, Variable):
+        return {"v": term.name}
+    if isinstance(term, FunctionTerm):
+        return {"f": term.functor, "a": [term_to_json(t) for t in term.args]}
+    raise OemError(f"cannot serialize term {term!r}")
+
+
+def term_from_json(data: Any) -> Term:
+    """Decode a term from :func:`term_to_json` output."""
+    if not isinstance(data, dict):
+        raise OemError(f"malformed term encoding: {data!r}")
+    if "c" in data:
+        return Constant(data["c"])
+    if "v" in data:
+        return Variable(data["v"])
+    if "f" in data:
+        return FunctionTerm(data["f"],
+                            tuple(term_from_json(t) for t in data["a"]))
+    raise OemError(f"malformed term encoding: {data!r}")
+
+
+def database_to_json(db: OemDatabase) -> dict[str, Any]:
+    """Encode a database as a JSON-compatible dict."""
+    objects = []
+    for oid in db.oids():
+        record: dict[str, Any] = {
+            "oid": term_to_json(oid),
+            "label": db.label(oid),
+        }
+        if db.is_atomic(oid):
+            record["value"] = db.atomic_value(oid)
+        else:
+            record["children"] = [term_to_json(c) for c in db.children(oid)]
+        objects.append(record)
+    return {
+        "name": db.name,
+        "objects": objects,
+        "roots": [term_to_json(r) for r in db.roots],
+    }
+
+
+def database_from_json(data: dict[str, Any]) -> OemDatabase:
+    """Decode a database from :func:`database_to_json` output."""
+    db = OemDatabase(data.get("name", "db"))
+    for record in data["objects"]:
+        oid = term_from_json(record["oid"])
+        if "value" in record:
+            db.add_atomic(oid, record["label"], record["value"])
+        else:
+            db.add_set(oid, record["label"])
+    for record in data["objects"]:
+        if "children" in record:
+            oid = term_from_json(record["oid"])
+            for child in record["children"]:
+                db.add_child(oid, term_from_json(child))
+    for root in data.get("roots", []):
+        db.add_root(term_from_json(root))
+    db.check_integrity()
+    return db
+
+
+def dumps(db: OemDatabase, **kwargs: Any) -> str:
+    """Serialize a database to a JSON string."""
+    return json.dumps(database_to_json(db), **kwargs)
+
+
+def loads(text: str) -> OemDatabase:
+    """Deserialize a database from a JSON string."""
+    return database_from_json(json.loads(text))

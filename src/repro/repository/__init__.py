@@ -1,0 +1,13 @@
+"""Lore-style repository substrate: store, materialized views, query cache."""
+
+from .store import Store
+from .views import MaterializedView, ViewManager
+from .cache import CacheEntry, CacheStats, QueryCache
+from .repository import AnswerReport, Repository
+
+__all__ = [
+    "Store",
+    "MaterializedView", "ViewManager",
+    "QueryCache", "CacheEntry", "CacheStats",
+    "Repository", "AnswerReport",
+]

@@ -1,0 +1,107 @@
+"""A cached-query manager in the spirit of [19] (Section 1).
+
+"If a cached query result contains all SIGMOD publications, our rewriting
+algorithm can create a rewriting query where SIGMOD 97 publications are
+obtained by filtering the cached query for 1997 publications.  The
+rewriting algorithm only needs the query and the cached query statements
+-- it does not need to examine the source data."
+
+Each cache entry stores the query *statement* (playing the role of a view
+definition) and its materialized answer.  Lookup runs the paper's
+rewriting algorithm against the cached statements; a hit is a total
+rewriting evaluated over cached answers only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..oem.model import OemDatabase
+from ..rewriting.chase import StructuralConstraints
+from ..rewriting.rewriter import rewrite
+from ..tsl.ast import Query
+from ..tsl.evaluator import evaluate
+
+
+@dataclass
+class CacheEntry:
+    """One cached query: its statement and materialized answer."""
+
+    name: str
+    statement: Query
+    answer: OemDatabase
+    as_of_version: int
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class QueryCache:
+    """An LRU cache of query answers, consulted via query rewriting."""
+
+    capacity: int = 16
+    constraints: StructuralConstraints | None = None
+    entries: "OrderedDict[str, CacheEntry]" = field(
+        default_factory=OrderedDict)
+    stats: CacheStats = field(default_factory=CacheStats)
+    _counter: int = 0
+
+    def insert(self, statement: Query, answer: OemDatabase,
+               version: int) -> CacheEntry:
+        """Cache a (query, answer) pair; evicts LRU beyond capacity."""
+        self._counter += 1
+        name = f"cached_{self._counter}"
+        renamed = Query(statement.head, statement.body, name=name)
+        entry = CacheEntry(name, renamed, answer, version)
+        self.entries[name] = entry
+        while len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def lookup(self, query: Query, version: int) -> OemDatabase | None:
+        """Try to answer *query* from the cache by rewriting.
+
+        Returns the answer database on a hit (after evaluating the
+        rewriting over the cached answers), None on a miss.  Entries
+        cached against an older store version are skipped (stale).
+        """
+        self.stats.lookups += 1
+        fresh = {name: entry for name, entry in self.entries.items()
+                 if entry.as_of_version == version}
+        if fresh:
+            views = {name: entry.statement for name, entry in fresh.items()}
+            outcome = rewrite(query, views, self.constraints,
+                              total_only=True, first_only=True)
+            if outcome.rewritings:
+                rewriting = outcome.rewritings[0]
+                sources = {name: fresh[name].answer
+                           for name in rewriting.views_used}
+                for name in rewriting.views_used:
+                    fresh[name].hits += 1
+                    self.entries.move_to_end(name)
+                self.stats.hits += 1
+                return evaluate(rewriting.query, sources)
+        self.stats.misses += 1
+        return None
+
+    def invalidate(self) -> None:
+        """Drop every entry (a store update with no delta propagation)."""
+        self.stats.invalidations += len(self.entries)
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

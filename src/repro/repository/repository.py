@@ -1,0 +1,96 @@
+"""The repository facade: store + materialized views + query cache.
+
+Answering precedence for :meth:`Repository.query`:
+
+1. a total rewriting over the *materialized views* (answered without
+   touching the base data),
+2. a total rewriting over the *cached queries*,
+3. direct evaluation against the store (and the answer is cached).
+
+This is the full Section 1 "Use of Rewriting in semistructured
+repositories" story, measured by benchmark E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..oem.model import OemDatabase
+from ..rewriting.chase import StructuralConstraints
+from ..rewriting.rewriter import rewrite
+from ..tsl.ast import Query
+from ..tsl.evaluator import evaluate
+from ..tsl.parser import parse_query
+from .cache import QueryCache
+from .store import Store
+from .views import MaterializedView, ViewManager
+
+
+@dataclass
+class AnswerReport:
+    """How one query was answered."""
+
+    answer: OemDatabase
+    method: str              # "views" | "cache" | "direct"
+    rewriting: Query | None = None
+
+
+@dataclass
+class Repository:
+    """A semistructured repository with rewriting-backed answering."""
+
+    store: Store
+    views: ViewManager = field(init=False)
+    cache: QueryCache = field(init=False)
+    constraints: StructuralConstraints | None = None
+    cache_capacity: int = 16
+
+    def __post_init__(self) -> None:
+        self.views = ViewManager(self.store)
+        self.cache = QueryCache(capacity=self.cache_capacity,
+                                constraints=self.constraints)
+
+    @classmethod
+    def from_database(cls, db: OemDatabase,
+                      constraints: StructuralConstraints | None = None,
+                      cache_capacity: int = 16) -> "Repository":
+        repo = cls(Store.wrap(db), constraints=constraints,
+                   cache_capacity=cache_capacity)
+        return repo
+
+    # -- views ----------------------------------------------------------------
+
+    def define_view(self, name: str,
+                    definition: Query | str) -> MaterializedView:
+        return self.views.define(name, definition)
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(self, query: Query | str, use_views: bool = True,
+              use_cache: bool = True) -> OemDatabase:
+        return self.query_with_report(query, use_views, use_cache).answer
+
+    def query_with_report(self, query: Query | str, use_views: bool = True,
+                          use_cache: bool = True) -> AnswerReport:
+        if isinstance(query, str):
+            query = parse_query(query)
+        if use_views and self.views.views:
+            refreshed = self.views.fresh_views()
+            definitions = {name: view.definition
+                           for name, view in refreshed.items()}
+            outcome = rewrite(query, definitions, self.constraints,
+                              total_only=True, first_only=True)
+            if outcome.rewritings:
+                rewriting = outcome.rewritings[0]
+                sources = {name: refreshed[name].data
+                           for name in rewriting.views_used}
+                answer = evaluate(rewriting.query, sources)
+                return AnswerReport(answer, "views", rewriting.query)
+        if use_cache:
+            cached = self.cache.lookup(query, self.store.version)
+            if cached is not None:
+                return AnswerReport(cached, "cache", None)
+        answer = evaluate(query, self.store.db)
+        if use_cache:
+            self.cache.insert(query, answer, self.store.version)
+        return AnswerReport(answer, "direct", None)

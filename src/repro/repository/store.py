@@ -1,0 +1,73 @@
+"""A Lore-style semistructured repository store (Section 1; [26]).
+
+The store owns one OEM database and tracks a monotonically increasing
+*version* so dependent artifacts (materialized views, cached query
+results) can detect staleness.  Updates are deliberately simple -- add an
+object, add an edge, add a root -- because the paper's caching story only
+needs "the sources changed, the cache may be stale" (the delta-propagation
+machinery of [39] is out of scope, as the paper itself notes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..logic.terms import Atom
+from ..oem.model import OemDatabase, OidLike
+from ..oem.serialize import database_from_json, database_to_json
+
+
+@dataclass
+class Store:
+    """A versioned OEM database."""
+
+    name: str = "db"
+    db: OemDatabase = field(init=False)
+    version: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.db = OemDatabase(self.name)
+
+    @classmethod
+    def wrap(cls, db: OemDatabase) -> "Store":
+        store = cls(db.name)
+        store.db = db
+        return store
+
+    # -- updates (each bumps the version) -------------------------------------
+
+    def add_atomic(self, oid: OidLike, label: Atom, value: Atom) -> OidLike:
+        result = self.db.add_atomic(oid, label, value)
+        self.version += 1
+        return result
+
+    def add_set(self, oid: OidLike, label: Atom) -> OidLike:
+        result = self.db.add_set(oid, label)
+        self.version += 1
+        return result
+
+    def add_child(self, parent: OidLike, child: OidLike) -> None:
+        self.db.add_child(parent, child)
+        self.version += 1
+
+    def add_root(self, oid: OidLike) -> None:
+        self.db.add_root(oid)
+        self.version += 1
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the store (data + version) as JSON."""
+        payload = {"version": self.version,
+                   "database": database_to_json(self.db)}
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Store":
+        """Restore a store persisted by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        store = cls.wrap(database_from_json(payload["database"]))
+        store.version = payload["version"]
+        return store

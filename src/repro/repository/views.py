@@ -1,0 +1,85 @@
+"""Materialized views over the repository store.
+
+"Materialized views and cached queries were the main original motivation
+for relational query rewriting, and we believe they are as important for
+semistructured databases."  A materialized view is a named TSL view whose
+result is kept evaluated; the view manager tracks freshness against the
+store version and re-evaluates lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RepositoryError
+from ..oem.model import OemDatabase
+from ..tsl.ast import Query
+from ..tsl.evaluator import evaluate
+from ..tsl.parser import parse_query
+from .store import Store
+
+
+@dataclass
+class MaterializedView:
+    """One named view, its data, and the store version it reflects."""
+
+    name: str
+    definition: Query
+    data: OemDatabase
+    as_of_version: int
+
+
+@dataclass
+class ViewManager:
+    """Defines, materializes, and refreshes views over one store."""
+
+    store: Store
+    views: dict[str, MaterializedView] = field(default_factory=dict)
+
+    def define(self, name: str, definition: Query | str) -> MaterializedView:
+        if isinstance(definition, str):
+            definition = parse_query(definition, name=name)
+        if name in self.views:
+            raise RepositoryError(f"view {name!r} already defined")
+        foreign = definition.sources() - {self.store.name}
+        if foreign:
+            raise RepositoryError(
+                f"view {name!r} references sources other than the store: "
+                f"{sorted(foreign)}")
+        view = MaterializedView(
+            name, definition,
+            evaluate(definition, self.store.db, answer_name=name),
+            self.store.version)
+        self.views[name] = view
+        return view
+
+    def drop(self, name: str) -> None:
+        if name not in self.views:
+            raise RepositoryError(f"no view named {name!r}")
+        del self.views[name]
+
+    def is_fresh(self, name: str) -> bool:
+        return self.views[name].as_of_version == self.store.version
+
+    def refresh(self, name: str) -> MaterializedView:
+        """Re-evaluate a stale view (full recomputation, as in Lore)."""
+        view = self.views.get(name)
+        if view is None:
+            raise RepositoryError(f"no view named {name!r}")
+        if view.as_of_version != self.store.version:
+            view.data = evaluate(view.definition, self.store.db,
+                                 answer_name=name)
+            view.as_of_version = self.store.version
+        return view
+
+    def fresh_views(self) -> dict[str, MaterializedView]:
+        """All views, refreshed to the current store version."""
+        return {name: self.refresh(name) for name in sorted(self.views)}
+
+    def definitions(self) -> dict[str, Query]:
+        return {name: view.definition
+                for name, view in sorted(self.views.items())}
+
+    def data_sources(self) -> dict[str, OemDatabase]:
+        return {name: view.data
+                for name, view in sorted(self.views.items())}

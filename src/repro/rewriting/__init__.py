@@ -1,0 +1,31 @@
+"""The paper's primary contribution: rewriting TSL queries using views."""
+
+from .mappings import (Mapping, body_mappings, component_mapping, coverage,
+                       find_mappings, map_path_into, query_maps_into)
+from .chase import StructuralConstraints, chase
+from .composition import compose
+from .equivalence import (equivalent, minimize, prepare_program,
+                          programs_equivalent)
+from .rewriter import (CandidateAtom, RewriteResult, RewriteStats, Rewriting,
+                       find_all_rewritings, is_rewriting, rewrite,
+                       rewrite_single_path, view_instantiations)
+from .contained import (ContainedResult, ContainedRewriting, contained_in,
+                        maximally_contained_rewritings, programs_contained)
+from .constraints import (ChildSpec, Dtd, paper_dtd, parse_dtd,
+                          parse_xml_data)
+from .dataguide import DataGuide, build_dataguide, dtd_from_dataguide
+
+__all__ = [
+    "Mapping", "find_mappings", "body_mappings", "map_path_into",
+    "coverage", "component_mapping", "query_maps_into",
+    "chase", "StructuralConstraints",
+    "compose",
+    "equivalent", "programs_equivalent", "minimize", "prepare_program",
+    "rewrite", "rewrite_single_path", "find_all_rewritings", "is_rewriting",
+    "Rewriting", "RewriteResult", "RewriteStats", "CandidateAtom",
+    "view_instantiations",
+    "maximally_contained_rewritings", "programs_contained", "contained_in",
+    "ContainedRewriting", "ContainedResult",
+    "Dtd", "ChildSpec", "parse_dtd", "paper_dtd", "parse_xml_data",
+    "DataGuide", "build_dataguide", "dtd_from_dataguide",
+]

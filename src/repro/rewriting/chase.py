@@ -1,0 +1,302 @@
+"""The chase, extended for set variables (Section 3.2).
+
+Object identity induces a key dependency in OEM: the object id determines
+the label and the value.  The rewriting algorithm chases queries with this
+dependency so that, e.g., (Q11) -- whose second condition binds a *set
+variable* ``V`` -- is transformed into (Q10), where ``V`` has become the
+set pattern ``{<X Y Z>}`` with fresh variables (Example 3.4).
+
+The implementation works on normal-form queries and applies, to a
+fixpoint, the six rules of Section 3.2 plus the "regular" chase for
+labeled functional dependencies inferred from structural constraints
+(Section 3.3), and label inference.
+
+Chasing can fail: equating two distinct constants means the query has an
+empty result on every database satisfying the key dependency
+(:class:`ChaseContradictionError`).
+
+Termination relies on the absence of cyclic object patterns (validated by
+:mod:`repro.tsl.validate`): each oid term can trigger the set-variable
+expansion at most once, and every other rule eliminates a variable or a
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import ChaseContradictionError
+from ..logic.subst import Substitution
+from ..logic.terms import Atom, Constant, Term, Variable
+from ..logic.unify import unify
+from ..tsl.ast import (Query, SetPattern, SetPatternTerm,
+                       fresh_variable_factory)
+from ..tsl.normalize import Path, normalize, path_to_condition, query_paths
+
+
+class StructuralConstraints(Protocol):
+    """What the chase needs to know from a structural description (§3.3).
+
+    Implementations: :class:`repro.rewriting.constraints.Dtd` and
+    :class:`repro.rewriting.dataguide.DataGuide`.
+    """
+
+    source: str
+
+    def infer_middle_label(self, parent: Atom, child: Atom) -> Atom | None:
+        """Label inference for ``parent . ? . child`` -- the unique middle."""
+
+    def only_child_label(self, parent: Atom) -> Atom | None:
+        """The unique possible child label of *parent*, if any."""
+
+    def functional_child(self, parent: Atom, child: Atom) -> bool:
+        """True when a *parent* object has at most one *child* subobject."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Occurrence:
+    """One object-pattern occurrence inside a path."""
+
+    path_index: int
+    depth: int                 # 0-based step index
+    oid: Term
+    label: Term
+    has_child: bool            # a nested pattern follows in this path
+    leaf: object | None        # PatternValue when this is the last step
+
+
+def _occurrences(paths: list[Path]) -> list[_Occurrence]:
+    out: list[_Occurrence] = []
+    for index, path in enumerate(paths):
+        last = len(path.steps) - 1
+        for depth, (oid, label) in enumerate(path.steps):
+            if depth < last:
+                out.append(_Occurrence(index, depth, oid, label, True, None))
+            else:
+                out.append(_Occurrence(index, depth, oid, label, False,
+                                       path.leaf))
+    return out
+
+
+def _unify_or_fail(left: Term, right: Term, what: str) -> Substitution | None:
+    """Unify two field terms; None if already equal; raise on clash."""
+    if left == right:
+        return None
+    result = unify(left, right)
+    if result is None:
+        raise ChaseContradictionError(
+            f"chase equated conflicting {what}: {left} vs {right}")
+    return result
+
+
+def _rebuild(query: Query, paths: list[Path]) -> Query:
+    return Query(query.head, tuple(path_to_condition(p) for p in paths),
+                 name=query.name)
+
+
+def _key_dependency_step(query: Query,
+                         paths: list[Path]) -> Query | None:
+    """One application of the oid key-dependency rules; None at fixpoint."""
+    occurrences = _occurrences(paths)
+    groups: dict[Term, list[_Occurrence]] = {}
+    for occ in occurrences:
+        groups.setdefault(occ.oid, []).append(occ)
+
+    fresh = fresh_variable_factory(query.all_variables())
+    for oid, group in groups.items():
+        if len(group) < 2:
+            continue
+        first = group[0]
+        # Rule: labels must agree (bind variables, reject constant clashes).
+        for other in group[1:]:
+            subst = _unify_or_fail(first.label, other.label,
+                                   f"labels of oid {oid}")
+            if subst is not None:
+                return normalize(query.substitute(subst))
+        # Rule: values must agree.
+        set_evidence = any(occ.has_child for occ in group)
+        empty_evidence = any(
+            not occ.has_child and isinstance(occ.leaf, SetPattern)
+            for occ in group)
+        leaf_terms = [occ.leaf for occ in group
+                      if not occ.has_child and isinstance(occ.leaf, Term)]
+        for leaf in leaf_terms:
+            if isinstance(leaf, Constant) and (set_evidence or empty_evidence):
+                raise ChaseContradictionError(
+                    f"object {oid} is both atomic ({leaf}) and a set")
+        if set_evidence:
+            # Set-variable extension: a value variable on an oid known to
+            # have a subobject becomes the pattern {<X Y Z>}, X, Y, Z fresh.
+            for leaf in leaf_terms:
+                if isinstance(leaf, Variable):
+                    replacement = SetPatternTerm(SetPattern((
+                        _fresh_pattern(fresh),)))
+                    subst = Substitution({leaf: replacement})
+                    return normalize(query.substitute(subst))
+        # Rule: two term-valued occurrences unify.
+        for other_leaf in leaf_terms[1:]:
+            subst = _unify_or_fail(leaf_terms[0], other_leaf,
+                                   f"values of oid {oid}")
+            if subst is not None:
+                return normalize(query.substitute(subst))
+    return None
+
+
+def _fresh_pattern(fresh) -> "object":
+    from ..tsl.ast import ObjectPattern
+    return ObjectPattern(fresh(), fresh(), fresh())
+
+
+def _saturate_unions(paths: list[Path]) -> list[Path]:
+    """Rule 3 of Section 3.2 under normal form: union shared set values.
+
+    When the same oid term occurs in two paths, the object's set value is
+    the union of what both paths assert below it; in normal form this
+    materializes as *grafting* each path's continuation onto every prefix
+    that reaches the shared oid.  Without this, the path-into-path mapping
+    test cannot recombine facts contributed through different prefixes
+    (the fusion-spread bodies that compositions produce).
+
+    Terminates because paths are acyclic over a finite step alphabet.
+    """
+    seen = set(paths)
+    ordered = list(paths)
+    changed = True
+    while changed:
+        changed = False
+        occurrences: list[tuple[Path, int]] = [
+            (path, depth)
+            for path in ordered
+            for depth in range(len(path.steps))]
+        by_oid: dict[tuple[str, Term], list[tuple[Path, int]]] = {}
+        for path, depth in occurrences:
+            key = (path.source, path.steps[depth][0])
+            by_oid.setdefault(key, []).append((path, depth))
+        for group in by_oid.values():
+            if len(group) < 2:
+                continue
+            # Graft every continuation below the shared oid onto every
+            # prefix reaching it.
+            prefixes = {path.steps[:depth + 1] for path, depth in group}
+            for path, depth in group:
+                if depth == len(path.steps) - 1:
+                    continue  # leaf occurrence: nothing to graft
+                suffix = path.steps[depth + 1:]
+                for prefix in prefixes:
+                    grafted = Path(prefix + suffix, path.leaf, path.source)
+                    if grafted not in seen:
+                        seen.add(grafted)
+                        ordered.append(grafted)
+                        changed = True
+    return ordered
+
+
+def _drop_subsumed_empty_paths(paths: list[Path]) -> list[Path]:
+    """Drop a ``{}``-leaf path whose steps are a prefix of a longer path.
+
+    This realizes rule 3 (set-value union) under normal form: the union of
+    ``{}`` with a non-empty set pattern is the non-empty one.
+    """
+    kept: list[Path] = []
+    for path in paths:
+        if isinstance(path.leaf, SetPattern):
+            subsumed = any(
+                other is not path
+                and other.source == path.source
+                and len(other.steps) > len(path.steps)
+                and other.steps[:len(path.steps)] == path.steps
+                for other in paths)
+            if subsumed:
+                continue
+        kept.append(path)
+    return kept
+
+
+def _label_inference_step(query: Query, paths: list[Path],
+                          constraints: StructuralConstraints) -> Query | None:
+    """Bind one inferable variable label (Section 3.3); None at fixpoint."""
+    for path in paths:
+        if path.source != constraints.source:
+            continue
+        for depth, (unused_oid, label) in enumerate(path.steps):
+            if not isinstance(label, Variable):
+                continue
+            inferred = None
+            if depth > 0:
+                parent_label = path.steps[depth - 1][1]
+                if isinstance(parent_label, Constant):
+                    if depth + 1 < len(path.steps):
+                        child_label = path.steps[depth + 1][1]
+                        if isinstance(child_label, Constant):
+                            inferred = constraints.infer_middle_label(
+                                parent_label.value, child_label.value)
+                    if inferred is None:
+                        inferred = constraints.only_child_label(
+                            parent_label.value)
+            if inferred is not None:
+                subst = Substitution({label: Constant(inferred)})
+                return normalize(query.substitute(subst))
+    return None
+
+
+def _labeled_fd_step(query: Query, paths: list[Path],
+                     constraints: StructuralConstraints) -> Query | None:
+    """One application of the regular chase on labeled FDs; None at fixpoint.
+
+    When objects labeled ``a`` have at most one subobject labeled ``b``,
+    the functional dependency ``X_a -> Y_b`` holds: two ``b``-children of
+    the same ``a``-parent occurrence must be the same object.
+    """
+    children: dict[tuple[Term, Atom], Term] = {}
+    for path in paths:
+        if path.source != constraints.source:
+            continue
+        for depth in range(len(path.steps) - 1):
+            parent_oid, parent_label = path.steps[depth]
+            child_oid, child_label = path.steps[depth + 1]
+            if not (isinstance(parent_label, Constant)
+                    and isinstance(child_label, Constant)):
+                continue
+            if not constraints.functional_child(parent_label.value,
+                                                child_label.value):
+                continue
+            key = (parent_oid, child_label.value)
+            existing = children.setdefault(key, child_oid)
+            if existing != child_oid:
+                subst = _unify_or_fail(existing, child_oid,
+                                       f"oids under FD {parent_label}->"
+                                       f"{child_label}")
+                if subst is not None:
+                    return normalize(query.substitute(subst))
+    return None
+
+
+def chase(query: Query,
+          constraints: StructuralConstraints | None = None,
+          max_steps: int = 10_000) -> Query:
+    """Chase *query* to a fixpoint; raises on contradiction.
+
+    Applies, interleaved until none fires: the oid key-dependency rules
+    (including the set-variable extension), label inference, and the
+    labeled-FD chase from *constraints* when given.
+    """
+    current = normalize(query)
+    for _ in range(max_steps):
+        paths = query_paths(current)
+        stepped = _key_dependency_step(current, paths)
+        if stepped is None and constraints is not None:
+            stepped = _label_inference_step(current, paths, constraints)
+            if stepped is None:
+                stepped = _labeled_fd_step(current, paths, constraints)
+        if stepped is None:
+            saturated = _saturate_unions(paths)
+            reduced = _drop_subsumed_empty_paths(saturated)
+            if set(reduced) != set(paths):
+                current = _rebuild(current, reduced)
+                continue
+            return current
+        current = stepped
+    raise ChaseContradictionError(
+        f"chase did not terminate within {max_steps} steps "
+        "(is the query acyclic?)")

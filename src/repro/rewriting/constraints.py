@@ -1,0 +1,215 @@
+"""Structural constraints from DTDs (Section 3.3).
+
+Semistructured data are often accompanied by constraints that partially
+define the structure of objects -- a DTD, a DataGuide, or an XML-Data
+schema.  From a DTD the paper derives two kinds of information:
+
+* **label inference** -- given a path expression ``a . ? . c``, if the
+  only subobject of an ``a`` object that can have a ``c`` subobject is a
+  ``b`` subobject, then ``? = b``;
+* **functional dependencies** -- if ``a`` objects have at most one ``b``
+  subobject, the labeled FD ``X_a -> Y_b`` holds and the regular chase
+  rule applies.
+
+Since OEM does not support order, the order in content models is ignored,
+as are multiplicities beyond "at most one" vs "many".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ConstraintError
+from ..logic.terms import Atom
+
+ATOMIC_CONTENT = ("CDATA", "#PCDATA", "EMPTY", "ANY")
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+([\w.-]+)\s+(\(.*?\)|[\w#]+)\s*>", re.DOTALL)
+
+
+@dataclass(frozen=True, slots=True)
+class ChildSpec:
+    """One child in a content model: its element name and multiplicity."""
+
+    name: str
+    multiplicity: str  # one of "1", "?", "*", "+"
+
+    @property
+    def at_most_one(self) -> bool:
+        return self.multiplicity in ("1", "?")
+
+
+@dataclass
+class Dtd:
+    """A parsed DTD, restricted to the fragment the paper uses.
+
+    ``elements`` maps an element name either to a tuple of
+    :class:`ChildSpec` (set content) or to None (atomic content).
+    """
+
+    elements: dict[str, tuple[ChildSpec, ...] | None] = field(
+        default_factory=dict)
+    source: str = "db"
+
+    # -- construction --------------------------------------------------------
+
+    def declare_atomic(self, name: str) -> "Dtd":
+        self.elements[name] = None
+        return self
+
+    def declare(self, name: str, children: list[ChildSpec]) -> "Dtd":
+        self.elements[name] = tuple(children)
+        return self
+
+    # -- queries used by the chase and label inference -----------------------
+
+    def is_atomic(self, name: Atom) -> bool:
+        return self.elements.get(str(name), ()) is None
+
+    def children_of(self, name: Atom) -> tuple[ChildSpec, ...]:
+        spec = self.elements.get(str(name))
+        return spec or ()
+
+    def can_contain(self, parent: Atom, child: Atom) -> bool:
+        return any(spec.name == str(child) for spec in self.children_of(parent))
+
+    def infer_middle_label(self, parent: Atom, child: Atom) -> Atom | None:
+        """The unique ``b`` with ``parent/b`` and ``b/child``, if any."""
+        candidates = [spec.name for spec in self.children_of(parent)
+                      if self.can_contain(spec.name, child)]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def only_child_label(self, parent: Atom) -> Atom | None:
+        """The unique possible child label of *parent*, if any."""
+        children = self.children_of(parent)
+        if len(children) == 1:
+            return children[0].name
+        return None
+
+    def functional_child(self, parent: Atom, child: Atom) -> bool:
+        """True when *parent* objects have at most one *child* subobject."""
+        for spec in self.children_of(parent):
+            if spec.name == str(child):
+                return spec.at_most_one
+        return False
+
+    def known_labels(self) -> set[str]:
+        out = set(self.elements)
+        for spec in self.elements.values():
+            for child in spec or ():
+                out.add(child.name)
+        return out
+
+
+def parse_dtd(text: str, source: str = "db") -> Dtd:
+    """Parse ``<!ELEMENT name (child, child*, child?)>`` declarations.
+
+    The paper's Section 3.3 DTD parses verbatim.  Content models are
+    either an atomic keyword (``CDATA``, ``#PCDATA``, ``EMPTY``, ``ANY``)
+    or a comma-separated list of child names with optional ``? * +``
+    multiplicity suffixes.  Choice (``|``) groups are accepted and treated
+    as optional children (each alternative may appear at most once).
+    """
+    dtd = Dtd(source=source)
+    matched_any = False
+    for match in _ELEMENT_RE.finditer(text):
+        matched_any = True
+        name, content = match.group(1), match.group(2).strip()
+        if content.upper() in ATOMIC_CONTENT:
+            dtd.declare_atomic(name)
+            continue
+        if not (content.startswith("(") and content.endswith(")")):
+            raise ConstraintError(
+                f"element {name}: unsupported content model {content!r}")
+        inner = content[1:-1].strip()
+        if inner.upper() in ("#PCDATA",):
+            dtd.declare_atomic(name)
+            continue
+        children: list[ChildSpec] = []
+        is_choice = "|" in inner
+        for piece in re.split(r"[|,]", inner):
+            piece = piece.strip()
+            if not piece:
+                continue
+            multiplicity = "1"
+            if piece[-1] in "?*+":
+                multiplicity = piece[-1]
+                piece = piece[:-1].strip()
+            if not re.fullmatch(r"[\w.-]+", piece):
+                raise ConstraintError(
+                    f"element {name}: unsupported particle {piece!r}")
+            if is_choice and multiplicity == "1":
+                multiplicity = "?"
+            children.append(ChildSpec(piece, multiplicity))
+        dtd.declare(name, children)
+    if not matched_any and text.strip():
+        raise ConstraintError("no <!ELEMENT ...> declarations found")
+    return dtd
+
+
+_ELEMENT_TYPE_RE = re.compile(
+    r"<elementType\s+id=\"([\w.-]+)\"\s*>(.*?)</elementType>", re.DOTALL)
+_ELEMENT_REF_RE = re.compile(
+    r"<element\s+type=\"#([\w.-]+)\"(?:\s+occurs=\"(\w+)\")?\s*/>")
+_STRING_RE = re.compile(r"<string\s*/>")
+
+_XML_DATA_OCCURS = {
+    "REQUIRED": "1",
+    "OPTIONAL": "?",
+    "ONEORMORE": "+",
+    "ZEROORMORE": "*",
+    None: "1",
+}
+
+
+def parse_xml_data(text: str, source: str = "db") -> Dtd:
+    """Parse an XML-Data "schema" (Section 3.3 names it next to DTDs).
+
+    Supports the core of the 1998 W3C note::
+
+        <elementType id="p">
+            <element type="#name" occurs="REQUIRED"/>
+            <element type="#address" occurs="ZEROORMORE"/>
+        </elementType>
+        <elementType id="phone"><string/></elementType>
+
+    ``occurs`` defaults to REQUIRED.  The result is the same
+    :class:`Dtd` structure, so label inference and the labeled-FD chase
+    apply unchanged.
+    """
+    dtd = Dtd(source=source)
+    matched_any = False
+    for match in _ELEMENT_TYPE_RE.finditer(text):
+        matched_any = True
+        name, body = match.group(1), match.group(2)
+        if _STRING_RE.search(body) and not _ELEMENT_REF_RE.search(body):
+            dtd.declare_atomic(name)
+            continue
+        children = [
+            ChildSpec(ref.group(1), _XML_DATA_OCCURS[ref.group(2)])
+            for ref in _ELEMENT_REF_RE.finditer(body)]
+        dtd.declare(name, children)
+    if not matched_any and text.strip():
+        raise ConstraintError("no <elementType ...> declarations found")
+    return dtd
+
+
+PAPER_DTD = """
+<!ELEMENT p (name, phone, address*)>
+<!ELEMENT name (last, first, middle?, alias?)>
+<!ELEMENT alias (last, first)>
+<!ELEMENT address CDATA>
+<!ELEMENT phone CDATA>
+<!ELEMENT last CDATA>
+<!ELEMENT first CDATA>
+<!ELEMENT middle CDATA>
+"""
+
+
+def paper_dtd(source: str = "db") -> Dtd:
+    """The DTD of Section 3.3, used by Example 3.5 and the tests."""
+    return parse_dtd(PAPER_DTD, source=source)

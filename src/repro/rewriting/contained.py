@@ -1,0 +1,200 @@
+"""Maximally contained rewritings (Section 7 future work; cf. [10, 9]).
+
+When no *equivalent* rewriting exists -- e.g. the views simply do not
+retain enough information -- the next best thing is a rewriting whose
+result is **contained** in the query's on every database, and maximal
+among such rewritings.  This is the information-integration notion of
+[10]: the best obtainable answer given the sources.
+
+The machinery is the same as the equivalence-based algorithm's, with
+Step 2 relaxed to a one-directional test: the composition must be
+contained in the query (soundness of every returned object), and among
+the accepted candidates only the containment-maximal ones are kept.
+
+Containment of unions is decided component-wise, exactly like Theorem
+4.2's halves: ``left ⊆ right`` iff every component of ``left`` has a
+mapping from some component of ``right``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence, Union
+
+from ..errors import ChaseContradictionError, CompositionError
+from ..tsl.ast import Query
+from ..tsl.decompose import decompose_program
+from ..tsl.normalize import path_to_condition, query_paths
+from ..tsl.validate import is_safe
+from .chase import StructuralConstraints, chase
+from .composition import compose
+from ..logic.subst import Substitution
+from ..tsl.ast import Condition, fresh_variable_factory
+from .equivalence import components_subsumed, prepare_program
+from .mappings import body_mappings
+from .rewriter import CandidateAtom, _as_view_dict
+
+
+def programs_contained(left: Iterable[Query], right: Iterable[Query],
+                       constraints: StructuralConstraints | None = None
+                       ) -> bool:
+    """Decide ``left ⊆ right`` (results contained on every database)."""
+    left_rules = prepare_program(left, constraints)
+    right_rules = prepare_program(right, constraints)
+    return components_subsumed(decompose_program(left_rules),
+                               decompose_program(right_rules))
+
+
+def contained_in(candidate: Query, query: Query,
+                 constraints: StructuralConstraints | None = None) -> bool:
+    """Containment of single rules."""
+    return programs_contained([candidate], [query], constraints)
+
+
+def partial_view_instantiations(
+        target: Query, views: Mapping[str, Query],
+        constraints: StructuralConstraints | None = None
+        ) -> list[CandidateAtom]:
+    """Candidate view accesses for *contained* rewritings.
+
+    Unlike the equivalence case (Lemma 5.1), a view is relevant whenever
+    any non-empty *subset* of its body maps into the query body -- the
+    unmapped conditions only narrow the composition, which containment
+    tolerates.  Unmapped view variables are renamed fresh so they cannot
+    accidentally join with the query's variables.
+    """
+    atoms: list[CandidateAtom] = []
+    seen: set[Condition] = set()
+    taken = set(target.all_variables())
+    fresh = fresh_variable_factory(taken, stem="U")
+    for name in sorted(views):
+        view = chase(views[name], constraints)
+        view_paths = query_paths(view)
+        indices = range(len(view_paths))
+        for size in range(1, len(view_paths) + 1):
+            for subset in combinations(indices, size):
+                chosen = [view_paths[i] for i in subset]
+                for subst in body_mappings(chosen, query_paths(target)):
+                    unmapped = {
+                        v: fresh() for v in view.all_variables()
+                        if v not in subst}
+                    full = subst.compose(Substitution(unmapped))
+                    condition = Condition(view.head.substitute(full), name)
+                    if condition not in seen:
+                        seen.add(condition)
+                        atoms.append(CandidateAtom(
+                            condition, frozenset(), name))
+    return atoms
+
+
+@dataclass
+class ContainedRewriting:
+    """A rewriting whose composition is contained in the query."""
+
+    query: Query
+    composition: list[Query]
+    views_used: frozenset[str]
+    is_equivalent: bool
+
+    def __str__(self) -> str:
+        flavor = "equivalent" if self.is_equivalent else "contained"
+        return f"[{flavor}] {self.query}"
+
+
+@dataclass
+class ContainedResult:
+    """Outcome of :func:`maximally_contained_rewritings`."""
+
+    rewritings: list[ContainedRewriting] = field(default_factory=list)
+    candidates_tested: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rewritings)
+
+    def __iter__(self):
+        return iter(self.rewritings)
+
+
+def maximally_contained_rewritings(
+        query: Query,
+        views: Union[Mapping[str, Query], Sequence[Query]],
+        constraints: StructuralConstraints | None = None,
+        total_only: bool = True) -> ContainedResult:
+    """Find the maximally contained rewritings of *query* using *views*.
+
+    Every returned rewriting is sound (its composition is contained in
+    the query); none is strictly contained in another returned one.  When
+    an equivalent rewriting exists it is returned (it dominates), flagged
+    ``is_equivalent``.
+    """
+    views = _as_view_dict(views)
+    result = ContainedResult()
+    prepared = prepare_program([query], constraints)
+    if not prepared:
+        return result  # contradictory query: the empty answer is maximal
+    target = prepared[0]
+    target_paths = query_paths(target)
+    k = len(target_paths)
+
+    atoms = partial_view_instantiations(target, views, constraints)
+    if not total_only:
+        atoms.extend(
+            CandidateAtom(path_to_condition(path), frozenset([i]), None)
+            for i, path in enumerate(target_paths))
+
+    accepted: list[tuple[ContainedRewriting, list[Query]]] = []
+    for size in range(1, k + 1):
+        for combo in combinations(range(len(atoms)), size):
+            chosen = [atoms[i] for i in combo]
+            if not any(atom.is_view for atom in chosen):
+                continue
+            body = tuple(atom.condition for atom in chosen)
+            candidate = Query(target.head, body, name=query.name)
+            if not is_safe(candidate):
+                continue
+            result.candidates_tested += 1
+            try:
+                candidate = chase(candidate, constraints)
+                composed = compose(candidate, views)
+            except (ChaseContradictionError, CompositionError):
+                continue
+            composed = prepare_program(composed, constraints,
+                                       minimize_rules=True)
+            if not composed:
+                continue  # empty composition: contributes nothing
+            if not programs_contained(composed, [target], constraints):
+                continue
+            equivalent = programs_contained([target], composed,
+                                            constraints)
+            accepted.append((ContainedRewriting(
+                candidate, composed, frozenset(
+                    c.source for c in candidate.body if c.source in views),
+                equivalent), composed))
+
+    result.rewritings = _keep_maximal(accepted, constraints)
+    return result
+
+
+def _keep_maximal(accepted, constraints) -> list[ContainedRewriting]:
+    """Drop rewritings strictly contained in another accepted one."""
+    maximal: list[ContainedRewriting] = []
+    for index, (rewriting, composed) in enumerate(accepted):
+        dominated = False
+        for other_index, (unused_other, other_composed) in \
+                enumerate(accepted):
+            if index == other_index:
+                continue
+            covers = programs_contained(composed, other_composed,
+                                        constraints)
+            covered_back = programs_contained(other_composed, composed,
+                                              constraints)
+            if covers and not covered_back:
+                dominated = True  # strictly smaller than the other
+                break
+            if covers and covered_back and other_index < index:
+                dominated = True  # equal: keep the first representative
+                break
+        if not dominated:
+            maximal.append(rewriting)
+    return maximal

@@ -1,0 +1,179 @@
+"""DataGuides (Goldman & Widom [16]) as a source of structural constraints.
+
+A (strong) DataGuide is a concise structure summary of an OEM database:
+every label path of the database occurs exactly once in the guide.  It is
+computed by the usual powerset ("NFA determinization") construction over
+label paths.
+
+Unlike a DTD, a DataGuide is extracted from an *instance*, so the
+constraints it yields (label inference, child-label sets) hold for that
+instance; it cannot certify "at most one subobject" cardinalities, so
+:meth:`DataGuide.functional_child` is always False and only label
+inference benefits.  The module also offers :func:`dtd_from_dataguide`,
+which additionally scans the instance for cardinalities to produce a
+full :class:`~repro.rewriting.constraints.Dtd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.terms import Atom
+from ..oem.model import OemDatabase, Oid
+from .constraints import ChildSpec, Dtd
+
+
+@dataclass
+class DataGuide:
+    """A strong DataGuide: a deterministic label-path summary.
+
+    Nodes are integers; node 0 is the synthetic super-root whose children
+    are the root labels.  ``extent`` maps each guide node to the set of
+    database objects reachable by its label path (the "target set").
+    """
+
+    source: str = "db"
+    children: dict[int, dict[Atom, int]] = field(default_factory=dict)
+    extent: dict[int, frozenset[Oid]] = field(default_factory=dict)
+    labels: dict[int, Atom] = field(default_factory=dict)
+
+    # -- structural-constraints protocol -------------------------------------
+
+    def infer_middle_label(self, parent: Atom, child: Atom) -> Atom | None:
+        """The unique ``b`` on any instance path ``parent . b . child``."""
+        candidates: set[Atom] = set()
+        for node in self._nodes_labeled(parent):
+            for mid_label, mid_node in self.children.get(node, {}).items():
+                if child in self.children.get(mid_node, {}):
+                    candidates.add(mid_label)
+        if len(candidates) == 1:
+            return next(iter(candidates))
+        return None
+
+    def only_child_label(self, parent: Atom) -> Atom | None:
+        """The unique child label under every *parent* node, if any."""
+        labels: set[Atom] = set()
+        for node in self._nodes_labeled(parent):
+            labels.update(self.children.get(node, {}))
+        if len(labels) == 1:
+            return next(iter(labels))
+        return None
+
+    def functional_child(self, parent: Atom, child: Atom) -> bool:
+        """DataGuides summarize existence, not counts -- never certain."""
+        return False
+
+    def _nodes_labeled(self, label: Atom) -> list[int]:
+        return [node for node, node_label in self.labels.items()
+                if node_label == label]
+
+    def node_count(self) -> int:
+        return len(self.extent)
+
+    def label_paths(self) -> list[tuple[Atom, ...]]:
+        """Every label path of the summarized database, root-down."""
+        paths: list[tuple[Atom, ...]] = []
+
+        def walk(node: int, prefix: tuple[Atom, ...]) -> None:
+            for label, child in sorted(self.children.get(node, {}).items(),
+                                       key=lambda kv: str(kv[0])):
+                extended = prefix + (label,)
+                paths.append(extended)
+                walk(child, extended)
+
+        walk(0, ())
+        return paths
+
+
+def build_dataguide(db: OemDatabase) -> DataGuide:
+    """Build the strong DataGuide of *db* by powerset construction."""
+    guide = DataGuide(source=db.name)
+    guide.children[0] = {}
+    guide.extent[0] = frozenset()
+
+    state_ids: dict[frozenset[Oid], int] = {}
+
+    def state_for(oids: frozenset[Oid], label: Atom) -> tuple[int, bool]:
+        if oids in state_ids:
+            return state_ids[oids], False
+        node = len(state_ids) + 1
+        state_ids[oids] = node
+        guide.extent[node] = oids
+        guide.labels[node] = label
+        guide.children[node] = {}
+        return node, True
+
+    def targets(oids: frozenset[Oid]) -> dict[Atom, frozenset[Oid]]:
+        by_label: dict[Atom, set[Oid]] = {}
+        for oid in oids:
+            for child in db.children(oid):
+                by_label.setdefault(db.label(child), set()).add(child)
+        return {label: frozenset(kids) for label, kids in by_label.items()}
+
+    root_by_label: dict[Atom, set[Oid]] = {}
+    for root in db.roots:
+        root_by_label.setdefault(db.label(root), set()).add(root)
+
+    worklist: list[int] = []
+    for label, oids in sorted(root_by_label.items(), key=lambda kv: str(kv[0])):
+        node, fresh = state_for(frozenset(oids), label)
+        guide.children[0][label] = node
+        if fresh:
+            worklist.append(node)
+    while worklist:
+        node = worklist.pop()
+        for label, oids in sorted(targets(guide.extent[node]).items(),
+                                  key=lambda kv: str(kv[0])):
+            child, fresh = state_for(oids, label)
+            guide.children[node][label] = child
+            if fresh:
+                worklist.append(child)
+    return guide
+
+
+def dtd_from_dataguide(db: OemDatabase) -> Dtd:
+    """Derive instance-level DTD-style constraints, with cardinalities.
+
+    For every label pair (a, b): if every ``a``-labeled object of *db* has
+    at most one ``b`` child, record multiplicity "?" (or "1" when always
+    exactly one); otherwise "*".  Labels whose objects are all atomic are
+    declared atomic.  The result is valid for this instance only.
+    """
+    child_counts: dict[Atom, dict[Atom, list[int]]] = {}
+    atomic_labels: dict[Atom, bool] = {}
+    objects_by_label: dict[Atom, int] = {}
+    for oid in db.reachable_oids():
+        label = db.label(oid)
+        objects_by_label[label] = objects_by_label.get(label, 0) + 1
+        atomic_labels.setdefault(label, True)
+        if db.is_atomic(oid):
+            continue
+        atomic_labels[label] = False
+        per_child: dict[Atom, int] = {}
+        for child in db.children(oid):
+            child_label = db.label(child)
+            per_child[child_label] = per_child.get(child_label, 0) + 1
+        for child_label, count in per_child.items():
+            child_counts.setdefault(label, {}).setdefault(
+                child_label, []).append(count)
+
+    dtd = Dtd(source=db.name)
+    for label, is_atomic in sorted(atomic_labels.items(),
+                                   key=lambda kv: str(kv[0])):
+        if is_atomic:
+            dtd.declare_atomic(str(label))
+            continue
+        specs = []
+        for child_label, counts in sorted(
+                child_counts.get(label, {}).items(),
+                key=lambda kv: str(kv[0])):
+            occurrences = len(counts)
+            always_present = occurrences == objects_by_label[label]
+            at_most_one = max(counts) <= 1
+            if at_most_one:
+                multiplicity = "1" if always_present else "?"
+            else:
+                multiplicity = "+" if always_present else "*"
+            specs.append(ChildSpec(str(child_label), multiplicity))
+        dtd.declare(str(label), specs)
+    return dtd

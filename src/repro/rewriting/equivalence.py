@@ -1,0 +1,98 @@
+"""Compile-time equivalence of TSL queries and unions (Section 4).
+
+Two queries are equivalent iff their results are equivalent on every OEM
+database.  Because TSL heads construct graphs -- and different rules (or
+different assignments) can contribute parts of the same graph -- each rule
+is decomposed into *graph component queries* (top / member / object rules,
+:mod:`repro.tsl.decompose`); two decompositions are equivalent iff the
+mutual-mapping condition of Theorem 4.2 holds, which generalizes the
+containment theorem for unions of conjunctive queries [33, 18].
+
+Inputs are chased (with optional structural constraints) and normalized
+first; a rule whose chase contradicts the oid key dependency has an empty
+result on every database and drops out of its union.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ChaseContradictionError
+from ..logic.subst import Substitution
+from ..tsl.ast import Query
+from ..tsl.decompose import ComponentQuery, decompose_program
+from ..tsl.normalize import normalize, path_to_condition, query_paths
+from .chase import StructuralConstraints, chase
+from .mappings import body_mappings, component_mapping
+
+
+def prepare_program(rules: Iterable[Query],
+                    constraints: StructuralConstraints | None = None,
+                    minimize_rules: bool = False) -> list[Query]:
+    """Chase + normalize each rule; drop rules with contradictory bodies."""
+    prepared: list[Query] = []
+    for rule in rules:
+        try:
+            chased = chase(rule, constraints)
+        except ChaseContradictionError:
+            continue  # empty on every legal database: contributes nothing
+        if minimize_rules:
+            chased = minimize(chased)
+        prepared.append(chased)
+    return prepared
+
+
+def components_subsumed(left: Sequence[ComponentQuery],
+                        right: Sequence[ComponentQuery]) -> bool:
+    """True when every left component has a mapping *from* some right one.
+
+    Witnesses that the left union's result graph is contained in the
+    right's, component-wise (one half of Theorem 4.2).
+    """
+    return all(
+        any(component_mapping(t, p) is not None for t in right)
+        for p in left)
+
+
+def programs_equivalent(left: Iterable[Query], right: Iterable[Query],
+                        constraints: StructuralConstraints | None = None,
+                        minimize_rules: bool = False) -> bool:
+    """Theorem 4.3: decompose both unions and test mutual mappings."""
+    left_rules = prepare_program(left, constraints, minimize_rules)
+    right_rules = prepare_program(right, constraints, minimize_rules)
+    left_components = decompose_program(left_rules)
+    right_components = decompose_program(right_rules)
+    return (components_subsumed(left_components, right_components)
+            and components_subsumed(right_components, left_components))
+
+
+def equivalent(left: Query, right: Query,
+               constraints: StructuralConstraints | None = None) -> bool:
+    """Equivalence of two single TSL rules."""
+    return programs_equivalent([left], [right], constraints)
+
+
+def minimize(query: Query) -> Query:
+    """Remove redundant body conditions (classic CQ minimization).
+
+    A path is removable when the full body maps into the remaining body by
+    a containment mapping that is the identity on head variables -- a
+    sound (homomorphism-witnessed) proof that the smaller query is
+    contained in the original; the other containment is trivial.
+    Compositions produce one view-body copy per resolution goal, so they
+    carry heavy redundancy; this pass collapses it.
+    """
+    current = normalize(query)
+    frozen = Substitution({v: v for v in current.head_variables()})
+    paths = query_paths(current)
+    improved = True
+    while improved and len(paths) > 1:
+        improved = False
+        for index in range(len(paths)):
+            remaining = paths[:index] + paths[index + 1:]
+            if body_mappings(paths, remaining, initial=frozen, limit=1):
+                paths = remaining
+                improved = True
+                break
+    return Query(current.head, tuple(path_to_condition(p) for p in paths),
+                 name=current.name)

@@ -1,0 +1,296 @@
+"""Containment mappings, generalized for object nesting (Step 1A, Section 3.1).
+
+A *mapping* from query ``A`` (e.g. a view body) to query ``B`` (e.g. the
+query body) sends ``A``'s variables to ``B``'s terms so that every single
+path of ``A`` maps into some single path of ``B``.  A path maps into a path
+by matching pointwise from the top-level object down; when ``A``'s path is
+a *prefix* of ``B``'s, the leftover suffix of ``B`` is absorbed by ``A``'s
+leaf value variable as a *set mapping* (Example 3.2: ``Z' -> {<Z last
+stanford>}``).
+
+Mappings are a necessary condition for a view to be relevant to a query
+(Lemma 5.1) but not sufficient (Example 3.3) -- the composition test of
+Step 2 decides.
+
+The same engine serves the equivalence test of Section 4: a containment
+mapping from component query ``T`` to ``P`` witnesses ``P ⊆ T``.
+
+Both queries must be in normal form with the chase applied (the caller's
+responsibility; :func:`find_mappings` normalizes defensively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.subst import Substitution
+from ..logic.terms import Constant, Term, Variable
+from ..logic.unify import match
+from ..tsl.ast import Query, SetPattern, SetPatternTerm
+from ..tsl.decompose import ComponentQuery
+from ..tsl.normalize import (Path, condition_paths, path_pattern,
+                             query_paths)
+
+EMPTY_SET_TERM = SetPatternTerm(SetPattern(()))
+
+
+@dataclass(frozen=True, slots=True)
+class Mapping:
+    """A containment mapping plus the target paths it covers.
+
+    ``covers`` holds the indices (into the target's path list) of the
+    conditions the source body maps into -- the bookkeeping behind the
+    covering heuristic of Section 3.4.
+    """
+
+    subst: Substitution
+    covers: frozenset[int]
+
+    def __str__(self) -> str:
+        return str(self.subst)
+
+
+def _suffix_term(path: Path, depth: int) -> SetPatternTerm:
+    """The set pattern denoting the value of *path*'s object at *depth*.
+
+    ``depth`` is 1-based; the value of the object at step ``depth`` is the
+    set containing the rest of the chain.
+    """
+    suffix = path_pattern(path.steps[depth:], path.leaf)
+    return SetPatternTerm(SetPattern((suffix,)))
+
+
+def map_path_into(a: Path, b: Path,
+                  subst: Substitution) -> Substitution | None:
+    """Extend *subst* so that path *a* maps into path *b*, or None.
+
+    Matching is one-way: only *a*-side variables are bound.  Top-level
+    objects align with top-level objects (both denote root conditions).
+    """
+    if a.source != b.source or len(a.steps) > len(b.steps):
+        return None
+    for (a_oid, a_label), (b_oid, b_label) in zip(a.steps, b.steps):
+        subst = match(a_oid, b_oid, subst)
+        if subst is None:
+            return None
+        subst = match(a_label, b_label, subst)
+        if subst is None:
+            return None
+    return _map_leaf(a, b, subst)
+
+
+def _map_leaf(a: Path, b: Path, subst: Substitution) -> Substitution | None:
+    n, m = len(a.steps), len(b.steps)
+    a_leaf = a.leaf
+    if isinstance(a_leaf, SetPattern):
+        # a ends in {}: it only asserts "is a set object".  b implies that
+        # exactly when it continues below depth n or itself ends in {}.
+        if n < m:
+            return subst
+        return subst if isinstance(b.leaf, SetPattern) else None
+    if n < m:
+        # Set mapping: a's leaf value absorbs b's leftover suffix.
+        if isinstance(subst.apply(a_leaf), Constant):
+            return None
+        return match(a_leaf, _suffix_term(b, n), subst)
+    if isinstance(b.leaf, SetPattern):
+        # b ends in {}: a's leaf variable may absorb the bare set assertion.
+        if isinstance(subst.apply(a_leaf), Constant):
+            return None
+        return match(a_leaf, EMPTY_SET_TERM, subst)
+    return match(a_leaf, b.leaf, subst)
+
+
+# Internal marker appended to source-side variable names so a mapping
+# search never confuses them with identically-named target variables.
+# The lexer cannot produce it, so parsed queries never collide.
+_APART = "†"
+
+
+def _path_variables(path: Path) -> set[Variable]:
+    out: set[Variable] = set()
+    for oid, label in path.steps:
+        out.update(oid.variables())
+        out.update(label.variables())
+    if isinstance(path.leaf, Term):
+        out.update(path.leaf.variables())
+    return out
+
+
+def _rename_path(path: Path, subst: Substitution) -> Path:
+    steps = tuple((subst.apply(oid), subst.apply(label))
+                  for oid, label in path.steps)
+    leaf = path.leaf
+    if isinstance(leaf, Term):
+        leaf = subst.apply(leaf)
+    return Path(steps, leaf, path.source)
+
+
+def rename_paths_apart(source_paths: list[Path],
+                       initial: Substitution | None
+                       ) -> tuple[list[Path], Substitution]:
+    """Rename source-side variables apart from any target-side ones.
+
+    Returns the renamed paths and the renamed initial substitution.  The
+    domain of *initial* is renamed along (its range addresses the target
+    side and is left alone).
+    """
+    source_vars: set[Variable] = set()
+    for path in source_paths:
+        source_vars |= _path_variables(path)
+    if initial is not None:
+        source_vars |= set(initial)
+    renaming = Substitution(
+        {v: Variable(v.name + _APART) for v in source_vars})
+    renamed = [_rename_path(p, renaming) for p in source_paths]
+    if initial is None:
+        renamed_initial = Substitution()
+    else:
+        renamed_initial = Substitution(
+            {Variable(v.name + _APART): t for v, t in initial.items()})
+    return renamed, renamed_initial
+
+
+def _unrename(subst: Substitution) -> Substitution:
+    return Substitution({
+        Variable(v.name.removesuffix(_APART)): t
+        for v, t in subst.items()})
+
+
+def body_mappings(source_paths: list[Path], target_paths: list[Path],
+                  initial: Substitution | None = None,
+                  limit: int | None = None) -> list[Substitution]:
+    """All substitutions mapping every source path into some target path.
+
+    Source and target may freely share variable names: the source side is
+    renamed apart internally and the results are translated back, so the
+    returned substitutions are over the original source variables.
+
+    Backtracking search over per-path choices; the result is deduplicated.
+    Worst-case exponential in the number of source paths (Section 5.1).
+    Pass ``limit=1`` when only existence matters -- the search stops at
+    the first complete mapping.
+    """
+    renamed_paths, start = rename_paths_apart(source_paths, initial)
+    results: list[Substitution] = []
+    seen: set[Substitution] = set()
+    # Most-constrained-first: longer paths and paths with more constants
+    # fail faster, which prunes the search tree dramatically.
+    order = sorted(range(len(renamed_paths)),
+                   key=lambda i: -len(renamed_paths[i].steps))
+
+    def extend(position: int, subst: Substitution) -> bool:
+        if position == len(order):
+            unrenamed = _unrename(subst)
+            if unrenamed not in seen:
+                seen.add(unrenamed)
+                results.append(unrenamed)
+            return limit is not None and len(results) >= limit
+        source = renamed_paths[order[position]]
+        for target in target_paths:
+            extended = map_path_into(source, target, subst)
+            if extended is not None:
+                if extend(position + 1, extended):
+                    return True
+        return False
+
+    extend(0, start)
+    return results
+
+
+def body_mapping_exists(source_paths: list[Path], target_paths: list[Path],
+                        initial: Substitution | None = None) -> bool:
+    """Existence check: is there any complete containment mapping?"""
+    return bool(body_mappings(source_paths, target_paths, initial, limit=1))
+
+
+def coverage(source_paths: list[Path], target_paths: list[Path],
+             subst: Substitution) -> frozenset[int]:
+    """Target path indices some source path maps into under fixed *subst*."""
+    renamed_paths, fixed = rename_paths_apart(source_paths, subst)
+    covered: set[int] = set()
+    for source in renamed_paths:
+        for index, target in enumerate(target_paths):
+            if map_path_into(source, target, fixed) == fixed:
+                covered.add(index)
+    return frozenset(covered)
+
+
+def find_mappings(view: Query, query: Query) -> list[Mapping]:
+    """Step 1A: all mappings from the body of *view* to the body of *query*.
+
+    Inputs are normalized defensively; apply the chase first for the full
+    algorithm of Section 3.4.
+    """
+    source_paths = query_paths(view)
+    target_paths = query_paths(query)
+    return [Mapping(subst, coverage(source_paths, target_paths, subst))
+            for subst in body_mappings(source_paths, target_paths)]
+
+
+def query_maps_into(a: Query, b: Query) -> bool:
+    """True when some containment mapping sends body(*a*) into body(*b*)."""
+    return bool(body_mappings(query_paths(a), query_paths(b)))
+
+
+# --------------------------------------------------------------------------
+# Component-query mappings (Section 4 equivalence machinery)
+# --------------------------------------------------------------------------
+
+def _match_values(a_value, b_value,
+                  subst: Substitution) -> Substitution | None:
+    """Match an object-rule value field of *a* onto one of *b*."""
+    if isinstance(a_value, SetPattern):
+        return subst if isinstance(b_value, SetPattern) else None
+    if isinstance(b_value, SetPattern):
+        if isinstance(subst.apply(a_value), Constant):
+            return None
+        return match(a_value, EMPTY_SET_TERM, subst)
+    return match(a_value, b_value, subst)
+
+
+def component_mapping(t: ComponentQuery,
+                      p: ComponentQuery) -> Substitution | None:
+    """A mapping from component query *t* to *p* (witnessing ``p ⊆ t``).
+
+    The mapping must send the head of *t* onto the head of *p* and every
+    body condition of *t* into a body condition of *p* (Theorem 4.2).
+    *t* and *p* may share variable names (e.g. comparing a rule with
+    itself); the *t* side is renamed apart internally.
+    """
+    if t.kind != p.kind or len(t.head_terms) != len(p.head_terms):
+        return None
+    apart = Substitution({
+        v: Variable(v.name + _APART)
+        for v in _component_variables(t)})
+    subst: Substitution | None = Substitution()
+    for t_term, p_term in zip(t.head_terms, p.head_terms):
+        subst = match(apart.apply(t_term), p_term, subst)
+        if subst is None:
+            return None
+    if t.kind == "object":
+        t_value = t.value
+        if isinstance(t_value, Term):
+            t_value = apart.apply(t_value)
+        subst = _match_values(t_value, p.value, subst)
+        if subst is None:
+            return None
+    t_paths = [_rename_path(path, apart)
+               for c in t.body for path in condition_paths(c)]
+    p_paths = [path for c in p.body for path in condition_paths(c)]
+    # Paths are pre-renamed, so hand body_mappings an already-apart
+    # initial keyed by the renamed names (it renames once more, which is
+    # harmless and keeps the contract uniform).
+    found = body_mappings(t_paths, p_paths, initial=subst, limit=1)
+    return found[0] if found else None
+
+
+def _component_variables(component: ComponentQuery) -> set[Variable]:
+    out: set[Variable] = set()
+    for term in component.head_terms:
+        out.update(term.variables())
+    if isinstance(component.value, Term):
+        out.update(component.value.variables())
+    for condition in component.body:
+        out.update(condition.variables())
+    return out

@@ -1,0 +1,281 @@
+"""The general query rewriting algorithm (Section 3.4).
+
+Given a TSL query ``Q`` with ``k`` single-path conditions and TSL views
+``V = {V1..Vn}``:
+
+* **Step 1A** -- find every containment mapping from each view body into
+  the body of ``Q`` (:mod:`repro.rewriting.mappings`).
+* **Step 1B** -- construct candidate rewriting queries: ``head(Q)`` plus
+  any safe conjunction of at most ``k`` conditions, each either a view
+  instantiation ``θ(head(Vi))`` or an original condition of ``Q``, with
+  at least one view.
+* **Step 1C** -- label inference and chase on each candidate.
+* **Step 2** -- compose each candidate with the views, chase the
+  composition, and keep the candidate iff the composition is equivalent
+  to ``Q`` (Section 4).
+
+The covering heuristic ("only construct candidates whose views and
+conditions cover all the conditions of Q") prunes the exponential
+candidate space without losing rewritings; it is on by default and can be
+disabled to measure its effect (benchmark E6).
+
+The algorithm is sound (Step 2 is a correctness test) and complete for
+TSL without structural constraints (Theorem 5.5); with constraints it
+remains sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Mapping, Sequence, Union
+
+from ..errors import (ChaseContradictionError, CompositionError,
+                      RewritingError)
+from ..tsl.ast import Condition, Query
+from ..tsl.normalize import normalize, path_to_condition, query_paths
+from ..tsl.validate import is_safe
+from .chase import StructuralConstraints, chase
+from .composition import compose
+from .equivalence import minimize, prepare_program, programs_equivalent
+from .mappings import Mapping as ContainmentMapping
+from .mappings import find_mappings
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateAtom:
+    """One buildable condition: a view instantiation or an original one."""
+
+    condition: Condition
+    covers: frozenset[int]
+    view: str | None  # view name, or None for an original condition
+
+    @property
+    def is_view(self) -> bool:
+        return self.view is not None
+
+
+@dataclass
+class Rewriting:
+    """An accepted rewriting query and its correctness evidence."""
+
+    query: Query
+    composition: list[Query]
+    views_used: frozenset[str]
+
+    def __str__(self) -> str:
+        return str(self.query)
+
+
+@dataclass
+class RewriteStats:
+    """Counters describing one rewriter run (feeds the benchmarks)."""
+
+    mappings: int = 0
+    candidates_enumerated: int = 0
+    candidates_tested: int = 0
+    candidates_pruned_by_heuristic: int = 0
+    candidates_pruned_unsafe: int = 0
+    candidates_pruned_subsumed: int = 0
+    composition_rules: int = 0
+    rewritings: int = 0
+
+
+@dataclass
+class RewriteResult:
+    """Everything a rewriter run produced."""
+
+    rewritings: list[Rewriting] = field(default_factory=list)
+    stats: RewriteStats = field(default_factory=RewriteStats)
+
+    @property
+    def queries(self) -> list[Query]:
+        return [r.query for r in self.rewritings]
+
+    def __iter__(self):
+        return iter(self.rewritings)
+
+    def __len__(self) -> int:
+        return len(self.rewritings)
+
+
+def _as_view_dict(views: Union[Mapping[str, Query], Sequence[Query]]
+                  ) -> dict[str, Query]:
+    if isinstance(views, Mapping):
+        return dict(views)
+    out: dict[str, Query] = {}
+    for index, view in enumerate(views):
+        name = view.name or f"V{index + 1}"
+        if name in out:
+            raise RewritingError(f"duplicate view name {name!r}")
+        out[name] = view
+    return out
+
+
+def view_instantiations(query: Query, views: Mapping[str, Query],
+                        constraints: StructuralConstraints | None = None
+                        ) -> list[CandidateAtom]:
+    """Step 1A: mappings from each view body into body(Q), as atoms.
+
+    Each mapping ``θ`` yields the condition ``θ(head(Vi))@Vi`` together
+    with the set of Q-conditions it covers.
+    """
+    atoms: list[CandidateAtom] = []
+    for name in sorted(views):
+        view = chase(views[name], constraints)
+        mapping: ContainmentMapping
+        for mapping in find_mappings(view, query):
+            instantiated = view.head.substitute(mapping.subst)
+            atoms.append(CandidateAtom(Condition(instantiated, name),
+                                       mapping.covers, name))
+    return atoms
+
+
+def rewrite(query: Query,
+            views: Union[Mapping[str, Query], Sequence[Query]],
+            constraints: StructuralConstraints | None = None,
+            *,
+            heuristic: bool = True,
+            total_only: bool = False,
+            prune_subsumed: bool = True,
+            first_only: bool = False,
+            max_candidates: int | None = None) -> RewriteResult:
+    """Find rewriting queries of *query* using *views* (Section 3.4).
+
+    Parameters
+    ----------
+    query, views:
+        The TSL query and the views (a name->query mapping, or a sequence
+        of named queries).
+    constraints:
+        Optional structural constraints (a DTD or DataGuide); enables
+        label inference and labeled-FD chasing (Section 3.3).
+    heuristic:
+        Apply the covering heuristic (default True).
+    total_only:
+        Only consider candidates that access views exclusively ("total
+        rewriting queries").
+    prune_subsumed:
+        Skip candidates whose body strictly extends an accepted
+        rewriting's body (the "trivial rewriting" pruning of Section 1).
+    first_only:
+        Stop after the first rewriting found.
+    max_candidates:
+        Safety cap on the number of candidates tested.
+    """
+    views = _as_view_dict(views)
+    result = RewriteResult()
+    prepared = prepare_program([query], constraints)
+    if not prepared:
+        raise ChaseContradictionError(
+            "the query body contradicts the object-id key dependency")
+    target = prepared[0]
+    target_paths = query_paths(target)
+    k = len(target_paths)
+    all_indices = frozenset(range(k))
+
+    atoms = view_instantiations(target, views, constraints)
+    result.stats.mappings = len(atoms)
+    if not total_only:
+        atoms.extend(
+            CandidateAtom(path_to_condition(path), frozenset([i]), None)
+            for i, path in enumerate(target_paths))
+
+    accepted_bodies: list[frozenset[Condition]] = []
+    for size in range(1, k + 1):
+        for combo in combinations(range(len(atoms)), size):
+            chosen = [atoms[i] for i in combo]
+            if not any(atom.is_view for atom in chosen):
+                continue
+            result.stats.candidates_enumerated += 1
+            if heuristic:
+                covered = frozenset().union(
+                    *(atom.covers for atom in chosen))
+                if covered != all_indices:
+                    result.stats.candidates_pruned_by_heuristic += 1
+                    continue
+            body = tuple(atom.condition for atom in chosen)
+            candidate = Query(target.head, body, name=query.name)
+            if not is_safe(candidate):
+                result.stats.candidates_pruned_unsafe += 1
+                continue
+            if prune_subsumed and any(
+                    prior <= frozenset(body) for prior in accepted_bodies):
+                result.stats.candidates_pruned_subsumed += 1
+                continue
+            if (max_candidates is not None
+                    and result.stats.candidates_tested >= max_candidates):
+                return result
+            result.stats.candidates_tested += 1
+            accepted = _test_candidate(candidate, target, views, constraints,
+                                       result)
+            if accepted is not None:
+                accepted_bodies.append(frozenset(body))
+                result.rewritings.append(accepted)
+                result.stats.rewritings += 1
+                if first_only:
+                    return result
+    return result
+
+
+def _test_candidate(candidate: Query, target: Query,
+                    views: Mapping[str, Query],
+                    constraints: StructuralConstraints | None,
+                    result: RewriteResult) -> Rewriting | None:
+    """Steps 1C + 2 for one candidate; None when it is not a rewriting."""
+    try:
+        candidate = chase(candidate, constraints)
+    except ChaseContradictionError:
+        return None
+    try:
+        composed = compose(candidate, views)
+    except CompositionError:
+        return None
+    composed = prepare_program(composed, constraints, minimize_rules=True)
+    result.stats.composition_rules += len(composed)
+    if not programs_equivalent(composed, [target], constraints):
+        return None
+    views_used = frozenset(c.source for c in candidate.body
+                           if c.source in views)
+    return Rewriting(query=candidate, composition=composed,
+                     views_used=views_used)
+
+
+def rewrite_single_path(query: Query, view: Query,
+                        constraints: StructuralConstraints | None = None
+                        ) -> Rewriting | None:
+    """The Section 3.1 special case: single-path query, single view.
+
+    Returns the (at most one) total rewriting, or None.  Exercises the
+    same machinery as :func:`rewrite`; kept as a faithful, simple entry
+    point for the paper's walkthrough examples.
+    """
+    name = view.name or "V"
+    outcome = rewrite(query, {name: view}, constraints,
+                      total_only=True, first_only=True)
+    return outcome.rewritings[0] if outcome.rewritings else None
+
+
+def find_all_rewritings(query: Query,
+                        views: Union[Mapping[str, Query], Sequence[Query]],
+                        constraints: StructuralConstraints | None = None,
+                        **kwargs) -> list[Query]:
+    """Convenience wrapper returning just the rewriting queries."""
+    return rewrite(query, views, constraints, **kwargs).queries
+
+
+def is_rewriting(candidate: Query, query: Query,
+                 views: Union[Mapping[str, Query], Sequence[Query]],
+                 constraints: StructuralConstraints | None = None) -> bool:
+    """Check one hand-written candidate (Step 2 only)."""
+    views = _as_view_dict(views)
+    prepared = prepare_program([query], constraints)
+    if not prepared:
+        return False
+    try:
+        candidate = chase(candidate, constraints)
+        composed = compose(candidate, views)
+    except (ChaseContradictionError, CompositionError):
+        return False
+    composed = prepare_program(composed, constraints, minimize_rules=True)
+    return programs_equivalent(composed, prepared, constraints)

@@ -1,0 +1,38 @@
+"""TSL, the Tree Specification Language (Section 2), and its machinery."""
+
+from .ast import (Condition, ObjectPattern, Query, SetPattern,
+                  SetPatternTerm, make_condition, pattern_depth,
+                  pattern_size, query_size)
+from .parser import parse_pattern, parse_program, parse_query, parse_term
+from .printer import (print_condition, print_pattern, print_program,
+                      print_query, print_term)
+from .normalize import (Path, condition_paths, head_paths, is_normal_form,
+                        is_single_path, normalize, path_to_condition,
+                        query_paths, single_path_count, split_pattern)
+from .validate import (check_acyclic, check_head_oids, check_oid_discipline,
+                       check_safety, data_variables, is_safe, oid_variables,
+                       validate)
+from .evaluator import body_assignments, evaluate, evaluate_program
+from .decompose import ComponentQuery, decompose, decompose_program
+from .pathexpr import (expand_rpe_query, label_sequences,
+                       parse_path_expression)
+from .explain import Explanation, explain
+from .planner import condition_score, order_conditions, plan_report
+
+__all__ = [
+    "Condition", "ObjectPattern", "Query", "SetPattern", "SetPatternTerm",
+    "make_condition", "pattern_depth", "pattern_size", "query_size",
+    "parse_query", "parse_pattern", "parse_term", "parse_program",
+    "print_query", "print_pattern", "print_term", "print_condition",
+    "print_program",
+    "Path", "normalize", "is_normal_form", "is_single_path",
+    "single_path_count", "query_paths", "condition_paths", "head_paths",
+    "path_to_condition", "split_pattern",
+    "validate", "check_safety", "check_head_oids", "check_oid_discipline",
+    "check_acyclic", "is_safe", "oid_variables", "data_variables",
+    "evaluate", "evaluate_program", "body_assignments",
+    "ComponentQuery", "decompose", "decompose_program",
+    "parse_path_expression", "label_sequences", "expand_rpe_query",
+    "explain", "Explanation",
+    "order_conditions", "condition_score", "plan_report",
+]

@@ -1,0 +1,80 @@
+"""Decomposition of TSL queries into graph component queries (Section 4).
+
+TSL equivalence is complicated because query heads construct arbitrary
+answer graphs and different rules can contribute different parts of the
+same graph.  Every rule is therefore decomposed into finer-grain rules,
+one per component of the result graph:
+
+* one **top** rule per rule -- the root of the constructed graph;
+* one **member** rule per object-subobject edge in the head;
+* one **object** rule per head object pattern -- its label and value
+  (set-valued head objects get the value ``{}``: their members are
+  described by the member rules).
+
+Example 4.1 of the paper is reproduced verbatim in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+from ..logic.terms import Term
+from .ast import Condition, PatternValue, Query, SetPattern
+
+ComponentKind = Literal["top", "member", "object"]
+
+EMPTY_SET = SetPattern(())
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentQuery:
+    """A graph component query: a reduced rule over the same body.
+
+    ``head_terms`` holds the "predicate arguments": ``(t,)`` for a top
+    rule, ``(parent, child)`` for a member rule, and ``(oid, label)`` for
+    an object rule whose value is carried in ``value`` (a term, or the
+    empty set pattern for set-valued objects).
+    """
+
+    kind: ComponentKind
+    head_terms: tuple[Term, ...]
+    value: PatternValue | None
+    body: tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        body = " AND ".join(str(c) for c in self.body)
+        if self.kind == "top":
+            head = f"top({self.head_terms[0]})"
+        elif self.kind == "member":
+            head = f"member({self.head_terms[0]},{self.head_terms[1]})"
+        else:
+            oid, label = self.head_terms
+            head = f"<{oid} {label} {self.value}>"
+        return f"{head} :- {body}"
+
+
+def decompose(query: Query) -> list[ComponentQuery]:
+    """Decompose one rule into its graph component queries."""
+    components: list[ComponentQuery] = [
+        ComponentQuery("top", (query.head.oid,), None, query.body)
+    ]
+    for pattern in query.head.nested_patterns():
+        if isinstance(pattern.value, SetPattern):
+            for child in pattern.value.patterns:
+                components.append(ComponentQuery(
+                    "member", (pattern.oid, child.oid), None, query.body))
+            value: PatternValue = EMPTY_SET
+        else:
+            value = pattern.value
+        components.append(ComponentQuery(
+            "object", (pattern.oid, pattern.label), value, query.body))
+    return components
+
+
+def decompose_program(rules: Iterable[Query]) -> list[ComponentQuery]:
+    """Decompose a union of rules (compositions are unions, Section 4)."""
+    components: list[ComponentQuery] = []
+    for rule in rules:
+        components.extend(decompose(rule))
+    return components

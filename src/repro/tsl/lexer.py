@@ -1,0 +1,106 @@
+"""Tokenizer for the TSL text syntax.
+
+Token kinds: punctuation (``< > { } ( ) , :- @``), the keyword ``AND``
+(case-insensitive), integer and quoted-string literals, and identifiers.
+Identifiers may contain letters, digits, underscores, hyphens, and
+apostrophes (the paper writes primed variables like ``X'``); they must not
+start with a digit or hyphen.
+
+The variable/constant split follows the Datalog convention: identifiers
+beginning with an uppercase letter are variables, everything else is a
+constant.  (The paper uses single capital letters for variables, which this
+convention subsumes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import TslSyntaxError
+
+PUNCTUATION = {"<", ">", "{", "}", "(", ")", ",", "@", "."}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_&$")
+_IDENT_BODY = _IDENT_START | set("0123456789-'")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str          # one of: punct, turnstile, and, ident, int, string, eof
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens for *text*, ending with a single ``eof`` token."""
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "%":  # comment to end of line, as in the paper's listings
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        if text.startswith(":-", i):
+            yield Token("turnstile", ":-", line, start_col)
+            i += 2
+            column += 2
+            continue
+        if ch in PUNCTUATION:
+            yield Token("punct", ch, line, start_col)
+            i += 1
+            column += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    raise TslSyntaxError("unterminated string literal",
+                                         line, start_col)
+                j += 1
+            if j >= n:
+                raise TslSyntaxError("unterminated string literal",
+                                     line, start_col)
+            yield Token("string", text[i + 1:j], line, start_col)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            yield Token("int", text[i:j], line, start_col)
+            column += j - i
+            i = j
+            continue
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_BODY:
+                j += 1
+            word = text[i:j]
+            kind = "and" if word.upper() == "AND" else "ident"
+            yield Token(kind, word, line, start_col)
+            column += j - i
+            i = j
+            continue
+        raise TslSyntaxError(f"unexpected character {ch!r}", line, start_col)
+    yield Token("eof", "", line, column)

@@ -1,0 +1,147 @@
+"""Normal form conversion and path extraction (Section 2).
+
+*Normal Form TSL Queries* are those "in whose body all set-valued value
+fields contain at most one object pattern"; a branching condition is split
+into one condition per root-to-leaf path, duplicating the shared prefix.
+For example (Q1) normalizes to (Q2)::
+
+    <P person {<G gender female> <X Y Z>}>@db
+      ==>
+    <P person {<G gender female>}>@db  AND  <P person {<X Y Z>}>@db
+
+A normalized condition is a *chain*; :class:`Path` is its flat view, used
+throughout the rewriting machinery (mappings, composition, equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..logic.terms import Term
+from .ast import Condition, ObjectPattern, PatternValue, Query, SetPattern
+
+
+@dataclass(frozen=True, slots=True)
+class Path:
+    """A single-path condition, flattened.
+
+    ``steps`` lists ``(oid, label)`` pairs from the top-level object down;
+    ``leaf`` is the value field of the deepest pattern: a term, or the
+    empty set pattern ``{}`` (which asserts "is a set object").
+    """
+
+    steps: tuple[tuple[Term, Term], ...]
+    leaf: PatternValue
+    source: str
+
+    def __post_init__(self) -> None:
+        assert self.steps, "a path has at least one step"
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return f"{_path_pattern(self.steps, self.leaf)}@{self.source}"
+
+
+def path_pattern(steps: tuple[tuple[Term, Term], ...],
+                 leaf: PatternValue) -> ObjectPattern:
+    """Rebuild the chain-shaped object pattern for (a suffix of) a path."""
+    return _path_pattern(steps, leaf)
+
+
+def _path_pattern(steps: tuple[tuple[Term, Term], ...],
+                  leaf: PatternValue) -> ObjectPattern:
+    oid, label = steps[-1]
+    pattern = ObjectPattern(oid, label, leaf)
+    for oid, label in reversed(steps[:-1]):
+        pattern = ObjectPattern(oid, label, SetPattern((pattern,)))
+    return pattern
+
+
+def split_pattern(pattern: ObjectPattern) -> list[ObjectPattern]:
+    """Split a body pattern into its root-to-leaf single-path patterns."""
+    return [_path_pattern(path.steps, path.leaf)
+            for path in pattern_paths(pattern, source="")]
+
+
+def pattern_paths(pattern: ObjectPattern, source: str) -> list[Path]:
+    """Enumerate the root-to-leaf paths of a (possibly branching) pattern."""
+    paths: list[Path] = []
+
+    def walk(node: ObjectPattern,
+             prefix: tuple[tuple[Term, Term], ...]) -> None:
+        steps = prefix + ((node.oid, node.label),)
+        value = node.value
+        if isinstance(value, SetPattern) and value.patterns:
+            for child in value.patterns:
+                walk(child, steps)
+        else:
+            paths.append(Path(steps, value, source))
+
+    walk(pattern, ())
+    return paths
+
+
+def condition_paths(condition: Condition) -> list[Path]:
+    """Enumerate the single paths of one condition."""
+    return pattern_paths(condition.pattern, condition.source)
+
+
+def query_paths(query: Query) -> list[Path]:
+    """Enumerate every single path in the query body, deduplicated."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for condition in query.body:
+        for path in condition_paths(condition):
+            if path not in seen:
+                seen.add(path)
+                ordered.append(path)
+    return ordered
+
+
+def path_to_condition(path: Path) -> Condition:
+    """Rebuild the chain-shaped condition a path denotes."""
+    return Condition(_path_pattern(path.steps, path.leaf), path.source)
+
+
+def normalize(query: Query) -> Query:
+    """Return the normal-form equivalent of *query* (body split to paths).
+
+    The head is untouched (normal form is a body property).  Duplicate
+    path conditions are removed -- conjunction is idempotent.
+    """
+    body = tuple(path_to_condition(p) for p in query_paths(query))
+    return Query(query.head, body, name=query.name)
+
+
+def is_normal_form(query: Query) -> bool:
+    """True iff every body set-value field has at most one nested pattern."""
+    for condition in query.body:
+        for pattern in condition.pattern.nested_patterns():
+            value = pattern.value
+            if isinstance(value, SetPattern) and len(value.patterns) > 1:
+                return False
+    return True
+
+
+def is_single_path(query: Query) -> bool:
+    """True iff the (normalized) body consists of exactly one condition."""
+    return len(query_paths(query)) == 1
+
+
+def single_path_count(query: Query) -> int:
+    """The number k of single-path conditions in the body (Section 3.4)."""
+    return len(query_paths(query))
+
+
+def head_paths(query: Query) -> Iterator[Path]:
+    """Enumerate the root-to-leaf paths of the *head* pattern.
+
+    Heads are never normalized, but composition unifies view-condition
+    paths against view-head paths, so the flat view is needed there too.
+    The pseudo-source is the empty string.
+    """
+    return iter(pattern_paths(query.head, source=""))

@@ -1,0 +1,183 @@
+"""Recursive-descent parser for TSL text (Section 2 syntax).
+
+Grammar::
+
+    query     := pattern ':-' condition ('AND' condition)*
+    condition := pattern ('@' ident)?
+    pattern   := '<' term term value '>'
+    value     := term | setpattern
+    setpattern:= '{' pattern* '}'
+    term      := ident [ '(' term (',' term)* ')' ] | int | string
+
+Identifiers starting with an uppercase letter are variables; all other
+identifiers, integers, and quoted strings are constants.  An identifier
+followed by ``(`` is a function term.  A condition without ``@source``
+defaults to source ``db``.
+
+Example (query (Q2) of the paper)::
+
+    parse_query('''
+        <f(P) female {<f(X) Y Z>}> :-
+            <P person {<G gender female>}>@db AND
+            <P person {<X Y Z>}>@db
+    ''')
+"""
+
+from __future__ import annotations
+
+from ..errors import TslSyntaxError
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from .ast import (DEFAULT_SOURCE, Condition, ObjectPattern, PatternValue,
+                  Query, SetPattern)
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if token.kind != "punct" or token.text != text:
+            raise TslSyntaxError(f"expected {text!r}, found {token.text!r}",
+                                 token.line, token.column)
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self, name: str | None = None) -> Query:
+        head = self.parse_pattern()
+        token = self._peek()
+        if token.kind != "turnstile":
+            raise TslSyntaxError(f"expected ':-', found {token.text!r}",
+                                 token.line, token.column)
+        self._advance()
+        body = [self.parse_condition()]
+        while self._peek().kind == "and":
+            self._advance()
+            body.append(self.parse_condition())
+        self._expect_eof()
+        return Query(head, tuple(body), name=name)
+
+    def parse_condition(self) -> Condition:
+        pattern = self.parse_pattern()
+        source = DEFAULT_SOURCE
+        token = self._peek()
+        if token.kind == "punct" and token.text == "@":
+            self._advance()
+            ident = self._peek()
+            if ident.kind != "ident":
+                raise TslSyntaxError(
+                    f"expected source name after '@', found {ident.text!r}",
+                    ident.line, ident.column)
+            source = self._advance().text
+        return Condition(pattern, source)
+
+    def parse_pattern(self) -> ObjectPattern:
+        self._expect_punct("<")
+        oid = self.parse_term()
+        label = self.parse_term()
+        value = self.parse_value()
+        self._expect_punct(">")
+        return ObjectPattern(oid, label, value)
+
+    def parse_value(self) -> PatternValue:
+        token = self._peek()
+        if token.kind == "punct" and token.text == "{":
+            return self.parse_set_pattern()
+        return self.parse_term()
+
+    def parse_set_pattern(self) -> SetPattern:
+        self._expect_punct("{")
+        patterns = []
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.text == "}":
+                self._advance()
+                return SetPattern(tuple(patterns))
+            patterns.append(self.parse_pattern())
+
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return Constant(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Constant(token.text)
+        if token.kind == "ident":
+            self._advance()
+            after = self._peek()
+            if after.kind == "punct" and after.text == "(":
+                return self._parse_function_args(token.text)
+            if token.text[0].isupper() or token.text[0] == "$":
+                # "$"-prefixed variables are the *parameters* of
+                # parameterized capability views (Section 1).
+                return Variable(token.text)
+            return Constant(token.text)
+        raise TslSyntaxError(f"expected a term, found {token.text!r}",
+                             token.line, token.column)
+
+    def _parse_function_args(self, functor: str) -> FunctionTerm:
+        self._expect_punct("(")
+        args = [self.parse_term()]
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.text == ",":
+                self._advance()
+                args.append(self.parse_term())
+                continue
+            self._expect_punct(")")
+            return FunctionTerm(functor, tuple(args))
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "eof":
+            raise TslSyntaxError(f"unexpected trailing input {token.text!r}",
+                                 token.line, token.column)
+
+
+def parse_query(text: str, name: str | None = None) -> Query:
+    """Parse a single TSL rule from text."""
+    return _Parser(text).parse_query(name)
+
+
+def parse_pattern(text: str) -> ObjectPattern:
+    """Parse a standalone object pattern (useful in tests)."""
+    parser = _Parser(text)
+    pattern = parser.parse_pattern()
+    parser._expect_eof()
+    return pattern
+
+
+def parse_term(text: str) -> Term:
+    """Parse a standalone term (useful in tests)."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    parser._expect_eof()
+    return term
+
+
+def parse_program(text: str) -> list[Query]:
+    """Parse several rules separated by ``;`` -- a union query.
+
+    Compositions of a query with views can be unions of rules (Section 4
+    compares *sets* of component queries), so programs are first-class.
+    """
+    rules = []
+    for chunk in text.split(";"):
+        if chunk.strip():
+            rules.append(parse_query(chunk))
+    return rules

@@ -1,0 +1,304 @@
+"""Regular path expressions over labels (Section 7 future work).
+
+"We are working on extensions to the algorithm so that it can handle
+extensions to TSL, such as regular path expressions in the query body."
+This module provides the natural bounded-expansion semantics: a regular
+expression over labels expands -- up to a configurable depth -- into the
+finite union of plain TSL single-path queries it denotes, which then
+flows through the existing evaluator, rewriter, and equivalence test
+(unions are first-class everywhere, Section 4).
+
+Syntax::
+
+    expr   := seq ('|' seq)*
+    seq    := item ('.' item)*
+    item   := atom ('*' | '+' | '?')?
+    atom   := label | '_' | '(' expr ')'
+
+``_`` is a wildcard (matches any one label; it expands to a fresh label
+variable).  Examples: ``person.name.last``, ``pub.(ref)*.title``,
+``_.(a|b).c``.
+
+Bounded expansion is exact for databases whose depth is below the bound
+and a sound under-approximation otherwise -- the classic compromise;
+[5]'s exact rewriting of regular expressions covers only queries that
+consist of a single regular path, as the related-work section notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..errors import TslSyntaxError
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from .ast import (Condition, ObjectPattern, PatternValue, Query, SetPattern,
+                  fresh_variable_factory)
+
+WILDCARD = "_"
+
+
+# --------------------------------------------------------------------------
+# Regular expression AST
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    name: str  # a concrete label, or WILDCARD
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Concat:
+    parts: tuple["Rpe", ...]
+
+    def __str__(self) -> str:
+        return ".".join(
+            f"({part})" if isinstance(part, Alternation) else str(part)
+            for part in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Alternation:
+    options: tuple["Rpe", ...]
+
+    def __str__(self) -> str:
+        return "|".join(str(o) for o in self.options)
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    inner: "Rpe"
+    at_least_one: bool = False
+
+    def __str__(self) -> str:
+        suffix = "+" if self.at_least_one else "*"
+        return f"({self.inner}){suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class Optional_:
+    inner: "Rpe"
+
+    def __str__(self) -> str:
+        return f"({self.inner})?"
+
+
+Rpe = Union[Label, Concat, Alternation, Star, Optional_]
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+class _RpeParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> Rpe:
+        expr = self._alternation()
+        self._skip_spaces()
+        if self._pos != len(self._text):
+            raise TslSyntaxError(
+                f"unexpected {self._text[self._pos]!r} in path expression")
+        return expr
+
+    def _skip_spaces(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] == " ":
+            self._pos += 1
+
+    def _peek(self) -> str:
+        self._skip_spaces()
+        if self._pos < len(self._text):
+            return self._text[self._pos]
+        return ""
+
+    def _alternation(self) -> Rpe:
+        options = [self._sequence()]
+        while self._peek() == "|":
+            self._pos += 1
+            options.append(self._sequence())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    def _sequence(self) -> Rpe:
+        parts = [self._item()]
+        while self._peek() == ".":
+            self._pos += 1
+            parts.append(self._item())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _item(self) -> Rpe:
+        atom = self._atom()
+        while self._peek() and self._peek() in "*+?":
+            mark = self._peek()
+            self._pos += 1
+            if mark == "*":
+                atom = Star(atom)
+            elif mark == "+":
+                atom = Star(atom, at_least_one=True)
+            else:
+                atom = Optional_(atom)
+        return atom
+
+    def _atom(self) -> Rpe:
+        ch = self._peek()
+        if ch == "(":
+            self._pos += 1
+            inner = self._alternation()
+            if self._peek() != ")":
+                raise TslSyntaxError("unbalanced '(' in path expression")
+            self._pos += 1
+            return inner
+        start = self._pos
+        while (self._pos < len(self._text)
+               and (self._text[self._pos].isalnum()
+                    or self._text[self._pos] in "_-")):
+            self._pos += 1
+        word = self._text[start:self._pos]
+        if not word:
+            raise TslSyntaxError(
+                f"expected a label at position {self._pos} of path "
+                "expression")
+        return Label(word)
+
+
+def parse_path_expression(text: str) -> Rpe:
+    """Parse a regular path expression such as ``pub.(ref)*.title``."""
+    return _RpeParser(text).parse()
+
+
+# --------------------------------------------------------------------------
+# Bounded expansion
+# --------------------------------------------------------------------------
+
+def _nullable(expr: Rpe) -> bool:
+    if isinstance(expr, Label):
+        return False
+    if isinstance(expr, Concat):
+        return all(_nullable(p) for p in expr.parts)
+    if isinstance(expr, Alternation):
+        return any(_nullable(o) for o in expr.options)
+    if isinstance(expr, Star):
+        return not expr.at_least_one or _nullable(expr.inner)
+    if isinstance(expr, Optional_):
+        return True
+    raise TypeError(f"unknown RPE node {expr!r}")
+
+
+def _reject_nullable_stars(expr: Rpe) -> None:
+    """Stars over nullable expressions expand forever; reject upfront."""
+    if isinstance(expr, Star):
+        if _nullable(expr.inner):
+            raise TslSyntaxError(
+                f"star over a nullable expression: ({expr.inner})*")
+        _reject_nullable_stars(expr.inner)
+    elif isinstance(expr, Concat):
+        for part in expr.parts:
+            _reject_nullable_stars(part)
+    elif isinstance(expr, Alternation):
+        for option in expr.options:
+            _reject_nullable_stars(option)
+    elif isinstance(expr, Optional_):
+        _reject_nullable_stars(expr.inner)
+
+
+def label_sequences(expr: Rpe, max_length: int) -> list[tuple[str, ...]]:
+    """All label sequences of length <= max_length denoted by *expr*."""
+    _reject_nullable_stars(expr)
+    results: set[tuple[str, ...]] = set()
+
+    def walk(node: Rpe, prefix: tuple[str, ...],
+             continuation: Sequence[Rpe]) -> None:
+        if len(prefix) > max_length:
+            return
+        if isinstance(node, Label):
+            advance(prefix + (node.name,), continuation)
+        elif isinstance(node, Concat):
+            advance(prefix, tuple(node.parts) + tuple(continuation))
+        elif isinstance(node, Alternation):
+            for option in node.options:
+                walk(option, prefix, continuation)
+        elif isinstance(node, Optional_):
+            advance(prefix, continuation)
+            walk(node.inner, prefix, continuation)
+        elif isinstance(node, Star):
+            if not node.at_least_one:
+                advance(prefix, continuation)
+            walk(node.inner, prefix,
+                 (Star(node.inner),) + tuple(continuation))
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown RPE node {node!r}")
+
+    def advance(prefix: tuple[str, ...],
+                continuation: Sequence[Rpe]) -> None:
+        if len(prefix) > max_length:
+            return
+        if not continuation:
+            if prefix:
+                results.add(prefix)
+            return
+        walk(continuation[0], prefix, continuation[1:])
+
+    advance((), (expr,))
+    return sorted(results)
+
+
+def sequence_condition(labels: tuple[str, ...], leaf: PatternValue,
+                       source: str, fresh, root_var: Variable
+                       ) -> Condition:
+    """Build the chain condition for one expanded label sequence."""
+    assert labels
+    oids = [root_var] + [fresh() for _ in labels[1:]]
+    label_terms: list[Term] = [
+        fresh() if name == WILDCARD else Constant(name)
+        for name in labels]
+    pattern = ObjectPattern(oids[-1], label_terms[-1], leaf)
+    for oid, label in zip(reversed(oids[:-1]), reversed(label_terms[:-1])):
+        pattern = ObjectPattern(oid, label, SetPattern((pattern,)))
+    return Condition(pattern, source)
+
+
+def expand_rpe_query(expression: str | Rpe, leaf: PatternValue,
+                     source: str = "db", max_depth: int = 6,
+                     answer_label: str = "hit") -> list[Query]:
+    """Expand a regular-path query into a union of plain TSL rules.
+
+    Each rule matches one label sequence denoted by the expression (up to
+    *max_depth* labels) from a root object down, binds the endpoint's
+    value to *leaf*, and returns ``<hit(Root,End) <answer_label> leaf>``
+    objects -- the "endpoints" shape of the related work [5].  The union
+    evaluates with :func:`repro.tsl.evaluator.evaluate_program` and
+    rewrites with the standard machinery, union rule by union rule.
+    """
+    if isinstance(expression, str):
+        expression = parse_path_expression(expression)
+    taken: set[Variable] = set()
+    fresh = fresh_variable_factory(taken, stem="N")
+    root_var = Variable("Root")
+    taken.add(root_var)
+    rules: list[Query] = []
+    for labels in label_sequences(expression, max_depth):
+        sequence_fresh = fresh_variable_factory(set(taken), stem="N")
+        leaf_value = leaf
+        condition = sequence_condition(labels, leaf_value, source,
+                                       sequence_fresh, root_var)
+        end_oid = _deepest_oid(condition.pattern)
+        head = ObjectPattern(
+            FunctionTerm("hit", (root_var, end_oid)),
+            Constant(answer_label), leaf_value)
+        rules.append(Query(head, (condition,)))
+    return rules
+
+
+def _deepest_oid(pattern: ObjectPattern) -> Term:
+    node = pattern
+    while isinstance(node.value, SetPattern) and node.value.patterns:
+        node = node.value.patterns[0]
+    return node.oid

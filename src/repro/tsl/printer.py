@@ -1,0 +1,75 @@
+"""Pretty printer for TSL: the inverse of :mod:`repro.tsl.parser`.
+
+``parse_query(print_query(q)) == q`` holds for every well-formed query;
+constants that would not re-lex as constants (spaces, uppercase initials,
+punctuation) are quoted.
+"""
+
+from __future__ import annotations
+
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from .ast import Condition, ObjectPattern, Query, SetPattern, SetPatternTerm
+
+_BARE_START = set("abcdefghijklmnopqrstuvwxyz_&")
+_BARE_BODY = _BARE_START | set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-'")
+
+
+def _is_bare_constant(text: str) -> bool:
+    if not text or text[0] not in _BARE_START:
+        return False
+    if text.upper() == "AND":
+        return False
+    return all(ch in _BARE_BODY for ch in text)
+
+
+def print_term(term: Term) -> str:
+    """Render a term in parseable TSL syntax."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        if isinstance(term.value, int):
+            return str(term.value)
+        text = str(term.value)
+        if _is_bare_constant(text):
+            return text
+        escaped = text.replace('"', "'")
+        return f'"{escaped}"'
+    if isinstance(term, FunctionTerm):
+        inner = ",".join(print_term(arg) for arg in term.args)
+        return f"{term.functor}({inner})"
+    if isinstance(term, SetPatternTerm):
+        return print_set_pattern(term.pattern)
+    return str(term)
+
+
+def print_set_pattern(setpat: SetPattern) -> str:
+    inner = " ".join(print_pattern(p) for p in setpat.patterns)
+    return "{" + inner + "}"
+
+
+def print_pattern(pattern: ObjectPattern) -> str:
+    """Render an object pattern in parseable TSL syntax."""
+    if isinstance(pattern.value, SetPattern):
+        value = print_set_pattern(pattern.value)
+    else:
+        value = print_term(pattern.value)
+    return (f"<{print_term(pattern.oid)} {print_term(pattern.label)} "
+            f"{value}>")
+
+
+def print_condition(condition: Condition) -> str:
+    return f"{print_pattern(condition.pattern)}@{condition.source}"
+
+
+def print_query(query: Query, multiline: bool = False) -> str:
+    """Render a query in parseable TSL syntax."""
+    separator = " AND\n    " if multiline else " AND "
+    body = separator.join(print_condition(c) for c in query.body)
+    joiner = " :-\n    " if multiline else " :- "
+    return f"{print_pattern(query.head)}{joiner}{body}"
+
+
+def print_program(rules) -> str:
+    """Render a union of rules, separated by ``;``."""
+    return ";\n".join(print_query(rule) for rule in rules)

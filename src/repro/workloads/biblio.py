@@ -1,0 +1,107 @@
+"""Bibliographic workloads (Figure 3 and the running TSIMMIS example).
+
+Provides the paper's Figure 3 objects verbatim, a scalable synthetic
+bibliography generator, and the standard queries and views of the
+"SIGMOD 97" scenario used throughout Section 1 and by benchmarks E10/E11.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..oem.builder import DatabaseBuilder, build_database, obj
+from ..oem.model import OemDatabase
+from ..tsl.ast import Query
+from ..tsl.parser import parse_query
+
+CONFERENCES = ("sigmod", "vldb", "pods", "icde", "kdd", "edbt", "icdt")
+
+FIRST_NAMES = ("ashish", "yannis", "vasilis", "hector", "jennifer", "jeff",
+               "serge", "dan", "mary", "alin", "sophie", "ramana")
+
+LAST_NAMES = ("gupta", "papakonstantinou", "vassalos", "garcia-molina",
+              "widom", "ullman", "abiteboul", "suciu", "fernandez",
+              "deutsch", "cluet", "yerneni")
+
+TITLE_WORDS = ("constraint", "views", "semistructured", "query", "rewriting",
+               "mediation", "optimization", "integration", "caching",
+               "wrappers", "containment", "chase")
+
+
+def figure3_database(name: str = "db") -> OemDatabase:
+    """The example OEM objects of Figure 3 (bibliographic data)."""
+    return build_database(name, [
+        obj("person", [
+            obj("name", "A. Gupta"),
+        ], oid="per1"),
+        obj("pub", [
+            obj("author", "A. Gupta", oid="auth1"),
+            obj("title", "Constraint Views", oid="title1"),
+            obj("booktitle", "SIGMOD", oid="bt1"),
+            obj("year", 1993, oid="year1"),
+        ], oid="pub1"),
+    ])
+
+
+def generate_bibliography(publications: int, seed: int = 0,
+                          name: str = "db",
+                          year_range: tuple[int, int] = (1990, 1999),
+                          sigmod_fraction: float = 0.2) -> OemDatabase:
+    """A synthetic bibliography with *publications* pub root objects.
+
+    Each publication has a title, 1-3 authors, a booktitle, and a year.
+    Roughly ``sigmod_fraction`` of the publications are SIGMOD papers so
+    caching/selectivity experiments have a predictable hit population.
+    """
+    rng = random.Random(seed)
+    builder = DatabaseBuilder(name)
+    for index in range(publications):
+        pub = builder.set("pub", oid=f"pub{index}")
+        builder.root(pub)
+        title = " ".join(rng.sample(TITLE_WORDS, 3)) + f" #{index}"
+        builder.edge(pub, builder.atomic("title", title))
+        for author_index in range(rng.randint(1, 3)):
+            full = (f"{rng.choice(FIRST_NAMES)} "
+                    f"{rng.choice(LAST_NAMES)}")
+            builder.edge(pub, builder.atomic("author", full))
+        if rng.random() < sigmod_fraction:
+            conference = "sigmod"
+        else:
+            conference = rng.choice(CONFERENCES[1:])
+        builder.edge(pub, builder.atomic("booktitle", conference))
+        year = rng.randint(*year_range)
+        builder.edge(pub, builder.atomic("year", year))
+    return builder.finish()
+
+
+def conference_query(conference: str, year: int | None = None,
+                     source: str = "db") -> Query:
+    """All publications of *conference* (optionally of one year), copied."""
+    conditions = [f"<P pub {{<B booktitle {conference}>}}>@{source}"]
+    if year is not None:
+        conditions.append(f"<P pub {{<Y year {year}>}}>@{source}")
+    conditions.append(f"<P pub {{<X L W>}}>@{source}")
+    body = " AND ".join(conditions)
+    return parse_query(f"<hit(P) pub {{<c(P,L,W) L W>}}> :- {body}")
+
+
+def conference_view(conference: str, name: str,
+                    source: str = "db") -> Query:
+    """A cached-query/view statement: all *conference* publications."""
+    return parse_query(
+        f"<v(P) pub {{<cv(P,L,W) L W>}}> :- "
+        f"<P pub {{<B booktitle {conference}>}}>@{source} AND "
+        f"<P pub {{<X L W>}}>@{source}", name=name)
+
+
+def year_view(year: int, name: str, source: str = "db") -> Query:
+    """A view keeping all publications of one year."""
+    return parse_query(
+        f"<v(P) pub {{<cv(P,L,W) L W>}}> :- "
+        f"<P pub {{<Y year {year}>}}>@{source} AND "
+        f"<P pub {{<X L W>}}>@{source}", name=name)
+
+
+def sigmod_97_query(source: str = "db") -> Query:
+    """The running example: all SIGMOD 1997 publications."""
+    return conference_query("sigmod", 1997, source)

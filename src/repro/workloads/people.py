@@ -1,0 +1,104 @@
+"""Person databases conforming to the Section 3.3 DTD, plus the paper's
+view (V1) and queries (Q3), (Q5), (Q7).
+
+The DTD::
+
+    <!ELEMENT p (name, phone, address*)>
+    <!ELEMENT name (last, first, middle?, alias?)>
+    <!ELEMENT alias (last, first)>
+    ...
+
+so every generated ``p`` object has exactly one ``name`` (with ``last``
+and ``first``, optional ``middle``/``alias``), exactly one ``phone``, and
+zero or more ``address`` subobjects.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..oem.builder import DatabaseBuilder
+from ..oem.model import OemDatabase
+from ..rewriting.constraints import Dtd, paper_dtd
+from ..tsl.ast import Query
+from ..tsl.parser import parse_query
+
+LAST_NAMES = ("stanford", "gupta", "chen", "smith", "widom", "ullman",
+              "papakonstantinou", "vassalos", "leland", "jones")
+
+FIRST_NAMES = ("leland", "amy", "wei", "john", "jennifer", "jeff",
+               "yannis", "vasilis", "jane", "david")
+
+CITIES = ("palo alto", "athens", "san diego", "seattle", "boston")
+
+
+def generate_people(count: int, seed: int = 0,
+                    name: str = "db") -> OemDatabase:
+    """*count* ``p`` objects conforming to the paper's DTD."""
+    rng = random.Random(seed)
+    builder = DatabaseBuilder(name)
+    for index in range(count):
+        person = builder.set("p", oid=f"p{index}")
+        builder.root(person)
+        name_obj = builder.set("name")
+        builder.edge(person, name_obj)
+        builder.edge(name_obj,
+                     builder.atomic("last", rng.choice(LAST_NAMES)))
+        builder.edge(name_obj,
+                     builder.atomic("first", rng.choice(FIRST_NAMES)))
+        if rng.random() < 0.3:
+            builder.edge(name_obj, builder.atomic("middle", "m"))
+        if rng.random() < 0.2:
+            alias = builder.set("alias")
+            builder.edge(name_obj, alias)
+            builder.edge(alias,
+                         builder.atomic("last", rng.choice(LAST_NAMES)))
+            builder.edge(alias,
+                         builder.atomic("first", rng.choice(FIRST_NAMES)))
+        builder.edge(person, builder.atomic(
+            "phone", f"650-{rng.randint(1000, 9999)}"))
+        for _ in range(rng.randint(0, 2)):
+            builder.edge(person, builder.atomic(
+                "address", rng.choice(CITIES)))
+    return builder.finish()
+
+
+def people_dtd(source: str = "db") -> Dtd:
+    """The Section 3.3 DTD as structural constraints."""
+    return paper_dtd(source)
+
+
+def view_v1(source: str = "db") -> Query:
+    """(V1): groups labels under ``pr`` and values under ``v`` objects.
+
+    "(V1) loses information in the sense that it only shows the labels
+    and values that appear in db but the label-value correspondence has
+    disappeared."
+    """
+    return parse_query(
+        f"<g(P') p {{<pp(P',Y') pr Y'> <h(X') v Z'>}}> :- "
+        f"<P' p {{<X' Y' Z'>}}>@{source}", name="V1")
+
+
+def query_q3(value: str = "leland", source: str = "db") -> Query:
+    """(Q3): does the value appear (under any label) on some person?"""
+    return parse_query(
+        f"<f(P) stanford yes> :- <P p {{<X Y {value}>}}>@{source}")
+
+
+def query_q5(source: str = "db") -> Query:
+    """(Q5): a person with a subobject containing <last stanford>."""
+    return parse_query(
+        f"<f(P) stanford yes> :- "
+        f"<P p {{<X Y {{<Z last stanford>}}>}}>@{source}")
+
+
+def query_q7(source: str = "db") -> Query:
+    """(Q7): like (Q5) but the middle label must be ``name``.
+
+    Not rewritable over (V1) without the DTD (Example 3.3); rewritable
+    with it (Example 3.5).
+    """
+    return parse_query(
+        f"<f(P) stanford yes> :- "
+        f"<P p {{<X name {{<Z last stanford>}}>}}>@{source}")

@@ -1,0 +1,12 @@
+"""XML <-> OEM bridge and DTD extraction."""
+
+from .to_oem import element_to_oem, xml_fragments_to_oem, xml_to_oem
+from .from_oem import oem_to_xml
+from .dtd_reader import (dtd_from_document, dtd_from_file_text,
+                         extract_internal_dtd)
+
+__all__ = [
+    "xml_to_oem", "xml_fragments_to_oem", "element_to_oem",
+    "oem_to_xml",
+    "extract_internal_dtd", "dtd_from_document", "dtd_from_file_text",
+]

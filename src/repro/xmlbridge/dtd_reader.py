@@ -1,0 +1,41 @@
+"""Extract structural constraints from XML documents' DTDs.
+
+An XML document may carry an internal DTD subset in its DOCTYPE; this
+module pulls the ``<!ELEMENT ...>`` declarations out and feeds them to
+:func:`repro.rewriting.constraints.parse_dtd`, so a repository importing
+XML gets Section 3.3's label inference and labeled FDs for free.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ConstraintError
+from ..rewriting.constraints import Dtd, parse_dtd
+
+_DOCTYPE_RE = re.compile(r"<!DOCTYPE\s+[\w.-]+\s*\[(.*?)\]\s*>", re.DOTALL)
+
+
+def extract_internal_dtd(document: str) -> str | None:
+    """Return the internal DTD subset of *document*, if present."""
+    match = _DOCTYPE_RE.search(document)
+    if match is None:
+        return None
+    return match.group(1)
+
+
+def dtd_from_document(document: str, source: str = "db") -> Dtd | None:
+    """Parse the document's internal DTD into constraints, if any."""
+    subset = extract_internal_dtd(document)
+    if subset is None:
+        return None
+    if "<!ELEMENT" not in subset:
+        return None
+    return parse_dtd(subset, source=source)
+
+
+def dtd_from_file_text(text: str, source: str = "db") -> Dtd:
+    """Parse a standalone ``.dtd`` file's text."""
+    if "<!ELEMENT" not in text:
+        raise ConstraintError("no element declarations in DTD text")
+    return parse_dtd(text, source=source)

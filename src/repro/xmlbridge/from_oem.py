@@ -1,0 +1,56 @@
+"""Export OEM databases as XML documents.
+
+OEM is a graph model; XML documents are trees.  Shared subobjects are
+duplicated on export (each occurrence serialized in place), and cycles are
+rejected -- the paper notes that "especially [for] XML data, data will
+instead be naturally represented as a directed acyclic graph, or as a
+tree".
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from ..errors import OemError
+from ..oem.model import OemDatabase, Oid
+from .to_oem import TEXT_LABEL
+
+
+def _element_for(db: OemDatabase, oid: Oid,
+                 on_path: set[Oid]) -> ET.Element:
+    if oid in on_path:
+        raise OemError(
+            f"cannot export cyclic OEM data to XML (cycle through {oid})")
+    label = str(db.label(oid))
+    element = ET.Element(label)
+    if db.is_atomic(oid):
+        element.text = str(db.atomic_value(oid))
+        return element
+    on_path = on_path | {oid}
+    for child in db.children(oid):
+        if db.label(child) == TEXT_LABEL and db.is_atomic(child):
+            element.text = str(db.atomic_value(child))
+            continue
+        element.append(_element_for(db, child, on_path))
+    return element
+
+
+def oem_to_xml(db: OemDatabase, root: Oid | None = None,
+               wrapper_tag: str = "oem") -> str:
+    """Serialize *db* (or the subtree at *root*) as an XML string.
+
+    With several roots, they are wrapped in a ``<oem>`` element.
+    """
+    if root is not None:
+        return ET.tostring(_element_for(db, root, set()),
+                           encoding="unicode")
+    roots = db.roots
+    if not roots:
+        raise OemError("database has no roots to export")
+    if len(roots) == 1:
+        return ET.tostring(_element_for(db, roots[0], set()),
+                           encoding="unicode")
+    wrapper = ET.Element(wrapper_tag)
+    for oid in roots:
+        wrapper.append(_element_for(db, oid, set()))
+    return ET.tostring(wrapper, encoding="unicode")

@@ -1,0 +1,78 @@
+"""Shared fixtures: the paper's running examples, reusable databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oem import build_database, obj
+from repro.tsl import parse_query
+from repro.workloads import (figure3_database, generate_bibliography,
+                             generate_people, people_dtd, view_v1)
+
+
+@pytest.fixture
+def fig3():
+    """The Figure 3 bibliographic objects."""
+    return figure3_database()
+
+
+@pytest.fixture
+def people_db():
+    """A DTD-conforming person database (Section 3.3 shape)."""
+    return generate_people(25, seed=7)
+
+
+@pytest.fixture
+def dtd():
+    """The Section 3.3 DTD."""
+    return people_dtd()
+
+
+@pytest.fixture
+def v1():
+    """The paper's view (V1)."""
+    return view_v1()
+
+
+@pytest.fixture
+def q3():
+    return parse_query("<f(P) stanford yes> :- <P p {<X Y leland>}>@db")
+
+
+@pytest.fixture
+def q5():
+    return parse_query(
+        "<f(P) stanford yes> :- <P p {<X Y {<Z last stanford>}>}>@db")
+
+
+@pytest.fixture
+def q7():
+    return parse_query(
+        "<f(P) stanford yes> :- <P p {<X name {<Z last stanford>}>}>@db")
+
+
+@pytest.fixture
+def small_people():
+    """A tiny, fully hand-checked person database.
+
+    p1 matches (Q5) and (Q7): name contains <last stanford>.
+    p2 matches (Q5) but not (Q7): the stanford last name is under nick.
+    p3 matches (Q3) for the value "leland" (first name leland).
+    """
+    return build_database("db", [
+        obj("p", [obj("name", [obj("last", "stanford"),
+                               obj("first", "jane")]),
+                  obj("phone", "650-1111")], oid="p1"),
+        obj("p", [obj("nick", [obj("last", "stanford")]),
+                  obj("name", [obj("last", "gupta"),
+                               obj("first", "ashish")]),
+                  obj("phone", "650-2222")], oid="p2"),
+        obj("p", [obj("name", [obj("last", "jones"),
+                               obj("first", "leland")]),
+                  obj("phone", "650-3333")], oid="p3"),
+    ])
+
+
+@pytest.fixture
+def biblio_db():
+    return generate_bibliography(60, seed=11)

@@ -1,0 +1,139 @@
+"""Unit tests for the Datalog engine with function symbols."""
+
+import pytest
+
+from repro.logic.datalog import (Atom, Database, DatalogError, Literal, Rule,
+                                 evaluate, fact, query, rule)
+from repro.logic.terms import Constant, FunctionTerm, Variable, const, fn, var
+
+
+def _edge(a, b):
+    return fact("edge", const(a), const(b))
+
+
+class TestRuleConstruction:
+    def test_fact(self):
+        f = fact("p", const("a"))
+        assert f.is_fact()
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe rule"):
+            Rule(Atom("p", (var("X"),)),
+                 (Literal(Atom("q", (var("Y"),))),))
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe negation"):
+            Rule(Atom("p", (var("X"),)),
+                 (Literal(Atom("q", (var("X"),))),
+                  Literal(Atom("r", (var("Z"),)), positive=False)))
+
+    def test_str_rendering(self):
+        r = rule(Atom("p", (var("X"),)), Atom("q", (var("X"),)))
+        assert str(r) == "p(X) :- q(X)."
+
+
+class TestDatabase:
+    def test_add_and_contains(self):
+        db = Database()
+        atom = Atom("p", (const("a"),))
+        assert db.add(atom)
+        assert not db.add(atom)
+        assert atom in db
+        assert len(db) == 1
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(DatalogError):
+            Database().add(Atom("p", (var("X"),)))
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        x, y, z = var("X"), var("Y"), var("Z")
+        rules = [
+            _edge("a", "b"), _edge("b", "c"), _edge("c", "d"),
+            rule(Atom("path", (x, y)), Atom("edge", (x, y))),
+            rule(Atom("path", (x, z)), Atom("edge", (x, y)),
+                 Atom("path", (y, z))),
+        ]
+        model = evaluate(rules)
+        assert Atom("path", (const("a"), const("d"))) in model
+        assert len(model.facts("path")) == 6
+
+    def test_join(self):
+        x, y = var("X"), var("Y")
+        rules = [
+            fact("r", const("a"), const(1)),
+            fact("r", const("b"), const(2)),
+            fact("s", const(1), const("u")),
+            rule(Atom("t", (x, y)), Atom("r", (x, var("K"))),
+                 Atom("s", (var("K"), y))),
+        ]
+        model = evaluate(rules)
+        assert model.facts("t") == frozenset(
+            [Atom("t", (const("a"), const("u")))])
+
+    def test_function_symbols_in_heads(self):
+        x = var("X")
+        rules = [
+            fact("base", const("a")),
+            rule(Atom("wrapped", (fn("f", x),)), Atom("base", (x,))),
+        ]
+        model = evaluate(rules)
+        assert Atom("wrapped", (fn("f", const("a")),)) in model
+
+    def test_derivation_cap(self):
+        x = var("X")
+        runaway = [
+            fact("n", const(0)),
+            rule(Atom("n", (fn("s", x),)), Atom("n", (x,))),
+        ]
+        with pytest.raises(DatalogError, match="cap"):
+            evaluate(runaway, max_derivations=50)
+
+    def test_stratified_negation(self):
+        x = var("X")
+        rules = [
+            fact("node", const("a")), fact("node", const("b")),
+            fact("marked", const("a")),
+            rule(Atom("unmarked", (x,)), Atom("node", (x,)),
+                 Literal(Atom("marked", (x,)), positive=False)),
+        ]
+        model = evaluate(rules)
+        assert model.facts("unmarked") == frozenset(
+            [Atom("unmarked", (const("b"),))])
+
+    def test_negation_across_strata(self):
+        x, y = var("X"), var("Y")
+        rules = [
+            _edge("a", "b"),
+            fact("node", const("a")), fact("node", const("b")),
+            fact("node", const("c")),
+            rule(Atom("reachable", (x,)), Atom("edge", (var("Z"), x))),
+            rule(Atom("isolated", (x,)), Atom("node", (x,)),
+                 Literal(Atom("reachable", (x,)), positive=False)),
+        ]
+        model = evaluate(rules)
+        isolated = {a.args[0].value for a in model.facts("isolated")}
+        assert isolated == {"a", "c"}
+
+    def test_edb_seeding(self):
+        model = evaluate([], edb=[Atom("p", (const("a"),))])
+        assert Atom("p", (const("a"),)) in model
+
+
+class TestQuery:
+    def test_query_with_variables(self):
+        model = evaluate([_edge("a", "b"), _edge("a", "c")])
+        results = query(model, Atom("edge", (const("a"), var("X"))))
+        values = {s.apply(var("X")) for s in results}
+        assert values == {const("b"), const("c")}
+
+    def test_query_no_match(self):
+        model = evaluate([_edge("a", "b")])
+        assert query(model, Atom("edge", (const("z"), var("X")))) == []
+
+    def test_query_with_function_terms(self):
+        model = evaluate([fact("p", fn("f", const("a")))])
+        results = query(model, Atom("p", (fn("f", var("X")),)))
+        assert len(results) == 1
+        assert results[0].apply(var("X")) == const("a")

@@ -1,0 +1,102 @@
+"""Unit tests for substitutions."""
+
+from hypothesis import given, strategies as st
+
+from repro.logic.subst import EMPTY_SUBSTITUTION, Substitution
+from repro.logic.terms import Constant, FunctionTerm, Variable, const, fn, var
+
+
+class TestBasics:
+    def test_empty(self):
+        assert len(EMPTY_SUBSTITUTION) == 0
+        assert EMPTY_SUBSTITUTION.apply(var("X")) == var("X")
+
+    def test_apply_bound(self):
+        s = Substitution({var("X"): const("a")})
+        assert s.apply(var("X")) == const("a")
+
+    def test_apply_inside_function_terms(self):
+        s = Substitution({var("X"): const("a")})
+        assert s.apply(fn("f", var("X"), var("Y"))) == \
+            fn("f", const("a"), var("Y"))
+
+    def test_contains_and_get(self):
+        s = Substitution({var("X"): const("a")})
+        assert var("X") in s
+        assert var("Y") not in s
+        assert s.get(var("Y")) is None
+        assert s[var("X")] == const("a")
+
+    def test_equality_and_hash(self):
+        a = Substitution({var("X"): const("a")})
+        b = Substitution({var("X"): const("a")})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_sorted(self):
+        s = Substitution({var("B"): const(1), var("A"): const(2)})
+        assert repr(s) == "[A -> 2, B -> 1]"
+
+
+class TestBind:
+    def test_bind_returns_new(self):
+        s = Substitution()
+        s2 = s.bind(var("X"), const("a"))
+        assert var("X") not in s
+        assert s2[var("X")] == const("a")
+
+    def test_bind_rewrites_existing_rhs(self):
+        s = Substitution({var("X"): fn("f", var("Y"))})
+        s2 = s.bind(var("Y"), const("a"))
+        assert s2.apply(var("X")) == fn("f", const("a"))
+
+    def test_bind_keeps_idempotence(self):
+        s = (Substitution()
+             .bind(var("X"), fn("f", var("Y")))
+             .bind(var("Y"), fn("g", var("Z")))
+             .bind(var("Z"), const("a")))
+        once = s.apply(fn("h", var("X")))
+        assert s.apply(once) == once
+
+
+class TestCompose:
+    def test_compose_order(self):
+        first = Substitution({var("X"): var("Y")})
+        second = Substitution({var("Y"): const("a")})
+        composed = first.compose(second)
+        assert composed.apply(var("X")) == const("a")
+        assert composed.apply(var("Y")) == const("a")
+
+    def test_compose_preserves_later_bindings(self):
+        first = Substitution({var("X"): const("a")})
+        second = Substitution({var("Z"): const("b")})
+        composed = first.compose(second)
+        assert composed.apply(var("Z")) == const("b")
+
+    def test_compose_matches_sequential_application(self):
+        first = Substitution({var("X"): fn("f", var("Y"))})
+        second = Substitution({var("Y"): const("c")})
+        term = fn("g", var("X"), var("Y"))
+        assert first.compose(second).apply(term) == \
+            second.apply(first.apply(term))
+
+
+_names = st.sampled_from(["X", "Y", "Z", "W"])
+_consts = st.sampled_from(["a", "b", "c"])
+
+
+@given(st.dictionaries(_names, _consts, max_size=3), _names)
+def test_ground_bindings_are_idempotent(mapping, probe):
+    s = Substitution({Variable(n): Constant(c) for n, c in mapping.items()})
+    term = Variable(probe)
+    assert s.apply(s.apply(term)) == s.apply(term)
+
+
+@given(st.dictionaries(_names, _consts, max_size=3),
+       st.dictionaries(_names, _consts, max_size=3))
+def test_compose_associativity_on_ground(m1, m2):
+    s1 = Substitution({Variable(n): Constant(c) for n, c in m1.items()})
+    s2 = Substitution({Variable(n): Constant(c) for n, c in m2.items()})
+    term = FunctionTerm("f", tuple(Variable(n) for n in ("X", "Y", "Z")))
+    assert s1.compose(s2).apply(term) == s2.apply(s1.apply(term))

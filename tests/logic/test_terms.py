@@ -1,0 +1,128 @@
+"""Unit tests for the Herbrand term algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.terms import (Constant, FunctionTerm, SetValue, Variable,
+                               const, fn, rename_term, var, variables_of)
+
+
+class TestConstant:
+    def test_is_ground(self):
+        assert Constant("a").is_ground()
+
+    def test_no_variables(self):
+        assert list(Constant("a").variables()) == []
+
+    def test_substitute_identity(self):
+        c = Constant("a")
+        assert c.substitute({Variable("X"): Constant("b")}) is c
+
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_str(self):
+        assert str(Constant("sigmod")) == "sigmod"
+        assert str(Constant(1997)) == "1997"
+
+    def test_numeric_values(self):
+        assert Constant(3).is_ground()
+        assert Constant(3.5).value == 3.5
+
+
+class TestVariable:
+    def test_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_variables_yields_self(self):
+        v = Variable("X")
+        assert list(v.variables()) == [v]
+
+    def test_substitute_bound(self):
+        assert Variable("X").substitute(
+            {Variable("X"): Constant("a")}) == Constant("a")
+
+    def test_substitute_unbound(self):
+        v = Variable("X")
+        assert v.substitute({Variable("Y"): Constant("a")}) == v
+
+    def test_distinct_from_constant(self):
+        assert Variable("X") != Constant("X")
+
+
+class TestFunctionTerm:
+    def test_ground_when_args_ground(self):
+        assert fn("f", const("a"), const("b")).is_ground()
+        assert not fn("f", var("X")).is_ground()
+
+    def test_variables_with_repetition(self):
+        term = fn("f", var("X"), fn("g", var("X"), var("Y")))
+        assert list(term.variables()) == [var("X"), var("X"), var("Y")]
+
+    def test_variables_of_deduplicates(self):
+        term = fn("f", var("X"), var("X"))
+        assert variables_of(term) == {var("X")}
+
+    def test_substitute_recursive(self):
+        term = fn("f", var("X"), fn("g", var("Y")))
+        result = term.substitute({var("X"): const("a"),
+                                  var("Y"): const("b")})
+        assert result == fn("f", const("a"), fn("g", const("b")))
+
+    def test_equality_structural(self):
+        assert fn("f", var("X")) == fn("f", var("X"))
+        assert fn("f", var("X")) != fn("g", var("X"))
+        assert fn("f", var("X")) != fn("f", var("X"), var("Y"))
+
+    def test_str(self):
+        assert str(fn("f", var("P"), const(10))) == "f(P,10)"
+
+    def test_hashable(self):
+        assert len({fn("f", var("X")), fn("f", var("X"))}) == 1
+
+
+class TestSetValue:
+    def test_equality_ignores_source(self):
+        members = frozenset([const("a")])
+        assert SetValue(members, "db1") == SetValue(members, "db2")
+
+    def test_hash_ignores_source(self):
+        members = frozenset([const("a")])
+        assert hash(SetValue(members, "db1")) == hash(SetValue(members, "x"))
+
+    def test_inequality_on_members(self):
+        assert SetValue(frozenset([const("a")])) != SetValue(
+            frozenset([const("b")]))
+
+    def test_is_ground(self):
+        assert SetValue(frozenset()).is_ground()
+
+    def test_substitute_identity(self):
+        sv = SetValue(frozenset([const("a")]))
+        assert sv.substitute({var("X"): const("b")}) is sv
+
+    def test_never_equals_constant(self):
+        assert SetValue(frozenset()) != const("a")
+
+
+class TestRename:
+    def test_rename_term(self):
+        term = fn("f", var("X"), const("a"))
+        assert rename_term(term, "_1") == fn("f", var("X_1"), const("a"))
+
+    def test_rename_ground_unchanged(self):
+        term = fn("f", const("a"))
+        assert rename_term(term, "_1") == term
+
+
+@given(st.text(alphabet="abcXYZ", min_size=1, max_size=5))
+def test_variable_roundtrip_name(name):
+    assert Variable(name).name == name
+
+
+@given(st.integers() | st.text(max_size=10))
+def test_constant_substitution_is_noop(value):
+    c = Constant(value)
+    assert c.substitute({Variable("X"): Constant(0)}) == c

@@ -1,0 +1,144 @@
+"""Unit and property tests for unification and one-way matching."""
+
+from hypothesis import given, strategies as st
+
+from repro.logic.subst import Substitution
+from repro.logic.terms import Constant, FunctionTerm, Variable, const, fn, var
+from repro.logic.unify import match, unify, unify_all
+
+
+class TestUnify:
+    def test_identical_constants(self):
+        assert unify(const("a"), const("a")) == Substitution()
+
+    def test_conflicting_constants(self):
+        assert unify(const("a"), const("b")) is None
+
+    def test_variable_binds_left(self):
+        result = unify(var("X"), const("a"))
+        assert result.apply(var("X")) == const("a")
+
+    def test_variable_binds_right(self):
+        result = unify(const("a"), var("X"))
+        assert result.apply(var("X")) == const("a")
+
+    def test_variable_to_variable(self):
+        result = unify(var("X"), var("Y"))
+        assert result is not None
+        assert result.apply(var("X")) == result.apply(var("Y"))
+
+    def test_function_decomposition(self):
+        result = unify(fn("f", var("X"), const("b")),
+                       fn("f", const("a"), var("Y")))
+        assert result.apply(var("X")) == const("a")
+        assert result.apply(var("Y")) == const("b")
+
+    def test_functor_mismatch(self):
+        assert unify(fn("f", var("X")), fn("g", var("X"))) is None
+
+    def test_arity_mismatch(self):
+        assert unify(fn("f", var("X")), fn("f", var("X"), var("Y"))) is None
+
+    def test_occurs_check(self):
+        assert unify(var("X"), fn("f", var("X"))) is None
+
+    def test_nested_occurs_check(self):
+        assert unify(var("X"), fn("f", fn("g", var("X")))) is None
+
+    def test_under_existing_substitution(self):
+        base = Substitution({var("X"): const("a")})
+        assert unify(var("X"), const("b"), base) is None
+        extended = unify(var("X"), var("Y"), base)
+        assert extended.apply(var("Y")) == const("a")
+
+    def test_constant_vs_function(self):
+        assert unify(const("a"), fn("f", const("a"))) is None
+
+    def test_chained_variables(self):
+        result = unify(fn("f", var("X"), var("X")),
+                       fn("f", var("Y"), const("a")))
+        assert result.apply(var("X")) == const("a")
+        assert result.apply(var("Y")) == const("a")
+
+    def test_mgu_is_most_general(self):
+        # f(X, Y) and f(Y, Z) unify without grounding anything.
+        result = unify(fn("f", var("X"), var("Y")),
+                       fn("f", var("Y"), var("Z")))
+        assert result is not None
+        image = result.apply(fn("f", var("X"), var("Y")))
+        assert not image.is_ground()
+
+
+class TestUnifyAll:
+    def test_simultaneous(self):
+        result = unify_all([(var("X"), const("a")),
+                            (var("Y"), var("X"))])
+        assert result.apply(var("Y")) == const("a")
+
+    def test_failure_propagates(self):
+        assert unify_all([(var("X"), const("a")),
+                          (var("X"), const("b"))]) is None
+
+
+class TestMatch:
+    def test_pattern_variable_binds(self):
+        result = match(var("X"), const("a"))
+        assert result.apply(var("X")) == const("a")
+
+    def test_target_variable_is_rigid(self):
+        # Matching never binds target-side variables.
+        assert match(const("a"), var("T")) is None
+
+    def test_pattern_var_binds_to_target_var(self):
+        result = match(var("X"), var("T"))
+        assert result.apply(var("X")) == var("T")
+
+    def test_consistency_across_occurrences(self):
+        pattern = fn("f", var("X"), var("X"))
+        assert match(pattern, fn("f", const("a"), const("b"))) is None
+        result = match(pattern, fn("f", const("a"), const("a")))
+        assert result is not None
+
+    def test_frozen_identity_binding(self):
+        # Seeding X -> X freezes X: it cannot be re-bound.
+        frozen = Substitution({var("X"): var("X")})
+        assert match(var("X"), const("a"), frozen) is None
+        assert match(var("X"), var("X"), frozen) == frozen
+
+    def test_leaked_target_vars_are_rigid(self):
+        # X binds to target var T; a second X occurrence must then be T.
+        pattern = fn("f", var("X"), var("X"))
+        target = fn("f", var("T"), var("U"))
+        assert match(pattern, target) is None
+
+    def test_function_pattern(self):
+        result = match(fn("f", var("X")), fn("f", fn("g", const("a"))))
+        assert result.apply(var("X")) == fn("g", const("a"))
+
+
+_terms = st.recursive(
+    st.sampled_from([const("a"), const("b"), var("X"), var("Y")]),
+    lambda children: st.builds(
+        lambda a, b: fn("f", a, b), children, children),
+    max_leaves=6)
+
+
+@given(_terms, _terms)
+def test_unify_produces_a_unifier(left, right):
+    result = unify(left, right)
+    if result is not None:
+        assert result.apply(left) == result.apply(right)
+
+
+@given(_terms)
+def test_unify_reflexive(term):
+    result = unify(term, term)
+    assert result is not None
+    assert result.apply(term) == term
+
+
+@given(_terms, _terms)
+def test_unify_symmetric_on_success(left, right):
+    forward = unify(left, right)
+    backward = unify(right, left)
+    assert (forward is None) == (backward is None)

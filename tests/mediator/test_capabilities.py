@@ -1,0 +1,56 @@
+"""Tests for capability descriptions and parameter binding."""
+
+import pytest
+
+from repro.errors import CapabilityError
+from repro.logic.subst import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.mediator import CapabilityView, parameters_of
+from repro.tsl import parse_query
+
+
+@pytest.fixture
+def cap_year():
+    return CapabilityView.from_text("by_year", """
+        <v(P) pub {<c(P,L,W) L W>}> :-
+            <P pub {<Y year $YEAR>}>@s1 AND <P pub {<X L W>}>@s1
+    """)
+
+
+class TestParameters:
+    def test_parameters_detected(self, cap_year):
+        assert cap_year.parameters == frozenset([Variable("$YEAR")])
+
+    def test_parameters_of_plain_view(self):
+        q = parse_query("<v(P) x V> :- <P a V>@s1")
+        assert parameters_of(q) == frozenset()
+
+    def test_sources(self, cap_year):
+        assert cap_year.sources() == {"s1"}
+
+
+class TestInstantiate:
+    def test_binds_parameter(self, cap_year):
+        plain = cap_year.instantiate(
+            Substitution({Variable("$YEAR"): Constant(1997)}))
+        assert plain.name == "by_year[$YEAR=1997]"
+        assert "$YEAR" not in str(plain.query)
+        assert "1997" in str(plain.query)
+
+    def test_instance_names_deterministic(self, cap_year):
+        bindings = Substitution({Variable("$YEAR"): Constant(1997)})
+        assert cap_year.instantiate(bindings).name == \
+            cap_year.instantiate(bindings).name
+
+    def test_unbound_parameter_rejected(self, cap_year):
+        with pytest.raises(CapabilityError, match="YEAR"):
+            cap_year.instantiate(Substitution())
+
+    def test_variable_bound_parameter_rejected(self, cap_year):
+        with pytest.raises(CapabilityError):
+            cap_year.instantiate(
+                Substitution({Variable("$YEAR"): Variable("Z")}))
+
+    def test_str(self, cap_year):
+        rendered = str(cap_year)
+        assert "by_year" in rendered and "$YEAR" in rendered

@@ -1,0 +1,70 @@
+"""Focused tests for the cost model and native-query rendering."""
+
+import pytest
+
+from repro.mediator import (CapabilityView, CostModel, PlainCapability,
+                            Source, translate_to_native)
+from repro.oem import build_database, obj
+from repro.tsl import parse_query
+
+
+def _plain(text, name="cap"):
+    view = parse_query(text, name=name)
+    capability = CapabilityView(name, view, frozenset())
+    return PlainCapability(name, capability, view)
+
+
+class TestCostModel:
+    def test_more_leaf_constants_more_selective(self):
+        model = CostModel()
+        none = _plain("<v(P) x V> :- <P a {<X b V>}>@s")
+        one = _plain("<v(P) x 1> :- <P a {<X b 7>}>@s")
+        two = _plain("<v(P) x 1> :- <P a {<X b 7>}>@s AND "
+                     "<P a {<Y c 8>}>@s")
+        sel = model.selectivity
+        assert sel(two.query) < sel(one.query) < sel(none.query)
+
+    def test_estimate_scales_with_source_size(self):
+        model = CostModel()
+        small = Source("s", build_database("s", [obj("a", 1)]), [])
+        large = Source("s", build_database(
+            "s", [obj("a", i) for i in range(100)]), [])
+        plain = _plain("<v(P) x V> :- <P a V>@s")
+        assert model.estimate_access(plain, small) < \
+            model.estimate_access(plain, large)
+
+    def test_per_query_floor(self):
+        model = CostModel(per_query_cost=42.0, per_object_cost=0.0)
+        source = Source("s", build_database("s", [obj("a", 1)]), [])
+        plain = _plain("<v(P) x V> :- <P a V>@s")
+        assert model.estimate_access(plain, source) == 42.0
+
+    def test_estimate_plan_sums_accesses(self):
+        model = CostModel(per_query_cost=10.0, per_object_cost=0.0)
+        source = Source("s", build_database("s", [obj("a", 1)]), [])
+        plan_caps = {"c1": _plain("<v(P) x V> :- <P a V>@s", "c1"),
+                     "c2": _plain("<w(P) y V> :- <P a V>@s", "c2")}
+        assert model.estimate_plan(plan_caps, {"s": source}) == 20.0
+
+
+class TestNativeRendering:
+    def test_selection_rendered(self):
+        native = translate_to_native(
+            _plain("<v(P) x 1> :- <P pub {<Y year 1997>}>@s"))
+        assert native.source == "s"
+        assert "pub.year = 1997" in native.program
+
+    def test_fetch_rendered_for_variables(self):
+        native = translate_to_native(
+            _plain("<v(P) x V> :- <P pub {<X title V>}>@s"))
+        assert "FETCH pub.title" in native.program
+
+    def test_exists_rendered_for_empty_set(self):
+        native = translate_to_native(
+            _plain("<v(P) x 1> :- <P pub {<X refs {}>}>@s"))
+        assert "EXISTS pub.refs" in native.program
+
+    def test_str(self):
+        native = translate_to_native(
+            _plain("<v(P) x 1> :- <P pub {<Y year 1997>}>@s"))
+        assert str(native).startswith("[s]")

@@ -1,0 +1,79 @@
+"""Unit tests for the OEM builders."""
+
+import pytest
+
+from repro.logic.terms import Constant
+from repro.oem import DatabaseBuilder, build_database, obj, ref
+
+
+class TestBuildDatabase:
+    def test_atomic_and_set(self):
+        db = build_database("db", [
+            obj("person", [obj("name", "ann"), obj("age", 31)]),
+        ])
+        assert db.stats()["objects"] == 3
+        root = db.root_objects()[0]
+        assert root.label == "person"
+        assert sorted(c.label for c in root.value) == ["age", "name"]
+
+    def test_explicit_oids(self):
+        db = build_database("db", [obj("x", "v", oid="custom")])
+        assert db.label("custom") == "x"
+
+    def test_fresh_oids_are_sequential(self):
+        db = build_database("db", [obj("a", "1"), obj("b", "2")])
+        assert Constant("&1") in set(db.oids())
+        assert Constant("&2") in set(db.oids())
+
+    def test_empty_set_object(self):
+        db = build_database("db", [obj("empty", [])])
+        root = db.root_objects()[0]
+        assert not root.is_atomic
+        assert root.value == ()
+
+    def test_none_value_is_empty_set(self):
+        db = build_database("db", [obj("empty")])
+        assert not db.root_objects()[0].is_atomic
+
+    def test_sharing_with_ref(self):
+        db = build_database("db", [
+            obj("a", [ref("shared")]),
+            obj("b", [ref("shared")]),
+        ], extra=[obj("s", "val", oid="shared")])
+        a, b = db.root_objects()
+        assert a.value[0].oid == b.value[0].oid
+
+    def test_cycle_with_ref(self):
+        db = build_database("db", [
+            obj("a", [obj("b", [ref("top")])], oid="top"),
+        ])
+        assert len(db.reachable_oids()) == 2
+
+    def test_deep_nesting(self):
+        spec = obj("l1", [obj("l2", [obj("l3", [obj("l4", "deep")])])])
+        db = build_database("db", [spec])
+        assert db.stats()["objects"] == 4
+
+
+class TestDatabaseBuilder:
+    def test_incremental(self):
+        b = DatabaseBuilder("db")
+        p = b.set("person")
+        n = b.atomic("name", "ann")
+        b.edge(p, n)
+        b.root(p)
+        db = b.finish()
+        assert db.stats() == {"objects": 2, "atomic": 1, "set": 1,
+                              "edges": 1, "roots": 1}
+
+    def test_custom_oid(self):
+        b = DatabaseBuilder()
+        b.root(b.atomic("x", 1, oid="mine"))
+        db = b.finish()
+        assert db.label("mine") == "x"
+
+    def test_finish_checks_integrity(self):
+        b = DatabaseBuilder()
+        b.root("ghost")
+        with pytest.raises(Exception):
+            b.finish()

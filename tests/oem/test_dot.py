@@ -1,0 +1,48 @@
+"""Tests for Graphviz DOT export."""
+
+from repro.oem import build_database, obj, ref, to_dot
+
+
+class TestToDot:
+    def test_basic_structure(self):
+        db = build_database("db", [
+            obj("p", [obj("name", "ann", oid="n1")], oid="p1"),
+        ])
+        dot = to_dot(db)
+        assert dot.startswith('digraph "oem"')
+        assert dot.endswith("}")
+        assert '"p1" -> "n1";' in dot
+
+    def test_atomic_values_rendered(self):
+        db = build_database("db", [obj("name", "ann", oid="n1")])
+        assert "name = ann" in to_dot(db)
+
+    def test_roots_double_circled(self):
+        db = build_database("db", [obj("p", [obj("x", 1, oid="x1")],
+                                       oid="p1")])
+        dot = to_dot(db)
+        root_line = next(line for line in dot.splitlines()
+                         if line.strip().startswith('"p1"'))
+        assert "peripheries=2" in root_line
+        child_line = next(line for line in dot.splitlines()
+                          if line.strip().startswith('"x1"'))
+        assert "peripheries" not in child_line
+
+    def test_unreachable_excluded_by_default(self):
+        db = build_database("db", [obj("p", "v", oid="p1")])
+        db.add_atomic("orphan", "junk", 0)
+        assert "orphan" not in to_dot(db)
+        assert "orphan" in to_dot(db, reachable_only=False)
+
+    def test_quoting(self):
+        db = build_database("db", [obj("t", 'say "hi"', oid="q1")])
+        dot = to_dot(db)
+        assert '\\"hi\\"' in dot
+
+    def test_cycles_render(self):
+        db = build_database("db", [
+            obj("a", [obj("b", [ref("t")], oid="b1")], oid="t"),
+        ])
+        dot = to_dot(db)
+        assert '"b1" -> "t";' in dot
+        assert '"t" -> "b1";' in dot

@@ -1,0 +1,89 @@
+"""Tests for identical-equivalence of OEM databases (Section 3)."""
+
+from repro.oem import build_database, explain_difference, identical, obj
+
+
+def _base():
+    return build_database("left", [
+        obj("p", [obj("name", "ann", oid="n1"),
+                  obj("age", 31, oid="a1")], oid="p1"),
+    ])
+
+
+class TestIdentical:
+    def test_reflexive(self):
+        db = _base()
+        assert identical(db, db)
+
+    def test_equal_copies(self):
+        assert identical(_base(), _base())
+
+    def test_extra_root(self):
+        left = _base()
+        right = _base()
+        right.add_atomic("x9", "extra", 1)
+        right.add_root("x9")
+        assert not identical(left, right)
+        diffs = explain_difference(left, right)
+        assert any("x9" in d for d in diffs)
+
+    def test_label_difference(self):
+        left = _base()
+        right = build_database("right", [
+            obj("q", [obj("name", "ann", oid="n1"),
+                      obj("age", 31, oid="a1")], oid="p1"),
+        ])
+        diffs = explain_difference(left, right)
+        assert any("label" in d for d in diffs)
+
+    def test_atomic_value_difference(self):
+        right = build_database("right", [
+            obj("p", [obj("name", "bob", oid="n1"),
+                      obj("age", 31, oid="a1")], oid="p1"),
+        ])
+        diffs = explain_difference(_base(), right)
+        assert any("'ann'" in d and "'bob'" in d for d in diffs)
+
+    def test_kind_difference(self):
+        right = build_database("right", [
+            obj("p", [obj("name", [], oid="n1"),
+                      obj("age", 31, oid="a1")], oid="p1"),
+        ])
+        diffs = explain_difference(_base(), right)
+        assert any("atomic" in d and "set" in d for d in diffs)
+
+    def test_subobject_set_difference(self):
+        right = build_database("right", [
+            obj("p", [obj("name", "ann", oid="n1")], oid="p1"),
+        ], extra=[obj("age", 31, oid="a1")])
+        diffs = explain_difference(_base(), right)
+        assert any("subobjects differ" in d or "only in" in d
+                   for d in diffs)
+
+    def test_oid_renaming_is_not_identical(self):
+        renamed = build_database("right", [
+            obj("p", [obj("name", "ann", oid="n9"),
+                      obj("age", 31, oid="a1")], oid="p1"),
+        ])
+        assert not identical(_base(), renamed)
+
+    def test_unreachable_objects_ignored(self):
+        left = _base()
+        right = _base()
+        right.add_atomic("floating", "junk", 0)  # not a root, unreachable
+        assert identical(left, right)
+
+    def test_limit_caps_output(self):
+        right = build_database("right", [
+            obj("q", [obj("name", "bob", oid="n1"),
+                      obj("years", 32, oid="a1")], oid="p1"),
+        ])
+        diffs = explain_difference(_base(), right, limit=1)
+        assert len(diffs) == 1
+
+    def test_subobject_order_irrelevant(self):
+        reordered = build_database("right", [
+            obj("p", [obj("age", 31, oid="a1"),
+                      obj("name", "ann", oid="n1")], oid="p1"),
+        ])
+        assert identical(_base(), reordered)

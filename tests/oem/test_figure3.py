@@ -1,0 +1,51 @@
+"""E1: the Figure 3 example objects round-trip and are queryable."""
+
+from repro.oem import dumps, identical, loads
+from repro.tsl import evaluate, parse_query
+from repro.workloads import figure3_database
+
+
+class TestFigure3:
+    def test_shape(self, fig3):
+        assert fig3.stats() == {"objects": 7, "atomic": 5, "set": 2,
+                                "edges": 5, "roots": 2}
+
+    def test_root_labels(self, fig3):
+        labels = sorted(r.label for r in fig3.root_objects())
+        assert labels == ["person", "pub"]
+
+    def test_pub_contents(self, fig3):
+        pub = fig3.object("pub1")
+        by_label = {c.label: c.value for c in pub.value}
+        assert by_label == {"author": "A. Gupta",
+                            "title": "Constraint Views",
+                            "booktitle": "SIGMOD",
+                            "year": 1993}
+
+    def test_serialization_round_trip(self, fig3):
+        assert identical(fig3, loads(dumps(fig3)))
+
+    def test_query_sigmod_pubs(self, fig3):
+        q = parse_query('<f(P) hit T> :- '
+                        '<P pub {<B booktitle "SIGMOD">}>@db AND '
+                        '<P pub {<X title T>}>@db')
+        answer = evaluate(q, fig3)
+        assert len(answer.roots) == 1
+        assert answer.root_objects()[0].value == "Constraint Views"
+
+    def test_query_author_join(self, fig3):
+        # The person and pub objects join on the author name.
+        q = parse_query('<f(P,Q) match A> :- '
+                        '<P person {<N name A>}>@db AND '
+                        '<Q pub {<U author A>}>@db')
+        answer = evaluate(q, fig3)
+        assert len(answer.roots) == 1
+        assert answer.root_objects()[0].value == "A. Gupta"
+
+    def test_query_1993(self, fig3):
+        q = parse_query("<f(P) old yes> :- <P pub {<Y year 1993>}>@db")
+        assert len(evaluate(q, fig3).roots) == 1
+
+    def test_query_no_match(self, fig3):
+        q = parse_query("<f(P) new yes> :- <P pub {<Y year 1999>}>@db")
+        assert len(evaluate(q, fig3).roots) == 0

@@ -1,0 +1,80 @@
+"""Tests for OEM isomorphism (Section 6, "Isomorphism")."""
+
+from repro.logic.terms import Constant
+from repro.oem import build_database, find_isomorphism, isomorphic, obj
+
+
+def _db(oid_prefix=""):
+    return build_database("db", [
+        obj("p", [obj("name", "ann", oid=f"{oid_prefix}n"),
+                  obj("age", 31, oid=f"{oid_prefix}a")],
+            oid=f"{oid_prefix}p"),
+    ])
+
+
+class TestIsomorphic:
+    def test_oid_renaming_is_isomorphic(self):
+        assert isomorphic(_db(""), _db("z_"))
+
+    def test_identical_is_isomorphic(self):
+        assert isomorphic(_db(), _db())
+
+    def test_label_mismatch(self):
+        other = build_database("db", [
+            obj("q", [obj("name", "ann"), obj("age", 31)]),
+        ])
+        assert not isomorphic(_db(), other)
+
+    def test_value_mismatch(self):
+        other = build_database("db", [
+            obj("p", [obj("name", "bob"), obj("age", 31)]),
+        ])
+        assert not isomorphic(_db(), other)
+
+    def test_structure_mismatch(self):
+        other = build_database("db", [
+            obj("p", [obj("name", "ann")]),
+        ])
+        assert not isomorphic(_db(), other)
+
+    def test_root_sets_matter(self):
+        # Same objects, but one database exposes an extra root.
+        left = build_database("db", [obj("p", [obj("x", 1)]),
+                                     obj("p", [obj("x", 1)])])
+        right = build_database("db", [obj("p", [obj("x", 1)])])
+        assert not isomorphic(left, right)
+
+    def test_shared_vs_duplicated_subobject(self):
+        from repro.oem import ref
+        shared = build_database("db", [
+            obj("a", [ref("s")]), obj("b", [ref("s")]),
+        ], extra=[obj("leaf", "v", oid="s")])
+        duplicated = build_database("db", [
+            obj("a", [obj("leaf", "v")]), obj("b", [obj("leaf", "v")]),
+        ])
+        # Sharing is structural: 3 objects vs 4 objects.
+        assert not isomorphic(shared, duplicated)
+
+    def test_cycles(self):
+        def cyclic(prefix):
+            from repro.oem import ref
+            return build_database("db", [
+                obj("a", [obj("b", [ref(f"{prefix}t")])], oid=f"{prefix}t"),
+            ])
+        assert isomorphic(cyclic("x"), cyclic("y"))
+
+
+class TestFindIsomorphism:
+    def test_mapping_returned(self):
+        mapping = find_isomorphism(_db(""), _db("z_"))
+        assert mapping is not None
+        assert mapping[Constant("p")] == Constant("z_p")
+        assert mapping[Constant("n")] == Constant("z_n")
+
+    def test_none_when_not_isomorphic(self):
+        other = build_database("db", [obj("p", [obj("name", "x")])])
+        assert find_isomorphism(_db(), other) is None
+
+    def test_mapping_is_bijective(self):
+        mapping = find_isomorphism(_db(""), _db("y_"))
+        assert len(set(mapping.values())) == len(mapping)

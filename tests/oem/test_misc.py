@@ -1,0 +1,55 @@
+"""Coverage for OEM edge cases: merge conflicts, chase guards, DTD API."""
+
+import pytest
+
+from repro.errors import (ChaseContradictionError, DuplicateOidError,
+                          OemError)
+from repro.oem import build_database, merge_databases, obj
+from repro.rewriting import chase, paper_dtd
+from repro.tsl import parse_query
+
+
+class TestMergeConflicts:
+    def test_conflicting_value(self):
+        left = build_database("l", [obj("a", 1, oid="x")])
+        right = build_database("r", [obj("a", 2, oid="x")])
+        with pytest.raises(DuplicateOidError):
+            merge_databases("m", [left, right])
+
+    def test_conflicting_kind(self):
+        left = build_database("l", [obj("a", 1, oid="x")])
+        right = build_database("r", [obj("a", [], oid="x")])
+        with pytest.raises(DuplicateOidError):
+            merge_databases("m", [left, right])
+
+    def test_set_objects_union_children(self):
+        left = build_database("l", [obj("a", [obj("b", 1, oid="b1")],
+                                        oid="x")])
+        right = build_database("r", [obj("a", [obj("c", 2, oid="c1")],
+                                         oid="x")])
+        merged = merge_databases("m", [left, right])
+        assert len(merged.children("x")) == 2
+
+
+class TestChaseGuards:
+    def test_max_steps_guard(self):
+        q = parse_query("<f(P) x V> :- <P a V>@db AND <P a W>@db")
+        with pytest.raises(ChaseContradictionError, match="terminate"):
+            chase(q, max_steps=0)
+
+    def test_generous_budget_finishes(self):
+        q = parse_query("<f(P) x V> :- <P a V>@db AND <P a W>@db")
+        assert chase(q, max_steps=100)
+
+
+class TestDtdApi:
+    def test_can_contain(self, dtd):
+        assert dtd.can_contain("p", "name")
+        assert not dtd.can_contain("p", "last")
+
+    def test_children_of_unknown_is_empty(self, dtd):
+        assert dtd.children_of("nonexistent") == ()
+
+    def test_is_atomic_unknown_is_unconstrained(self, dtd):
+        # Unknown elements are unconstrained, not known-atomic.
+        assert not dtd.is_atomic("nonexistent")

@@ -1,0 +1,196 @@
+"""Unit tests for the OEM data model."""
+
+import pytest
+
+from repro.errors import DuplicateOidError, OemError, UnknownOidError
+from repro.logic.terms import Constant, fn, var
+from repro.oem import OemDatabase, merge_databases
+
+
+@pytest.fixture
+def db():
+    d = OemDatabase("db")
+    d.add_set("p1", "person")
+    d.add_atomic("n1", "name", "ann")
+    d.add_atomic("a1", "age", 31)
+    d.add_child("p1", "n1")
+    d.add_child("p1", "a1")
+    d.add_root("p1")
+    return d
+
+
+class TestConstruction:
+    def test_oids_coerced_to_constants(self, db):
+        assert Constant("p1") in set(db.oids())
+
+    def test_function_term_oids(self):
+        d = OemDatabase()
+        oid = fn("f", Constant(1))
+        d.add_atomic(oid, "x", "y")
+        assert d.label(oid) == "x"
+
+    def test_non_ground_oid_rejected(self):
+        with pytest.raises(OemError, match="ground"):
+            OemDatabase().add_atomic(var("X"), "a", "b")
+
+    def test_duplicate_identical_is_idempotent(self, db):
+        db.add_atomic("n1", "name", "ann")
+        assert len(db) == 3
+
+    def test_duplicate_conflicting_value(self, db):
+        with pytest.raises(DuplicateOidError):
+            db.add_atomic("n1", "name", "bob")
+
+    def test_duplicate_conflicting_kind(self, db):
+        with pytest.raises(DuplicateOidError):
+            db.add_set("n1", "name")
+        with pytest.raises(DuplicateOidError):
+            db.add_atomic("p1", "person", "x")
+
+    def test_child_of_atomic_rejected(self, db):
+        with pytest.raises(OemError, match="atomic"):
+            db.add_child("n1", "a1")
+
+    def test_child_of_unknown_parent(self, db):
+        with pytest.raises(UnknownOidError):
+            db.add_child("zz", "n1")
+
+    def test_duplicate_edge_ignored(self, db):
+        db.add_child("p1", "n1")
+        assert db.children("p1") == (Constant("n1"), Constant("a1"))
+
+    def test_duplicate_root_ignored(self, db):
+        db.add_root("p1")
+        assert db.roots == (Constant("p1"),)
+
+
+class TestInspection:
+    def test_label(self, db):
+        assert db.label("p1") == "person"
+
+    def test_label_unknown(self, db):
+        with pytest.raises(UnknownOidError):
+            db.label("zz")
+
+    def test_is_atomic(self, db):
+        assert db.is_atomic("n1")
+        assert not db.is_atomic("p1")
+
+    def test_atomic_value(self, db):
+        assert db.atomic_value("a1") == 31
+        with pytest.raises(OemError, match="not atomic"):
+            db.atomic_value("p1")
+
+    def test_children_of_atomic_empty(self, db):
+        assert db.children("n1") == ()
+
+    def test_is_root(self, db):
+        assert db.is_root("p1")
+        assert not db.is_root("n1")
+
+    def test_len_and_contains(self, db):
+        assert len(db) == 3
+        assert "p1" in db
+        assert "zz" not in db
+
+    def test_stats(self, db):
+        assert db.stats() == {"objects": 3, "atomic": 2, "set": 1,
+                              "edges": 2, "roots": 1}
+
+    def test_repr(self, db):
+        assert "objects=3" in repr(db)
+
+
+class TestNavigation:
+    def test_object_view(self, db):
+        p = db.object("p1")
+        assert p.label == "person"
+        assert not p.is_atomic
+        labels = sorted(child.label for child in p.value)
+        assert labels == ["age", "name"]
+
+    def test_subobjects_filter(self, db):
+        p = db.object("p1")
+        names = p.subobjects("name")
+        assert len(names) == 1
+        assert names[0].value == "ann"
+
+    def test_object_equality(self, db):
+        assert db.object("p1") == db.object("p1")
+        assert db.object("p1") != db.object("n1")
+
+    def test_object_unknown(self, db):
+        with pytest.raises(UnknownOidError):
+            db.object("zz")
+
+
+class TestReachability:
+    def test_reachable_from(self, db):
+        reachable = db.reachable_from("p1")
+        assert {str(o) for o in reachable} == {"p1", "n1", "a1"}
+
+    def test_reachable_excluding_start(self, db):
+        reachable = db.reachable_from("p1", include_start=False)
+        assert Constant("p1") not in reachable
+
+    def test_reachable_with_cycle(self):
+        d = OemDatabase()
+        d.add_set("a", "x")
+        d.add_set("b", "y")
+        d.add_child("a", "b")
+        d.add_child("b", "a")
+        d.add_root("a")
+        assert len(d.reachable_oids()) == 2
+
+    def test_unreachable_ignored(self, db):
+        db.add_atomic("orphan", "o", 1)
+        assert Constant("orphan") not in db.reachable_oids()
+
+
+class TestCopySubgraph:
+    def test_copy_preserves_oids(self, db):
+        target = OemDatabase("t")
+        db.copy_subgraph_into(target, "p1")
+        assert len(target) == 3
+        assert target.label("p1") == "person"
+        assert set(target.children("p1")) == set(db.children("p1"))
+
+    def test_copy_cyclic_subgraph(self):
+        d = OemDatabase()
+        d.add_set("a", "x")
+        d.add_set("b", "y")
+        d.add_child("a", "b")
+        d.add_child("b", "a")
+        d.add_root("a")
+        target = OemDatabase("t")
+        d.copy_subgraph_into(target, "a")
+        assert set(target.children("b")) == {Constant("a")}
+
+
+class TestIntegrity:
+    def test_dangling_edge_detected(self):
+        d = OemDatabase()
+        d.add_set("a", "x")
+        d._children[Constant("a")].append(Constant("ghost"))
+        with pytest.raises(OemError, match="dangling"):
+            d.check_integrity()
+
+    def test_unregistered_root_detected(self):
+        d = OemDatabase()
+        d.add_root("ghost")
+        with pytest.raises(OemError, match="root"):
+            d.check_integrity()
+
+
+class TestMerge:
+    def test_merge_disjoint(self, db):
+        other = OemDatabase("o")
+        other.add_atomic("q1", "pub", "t")
+        other.add_root("q1")
+        merged = merge_databases("m", [db, other])
+        assert len(merged) == 4
+        assert len(merged.roots) == 2
+
+    def test_merge_overlapping_identical(self, db):
+        merged = merge_databases("m", [db, db])
+        assert len(merged) == 3

@@ -1,0 +1,80 @@
+"""Tests for JSON serialization of databases and terms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OemError
+from repro.logic.terms import Constant, FunctionTerm, Variable, const, fn, var
+from repro.oem import (build_database, database_from_json, database_to_json,
+                       dumps, identical, loads, obj, ref, term_from_json,
+                       term_to_json)
+from repro.workloads import RandomOemConfig, generate_random_database
+
+
+class TestTermCodec:
+    @pytest.mark.parametrize("term", [
+        const("a"), const(42), const(2.5),
+        var("X"),
+        fn("f", const("a"), var("Y")),
+        fn("f", fn("g", const(1))),
+    ])
+    def test_round_trip(self, term):
+        assert term_from_json(term_to_json(term)) == term
+
+    def test_malformed(self):
+        with pytest.raises(OemError):
+            term_from_json({"bogus": 1})
+        with pytest.raises(OemError):
+            term_from_json("plain string")
+
+
+class TestDatabaseCodec:
+    def test_round_trip_simple(self):
+        db = build_database("db", [
+            obj("p", [obj("name", "ann"), obj("age", 31)]),
+        ])
+        assert identical(db, loads(dumps(db)))
+
+    def test_round_trip_preserves_name(self):
+        db = build_database("mydb", [obj("x", 1)])
+        assert loads(dumps(db)).name == "mydb"
+
+    def test_round_trip_with_cycle(self):
+        db = build_database("db", [
+            obj("a", [obj("b", [ref("top")])], oid="top"),
+        ])
+        restored = loads(dumps(db))
+        assert identical(db, restored)
+
+    def test_round_trip_with_sharing(self):
+        db = build_database("db", [
+            obj("a", [ref("s")]), obj("b", [ref("s")]),
+        ], extra=[obj("leaf", "v", oid="s")])
+        restored = loads(dumps(db))
+        assert identical(db, restored)
+
+    def test_round_trip_function_term_oids(self):
+        db = build_database("db", [
+            obj("ans", "yes", oid=fn("f", const("p1"), const(7))),
+        ])
+        restored = loads(dumps(db))
+        assert identical(db, restored)
+
+    def test_json_shape(self):
+        db = build_database("db", [obj("x", 1)])
+        data = database_to_json(db)
+        assert set(data) == {"name", "objects", "roots"}
+        assert data["objects"][0]["label"] == "x"
+
+    def test_from_json_validates_integrity(self):
+        data = {"name": "db", "objects": [], "roots": [{"c": "ghost"}]}
+        with pytest.raises(OemError):
+            database_from_json(data)
+
+
+@given(st.integers(min_value=0, max_value=50))
+def test_random_database_round_trip(seed):
+    db = generate_random_database(
+        RandomOemConfig(roots=2, max_depth=3, max_fanout=2,
+                        share_probability=0.2), seed=seed)
+    assert identical(db, loads(dumps(db)))

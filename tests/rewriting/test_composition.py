@@ -1,0 +1,185 @@
+"""Tests for query-view composition (Step 2A, Section 3.1)."""
+
+import pytest
+
+from repro.errors import CompositionError
+from repro.oem import build_database, identical, obj
+from repro.rewriting import chase, compose, minimize, programs_equivalent
+from repro.rewriting.equivalence import prepare_program
+from repro.tsl import evaluate, evaluate_program, parse_query
+
+
+def _check_composition_semantics(candidate, views, db, view_data=None):
+    """The composed rules over db must equal the candidate over the views."""
+    view_data = view_data or {
+        name: evaluate(view, db, answer_name=name)
+        for name, view in views.items()}
+    sources = {db.name: db, **view_data}
+    direct = evaluate(candidate, sources)
+    composed = compose(candidate, views)
+    via = evaluate_program(composed, {db.name: db})
+    assert identical(direct, via)
+    return composed
+
+
+class TestPaperComposition:
+    def test_v1_compose_q4(self, v1):
+        """(V1) o (Q4)n must be equivalent to (Q3) (Example 3.1)."""
+        q4n = parse_query(
+            "<f(P) stanford yes> :- "
+            "<g(P) p {<pp(P,Y) pr Y>}>@V1 AND "
+            "<g(P) p {<h(X) v leland>}>@V1")
+        q3 = parse_query("<f(P) stanford yes> :- <P p {<X Y leland>}>@db")
+        composed = compose(q4n, {"V1": v1})
+        assert composed
+        assert programs_equivalent(composed, [q3])
+
+    def test_v1_compose_q8_is_q9_not_q7(self, v1, q7):
+        """Example 3.3: the composition of (Q8) is (Q9), not (Q7)."""
+        q8 = parse_query(
+            "<f(P) stanford yes> :- "
+            "<g(P) p {<pp(P,Y) pr name> "
+            "<h(X) v {<Z last stanford>}>}>@V1")
+        q9 = parse_query(
+            "<f(P) stanford yes> :- "
+            "<P p {<X' name Z'>}>@db AND "
+            "<P p {<X'' Y'' {<Z last stanford>}>}>@db")
+        composed = compose(q8, {"V1": v1})
+        assert programs_equivalent(composed, [q9])
+        assert not programs_equivalent(composed, [q7])
+
+    def test_q6_composition_semantics(self, v1, small_people):
+        q6 = parse_query(
+            "<f(P) stanford yes> :- "
+            "<g(P) p {<pp(P,Y) pr Y> "
+            "<h(X) v {<Z last stanford>}>}>@V1")
+        _check_composition_semantics(q6, {"V1": v1}, small_people)
+
+
+class TestSemantics:
+    """Composition must commute with evaluation on concrete data."""
+
+    def test_simple_unfold(self, small_people):
+        view = parse_query("<w(P) person {<n(X) nm V>}> :- "
+                           "<P p {<X name V>}>@db", name="W")
+        candidate = parse_query(
+            "<f(P) x 1> :- <w(P) person {<n(X) nm {<L last stanford>}>}>@W")
+        _check_composition_semantics(candidate, {"W": view}, small_people)
+
+    def test_hanging_subgraph_navigation(self, small_people):
+        # The view copies the whole person value; the candidate navigates
+        # into the hanging subgraph.
+        view = parse_query("<w(P) person V> :- <P p V>@db", name="W")
+        candidate = parse_query(
+            "<f(P) x 1> :- "
+            "<w(P) person {<N name {<L last stanford>}>}>@W")
+        composed = _check_composition_semantics(candidate, {"W": view},
+                                                small_people)
+        # The composed rule navigates db directly.
+        assert all(c.source == "db" for rule in composed
+                   for c in rule.body)
+
+    def test_fusion_across_assignments(self):
+        # g(Y) objects fuse across different X bindings; a chain through
+        # the fused object must be witnessed by two body copies.
+        db = build_database("db", [
+            obj("a", [obj("b", "1", oid="y")], oid="x1"),
+            obj("a", [obj("b", "2", oid="y2")], oid="x2"),
+        ])
+        view = parse_query(
+            "<top(X) r {<g(V) item V>}> :- <X a {<Y b V>}>@db", name="W")
+        candidate = parse_query(
+            "<f(X) x V> :- <top(X) r {<g(V) item V>}>@W")
+        _check_composition_semantics(candidate, {"W": view}, db)
+
+    def test_multiple_resolution_choices_yield_union(self):
+        view = parse_query(
+            "<v(R) row {<m(C1) part W1> <m(C2) part W2>}> :- "
+            "<R root {<C1 part W1>}>@db AND <R root {<C2 part W2>}>@db",
+            name="W")
+        candidate = parse_query(
+            "<f(C) x W> :- <v(R) row {<m(C) part W>}>@W")
+        composed = compose(candidate, {"W": view})
+        assert len(composed) >= 1
+        db = build_database("db", [
+            obj("root", [obj("part", "p1"), obj("part", "p2")]),
+        ])
+        view_data = evaluate(view, db, answer_name="W")
+        direct = evaluate(candidate, {"db": db, "W": view_data})
+        via = evaluate_program(composed, {"db": db})
+        assert identical(direct, via)
+
+    def test_unsatisfiable_condition_gives_empty_union(self, v1):
+        candidate = parse_query(
+            "<f(P) x 1> :- <g(P) wrong-label {<h(X) v Z>}>@V1")
+        assert compose(candidate, {"V1": v1}) == []
+
+    def test_base_conditions_pass_through(self, v1):
+        candidate = parse_query(
+            "<f(P) x 1> :- <g(P) p {<h(X) v leland>}>@V1 AND "
+            "<P p {<U phone N>}>@db")
+        composed = compose(candidate, {"V1": v1})
+        assert composed
+        for rule in composed:
+            assert all(c.source == "db" for c in rule.body)
+
+    def test_empty_leaf_asserts_set_on_source(self, small_people):
+        view = parse_query("<w(P) person V> :- <P p V>@db", name="W")
+        candidate = parse_query(
+            "<f(N) x 1> :- <w(P) person {<N name {}>}>@W")
+        _check_composition_semantics(candidate, {"W": view}, small_people)
+
+    def test_inexpressible_corner_raises(self):
+        # Binding a variable to the value of a set-constructed view object
+        # cannot be expressed over the source: the candidate is rejected.
+        view = parse_query(
+            "<w(P) person {<n(X) nm V>}> :- <P p {<X name V>}>@db",
+            name="W")
+        candidate = parse_query("<f(P) x 1> :- <w(P) person U>@W")
+        with pytest.raises(CompositionError):
+            compose(candidate, {"W": view})
+
+
+class TestMinimizeComposition:
+    def test_composition_minimizes_to_paper_size(self, v1):
+        q4n = parse_query(
+            "<f(P) stanford yes> :- "
+            "<g(P) p {<pp(P,Y) pr Y>}>@V1 AND "
+            "<g(P) p {<h(X) v leland>}>@V1")
+        composed = compose(q4n, {"V1": v1})
+        smallest = min(
+            (minimize(chase(rule)) for rule in composed),
+            key=lambda rule: len(rule.body))
+        # The paper's (V1)o(Q4)n has two conditions.
+        assert len(smallest.body) <= 2
+
+
+class TestNestedViews:
+    def test_view_over_view_unfolds(self, small_people):
+        base_view = parse_query(
+            "<w(P) person V> :- <P p V>@db", name="W")
+        stacked = parse_query(
+            "<u(P) outer {<un(N) inner {<L2 last stanford>}>}> :- "
+            "<w(P) person {<N name {<L last stanford>}>}>@W AND "
+            "<w(P) person {<N name {<L2 last stanford>}>}>@W",
+            name="U")
+        candidate = parse_query(
+            "<f(P) x 1> :- <u(P) outer {<un(N) inner {<Z last S>}>}>@U")
+        views = {"W": base_view, "U": stacked}
+        composed = compose(candidate, views)
+        assert composed
+        for rule in composed:
+            assert all(c.source == "db" for c in rule.body)
+        # Semantics: candidate over materialized U == composed over db.
+        w_data = evaluate(base_view, small_people, answer_name="W")
+        u_data = evaluate(stacked, {"W": w_data}, answer_name="U")
+        direct = evaluate(candidate, {"U": u_data})
+        via = evaluate_program(composed, {"db": small_people})
+        assert identical(direct, via)
+
+    def test_cyclic_views_rejected(self):
+        a = parse_query("<a(P) x V> :- <b(P) y V>@B", name="A")
+        b = parse_query("<b(P) y V> :- <a(P) x V>@A", name="B")
+        candidate = parse_query("<f(P) q V> :- <a(P) x V>@A")
+        with pytest.raises(CompositionError, match="unfold"):
+            compose(candidate, {"A": a, "B": b})

@@ -1,0 +1,177 @@
+"""Tests for DTD structural constraints (Section 3.3)."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.rewriting import Dtd, chase, equivalent, parse_dtd, paper_dtd
+from repro.rewriting.constraints import ChildSpec
+from repro.tsl import parse_query, print_query, query_paths
+
+
+class TestDtdParsing:
+    def test_paper_dtd_elements(self, dtd):
+        assert set(dtd.elements) == {"p", "name", "alias", "address",
+                                     "phone", "last", "first", "middle"}
+
+    def test_atomic_elements(self, dtd):
+        for name in ("address", "phone", "last", "first", "middle"):
+            assert dtd.is_atomic(name)
+        assert not dtd.is_atomic("p")
+
+    def test_multiplicities(self, dtd):
+        specs = {spec.name: spec.multiplicity
+                 for spec in dtd.children_of("p")}
+        assert specs == {"name": "1", "phone": "1", "address": "*"}
+        name_specs = {s.name: s.multiplicity
+                      for s in dtd.children_of("name")}
+        assert name_specs == {"last": "1", "first": "1",
+                              "middle": "?", "alias": "?"}
+
+    def test_pcdata_is_atomic(self):
+        dtd = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        assert dtd.is_atomic("t")
+
+    def test_choice_groups(self):
+        dtd = parse_dtd("<!ELEMENT t (a | b)>")
+        specs = {s.name: s.multiplicity for s in dtd.children_of("t")}
+        assert specs == {"a": "?", "b": "?"}
+
+    def test_plus_multiplicity(self):
+        dtd = parse_dtd("<!ELEMENT t (a+)>")
+        assert dtd.children_of("t")[0].multiplicity == "+"
+        assert not dtd.functional_child("t", "a")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConstraintError):
+            parse_dtd("this is not a dtd")
+
+    def test_unsupported_particle_rejected(self):
+        with pytest.raises(ConstraintError):
+            parse_dtd("<!ELEMENT t ((a,b)*)>")
+
+    def test_known_labels(self, dtd):
+        assert "alias" in dtd.known_labels()
+
+
+class TestInference:
+    def test_label_inference_example_35(self, dtd):
+        # "the only subobject of a p object with a last subobject is a
+        # name object"
+        assert dtd.infer_middle_label("p", "last") == "name"
+
+    def test_no_inference_when_ambiguous(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a, b)>
+            <!ELEMENT a (x)>
+            <!ELEMENT b (x)>
+            <!ELEMENT x CDATA>
+        """)
+        assert dtd.infer_middle_label("r", "x") is None
+
+    def test_only_child_label(self):
+        dtd = parse_dtd("<!ELEMENT r (a*)> <!ELEMENT a CDATA>")
+        assert dtd.only_child_label("r") == "a"
+        assert paper_dtd().only_child_label("p") is None
+
+    def test_functional_dependency_example_35(self, dtd):
+        # "a p object has exactly one name subobject"
+        assert dtd.functional_child("p", "name")
+        assert dtd.functional_child("name", "middle")   # '?' counts
+        assert not dtd.functional_child("p", "address")  # '*' does not
+        assert not dtd.functional_child("p", "last")     # not a child
+
+
+class TestChaseWithConstraints:
+    def test_label_inference_binds_variable(self, dtd):
+        q = parse_query(
+            "<f(P) x 1> :- <P p {<X Y {<Z last stanford>}>}>@db")
+        chased = chase(q, dtd)
+        assert "name" in print_query(chased)
+        assert "Y" not in {v.name for v in chased.all_variables()}
+
+    def test_example_35_q9_becomes_q13(self, dtd):
+        """(Q9) --label inference + FD chase--> (Q13) ~ (Q7)."""
+        q9 = parse_query(
+            "<f(P) stanford yes> :- "
+            "<P p {<X' name Z'>}>@db AND "
+            "<P p {<X'' Y'' {<Z last stanford>}>}>@db")
+        q7 = parse_query(
+            "<f(P) stanford yes> :- "
+            "<P p {<X name {<Z last stanford>}>}>@db")
+        # Without the DTD the two queries differ...
+        assert not equivalent(q9, q7)
+        # ... with it, label inference forces Y''=name and the FD forces
+        # X''=X', collapsing (Q9) into (Q13) which is equivalent to (Q7).
+        assert equivalent(q9, q7, constraints=dtd)
+
+    def test_fd_chase_merges_children(self, dtd):
+        q = parse_query(
+            "<f(P) x 1> :- <P p {<X name {<A last u>}>}>@db AND "
+            "<P p {<Y name {<B first v>}>}>@db")
+        chased = chase(q, dtd)
+        # X and Y denote the same (unique) name child.
+        oids = {str(path.steps[1][0]) for path in query_paths(chased)}
+        assert len(oids) == 1
+
+    def test_constraints_scoped_to_source(self):
+        dtd = paper_dtd(source="other")
+        q = parse_query(
+            "<f(P) x 1> :- <P p {<X Y {<Z last stanford>}>}>@db")
+        chased = chase(q, dtd)  # wrong source: no inference
+        assert "Y" in {v.name for v in chased.all_variables()}
+
+
+class TestProgrammaticDtd:
+    def test_declare_api(self):
+        dtd = Dtd()
+        dtd.declare("r", [ChildSpec("a", "1")]).declare_atomic("a")
+        assert dtd.functional_child("r", "a")
+        assert dtd.only_child_label("r") == "a"
+
+
+class TestXmlDataSchema:
+    """Section 3.3 also names "the newly proposed XML-Data"."""
+
+    SCHEMA = """
+        <elementType id="p">
+            <element type="#name" occurs="REQUIRED"/>
+            <element type="#phone" occurs="REQUIRED"/>
+            <element type="#address" occurs="ZEROORMORE"/>
+        </elementType>
+        <elementType id="name">
+            <element type="#last" occurs="REQUIRED"/>
+            <element type="#first" occurs="REQUIRED"/>
+            <element type="#middle" occurs="OPTIONAL"/>
+        </elementType>
+        <elementType id="phone"><string/></elementType>
+        <elementType id="last"><string/></elementType>
+        <elementType id="first"><string/></elementType>
+        <elementType id="middle"><string/></elementType>
+        <elementType id="address"><string/></elementType>
+    """
+
+    def test_parses_to_dtd(self):
+        from repro.rewriting import parse_xml_data
+        schema = parse_xml_data(self.SCHEMA)
+        assert schema.functional_child("p", "name")
+        assert not schema.functional_child("p", "address")
+        assert schema.is_atomic("phone")
+        assert schema.infer_middle_label("p", "last") == "name"
+
+    def test_default_occurs_is_required(self):
+        from repro.rewriting import parse_xml_data
+        schema = parse_xml_data(
+            '<elementType id="r"><element type="#a"/></elementType>'
+            '<elementType id="a"><string/></elementType>')
+        assert schema.functional_child("r", "a")
+
+    def test_garbage_rejected(self):
+        from repro.rewriting import parse_xml_data
+        with pytest.raises(ConstraintError):
+            parse_xml_data("not a schema")
+
+    def test_unlocks_q7_like_the_dtd(self, v1, q7):
+        from repro.rewriting import parse_xml_data, rewrite
+        schema = parse_xml_data(self.SCHEMA)
+        result = rewrite(q7, {"V1": v1}, constraints=schema)
+        assert len(result.rewritings) == 1

@@ -1,0 +1,108 @@
+"""Tests for maximally contained rewritings (Section 7 future work)."""
+
+import pytest
+
+from repro.oem import build_database, obj
+from repro.rewriting import (contained_in, maximally_contained_rewritings,
+                             programs_contained, rewrite)
+from repro.tsl import evaluate, parse_query
+
+
+@pytest.fixture
+def sigmod_view():
+    """A view keeping only SIGMOD publications (partial coverage)."""
+    return parse_query(
+        "<v(P) pub {<c(P,L,W) L W>}> :- "
+        "<P pub {<B booktitle sigmod>}>@db AND <P pub {<X L W>}>@db",
+        name="V")
+
+
+@pytest.fixture
+def all_titles_query():
+    """Titles of ALL publications -- more than the view retains."""
+    return parse_query("<f(P) title T> :- <P pub {<X title T>}>@db")
+
+
+class TestContainment:
+    def test_reflexive(self, all_titles_query):
+        assert contained_in(all_titles_query, all_titles_query)
+
+    def test_narrower_contained_in_broader(self):
+        broad = parse_query("<f(P) title T> :- <P pub {<X title T>}>@db")
+        narrow = parse_query(
+            "<f(P) title T> :- <P pub {<X title T>}>@db AND "
+            "<P pub {<B booktitle sigmod>}>@db")
+        assert contained_in(narrow, broad)
+        assert not contained_in(broad, narrow)
+
+    def test_programs_contained_unions(self):
+        broad = [parse_query("<f(P) x V> :- <P a {<X b V>}>@db")]
+        union = [
+            parse_query("<f(P) x V> :- "
+                        "<P a {<X b V>}>@db AND <P a {<Y c 1>}>@db"),
+            parse_query("<f(P) x V> :- "
+                        "<P a {<X b V>}>@db AND <P a {<Z d 2>}>@db"),
+        ]
+        assert programs_contained(union, broad)
+        assert not programs_contained(broad, union)
+
+
+class TestMaximallyContained:
+    def test_no_equivalent_but_a_contained_one(self, sigmod_view,
+                                               all_titles_query):
+        # Equivalent rewriting impossible: the view only has SIGMOD pubs.
+        assert not rewrite(all_titles_query, {"V": sigmod_view},
+                           total_only=True).rewritings
+        result = maximally_contained_rewritings(
+            all_titles_query, {"V": sigmod_view})
+        assert len(result.rewritings) >= 1
+        assert all(not r.is_equivalent for r in result.rewritings)
+
+    def test_contained_answer_is_sound_and_maximal(self, sigmod_view,
+                                                   all_titles_query):
+        db = build_database("db", [
+            obj("pub", [obj("title", "a"), obj("booktitle", "sigmod")]),
+            obj("pub", [obj("title", "b"), obj("booktitle", "vldb")]),
+        ])
+        result = maximally_contained_rewritings(
+            all_titles_query, {"V": sigmod_view})
+        view_data = evaluate(sigmod_view, db, answer_name="V")
+        full = {r.value for r in
+                evaluate(all_titles_query, db).root_objects()}
+        best = result.rewritings[0]
+        partial = {r.value for r in
+                   evaluate(best.query, {"V": view_data}).root_objects()}
+        # Sound: only true answers; maximal here: all SIGMOD titles.
+        assert partial <= full
+        assert partial == {"a"}
+
+    def test_equivalent_rewriting_dominates(self, sigmod_view):
+        # A query the view fully answers: the maximal rewriting is the
+        # equivalent one, flagged as such.
+        query = parse_query(
+            "<f(P) title T> :- <P pub {<X title T>}>@db AND "
+            "<P pub {<B booktitle sigmod>}>@db")
+        result = maximally_contained_rewritings(query, {"V": sigmod_view})
+        assert any(r.is_equivalent for r in result.rewritings)
+
+    def test_dominated_candidates_dropped(self, sigmod_view):
+        # With two views (sigmod pubs and sigmod-1997 pubs), the 1997
+        # view's rewriting is strictly contained in the sigmod view's
+        # and must not be reported.
+        narrow_view = parse_query(
+            "<w(P) pub {<d(P,L,W) L W>}> :- "
+            "<P pub {<B booktitle sigmod>}>@db AND "
+            "<P pub {<Y year 1997>}>@db AND <P pub {<X L W>}>@db",
+            name="W")
+        query = parse_query("<f(P) title T> :- <P pub {<X title T>}>@db")
+        result = maximally_contained_rewritings(
+            query, {"V": sigmod_view, "W": narrow_view})
+        used = {frozenset(r.views_used) for r in result.rewritings}
+        assert frozenset(["V"]) in used
+        assert frozenset(["W"]) not in used
+
+    def test_irrelevant_view_gives_nothing(self, all_titles_query):
+        view = parse_query("<v(P) z V> :- <P zzz V>@db", name="V")
+        result = maximally_contained_rewritings(
+            all_titles_query, {"V": view})
+        assert len(result.rewritings) == 0

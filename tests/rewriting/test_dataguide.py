@@ -1,0 +1,84 @@
+"""Tests for DataGuide construction and instance-derived constraints."""
+
+from repro.oem import build_database, obj, ref
+from repro.rewriting import build_dataguide, dtd_from_dataguide, rewrite
+from repro.workloads import generate_people, view_v1, query_q7
+
+
+def _db():
+    return build_database("db", [
+        obj("p", [obj("name", [obj("last", "a"), obj("first", "b")]),
+                  obj("phone", "1")]),
+        obj("p", [obj("name", [obj("last", "c")]),
+                  obj("phone", "2"), obj("address", "x"),
+                  obj("address", "y")]),
+    ])
+
+
+class TestBuildDataguide:
+    def test_label_paths(self):
+        guide = build_dataguide(_db())
+        paths = set(guide.label_paths())
+        assert ("p",) in paths
+        assert ("p", "name", "last") in paths
+        assert ("p", "address") in paths
+
+    def test_deterministic(self):
+        guide = build_dataguide(_db())
+        # Strong DataGuide: each label path appears exactly once.
+        paths = guide.label_paths()
+        assert len(paths) == len(set(paths))
+
+    def test_extents_cover_objects(self):
+        db = _db()
+        guide = build_dataguide(db)
+        p_node = guide.children[0]["p"]
+        assert len(guide.extent[p_node]) == 2
+
+    def test_shared_objects(self):
+        db = build_database("db", [
+            obj("a", [ref("s")]), obj("b", [ref("s")]),
+        ], extra=[obj("x", "v", oid="s")])
+        guide = build_dataguide(db)
+        assert ("a", "x") in guide.label_paths()
+        assert ("b", "x") in guide.label_paths()
+
+    def test_infer_middle_label(self):
+        guide = build_dataguide(_db())
+        assert guide.infer_middle_label("p", "last") == "name"
+
+    def test_only_child_label(self):
+        db = build_database("db", [obj("r", [obj("only", 1)])])
+        guide = build_dataguide(db)
+        assert guide.only_child_label("r") == "only"
+
+    def test_functional_child_never_certain(self):
+        guide = build_dataguide(_db())
+        assert not guide.functional_child("p", "name")
+
+
+class TestDtdFromDataguide:
+    def test_cardinalities(self):
+        dtd = dtd_from_dataguide(_db())
+        # Every p has exactly one name and phone; addresses vary.
+        assert dtd.functional_child("p", "name")
+        assert dtd.functional_child("p", "phone")
+        assert not dtd.functional_child("p", "address")
+
+    def test_optional_child(self):
+        dtd = dtd_from_dataguide(_db())
+        specs = {s.name: s.multiplicity for s in dtd.children_of("name")}
+        assert specs["last"] == "1"
+        assert specs["first"] == "?"
+
+    def test_atomic_labels(self):
+        dtd = dtd_from_dataguide(_db())
+        assert dtd.is_atomic("phone")
+        assert not dtd.is_atomic("p")
+
+    def test_enables_rewriting_like_a_dtd(self):
+        """Instance constraints unlock (Q7) just as the paper's DTD does."""
+        db = generate_people(30, seed=3)
+        derived = dtd_from_dataguide(db)
+        result = rewrite(query_q7(), {"V1": view_v1()}, constraints=derived)
+        assert len(result.rewritings) == 1

@@ -1,0 +1,160 @@
+"""Tests for containment mappings (Step 1A, Section 3.1)."""
+
+from repro.logic.subst import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.rewriting import body_mappings, find_mappings, map_path_into
+from repro.rewriting.mappings import EMPTY_SET_TERM, coverage
+from repro.tsl import SetPatternTerm, parse_query, query_paths
+from repro.workloads import star_query, star_view, view_v1
+
+
+def _paths(text):
+    return query_paths(parse_query(text))
+
+
+def _v(name):
+    return Variable(name)
+
+
+class TestPaperMappings:
+    def test_m2_for_q3(self, v1, q3):
+        """(M2): the only mapping from body(V1) to body(Q3)."""
+        mappings = find_mappings(v1, q3)
+        assert len(mappings) == 1
+        subst = mappings[0].subst
+        assert subst.apply(_v("P'")) == _v("P")
+        assert subst.apply(_v("X'")) == _v("X")
+        assert subst.apply(_v("Y'")) == _v("Y")
+        assert subst.apply(_v("Z'")) == Constant("leland")
+
+    def test_m5_for_q5_is_a_set_mapping(self, v1, q5):
+        """(M5): Z' maps to the set pattern {<Z last stanford>}."""
+        mappings = find_mappings(v1, q5)
+        assert len(mappings) == 1
+        image = mappings[0].subst.apply(_v("Z'"))
+        assert isinstance(image, SetPatternTerm)
+        assert str(image) == "{<Z last stanford>}"
+
+    def test_m6_exists_for_q7(self, v1, q7):
+        """(M6) exists even though no rewriting of (Q7) does (Ex. 3.3)."""
+        mappings = find_mappings(v1, q7)
+        assert len(mappings) == 1
+        assert mappings[0].subst.apply(_v("Y'")) == Constant("name")
+
+    def test_mapping_covers_target_condition(self, v1, q3):
+        mapping = find_mappings(v1, q3)[0]
+        assert mapping.covers == frozenset([0])
+
+
+class TestPathMapping:
+    def test_equal_length_pointwise(self):
+        [a] = _paths("<f(X) r 1> :- <P p {<X name V>}>@db")
+        [b] = _paths("<f(X) r 1> :- <Q p {<Y name leland>}>@db")
+        subst = map_path_into(a, b, Substitution())
+        assert subst is not None
+        assert subst.apply(_v("V")) == Constant("leland")
+
+    def test_source_mismatch(self):
+        [a] = _paths("<f(X) r 1> :- <P p V>@db1")
+        [b] = _paths("<f(X) r 1> :- <P p V>@db2")
+        assert map_path_into(a, b, Substitution()) is None
+
+    def test_longer_source_fails(self):
+        [a] = _paths("<f(X) r 1> :- <P p {<X name V>}>@db")
+        [b] = _paths("<f(X) r 1> :- <Q p W>@db")
+        assert map_path_into(a, b, Substitution()) is None
+
+    def test_prefix_with_set_mapping(self):
+        [a] = _paths("<f(P) r V> :- <P p V>@db")
+        [b] = _paths("<f(P) r 1> :- <Q p {<X name leland>}>@db")
+        subst = map_path_into(a, b, Substitution())
+        image = subst.apply(_v("V"))
+        assert isinstance(image, SetPatternTerm)
+        assert str(image) == "{<X name leland>}"
+
+    def test_constant_leaf_cannot_absorb_suffix(self):
+        [a] = _paths("<f(P) r 1> :- <P p leland>@db")
+        [b] = _paths("<f(P) r 1> :- <Q p {<X name leland>}>@db")
+        assert map_path_into(a, b, Substitution()) is None
+
+    def test_label_constant_must_match(self):
+        [a] = _paths("<f(P) r 1> :- <P q V>@db")
+        [b] = _paths("<f(P) r 1> :- <Q p W>@db")
+        assert map_path_into(a, b, Substitution()) is None
+
+    def test_constant_cannot_map_to_variable(self):
+        # Containment direction: a's constants must appear in b.
+        [a] = _paths("<f(P) r 1> :- <P p leland>@db")
+        [b] = _paths("<f(P) r 1> :- <Q p W>@db")
+        assert map_path_into(a, b, Substitution()) is None
+
+    def test_empty_set_leaf_into_longer_path(self):
+        [a] = _paths("<f(P) r 1> :- <P p {}>@db")
+        [b] = _paths("<f(P) r 1> :- <Q p {<X name V>}>@db")
+        assert map_path_into(a, b, Substitution()) is not None
+
+    def test_empty_set_leaf_into_term_leaf_fails(self):
+        [a] = _paths("<f(P) r 1> :- <P p {}>@db")
+        [b] = _paths("<f(P) r V> :- <Q p V>@db")
+        assert map_path_into(a, b, Substitution()) is None
+
+    def test_var_leaf_into_empty_set_leaf(self):
+        [a] = _paths("<f(P) r V> :- <P p V>@db")
+        [b] = _paths("<f(P) r 1> :- <Q p {}>@db")
+        subst = map_path_into(a, b, Substitution())
+        assert subst.apply(_v("V")) == EMPTY_SET_TERM
+
+    def test_function_term_oids_decompose(self):
+        [a] = _paths("<f(P) r V> :- <g(P) p V>@V1")
+        [b] = _paths("<f(P) r V> :- <g(Q) p leland>@V1")
+        subst = map_path_into(a, b, Substitution())
+        assert subst.apply(_v("P")) == _v("Q")
+
+
+class TestBodyMappings:
+    def test_consistency_across_paths(self):
+        source = _paths("<f(P) r 1> :- <P p {<X a V>}>@db AND "
+                        "<P p {<Y b W>}>@db")
+        target = _paths("<f(P) r 1> :- <Q p {<A a 1>}>@db AND "
+                        "<R p {<B b 2>}>@db")
+        # P must map to both Q and R: impossible.
+        assert body_mappings(source, target) == []
+
+    def test_consistent_join(self):
+        source = _paths("<f(P) r 1> :- <P p {<X a V>}>@db AND "
+                        "<P p {<Y b W>}>@db")
+        target = _paths("<f(P) r 1> :- <Q p {<A a 1>}>@db AND "
+                        "<Q p {<B b 2>}>@db")
+        assert len(body_mappings(source, target)) == 1
+
+    def test_limit_short_circuits(self):
+        source = _paths("<f(R) r 1> :- <R root {<X b V>}>@db")
+        target = query_paths(star_query(4))
+        all_mappings = body_mappings(source, target)
+        assert len(all_mappings) == 4
+        assert len(body_mappings(source, target, limit=1)) == 1
+
+    def test_self_similar_star_explodes(self):
+        """E5: identical branches multiply the mapping count."""
+        counts = []
+        for branches in (2, 3, 4):
+            view = star_view(branches)
+            query = star_query(branches)
+            counts.append(len(body_mappings(query_paths(view),
+                                            query_paths(query))))
+        assert counts == [4, 27, 256]  # b^b mappings
+
+    def test_distinct_labels_stay_linear(self):
+        for branches in (2, 3, 4):
+            view = star_view(branches, distinct_labels=True)
+            query = star_query(branches, distinct_labels=True)
+            assert len(body_mappings(query_paths(view),
+                                     query_paths(query))) == 1
+
+
+class TestCoverage:
+    def test_coverage_under_fixed_subst(self, v1, q5):
+        mapping = find_mappings(v1, q5)[0]
+        source = query_paths(v1)
+        target = query_paths(q5)
+        assert coverage(source, target, mapping.subst) == frozenset([0])

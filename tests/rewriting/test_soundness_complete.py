@@ -1,0 +1,145 @@
+"""E12: soundness and completeness of the rewriting algorithm (Section 5).
+
+* **Soundness** (Theorem 5.5, first half): every rewriting the algorithm
+  emits evaluates identically to the original query -- checked by
+  materializing the views over many concrete databases.
+* **Completeness** (Theorem 5.5, second half): on workload families with
+  rewritings known to exist by construction, the algorithm finds them.
+* **Lemma 5.1**: no mapping from a view body => the view is irrelevant.
+* **Lemma 5.3**: rewritings use no variables outside the query's.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oem import identical
+from repro.rewriting import find_mappings, rewrite
+from repro.tsl import evaluate, parse_query
+from repro.workloads import (chain_database, chain_query, chain_view,
+                             condition_view, generate_people,
+                             k_conditions_database, k_conditions_query,
+                             query_q3, query_q5, star_database, star_query,
+                             star_view, view_v1)
+
+
+def _assert_sound(query, views, db, result):
+    """Every emitted rewriting evaluates identically to the query."""
+    direct = evaluate(query, db)
+    materialized = {name: evaluate(view, db, answer_name=name)
+                    for name, view in views.items()}
+    for rewriting in result.rewritings:
+        via = evaluate(rewriting.query, {db.name: db, **materialized})
+        assert identical(direct, via), str(rewriting.query)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_paper_views_on_random_people(self, seed):
+        db = generate_people(20, seed=seed)
+        views = {"V1": view_v1()}
+        for query in (query_q3("stanford"), query_q3("leland"),
+                      query_q5()):
+            result = rewrite(query, views)
+            assert result.rewritings
+            _assert_sound(query, views, db, result)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_chain_views(self, depth):
+        db = chain_database(depth, width=5)
+        query = chain_query(depth)
+        views = {"V": chain_view(depth)}
+        result = rewrite(query, views)
+        assert result.rewritings
+        _assert_sound(query, views, db, result)
+
+    @pytest.mark.parametrize("branches", [1, 2])
+    def test_star_views(self, branches):
+        db = star_database(branches, width=4)
+        query = star_query(branches)
+        views = {"V": star_view(branches)}
+        result = rewrite(query, views)
+        _assert_sound(query, views, db, result)
+
+    def test_k_condition_views(self):
+        k = 3
+        db = k_conditions_database(k, width=3)
+        query = k_conditions_query(k)
+        views = {f"V{i}": condition_view(i) for i in range(1, k + 1)}
+        result = rewrite(query, views, total_only=True)
+        assert result.rewritings
+        _assert_sound(query, views, db, result)
+
+
+class TestCompleteness:
+    def test_identity_like_view_always_rewrites(self):
+        # The view exposes exactly the query's condition: a rewriting
+        # exists by construction and must be found.
+        for k in (1, 2, 3):
+            query = k_conditions_query(k)
+            views = {f"V{i}": condition_view(i) for i in range(1, k + 1)}
+            result = rewrite(query, views, total_only=True)
+            assert result.rewritings, f"no total rewriting found for k={k}"
+
+    def test_rewriting_found_despite_extra_views(self):
+        query = k_conditions_query(2)
+        views = {f"V{i}": condition_view(i) for i in range(1, 6)}
+        result = rewrite(query, views, total_only=True)
+        assert result.rewritings
+
+    def test_exhaustive_equals_heuristic(self):
+        query = k_conditions_query(3)
+        views = {f"V{i}": condition_view(i) for i in range(1, 4)}
+        fast = {str(r.query) for r in rewrite(query, views).rewritings}
+        slow = {str(r.query)
+                for r in rewrite(query, views, heuristic=False).rewritings}
+        assert fast == slow
+
+
+class TestLemma51:
+    """A view without a mapping into the query is irrelevant."""
+
+    def test_no_mapping_no_rewriting(self):
+        query = parse_query("<f(P) x V> :- <P a V>@db")
+        view = parse_query("<v(P) row V> :- <P zzz V>@db", name="V")
+        assert find_mappings(view, query) == []
+        assert rewrite(query, {"V": view}).rewritings == []
+
+
+class TestLemma53:
+    """Rewritings introduce no variables beyond the query's."""
+
+    def test_variables_bounded(self, v1, q3):
+        query_vars = {v.name for v in q3.all_variables()}
+        for rewriting in rewrite(q3, {"V1": v1}):
+            used = {v.name for v in rewriting.query.all_variables()}
+            assert used <= query_vars
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_sound_on_random_people(seed):
+    db = generate_people(10, seed=seed)
+    views = {"V1": view_v1()}
+    query = query_q5()
+    result = rewrite(query, views)
+    direct = evaluate(query, db)
+    materialized = {"V1": evaluate(views["V1"], db, answer_name="V1")}
+    for rewriting in result.rewritings:
+        via = evaluate(rewriting.query, {"db": db, **materialized})
+        assert identical(direct, via)
+
+
+class TestCompletenessOnRandomQueries:
+    """An exposing view always admits a rewriting of its own query."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exposing_view_always_rewrites(self, seed):
+        from repro.workloads import (exposing_view,
+                                     generate_random_database,
+                                     sample_query)
+        db = generate_random_database(seed=seed)
+        query = sample_query(db, seed=seed + 100)
+        view = exposing_view(query, name="V")
+        result = rewrite(query, {"V": view}, first_only=True)
+        assert result.rewritings, f"seed {seed}: no rewriting found"
+        _assert_sound(query, {"V": view}, db, result)

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.oem import dumps
+from repro.workloads import figure3_database
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "q.tsl"
+    path.write_text(
+        '<hit(P) title T> :- <P pub {<B booktitle "SIGMOD">}>@db AND '
+        '<P pub {<X title T>}>@db')
+    return str(path)
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(dumps(figure3_database()))
+    return str(path)
+
+
+@pytest.fixture
+def view_file(tmp_path):
+    path = tmp_path / "v.tsl"
+    path.write_text(
+        '<v(P) pub {<c(P,L,W) L W>}> :- '
+        '<P pub {<B booktitle "SIGMOD">}>@db AND <P pub {<X L W>}>@db')
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_query(self, query_file, capsys):
+        assert main(["validate", query_file]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_invalid_query(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsl"
+        bad.write_text("<f(P) x W> :- <P a V>@db")  # unsafe
+        assert main(["validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent.tsl"]) == 2
+
+
+class TestEvaluate:
+    def test_json_output(self, query_file, db_file, capsys):
+        assert main(["evaluate", query_file, "--db", db_file]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)
+        assert data["name"] == "answer"
+        assert "1 root object(s)" in captured.err
+
+    def test_dot_output(self, query_file, db_file, capsys):
+        assert main(["evaluate", query_file, "--db", db_file,
+                     "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "answer"')
+        assert "Constraint Views" in out
+
+
+class TestRewrite:
+    def test_rewriting_found(self, query_file, view_file, capsys):
+        assert main(["rewrite", query_file,
+                     "--view", f"V={view_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "@V" in out
+        assert "% equivalent" in out
+
+    def test_no_rewriting(self, tmp_path, view_file, capsys):
+        query = tmp_path / "q2.tsl"
+        query.write_text("<f(P) x V> :- <P nothing V>@db")
+        assert main(["rewrite", str(query),
+                     "--view", f"V={view_file}"]) == 1
+        assert "no rewriting" in capsys.readouterr().err
+
+    def test_contained_mode(self, tmp_path, view_file, capsys):
+        query = tmp_path / "q3.tsl"
+        query.write_text("<f(P) title T> :- <P pub {<X title T>}>@db")
+        assert main(["rewrite", str(query), "--view", f"V={view_file}",
+                     "--contained"]) == 0
+        assert "% contained" in capsys.readouterr().out
+
+    def test_bad_view_spec(self, query_file, capsys):
+        assert main(["rewrite", query_file, "--view", "noequals"]) == 2
+
+    def test_with_dtd(self, tmp_path, capsys):
+        from repro.rewriting.constraints import PAPER_DTD
+        query = tmp_path / "q7.tsl"
+        query.write_text(
+            "<f(P) stanford yes> :- "
+            "<P p {<X name {<Z last stanford>}>}>@db")
+        view = tmp_path / "v1.tsl"
+        view.write_text(
+            "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- "
+            "<P' p {<X' Y' Z'>}>@db")
+        dtd = tmp_path / "people.dtd"
+        dtd.write_text(PAPER_DTD)
+        assert main(["rewrite", str(query), "--view", f"V1={view}"]) == 1
+        assert main(["rewrite", str(query), "--view", f"V1={view}",
+                     "--dtd", str(dtd)]) == 0
+
+
+class TestImportXml:
+    def test_stdout(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<r><a>1</a></r>")
+        assert main(["import-xml", str(doc)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "db"
+
+    def test_output_file_and_dtd_notice(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("""<!DOCTYPE r [
+            <!ELEMENT r (a)> <!ELEMENT a CDATA>
+        ]><r><a>1</a></r>""")
+        out = tmp_path / "db.json"
+        assert main(["import-xml", str(doc), "-o", str(out),
+                     "--name", "src1"]) == 0
+        data = json.loads(out.read_text())
+        assert data["name"] == "src1"
+        assert "internal DTD found" in capsys.readouterr().err

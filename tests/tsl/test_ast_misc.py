@@ -1,0 +1,126 @@
+"""Coverage for AST helpers, printer edges, and error formatting."""
+
+import pytest
+
+from repro.errors import TslSyntaxError, ValidationError
+from repro.logic.subst import Substitution
+from repro.logic.terms import Constant, Variable, fn, var
+from repro.tsl import (SetPattern, SetPatternTerm, parse_query,
+                       pattern_depth, pattern_size, print_program,
+                       print_query, print_term, query_size)
+from repro.tsl.ast import (ObjectPattern, Query, fresh_variable_factory,
+                           make_condition)
+from repro.tsl.parser import parse_pattern, parse_program
+
+
+class TestQueryHelpers:
+    def test_sources(self):
+        q = parse_query("<f(P) x 1> :- <P a V>@s1 AND <Q b W>@s2")
+        assert q.sources() == {"s1", "s2"}
+
+    def test_rename_apart(self):
+        q = parse_query("<f(P) x V> :- <P a V>@db")
+        renamed = q.rename_apart("_1")
+        assert {v.name for v in renamed.all_variables()} == {"P_1", "V_1"}
+        assert renamed != q
+
+    def test_name_not_compared(self):
+        a = parse_query("<f(P) x V> :- <P a V>@db", name="A")
+        b = parse_query("<f(P) x V> :- <P a V>@db", name="B")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sizes_and_depth(self):
+        q = parse_query("<f(P) x {<g(P) y V>}> :- "
+                        "<P a {<X b {<Y c V>}>}>@db")
+        assert query_size(q) == 2 + 3
+        assert pattern_depth(q.body[0].pattern) == 3
+        assert pattern_size(q.head) == 2
+
+    def test_make_condition_default_source(self):
+        condition = make_condition(parse_pattern("<P a V>"))
+        assert condition.source == "db"
+
+
+class TestSetPatternTerm:
+    def test_groundness(self):
+        empty = SetPatternTerm(SetPattern(()))
+        assert empty.is_ground()
+        with_var = SetPatternTerm(SetPattern((
+            ObjectPattern(var("X"), Constant("a"), var("V")),)))
+        assert not with_var.is_ground()
+        assert {v.name for v in with_var.variables()} == {"X", "V"}
+
+    def test_substitute(self):
+        boxed = SetPatternTerm(SetPattern((
+            ObjectPattern(var("X"), Constant("a"), var("V")),)))
+        result = boxed.substitute({var("V"): Constant(1)})
+        assert "1" in str(result)
+
+    def test_unboxing_into_value_field(self):
+        pattern = ObjectPattern(var("P"), Constant("a"), var("V"))
+        subst = Substitution({var("V"): SetPatternTerm(SetPattern(()))})
+        substituted = pattern.substitute(subst)
+        assert isinstance(substituted.value, SetPattern)
+
+    def test_boxed_pattern_rejected_in_label_field(self):
+        pattern = ObjectPattern(var("P"), var("L"), Constant("v"))
+        subst = Substitution({var("L"): SetPatternTerm(SetPattern(()))})
+        with pytest.raises(ValidationError):
+            pattern.substitute(subst)
+
+
+class TestFreshVariables:
+    def test_avoids_taken(self):
+        taken = {Variable("W_1"), Variable("W_2")}
+        fresh = fresh_variable_factory(taken)
+        produced = fresh()
+        assert produced not in {Variable("W_1"), Variable("W_2")}
+
+    def test_successive_are_distinct(self):
+        fresh = fresh_variable_factory(set())
+        assert fresh() != fresh()
+
+
+class TestPrinterEdges:
+    def test_print_program(self):
+        rules = parse_program(
+            "<f(P) x 1> :- <P a V>@db ; <g(Q) y 2> :- <Q b W>@db")
+        text = print_program(rules)
+        assert text.count(":-") == 2
+        assert parse_program(text) == rules
+
+    def test_uppercase_constant_quoted(self):
+        q = parse_query('<f(P) x "SIGMOD"> :- <P a "SIGMOD">@db')
+        assert '"SIGMOD"' in print_query(q)
+        assert parse_query(print_query(q)) == q
+
+    def test_constant_with_spaces_quoted(self):
+        assert print_term(Constant("A. Gupta")) == '"A. Gupta"'
+
+    def test_and_keyword_quoted(self):
+        # A constant spelled "and" would re-lex as the AND keyword.
+        assert print_term(Constant("and")) == '"and"'
+
+    def test_embedded_double_quote_degrades(self):
+        printed = print_term(Constant('say "hi"'))
+        assert printed.startswith('"')
+
+    def test_function_term(self):
+        assert print_term(fn("f", var("P"), Constant(7))) == "f(P,7)"
+
+
+class TestSyntaxErrorFormatting:
+    def test_location_attached(self):
+        with pytest.raises(TslSyntaxError) as excinfo:
+            parse_query("<f(P) x 1> :-\n  <P a V @db")
+        assert "line 2" in str(excinfo.value)
+
+    def test_line_and_column_fields(self):
+        try:
+            parse_query("<f(P) x 1> :- #")
+        except TslSyntaxError as exc:
+            assert exc.line == 1
+            assert exc.column is not None
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")

@@ -1,0 +1,73 @@
+"""Tests for decomposition into graph component queries (Section 4)."""
+
+from repro.tsl import decompose, decompose_program, parse_query
+from repro.tsl.ast import SetPattern
+
+
+class TestExample41:
+    """Example 4.1 verbatim."""
+
+    def setup_method(self):
+        self.q14 = parse_query(
+            "<l(X) l {<f(Y) m {<n(Z) n V>}>}> :- "
+            "<X a {<Y b {<Z c V>}>}>@db")
+        self.components = decompose(self.q14)
+
+    def test_component_count(self):
+        # one top + two member + three object rules
+        assert len(self.components) == 6
+
+    def test_kinds(self):
+        kinds = [c.kind for c in self.components]
+        assert kinds.count("top") == 1
+        assert kinds.count("member") == 2
+        assert kinds.count("object") == 3
+
+    def test_top_rule(self):
+        top = next(c for c in self.components if c.kind == "top")
+        assert str(top.head_terms[0]) == "l(X)"
+
+    def test_member_rules(self):
+        members = {tuple(str(t) for t in c.head_terms)
+                   for c in self.components if c.kind == "member"}
+        assert members == {("l(X)", "f(Y)"), ("f(Y)", "n(Z)")}
+
+    def test_object_rules(self):
+        objects = {(str(c.head_terms[0]), str(c.head_terms[1]),
+                    str(c.value))
+                   for c in self.components if c.kind == "object"}
+        assert objects == {
+            ("l(X)", "l", "{}"),
+            ("f(Y)", "m", "{}"),
+            ("n(Z)", "n", "V"),
+        }
+
+    def test_bodies_are_shared(self):
+        for component in self.components:
+            assert component.body == self.q14.body
+
+    def test_str_rendering(self):
+        top = next(c for c in self.components if c.kind == "top")
+        assert str(top).startswith("top(l(X)) :- ")
+
+
+class TestGeneral:
+    def test_atomic_head(self):
+        q = parse_query("<f(P) x V> :- <P a V>@db")
+        components = decompose(q)
+        assert [c.kind for c in components] == ["top", "object"]
+        obj_rule = components[1]
+        assert str(obj_rule.value) == "V"
+
+    def test_empty_set_head(self):
+        q = parse_query("<f(P) x {}> :- <P a V>@db")
+        obj_rule = decompose(q)[1]
+        assert isinstance(obj_rule.value, SetPattern)
+
+    def test_program_decomposition(self):
+        rules = [
+            parse_query("<f(P) x V> :- <P a V>@db"),
+            parse_query("<g(P) y {<h(P) z W>}> :- <P b W>@db"),
+        ]
+        components = decompose_program(rules)
+        assert len(components) == 2 + 4

@@ -1,0 +1,77 @@
+"""Unit tests for the TSL tokenizer."""
+
+import pytest
+
+from repro.errors import TslSyntaxError
+from repro.tsl.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_punctuation(self):
+        assert texts("<>{}(),@") == list("<>{}(),@")
+
+    def test_turnstile(self):
+        assert kinds(":-") == ["turnstile", "eof"]
+
+    def test_identifier(self):
+        assert kinds("person") == ["ident", "eof"]
+
+    def test_primed_identifier(self):
+        assert texts("X' P''") == ["X'", "P''"]
+
+    def test_hyphenated_identifier(self):
+        assert texts("stan-student") == ["stan-student"]
+
+    def test_dollar_identifier(self):
+        assert texts("$YEAR") == ["$YEAR"]
+
+    def test_and_keyword_case_insensitive(self):
+        assert kinds("AND and And") == ["and", "and", "and", "eof"]
+
+    def test_integers(self):
+        tokens = list(tokenize("1997 -5"))
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("int", "1997"), ("int", "-5")]
+
+    def test_double_quoted_string(self):
+        tokens = list(tokenize('"A. Gupta"'))
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "A. Gupta"
+
+    def test_single_quoted_string(self):
+        tokens = list(tokenize("'hello world'"))
+        assert tokens[0].text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TslSyntaxError, match="unterminated"):
+            list(tokenize('"oops'))
+
+    def test_comment_skipped(self):
+        assert texts("a % comment here\nb") == ["a", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(TslSyntaxError, match="unexpected"):
+            list(tokenize("#"))
+
+    def test_line_and_column_tracking(self):
+        tokens = list(tokenize("a\n  b"))
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_whole_query_token_stream(self):
+        text = "<f(P) female V> :- <P person V>@db"
+        assert kinds(text) == [
+            "punct", "ident", "punct", "ident", "punct", "ident", "ident",
+            "punct", "turnstile", "punct", "ident", "ident", "ident",
+            "punct", "punct", "ident", "eof"]
+
+    def test_eof_always_last(self):
+        assert list(tokenize(""))[-1].kind == "eof"

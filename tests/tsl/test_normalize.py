@@ -1,0 +1,98 @@
+"""Tests for normal-form conversion and path extraction (Section 2)."""
+
+from repro.tsl import (is_normal_form, is_single_path, normalize,
+                       parse_query, print_query, query_paths,
+                       single_path_count, split_pattern, parse_pattern)
+from repro.tsl.normalize import path_to_condition
+
+
+class TestNormalize:
+    def test_q1_normalizes_to_q2(self):
+        q1 = parse_query(
+            "<f(P) female {<f(X) Y Z>}> :- "
+            "<P person {<G gender female> <X Y Z>}>@db")
+        q2 = parse_query(
+            "<f(P) female {<f(X) Y Z>}> :- "
+            "<P person {<G gender female>}>@db AND "
+            "<P person {<X Y Z>}>@db")
+        assert normalize(q1) == q2
+
+    def test_already_normal_unchanged(self):
+        q = parse_query("<f(P) x V> :- <P a {<X b V>}>@db")
+        assert normalize(q) == q
+
+    def test_head_untouched(self):
+        q = parse_query(
+            "<f(P) r {<a(P) x 1> <b(P) y 2>}> :- <P p {<A u 1> <B v 2>}>@db")
+        assert normalize(q).head == q.head
+
+    def test_duplicate_conditions_removed(self):
+        q = parse_query("<f(P) x 1> :- <P a V>@db AND <P a V>@db")
+        assert len(normalize(q).body) == 1
+
+    def test_three_way_split(self):
+        q = parse_query("<f(P) x 1> :- <P p {<A a 1> <B b 2> <C c 3>}>@db")
+        assert len(normalize(q).body) == 3
+
+    def test_deep_branching(self):
+        q = parse_query(
+            "<f(P) x 1> :- <P p {<A a {<B b 1> <C c 2>}> <D d 3>}>@db")
+        normalized = normalize(q)
+        assert len(normalized.body) == 3
+        assert is_normal_form(normalized)
+
+    def test_idempotent(self):
+        q = parse_query(
+            "<f(P) x 1> :- <P p {<A a {<B b 1> <C c 2>}> <D d 3>}>@db")
+        assert normalize(normalize(q)) == normalize(q)
+
+
+class TestPredicates:
+    def test_is_normal_form(self):
+        assert is_normal_form(parse_query("<f(P) x 1> :- <P a V>@db"))
+        assert not is_normal_form(
+            parse_query("<f(P) x 1> :- <P a {<B b 1> <C c 2>}>@db"))
+
+    def test_is_single_path(self):
+        assert is_single_path(
+            parse_query("<f(P) x 1> :- <P a {<B b {<C c V>}>}>@db"))
+        assert not is_single_path(
+            parse_query("<f(P) x 1> :- <P a V>@db AND <P b W>@db"))
+
+    def test_single_path_count(self):
+        q = parse_query(
+            "<f(P) x 1> :- <P p {<A a 1> <B b 2>}>@db AND <Q q V>@db")
+        assert single_path_count(q) == 3
+
+
+class TestPaths:
+    def test_path_structure(self):
+        q = parse_query("<f(P) x 1> :- <P p {<X name {<Z last V>}>}>@db")
+        paths = query_paths(q)
+        assert len(paths) == 1
+        path = paths[0]
+        assert path.depth == 3
+        assert [str(label) for _, label in path.steps] == \
+            ["p", "name", "last"]
+        assert path.source == "db"
+
+    def test_empty_set_leaf(self):
+        q = parse_query("<f(P) x 1> :- <P p {<X name {}>}>@db")
+        path = query_paths(q)[0]
+        assert path.depth == 2
+        assert str(path.leaf) == "{}"
+
+    def test_path_to_condition_round_trip(self):
+        q = parse_query("<f(P) x 1> :- <P p {<X name {<Z last V>}>}>@db")
+        path = query_paths(q)[0]
+        assert path_to_condition(path) == q.body[0]
+
+    def test_split_pattern(self):
+        p = parse_pattern("<P p {<A a 1> <B b 2>}>")
+        pieces = split_pattern(p)
+        assert [str(x) for x in pieces] == \
+            ["<P p {<A a 1>}>", "<P p {<B b 2>}>"]
+
+    def test_path_str_is_parseable(self):
+        q = parse_query("<f(P) x 1> :- <P p {<X name V>}>@db")
+        assert "name" in str(query_paths(q)[0])

@@ -1,0 +1,150 @@
+"""Unit tests for the TSL parser and printer round-trip."""
+
+import pytest
+
+from repro.errors import TslSyntaxError
+from repro.logic.terms import Constant, FunctionTerm, Variable
+from repro.tsl import (SetPattern, parse_pattern, parse_program, parse_query,
+                       parse_term, print_query)
+
+
+class TestTerms:
+    def test_uppercase_is_variable(self):
+        assert parse_term("P") == Variable("P")
+
+    def test_lowercase_is_constant(self):
+        assert parse_term("person") == Constant("person")
+
+    def test_dollar_is_variable(self):
+        assert parse_term("$YEAR") == Variable("$YEAR")
+
+    def test_integer(self):
+        assert parse_term("1997") == Constant(1997)
+
+    def test_quoted_string(self):
+        assert parse_term('"SIGMOD 97"') == Constant("SIGMOD 97")
+
+    def test_function_term(self):
+        assert parse_term("f(P,X)") == FunctionTerm(
+            "f", (Variable("P"), Variable("X")))
+
+    def test_nested_function_term(self):
+        assert parse_term("f(g(X),a)") == FunctionTerm(
+            "f", (FunctionTerm("g", (Variable("X"),)), Constant("a")))
+
+    def test_primed_variable(self):
+        assert parse_term("P'") == Variable("P'")
+
+
+class TestPatterns:
+    def test_flat_pattern(self):
+        p = parse_pattern("<P person V>")
+        assert p.oid == Variable("P")
+        assert p.label == Constant("person")
+        assert p.value == Variable("V")
+
+    def test_set_pattern(self):
+        p = parse_pattern("<P person {<G gender female>}>")
+        assert isinstance(p.value, SetPattern)
+        assert len(p.value.patterns) == 1
+
+    def test_empty_set_pattern(self):
+        p = parse_pattern("<P person {}>")
+        assert p.value == SetPattern(())
+
+    def test_multiple_nested(self):
+        p = parse_pattern("<P p {<A a 1> <B b 2> <C c 3>}>")
+        assert len(p.value.patterns) == 3
+
+    def test_deep_nesting(self):
+        p = parse_pattern("<P p {<X name {<Z last stanford>}>}>")
+        inner = p.value.patterns[0]
+        assert inner.label == Constant("name")
+        assert inner.value.patterns[0].value == Constant("stanford")
+
+
+class TestQueries:
+    def test_q1_from_paper(self):
+        q = parse_query(
+            "<f(P) female {<f(X) Y Z>}> :- "
+            "<P person {<G gender female> <X Y Z>}>@db")
+        assert q.head.oid == FunctionTerm("f", (Variable("P"),))
+        assert len(q.body) == 1
+        assert q.body[0].source == "db"
+
+    def test_multiple_conditions(self):
+        q = parse_query("<f(P) x 1> :- <P a V>@db1 AND <P b W>@db2")
+        assert [c.source for c in q.body] == ["db1", "db2"]
+        assert q.sources() == {"db1", "db2"}
+
+    def test_default_source(self):
+        q = parse_query("<f(P) x 1> :- <P a V>")
+        assert q.body[0].source == "db"
+
+    def test_named_query(self):
+        q = parse_query("<f(P) x V> :- <P a V>@db", name="V1")
+        assert q.name == "V1"
+
+    def test_multiline_and_comments(self):
+        q = parse_query("""
+            <f(P) x V> :-        % the head copies V
+                <P a V>@db AND   % first condition
+                <P b W>@db
+        """)
+        assert len(q.body) == 2
+
+    def test_missing_turnstile(self):
+        with pytest.raises(TslSyntaxError, match=":-"):
+            parse_query("<f(P) x 1> <P a V>@db")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TslSyntaxError, match="trailing"):
+            parse_query("<f(P) x 1> :- <P a V>@db extra")
+
+    def test_unclosed_pattern(self):
+        with pytest.raises(TslSyntaxError):
+            parse_query("<f(P) x 1> :- <P a V @db")
+
+    def test_missing_source_name(self):
+        with pytest.raises(TslSyntaxError, match="source"):
+            parse_query("<f(P) x 1> :- <P a V>@<")
+
+
+class TestPrograms:
+    def test_parse_program(self):
+        rules = parse_program(
+            "<f(P) x 1> :- <P a V>@db ; <g(P) y 2> :- <P b W>@db")
+        assert len(rules) == 2
+
+    def test_empty_chunks_skipped(self):
+        rules = parse_program("<f(P) x 1> :- <P a V>@db ; ")
+        assert len(rules) == 1
+
+
+PAPER_QUERIES = [
+    "<f(P) female {<f(X) Y Z>}> :- "
+    "<P person {<G gender female> <X Y Z>}>@db",
+    "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@db",
+    "<f(P) stanford yes> :- <P p {<X Y leland>}>@db",
+    "<f(P) stanford yes> :- <P p {<X Y {<Z last stanford>}>}>@db",
+    "<f(P) stan-student V> :- "
+    "<P p {<U university stanford>}>@db AND <P p V>@db",
+    "<l(X) l {<f(Y) m {<n(Z) n V>}>}> :- <X a {<Y b {<Z c V>}>}>@db",
+]
+
+
+@pytest.mark.parametrize("text", PAPER_QUERIES)
+def test_print_parse_round_trip(text):
+    q = parse_query(text)
+    assert parse_query(print_query(q)) == q
+
+
+def test_round_trip_with_quoting():
+    q = parse_query('<f(P) hit T> :- <P pub {<B booktitle "SIGMOD 97">}>@db '
+                    'AND <P pub {<X title T>}>@db')
+    assert parse_query(print_query(q)) == q
+
+
+def test_round_trip_multiline_printer():
+    q = parse_query(PAPER_QUERIES[0])
+    assert parse_query(print_query(q, multiline=True)) == q

@@ -1,0 +1,125 @@
+"""Tests for the regular path expression extension (Section 7)."""
+
+import pytest
+
+from repro.errors import TslSyntaxError
+from repro.logic.terms import Variable
+from repro.oem import build_database, obj
+from repro.tsl import evaluate_program, validate
+from repro.tsl.pathexpr import (expand_rpe_query, label_sequences,
+                                parse_path_expression)
+
+
+class TestParsing:
+    def test_single_label(self):
+        assert str(parse_path_expression("name")) == "name"
+
+    def test_sequence(self):
+        expr = parse_path_expression("person.name.last")
+        assert str(expr) == "person.name.last"
+
+    def test_alternation_and_grouping(self):
+        expr = parse_path_expression("a.(b|c).d")
+        assert label_sequences(expr, 3) == [("a", "b", "d"),
+                                            ("a", "c", "d")]
+
+    def test_star_plus_optional(self):
+        assert parse_path_expression("(a)*")
+        assert parse_path_expression("(a)+")
+        assert parse_path_expression("(a)?")
+
+    def test_wildcard(self):
+        assert label_sequences(parse_path_expression("_"), 1) == [("_",)]
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(TslSyntaxError):
+            parse_path_expression("(a.b")
+
+    def test_empty_label(self):
+        with pytest.raises(TslSyntaxError):
+            parse_path_expression("a..b")
+
+    def test_trailing_junk(self):
+        with pytest.raises(TslSyntaxError):
+            parse_path_expression("a)")
+
+
+class TestSequences:
+    def test_star_bounded(self):
+        expr = parse_path_expression("a.(b)*.c")
+        assert label_sequences(expr, 4) == [
+            ("a", "b", "b", "c"), ("a", "b", "c"), ("a", "c")]
+
+    def test_plus_requires_one(self):
+        expr = parse_path_expression("a.(b)+")
+        assert label_sequences(expr, 3) == [("a", "b"), ("a", "b", "b")]
+
+    def test_optional(self):
+        expr = parse_path_expression("a.b?.c")
+        assert label_sequences(expr, 3) == [("a", "b", "c"), ("a", "c")]
+
+    def test_nested_groups(self):
+        expr = parse_path_expression("(a.b|c)*.d")
+        sequences = label_sequences(expr, 3)
+        assert ("d",) in sequences
+        assert ("a", "b", "d") in sequences
+        assert ("c", "c", "d") in sequences
+
+    def test_nullable_star_rejected(self):
+        with pytest.raises(TslSyntaxError, match="nullable"):
+            label_sequences(parse_path_expression("(a?)*"), 3)
+
+    def test_bound_respected(self):
+        expr = parse_path_expression("(a)+")
+        assert all(len(seq) <= 5
+                   for seq in label_sequences(expr, 5))
+
+
+class TestExpansion:
+    @pytest.fixture
+    def deep_db(self):
+        return build_database("db", [
+            obj("part", [obj("part", [obj("part", [obj("name", "bolt")]),
+                                      obj("name", "axle")]),
+                         obj("name", "wheel")]),
+        ])
+
+    def test_rules_validate(self):
+        rules = expand_rpe_query("part.(part)*.name", Variable("V"),
+                                 max_depth=4)
+        assert rules
+        for rule in rules:
+            validate(rule)
+
+    def test_transitive_parts(self, deep_db):
+        rules = expand_rpe_query("part.(part)*.name", Variable("V"),
+                                 max_depth=5)
+        answer = evaluate_program(rules, deep_db)
+        names = {r.value for r in answer.root_objects()}
+        assert names == {"wheel", "axle", "bolt"}
+
+    def test_bound_truncates(self, deep_db):
+        rules = expand_rpe_query("part.(part)*.name", Variable("V"),
+                                 max_depth=2)
+        answer = evaluate_program(rules, deep_db)
+        names = {r.value for r in answer.root_objects()}
+        assert names == {"wheel"}  # deeper matches are beyond the bound
+
+    def test_wildcard_expansion(self, deep_db):
+        rules = expand_rpe_query("part._", Variable("V"), max_depth=2)
+        answer = evaluate_program(rules, deep_db)
+        labels = {r.value for r in answer.root_objects()}
+        assert "wheel" in labels
+
+    def test_rewriting_composes_with_expansion(self):
+        """Expanded RPE rules flow through the standard rewriter."""
+        from repro.rewriting import rewrite
+        from repro.tsl import parse_query
+        # The view must expose the endpoint oid (c(X)) because the
+        # expanded rule's head term hit(Root, End) mentions it.
+        view = parse_query(
+            "<v(P) row {<c(X) val N>}> :- "
+            "<P part {<X name N>}>@db", name="V")
+        [rule] = expand_rpe_query("part.name", Variable("V"), max_depth=2)
+        result = rewrite(rule, {"V": view})
+        assert len(result.rewritings) == 1

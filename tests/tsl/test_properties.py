@@ -1,0 +1,94 @@
+"""Property-based invariants across the TSL pipeline.
+
+Queries are sampled from random databases (so they are satisfiable and
+exercise joins, set values, and copy semantics), then every semantics-
+preserving transformation is checked to actually preserve semantics.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oem import identical
+from repro.rewriting import chase, equivalent
+from repro.tsl import (evaluate, normalize, parse_query, print_query,
+                       query_paths, validate)
+from repro.tsl.ast import Query
+from repro.workloads import (RandomOemConfig, RandomQueryConfig,
+                             generate_random_database, sample_query)
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _sample(seed: int):
+    db = generate_random_database(
+        RandomOemConfig(roots=3, max_depth=4, max_fanout=3), seed=seed)
+    query = sample_query(db, RandomQueryConfig(conditions=2, max_depth=3),
+                         seed=seed + 1)
+    return db, query
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_sampled_queries_validate(seed):
+    _, query = _sample(seed)
+    validate(query)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_print_parse_round_trip(seed):
+    _, query = _sample(seed)
+    assert parse_query(print_query(query)) == query
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_normalize_preserves_evaluation(seed):
+    db, query = _sample(seed)
+    assert identical(evaluate(query, db), evaluate(normalize(query), db))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_condition_order_is_irrelevant(seed):
+    db, query = _sample(seed)
+    reversed_query = Query(query.head, tuple(reversed(query.body)),
+                           name=query.name)
+    assert identical(evaluate(query, db), evaluate(reversed_query, db))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_chase_preserves_evaluation(seed):
+    db, query = _sample(seed)
+    chased = chase(query)
+    assert identical(evaluate(query, db), evaluate(chased, db))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2_000))
+def test_chase_is_equivalent_by_the_section4_test(seed):
+    _, query = _sample(seed)
+    assert equivalent(query, chase(query))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2_000))
+def test_normalize_is_equivalent_by_the_section4_test(seed):
+    _, query = _sample(seed)
+    assert equivalent(query, normalize(query))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_rename_apart_preserves_evaluation(seed):
+    db, query = _sample(seed)
+    assert identical(evaluate(query, db),
+                     evaluate(query.rename_apart("_x"), db))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_paths_cover_every_condition(seed):
+    _, query = _sample(seed)
+    normalized = normalize(query)
+    assert len(query_paths(normalized)) == len(normalized.body)

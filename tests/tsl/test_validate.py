@@ -1,0 +1,106 @@
+"""Tests for TSL well-formedness checks (Section 2)."""
+
+import pytest
+
+from repro.errors import (CyclicPatternError, OidDisciplineError, SafetyError,
+                          ValidationError)
+from repro.tsl import (data_variables, is_safe, oid_variables, parse_query,
+                       validate)
+from repro.logic.terms import Variable
+
+
+class TestSafety:
+    def test_safe_query_passes(self):
+        validate(parse_query("<f(P) x V> :- <P a V>@db"))
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(SafetyError, match="W"):
+            validate(parse_query("<f(P) x W> :- <P a V>@db"))
+
+    def test_unsafe_nested_head_variable(self):
+        with pytest.raises(SafetyError):
+            validate(parse_query(
+                "<f(P) x {<g(P) y W>}> :- <P a V>@db"))
+
+    def test_is_safe_predicate(self):
+        assert is_safe(parse_query("<f(P) x V> :- <P a V>@db"))
+        assert not is_safe(parse_query("<f(P) x W> :- <P a V>@db"))
+
+
+class TestHeadOids:
+    def test_bare_variable_head_oid_rejected(self):
+        with pytest.raises(ValidationError, match="bare variable"):
+            validate(parse_query("<P x V> :- <P a V>@db"))
+
+    def test_duplicate_head_oid_terms_rejected(self):
+        with pytest.raises(ValidationError, match="unique"):
+            validate(parse_query(
+                "<f(P) x {<f(P) y V>}> :- <P a V>@db"))
+
+    def test_distinct_function_terms_ok(self):
+        validate(parse_query(
+            "<f(P) x {<g(P) y V>}> :- <P a V>@db"))
+
+    def test_paper_v1_head_is_legal(self, v1):
+        validate(v1)
+
+
+class TestOidDiscipline:
+    def test_bare_oid_var_reused_as_label(self):
+        # The <X Y {<Y Z W>}> example of Section 5: Y is both an oid and
+        # a label variable.
+        with pytest.raises(OidDisciplineError, match="Y"):
+            validate(parse_query(
+                "<f(X) x W> :- <X Y {<Y Z W>}>@db"))
+
+    def test_function_term_args_are_exempt(self):
+        # (V1) uses pp(P',Y') with the label variable Y' as an argument.
+        validate(parse_query(
+            "<g(P) p {<pp(P,Y) pr Y>}> :- <P p {<X Y Z>}>@db"))
+
+    def test_oid_var_as_value_rejected(self):
+        with pytest.raises(OidDisciplineError):
+            validate(parse_query("<f(X) r X> :- <X a X>@db"))
+
+    def test_oid_variables_helper(self):
+        q = parse_query("<f(P) x V> :- <P a {<X b V>}>@db")
+        assert oid_variables(q) == {Variable("P"), Variable("X")}
+
+    def test_data_variables_helper(self):
+        q = parse_query("<f(P) x V> :- <P a {<X L V>}>@db")
+        assert data_variables(q) == {Variable("L"), Variable("V")}
+
+
+class TestAcyclicity:
+    def test_acyclic_passes(self):
+        validate(parse_query(
+            "<f(X) r V> :- <X a {<Y b {<Z c V>}>}>@db"))
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(CyclicPatternError):
+            validate(parse_query("<f(X) r 1> :- <X a {<X b V>}>@db"))
+
+    def test_cross_condition_cycle_rejected(self):
+        with pytest.raises(CyclicPatternError):
+            validate(parse_query(
+                "<f(X) r 1> :- <X a {<Y b V>}>@db AND <Y c {<X d W>}>@db"))
+
+    def test_diamond_is_fine(self):
+        # X reachable twice (through Y and Z) is a DAG, not a cycle.
+        validate(parse_query(
+            "<f(R) r 1> :- <R a {<Y b {<X c V>}>}>@db AND "
+            "<R a {<Z d {<X c V>}>}>@db"))
+
+
+class TestFieldShapes:
+    def test_function_term_label_rejected(self):
+        with pytest.raises(ValidationError, match="label"):
+            validate(parse_query("<f(P) g(X) V> :- <P a {<X b V>}>@db"))
+
+    def test_function_term_value_rejected(self):
+        with pytest.raises(ValidationError, match="value"):
+            validate(parse_query("<f(P) x g(P)> :- <P a V>@db"))
+
+    def test_validate_returns_query(self):
+        q = parse_query("<f(P) x V> :- <P a V>@db")
+        assert validate(q) is q

@@ -1,0 +1,130 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.oem import identical
+from repro.tsl import evaluate, validate
+from repro.workloads import (chain_database, chain_query, chain_view,
+                             conference_query, conference_view,
+                             fanout_probe_query, fanout_view,
+                             generate_bibliography, generate_people,
+                             k_conditions_database, k_conditions_query,
+                             people_dtd, sample_query, star_database,
+                             star_query, star_view, sigmod_97_query,
+                             year_view, RandomOemConfig, RandomQueryConfig,
+                             generate_random_database)
+
+
+class TestBiblio:
+    def test_deterministic_by_seed(self):
+        a = generate_bibliography(20, seed=5)
+        b = generate_bibliography(20, seed=5)
+        assert identical(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_bibliography(20, seed=1)
+        b = generate_bibliography(20, seed=2)
+        assert not identical(a, b)
+
+    def test_publication_shape(self):
+        db = generate_bibliography(10, seed=0)
+        assert len(db.roots) == 10
+        for pub in db.root_objects():
+            labels = [c.label for c in pub.value]
+            assert labels.count("title") == 1
+            assert labels.count("year") == 1
+            assert labels.count("booktitle") == 1
+            assert 1 <= labels.count("author") <= 3
+
+    def test_sigmod_fraction(self):
+        db = generate_bibliography(200, seed=0, sigmod_fraction=1.0)
+        q = conference_query("sigmod")
+        assert len(evaluate(q, db).roots) == 200
+
+    def test_standard_queries_validate(self):
+        for query in (sigmod_97_query(), conference_query("vldb", 1998),
+                      conference_view("sigmod", "v"),
+                      year_view(1997, "y")):
+            validate(query)
+
+    def test_query_view_consistency(self):
+        db = generate_bibliography(50, seed=9)
+        all_sigmod = evaluate(conference_view("sigmod", "v"), db)
+        only_97 = evaluate(conference_query("sigmod", 1997), db)
+        assert len(only_97.roots) <= len(all_sigmod.roots)
+
+
+class TestPeople:
+    def test_dtd_conformance(self):
+        db = generate_people(40, seed=1)
+        dtd = people_dtd()
+        for person in db.root_objects():
+            counts = {}
+            for child in person.value:
+                counts[child.label] = counts.get(child.label, 0) + 1
+            assert counts.get("name") == 1
+            assert counts.get("phone") == 1
+            for label, count in counts.items():
+                if dtd.functional_child("p", label):
+                    assert count <= 1
+
+    def test_name_structure(self):
+        db = generate_people(40, seed=2)
+        for person in db.root_objects():
+            [name] = person.subobjects("name")
+            assert len(name.subobjects("last")) == 1
+            assert len(name.subobjects("first")) == 1
+
+
+class TestQuerygen:
+    @pytest.mark.parametrize("depth", [1, 2, 5])
+    def test_chain_query_matches_chain_database(self, depth):
+        db = chain_database(depth, width=4)
+        answer = evaluate(chain_query(depth), db)
+        assert len(answer.roots) == 4
+
+    def test_chain_view_validates(self):
+        validate(chain_view(3))
+
+    @pytest.mark.parametrize("branches", [1, 3])
+    def test_star_query_matches_star_database(self, branches):
+        db = star_database(branches, width=2)
+        answer = evaluate(star_query(branches), db)
+        assert len(answer.roots) == 2
+
+    def test_star_distinct_labels(self):
+        db = star_database(3, width=1, distinct_labels=True)
+        answer = evaluate(star_query(3, distinct_labels=True), db)
+        assert len(answer.roots) == 1
+
+    def test_k_conditions_cross_product(self):
+        db = k_conditions_database(2, width=3)
+        answer = evaluate(k_conditions_query(2), db)
+        # Heads are keyed on P1: 3 roots, each fusing the 3 P2 bindings
+        # (1 h1-child + 3 h2-children).
+        assert len(answer.roots) == 3
+        for root in answer.root_objects():
+            assert len(root.value) == 4
+
+    def test_fanout_pair_validates(self):
+        validate(fanout_view(3))
+        validate(fanout_probe_query())
+
+
+class TestRandom:
+    def test_reproducible(self):
+        cfg = RandomOemConfig()
+        assert identical(generate_random_database(cfg, seed=4),
+                         generate_random_database(cfg, seed=4))
+
+    def test_dag_sharing(self):
+        cfg = RandomOemConfig(share_probability=0.5, roots=4, max_depth=4)
+        db = generate_random_database(cfg, seed=8)
+        db.check_integrity()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sampled_queries_are_satisfiable(self, seed):
+        db = generate_random_database(seed=seed)
+        query = sample_query(db, seed=seed)
+        validate(query)
+        assert len(evaluate(query, db).roots) >= 1

@@ -1,0 +1,139 @@
+"""Tests for the XML <-> OEM bridge and DTD extraction."""
+
+import pytest
+
+from repro.errors import ConstraintError, OemError
+from repro.oem import bisimilar, build_database, obj, ref
+from repro.tsl import evaluate, parse_query
+from repro.xmlbridge import (dtd_from_document, dtd_from_file_text,
+                             extract_internal_dtd, oem_to_xml,
+                             xml_fragments_to_oem, xml_to_oem)
+
+DOC = """
+<people>
+  <p id="1">
+    <name><last>stanford</last><first>leland</first></name>
+    <phone>650-1111</phone>
+  </p>
+  <p id="2">
+    <name><last>gupta</last></name>
+    <phone>650-2222</phone>
+  </p>
+</people>
+"""
+
+
+class TestXmlToOem:
+    def test_structure(self):
+        db = xml_to_oem(DOC)
+        [root] = db.root_objects()
+        assert root.label == "people"
+        assert len(root.subobjects("p")) == 2
+
+    def test_text_elements_become_atomic(self):
+        db = xml_to_oem(DOC)
+        person = db.root_objects()[0].subobjects("p")[0]
+        name = person.subobjects("name")[0]
+        last = name.subobjects("last")[0]
+        assert last.is_atomic
+        assert last.value == "stanford"
+
+    def test_numeric_coercion(self):
+        db = xml_to_oem("<r><n>42</n><s>abc</s></r>")
+        root = db.root_objects()[0]
+        assert root.subobjects("n")[0].value == 42
+        assert root.subobjects("s")[0].value == "abc"
+
+    def test_attributes_become_subobjects(self):
+        db = xml_to_oem(DOC)
+        person = db.root_objects()[0].subobjects("p")[0]
+        ids = person.subobjects("id")
+        assert len(ids) == 1 and ids[0].value == 1
+
+    def test_mixed_content_keeps_text(self):
+        db = xml_to_oem("<r>hello<child>x</child></r>")
+        root = db.root_objects()[0]
+        assert root.subobjects("#text")[0].value == "hello"
+
+    def test_oids_are_stable_paths(self):
+        db1 = xml_to_oem(DOC)
+        db2 = xml_to_oem(DOC)
+        assert set(db1.oids()) == set(db2.oids())
+
+    def test_malformed_xml(self):
+        with pytest.raises(OemError, match="malformed"):
+            xml_to_oem("<unclosed>")
+
+    def test_fragments(self):
+        db = xml_fragments_to_oem(["<a>1</a>", "<b>2</b>"])
+        assert len(db.roots) == 2
+
+    def test_imported_data_is_queryable(self):
+        db = xml_to_oem(DOC)
+        q = parse_query(
+            "<f(P) hit F> :- "
+            "<R people {<P p {<N name {<L last stanford>}>}>}>@db AND "
+            "<R people {<P p {<N name {<G first F>}>}>}>@db")
+        answer = evaluate(q, db)
+        assert [r.value for r in answer.root_objects()] == ["leland"]
+
+
+class TestOemToXml:
+    def test_round_trip_bisimilar(self):
+        db = xml_to_oem("<r><a>1</a><b><c>x</c></b></r>")
+        back = xml_to_oem(oem_to_xml(db))
+        assert bisimilar(db, back)
+
+    def test_multiple_roots_wrapped(self):
+        db = build_database("db", [obj("a", "1"), obj("b", "2")])
+        text = oem_to_xml(db)
+        assert text.startswith("<oem>")
+
+    def test_cycle_rejected(self):
+        db = build_database("db", [
+            obj("a", [obj("b", [ref("t")])], oid="t"),
+        ])
+        with pytest.raises(OemError, match="cyclic"):
+            oem_to_xml(db)
+
+    def test_shared_subobjects_duplicated(self):
+        db = build_database("db", [
+            obj("r", [obj("a", [ref("s")]), obj("b", [ref("s")])]),
+        ], extra=[obj("leaf", "v", oid="s")])
+        text = oem_to_xml(db)
+        assert text.count("<leaf>") == 2
+
+    def test_no_roots_rejected(self):
+        from repro.oem import OemDatabase
+        with pytest.raises(OemError, match="roots"):
+            oem_to_xml(OemDatabase("db"))
+
+
+class TestDtdExtraction:
+    DOC_WITH_DTD = """<?xml version="1.0"?>
+    <!DOCTYPE p [
+      <!ELEMENT p (name, phone)>
+      <!ELEMENT name CDATA>
+      <!ELEMENT phone CDATA>
+    ]>
+    <p><name>x</name><phone>1</phone></p>
+    """
+
+    def test_extract_internal_subset(self):
+        subset = extract_internal_dtd(self.DOC_WITH_DTD)
+        assert "<!ELEMENT p" in subset
+
+    def test_dtd_from_document(self):
+        dtd = dtd_from_document(self.DOC_WITH_DTD)
+        assert dtd.functional_child("p", "name")
+
+    def test_no_doctype_returns_none(self):
+        assert dtd_from_document("<p/>") is None
+
+    def test_dtd_from_file_text(self):
+        dtd = dtd_from_file_text("<!ELEMENT a (b?)> <!ELEMENT b CDATA>")
+        assert dtd.functional_child("a", "b")
+
+    def test_garbage_file_rejected(self):
+        with pytest.raises(ConstraintError):
+            dtd_from_file_text("nothing here")
