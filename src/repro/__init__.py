@@ -22,6 +22,7 @@ Quickstart::
 from .errors import (ChaseContradictionError, FusionConflictError,
                      OemError, ReproError, RewritingError, SafetyError,
                      TslError, TslSyntaxError, ValidationError)
+from .span import Span
 from .oem import OemDatabase, build_database, identical, isomorphic, obj
 from .tsl import (Query, evaluate, evaluate_program, normalize, parse_query,
                   print_query, validate)
@@ -35,5 +36,6 @@ __all__ = [
     "OemDatabase", "build_database", "obj", "identical", "isomorphic",
     "Query", "parse_query", "print_query", "normalize", "validate",
     "evaluate", "evaluate_program",
+    "Span",
     "__version__",
 ]

@@ -1,0 +1,41 @@
+"""Static analysis for TSL: diagnostics with source spans, and lint passes.
+
+The package implements a multi-pass analyzer over parsed TSL queries and
+view sets.  Each finding is a :class:`Diagnostic` with a stable code
+(``TSL001``...), a severity, and a :class:`~repro.span.Span` pointing at
+real source text; :func:`analyze` runs every registered pass.  See
+``docs/LINTING.md`` for the catalogue of codes.
+
+Exports resolve lazily (PEP 562) so that low-level modules — notably
+:mod:`repro.tsl.validate`, which delegates its checks to the
+``wellformed`` pass — can import their specific pass module without
+dragging the rewriting machinery into the import graph.
+"""
+
+from typing import Any
+
+_EXPORTS = {
+    "Diagnostic": ".diagnostics",
+    "Severity": ".diagnostics",
+    "register_pass": ".diagnostics",
+    "registered_passes": ".diagnostics",
+    "render_text": ".diagnostics",
+    "render_json": ".diagnostics",
+    "AnalysisContext": ".analyzer",
+    "analyze": ".analyzer",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(target, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

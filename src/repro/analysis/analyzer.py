@@ -1,0 +1,78 @@
+"""The analyzer: run every registered pass over a query + context.
+
+:func:`analyze` is the library entry point behind ``python -m repro
+lint``.  It builds an :class:`AnalysisContext`, runs the registered
+passes (well-formedness, style/redundancy, DTD satisfiability, view-set
+lints) and returns the findings sorted by file, position, and code.
+Passes are pure query-level analyses: nothing here evaluates a query or
+invokes the rewriter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..rewriting.constraints import Dtd
+from ..tsl.ast import Query
+from .diagnostics import Diagnostic, registered_passes
+
+# Importing a pass module registers it; order here is report order for
+# findings at identical positions.
+from .passes import wellformed as _wellformed  # noqa: F401  (registers)
+from .passes import style as _style            # noqa: F401  (registers)
+from .passes import dtd as _dtd                # noqa: F401  (registers)
+from .passes import views as _views            # noqa: F401  (registers)
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisContext:
+    """Everything a pass may look at."""
+
+    query: Query
+    source_text: str | None = None
+    source_name: str | None = None
+    views: Mapping[str, Query] = field(default_factory=dict)
+    view_files: Mapping[str, str] = field(default_factory=dict)
+    dtd: Dtd | None = None
+
+
+def _sort_key(diag: Diagnostic, main: str | None):
+    span = diag.span
+    return (
+        diag.file is not None and diag.file != main,  # main file first
+        diag.file or "",
+        span.line if span else 0,
+        span.column if span else 0,
+        diag.code,
+    )
+
+
+def analyze(query: Query, *,
+            source_text: str | None = None,
+            source_name: str | None = None,
+            views: Mapping[str, Query] | None = None,
+            view_files: Mapping[str, str] | None = None,
+            dtd: Dtd | None = None,
+            passes: Iterable[str] | None = None) -> list[Diagnostic]:
+    """Run the registered analysis passes and return sorted findings.
+
+    ``views`` maps view names to parsed view queries (for the view-set
+    lints); ``view_files`` optionally maps view names to file paths so
+    findings are attributed to the right file.  ``passes`` restricts the
+    run to a subset of pass names (see :func:`registered_passes`).
+    """
+    ctx = AnalysisContext(query=query, source_text=source_text,
+                          source_name=source_name,
+                          views=dict(views or {}),
+                          view_files=dict(view_files or {}),
+                          dtd=dtd)
+    wanted = None if passes is None else set(passes)
+    findings: list[Diagnostic] = []
+    for name, pass_fn in registered_passes().items():
+        if wanted is not None and name not in wanted:
+            continue
+        findings.extend(diag.with_file(source_name)
+                        for diag in pass_fn(ctx))
+    findings.sort(key=lambda d: _sort_key(d, source_name))
+    return findings

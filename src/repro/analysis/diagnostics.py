@@ -1,0 +1,135 @@
+"""The diagnostics model: findings, severities, the pass registry, renderers.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a stable
+code (``TSL001``), a :class:`Severity`, a human message, and — whenever
+the analyzed query was parsed from text — a :class:`~repro.span.Span`
+locating the offending construct.  ``suggestion`` optionally carries a
+concrete fix, rendered as a ``help:`` line.
+
+Passes register themselves with :func:`register_pass`; the analyzer in
+:mod:`repro.analysis.analyzer` runs every registered pass in
+registration order.  Rendering is flake8/rustc-flavoured::
+
+    q.tsl:1:9: error: head variable W is not bound in the query body [TSL001]
+        <f(P) x W> :- <P a V>@db
+                ^
+        help: bind W in a body condition or drop it from the head
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Callable, Iterable, Sequence
+
+from ..span import Span, excerpt_lines, format_location
+
+
+class Severity(str, Enum):
+    """How bad a finding is; orders ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # render as bare "error", not "Severity.ERROR"
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    code: str                      # stable, e.g. "TSL001"
+    severity: Severity
+    message: str
+    span: Span | None = None
+    file: str | None = None        # file path or view name the span is in
+    suggestion: str | None = None  # optional concrete fix ("help:" line)
+
+    def with_file(self, file: str | None) -> "Diagnostic":
+        """A copy attributed to *file* (no-op when already attributed)."""
+        if self.file is not None or file is None:
+            return self
+        return replace(self, file=file)
+
+    def to_dict(self) -> dict:
+        span = None
+        if self.span is not None:
+            span = {
+                "line": self.span.line,
+                "column": self.span.column,
+                "end_line": self.span.end_line,
+                "end_column": self.span.end_column,
+            }
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "span": span,
+            "suggestion": self.suggestion,
+        }
+
+    def __str__(self) -> str:
+        return render_text(self)
+
+
+# --------------------------------------------------------------------------
+# Pass registry
+# --------------------------------------------------------------------------
+
+# A pass maps an AnalysisContext (see analyzer.py) to an iterable of
+# Diagnostics.  Typed loosely to keep this module importable without the
+# analyzer.
+PassFn = Callable[[object], Iterable[Diagnostic]]
+
+_REGISTRY: dict[str, PassFn] = {}
+
+
+def register_pass(name: str) -> Callable[[PassFn], PassFn]:
+    """Class decorator registering a pass under *name* (definition order)."""
+
+    def decorator(fn: PassFn) -> PassFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def registered_passes() -> dict[str, PassFn]:
+    """The registered passes, in registration order."""
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# Rendering
+# --------------------------------------------------------------------------
+
+def render_text(diag: Diagnostic, *, text: str | None = None) -> str:
+    """Render one diagnostic, with a caret excerpt when *text* is given."""
+    location = format_location(diag.span, diag.file)
+    prefix = f"{location}: " if location else ""
+    lines = [f"{prefix}{diag.severity}: {diag.message} [{diag.code}]"]
+    if text is not None and diag.span is not None:
+        lines.extend(excerpt_lines(text, diag.span))
+    if diag.suggestion:
+        lines.append(f"    help: {diag.suggestion}")
+    return "\n".join(lines)
+
+
+def severity_counts(diags: Sequence[Diagnostic]) -> dict[str, int]:
+    counts = {s.value: 0 for s in Severity}
+    for diag in diags:
+        counts[diag.severity.value] += 1
+    return counts
+
+
+def render_json(diags: Sequence[Diagnostic], *, indent: int = 2) -> str:
+    """The machine-readable report: diagnostics plus a severity summary."""
+    payload = {
+        "diagnostics": [d.to_dict() for d in diags],
+        "summary": severity_counts(diags),
+    }
+    return json.dumps(payload, indent=indent)

@@ -1,0 +1,8 @@
+"""Analysis passes.  Import a pass module to register it.
+
+Kept import-light on purpose: :mod:`repro.tsl.validate` imports
+``wellformed`` directly (well-formedness exceptions are built from its
+diagnostics), and must not pull the heavier passes — ``style`` uses the
+containment-mapping engine from :mod:`repro.rewriting.mappings` — into
+the core import graph.  The analyzer imports all of them.
+"""

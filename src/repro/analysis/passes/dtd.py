@@ -1,0 +1,129 @@
+"""Constraint-aware lints (TSL2xx): conditions unsatisfiable under a DTD.
+
+Uses the Section 3.3 machinery of :mod:`repro.rewriting.constraints`
+(the same :class:`~repro.rewriting.constraints.Dtd` the chase and label
+inference consume) to prove conditions empty *before* the exponential
+Step 1B/Step 2 pipeline ever runs:
+
+* **TSL201** a parent/child label pair the DTD forbids, a set pattern
+  under an atomic element, an atomic value on an element with element
+  content, or an ``a . ? . c`` sandwich with *no* admissible middle
+  label -- the condition can never match a legal database.
+* **TSL202** (info) label inference: an ``a . ? . c`` sandwich where
+  exactly one middle label is admissible -- the variable is forced, and
+  naming it makes the query cheaper to evaluate and rewrite.
+
+Only conditions addressed at the DTD's source are examined, and only
+labels the DTD actually declares constrain anything (semistructured
+data may always carry extra structure next to the declared part).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...logic.terms import Constant, Variable
+from ...rewriting.constraints import Dtd
+from ...tsl.ast import ObjectPattern, Query, SetPattern
+from ..diagnostics import Diagnostic, Severity, register_pass
+
+
+def _declared(dtd: Dtd, label) -> bool:
+    return isinstance(label, Constant) and str(label) in dtd.elements
+
+
+def _pattern_diagnostics(pattern: ObjectPattern,
+                         dtd: Dtd) -> Iterator[Diagnostic]:
+    label = pattern.label
+    if _declared(dtd, label):
+        name = str(label)
+        if dtd.is_atomic(name):
+            if isinstance(pattern.value, SetPattern):
+                yield Diagnostic(
+                    "TSL201", Severity.WARNING,
+                    f"element {name} has atomic content under the DTD, but "
+                    "the pattern requires a set value; the condition is "
+                    "unsatisfiable",
+                    span=pattern.value.span or pattern.span,
+                    suggestion="match the atomic value with a variable "
+                               "or constant instead of a set pattern")
+        else:
+            if isinstance(pattern.value, Constant):
+                yield Diagnostic(
+                    "TSL201", Severity.WARNING,
+                    f"element {name} has element content under the DTD, but "
+                    f"the pattern requires the atomic value "
+                    f"{pattern.value}; the condition is unsatisfiable",
+                    span=pattern.value.span or pattern.span,
+                    suggestion="use a set pattern to match subobjects")
+        if isinstance(pattern.value, SetPattern):
+            for child in pattern.value.patterns:
+                yield from _child_diagnostics(name, child, dtd)
+    if isinstance(pattern.value, SetPattern):
+        for child in pattern.value.patterns:
+            yield from _pattern_diagnostics(child, dtd)
+
+
+def _child_diagnostics(parent: str, child: ObjectPattern,
+                       dtd: Dtd) -> Iterator[Diagnostic]:
+    label = child.label
+    if isinstance(label, Constant):
+        if not dtd.can_contain(parent, str(label)):
+            yield Diagnostic(
+                "TSL201", Severity.WARNING,
+                f"element {parent} can never have a {label} subobject "
+                "under the DTD; the condition is unsatisfiable",
+                span=label.span or child.span,
+                suggestion=_allowed_children_hint(parent, dtd))
+        return
+    if not isinstance(label, Variable):
+        return
+    if not isinstance(child.value, SetPattern):
+        return
+    # The a.?.c sandwich of Section 3.3 label inference: parent is known,
+    # the middle label is a variable, and a grandchild label is constant.
+    for grandchild in child.value.patterns:
+        target = grandchild.label
+        if not isinstance(target, Constant):
+            continue
+        candidates = [spec.name for spec in dtd.children_of(parent)
+                      if dtd.can_contain(spec.name, str(target))]
+        if not candidates:
+            yield Diagnostic(
+                "TSL201", Severity.WARNING,
+                f"no element between {parent} and {target} is admissible "
+                "under the DTD; the condition is unsatisfiable",
+                span=target.span or grandchild.span,
+                suggestion=f"no child of {parent} may contain a {target} "
+                           "subobject")
+        elif len(candidates) == 1:
+            inferred = dtd.infer_middle_label(parent, str(target))
+            yield Diagnostic(
+                "TSL202", Severity.INFO,
+                f"label variable {label.name} can only be {inferred} "
+                f"under the DTD (the unique element between {parent} "
+                f"and {target})",
+                span=label.span or child.span,
+                suggestion=f"replace {label.name} with {inferred}")
+
+
+def _allowed_children_hint(parent: str, dtd: Dtd) -> str:
+    allowed = ", ".join(spec.name for spec in dtd.children_of(parent))
+    if allowed:
+        return f"the DTD allows only: {allowed}"
+    return f"the DTD declares {parent} with no children"
+
+
+def dtd_diagnostics(query: Query, dtd: Dtd) -> Iterator[Diagnostic]:
+    """All TSL2xx findings for body conditions at the DTD's source."""
+    for condition in query.body:
+        if condition.source != dtd.source:
+            continue
+        yield from _pattern_diagnostics(condition.pattern, dtd)
+
+
+@register_pass("dtd")
+def dtd_pass(ctx) -> Iterator[Diagnostic]:
+    if ctx.dtd is None:
+        return
+    yield from dtd_diagnostics(ctx.query, ctx.dtd)

@@ -1,0 +1,128 @@
+"""Style and redundancy lints (TSL1xx) — legal queries that look wrong.
+
+* **TSL101** singleton data variables: a label/value variable occurring
+  exactly once in the whole query usually signals a typo (object-id
+  variables are exempt -- existential oids like ``<X title T>`` are
+  idiomatic, and so are ``$``-parameters of capability views).
+* **TSL102** redundant conditions: a body condition that the *rest* of
+  the body implies, witnessed by a self-containment mapping (the same
+  engine as Step 1A, :mod:`repro.rewriting.mappings`) that is the
+  identity on every variable shared with the head or the other
+  conditions -- the classic conjunctive-query minimization argument.
+* **TSL103** disconnected body: conditions that share no variables with
+  the rest of the body multiply answers as a cartesian product in the
+  evaluator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from ...logic.terms import Term, Variable
+from ...rewriting.mappings import body_mappings
+from ...tsl.ast import ObjectPattern, Query
+from ...tsl.normalize import condition_paths
+from ..diagnostics import Diagnostic, Severity, register_pass
+
+
+def _data_occurrences(pattern: ObjectPattern) -> Iterator[Variable]:
+    """Bare variables in label/value position, with their parsed spans."""
+    for node in pattern.nested_patterns():
+        if isinstance(node.label, Variable):
+            yield node.label
+        if isinstance(node.value, Variable):
+            yield node.value
+
+
+def singleton_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL101: data variables that occur exactly once in the query."""
+    counts: Counter[Variable] = Counter(query.head.variables())
+    for condition in query.body:
+        counts.update(condition.pattern.variables())
+    for condition in query.body:
+        for occurrence in _data_occurrences(condition.pattern):
+            if counts[occurrence] != 1 or occurrence.name.startswith("$"):
+                continue
+            yield Diagnostic(
+                "TSL101", Severity.WARNING,
+                f"variable {occurrence.name} occurs only once in the query",
+                span=occurrence.span,
+                suggestion="check for a misspelled variable name; a "
+                           "one-off variable only asserts existence")
+
+
+def redundancy_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL102: conditions implied by the rest of the body."""
+    body = query.body
+    if len(body) < 2:
+        return
+    head_vars = query.head_variables()
+    for i, condition in enumerate(body):
+        own_paths = condition_paths(condition)
+        rest = [c for j, c in enumerate(body) if j != i]
+        rest_paths = [p for c in rest for p in condition_paths(c)]
+        if not rest_paths:
+            continue
+        own_vars = set(condition.variables())
+        rest_vars: set[Variable] = set()
+        for c in rest:
+            rest_vars.update(c.variables())
+        shared = own_vars & (head_vars | rest_vars)
+        for subst in body_mappings(own_paths, rest_paths):
+            if all(subst.apply(v) == v for v in shared):
+                duplicate = all(p in rest_paths for p in own_paths)
+                what = ("duplicates other conditions" if duplicate
+                        else "is implied by the rest of the body")
+                yield Diagnostic(
+                    "TSL102", Severity.WARNING,
+                    f"condition {i + 1} ({condition.pattern}@"
+                    f"{condition.source}) {what}",
+                    span=condition.span,
+                    suggestion="remove the redundant condition; "
+                               "conjunction is idempotent")
+                break
+
+
+def connectivity_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL103: body components sharing no variables (cartesian products)."""
+    body = query.body
+    if len(body) < 2:
+        return
+    condition_vars = [set(c.variables()) for c in body]
+    component = list(range(len(body)))
+
+    def find(i: int) -> int:
+        while component[i] != i:
+            component[i] = component[component[i]]
+            i = component[i]
+        return i
+
+    for i in range(len(body)):
+        for j in range(i + 1, len(body)):
+            if condition_vars[i] & condition_vars[j]:
+                component[find(i)] = find(j)
+
+    groups: dict[int, list[int]] = {}
+    for i in range(len(body)):
+        groups.setdefault(find(i), []).append(i)
+    ordered = sorted(groups.values(), key=lambda g: g[0])
+    if len(ordered) < 2:
+        return
+    for group in ordered[1:]:
+        first = body[group[0]]
+        members = ", ".join(str(k + 1) for k in group)
+        yield Diagnostic(
+            "TSL103", Severity.WARNING,
+            f"condition(s) {members} share no variables with the rest of "
+            "the body; the result is a cartesian product",
+            span=first.span,
+            suggestion="join the groups through a shared variable, or "
+                       "split the query")
+
+
+@register_pass("style")
+def style_pass(ctx) -> Iterator[Diagnostic]:
+    yield from singleton_diagnostics(ctx.query)
+    yield from redundancy_diagnostics(ctx.query)
+    yield from connectivity_diagnostics(ctx.query)

@@ -1,0 +1,31 @@
+"""View-set lints for the mediator (TSL3xx).
+
+* **TSL301** a view whose head exports no variables can never supply
+  bindings through a containment mapping (Step 1A needs the view head
+  to carry the matched data out), so the rewriter can only ever use it
+  as an existence test -- almost always a view-definition mistake.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..diagnostics import Diagnostic, Severity, register_pass
+
+
+@register_pass("views")
+def views_pass(ctx) -> Iterator[Diagnostic]:
+    for name in sorted(ctx.views):
+        view = ctx.views[name]
+        if view.head_variables():
+            continue
+        yield Diagnostic(
+            "TSL301", Severity.WARNING,
+            f"view {name} exports no variables in its head; it can never "
+            "participate in a containment mapping that carries data into "
+            "a rewriting",
+            span=view.head.span,
+            file=ctx.view_files.get(name, name),
+            suggestion="export the body variables the mediator should "
+                       "be able to query, e.g. include them in the head "
+                       "value fields")

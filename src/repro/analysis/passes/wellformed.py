@@ -1,0 +1,200 @@
+"""Well-formedness checks of Section 2/5 as diagnostics (TSL001-TSL005).
+
+This module is the single implementation of the paper's query
+discipline; :mod:`repro.tsl.validate` raises its ``ValidationError``
+family from the first error diagnostic produced here, so the exception
+API and the lint report can never disagree.
+
+Codes:
+
+* **TSL001** safety: every head variable appears in the body.
+* **TSL002** oid-variable discipline: ``Vo ∩ Vc = ∅`` (Section 5).
+* **TSL003** acyclic body patterns (chase termination, Section 3.2).
+* **TSL004** head object ids: unique, and function terms or constants.
+* **TSL005** field shapes: labels and term values are never function
+  terms (function terms denote object ids).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ...logic.terms import FunctionTerm, Term, Variable
+from ...span import Span
+from ...tsl.ast import ObjectPattern, Query, SetPattern
+from ..diagnostics import Diagnostic, Severity, register_pass
+
+
+def _all_patterns(query: Query) -> Iterator[ObjectPattern]:
+    yield from query.head.nested_patterns()
+    for condition in query.body:
+        yield from condition.pattern.nested_patterns()
+
+
+def oid_variables(query: Query) -> set[Variable]:
+    """Variables standing alone in an object-id field (head or body).
+
+    Arguments *inside* function-term oids do not count: the paper's view
+    (V1) uses ``pp(P',Y')`` as a head oid with the label variable ``Y'``
+    as an argument, so the ``Vo ∩ Vc = ∅`` discipline can only concern
+    bare oid variables -- which is also exactly what rules out the hidden
+    functional dependency of ``<X Y {<Y Z W>}>`` (Section 5).
+    """
+    out: set[Variable] = set()
+    for pattern in _all_patterns(query):
+        if isinstance(pattern.oid, Variable):
+            out.add(pattern.oid)
+    return out
+
+
+def data_variables(query: Query) -> set[Variable]:
+    """Variables occurring in label or value fields (head or body)."""
+    out: set[Variable] = set()
+    for pattern in _all_patterns(query):
+        out.update(pattern.label.variables())
+        if isinstance(pattern.value, Term):
+            out.update(pattern.value.variables())
+    return out
+
+
+def _first_span(variables: Iterable[Variable], name: str) -> Span | None:
+    """The span of the first occurrence of variable *name*, if any."""
+    for v in variables:
+        if v.name == name and v.span is not None:
+            return v.span
+    return None
+
+
+# --------------------------------------------------------------------------
+# The individual checks, as diagnostic generators
+# --------------------------------------------------------------------------
+
+def field_shape_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL005: labels and term values must be variables or constants."""
+    for pattern in _all_patterns(query):
+        if isinstance(pattern.label, FunctionTerm):
+            yield Diagnostic(
+                "TSL005", Severity.ERROR,
+                f"label field {pattern.label} is a function term",
+                span=pattern.label.span or pattern.span,
+                suggestion="labels are atomic; use a variable or constant")
+        if isinstance(pattern.value, FunctionTerm):
+            # Function terms denote oids; an atomic value is atomic data.
+            yield Diagnostic(
+                "TSL005", Severity.ERROR,
+                f"value field {pattern.value} is a function term",
+                span=pattern.value.span or pattern.span,
+                suggestion="function terms denote object ids and belong "
+                           "in oid fields only")
+
+
+def safety_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL001: every head variable must be bound in the body."""
+    missing = query.head_variables() - query.body_variables()
+    for name in sorted(v.name for v in missing):
+        yield Diagnostic(
+            "TSL001", Severity.ERROR,
+            f"head variable {name} is not bound in the query body",
+            span=_first_span(query.head.variables(), name),
+            suggestion=f"bind {name} in a body condition or drop it "
+                       "from the head")
+
+
+def head_oid_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL004: head oid terms must be unique and fresh-id-producing."""
+    seen: set[Term] = set()
+    for pattern in query.head.nested_patterns():
+        oid = pattern.oid
+        if isinstance(oid, Variable):
+            yield Diagnostic(
+                "TSL004", Severity.ERROR,
+                f"head object-id {oid} is a bare variable; head oids must "
+                "be function terms or constants so answers get fresh ids",
+                span=oid.span or pattern.span,
+                suggestion=f"wrap it in a fresh function term, e.g. f({oid})")
+            continue
+        if oid in seen:
+            yield Diagnostic(
+                "TSL004", Severity.ERROR,
+                f"head object-id term {oid} is not unique in the head",
+                span=oid.span or pattern.span,
+                suggestion="use a distinct function symbol for each head "
+                           "object")
+        seen.add(oid)
+
+
+def oid_discipline_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL002: oid variables and label/value variables must be disjoint."""
+    overlap = oid_variables(query) & data_variables(query)
+    for name in sorted(v.name for v in overlap):
+        span = None
+        for pattern in _all_patterns(query):
+            span = (_first_span(pattern.label.variables(), name)
+                    or (_first_span(pattern.value.variables(), name)
+                        if isinstance(pattern.value, Term) else None))
+            if span is not None:
+                break
+        yield Diagnostic(
+            "TSL002", Severity.ERROR,
+            f"variable {name} is used both as an object id and as a "
+            "label or value",
+            span=span,
+            suggestion="rename one of the uses; the paper requires the "
+                       "oid and label/value variable sets to be disjoint")
+
+
+def acyclicity_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """TSL003: the oid parent/child relation of the body must be acyclic."""
+    edges: dict[Term, set[Term]] = {}
+    spans: dict[tuple[Term, Term], Span | None] = {}
+
+    def collect(pattern: ObjectPattern) -> None:
+        if isinstance(pattern.value, SetPattern):
+            for child in pattern.value.patterns:
+                edges.setdefault(pattern.oid, set()).add(child.oid)
+                spans.setdefault((pattern.oid, child.oid), child.span)
+                collect(child)
+
+    for condition in query.body:
+        collect(condition.pattern)
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[Term, int] = {}
+    found: list[Diagnostic] = []
+
+    def visit(node: Term) -> None:
+        color[node] = GRAY
+        for succ in sorted(edges.get(node, ()), key=str):
+            state = color.get(succ, WHITE)
+            if state == GRAY:
+                found.append(Diagnostic(
+                    "TSL003", Severity.ERROR,
+                    "body patterns look for a cycle through oid term "
+                    f"{succ}",
+                    span=spans.get((node, succ)),
+                    suggestion="OEM databases may be cyclic but body "
+                               "patterns must be acyclic (chase "
+                               "termination); break the cycle with a "
+                               "fresh oid variable"))
+            if state == WHITE:
+                visit(succ)
+        color[node] = BLACK
+
+    for node in list(edges):
+        if color.get(node, WHITE) == WHITE:
+            visit(node)
+    yield from found
+
+
+def wellformed_diagnostics(query: Query) -> Iterator[Diagnostic]:
+    """All well-formedness findings, in the order ``validate`` checks them."""
+    yield from field_shape_diagnostics(query)
+    yield from safety_diagnostics(query)
+    yield from head_oid_diagnostics(query)
+    yield from oid_discipline_diagnostics(query)
+    yield from acyclicity_diagnostics(query)
+
+
+@register_pass("wellformed")
+def wellformed_pass(ctx) -> Iterator[Diagnostic]:
+    yield from wellformed_diagnostics(ctx.query)

@@ -1,8 +1,10 @@
-"""Command-line interface: validate, evaluate, and rewrite TSL queries.
+"""Command-line interface: validate, lint, evaluate, and rewrite TSL queries.
 
 Usage (installed as ``python -m repro``)::
 
     python -m repro validate QUERY.tsl
+    python -m repro lint QUERY.tsl [--view NAME=V.tsl ...] [--dtd FILE] \
+        [--format text|json] [--strict]
     python -m repro evaluate QUERY.tsl --db DATA.json [--dot]
     python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--contained]
@@ -11,6 +13,12 @@ Usage (installed as ``python -m repro``)::
 Queries and views are TSL text files (``%`` comments allowed); databases
 are the JSON encoding of :mod:`repro.oem.serialize`; XML documents import
 through :mod:`repro.xmlbridge`.
+
+``lint`` runs the :mod:`repro.analysis` static analyzer (diagnostic
+codes ``TSLxxx``, see ``docs/LINTING.md``) and exits 0 when clean, 1
+when only warnings were found and ``--strict`` is set, and 2 on errors.
+``validate`` and ``rewrite`` render their parse/validation failures
+through the same span-aware renderer (source line + caret underline).
 """
 
 from __future__ import annotations
@@ -19,20 +27,44 @@ import argparse
 import sys
 from pathlib import Path
 
-from .errors import ReproError
+from .analysis import Diagnostic, Severity, analyze, render_json, render_text
+from .errors import ReproError, TslError, TslSyntaxError
 from .oem.dot import to_dot
 from .oem.serialize import dumps, loads
 from .rewriting import (maximally_contained_rewritings, parse_dtd, rewrite)
 from .tsl import evaluate, parse_query, print_query, validate
 from .xmlbridge import dtd_from_document, xml_to_oem
 
+#: Diagnostic code under which syntax errors appear in lint reports.
+SYNTAX_CODE = "TSL000"
+
+
+class RenderedError(ReproError):
+    """A failure whose message is already fully rendered for the user."""
+
 
 def _read(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
 
 
+def _error_diagnostic(exc: TslError, file: str) -> Diagnostic:
+    """The diagnostic form of a syntax/validation exception."""
+    code = getattr(exc, "code", None) or SYNTAX_CODE
+    message = getattr(exc, "message", None) or str(exc)
+    return Diagnostic(code, Severity.ERROR, message,
+                      span=getattr(exc, "span", None), file=file)
+
+
+def _render_tsl_error(exc: TslError, text: str, path: str) -> str:
+    return render_text(_error_diagnostic(exc, path), text=text)
+
+
 def _load_query(path: str):
-    return validate(parse_query(_read(path)))
+    text = _read(path)
+    try:
+        return validate(parse_query(text))
+    except TslError as exc:
+        raise RenderedError(_render_tsl_error(exc, text, path)) from exc
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -54,12 +86,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_view_spec(spec: str):
+def _split_view_spec(spec: str) -> tuple[str, str]:
     if "=" not in spec:
         raise ReproError(
             f"--view expects NAME=FILE, got {spec!r}")
     name, _, path = spec.partition("=")
-    return name, parse_query(_read(path), name=name)
+    return name, path
+
+
+def _parse_view_spec(spec: str):
+    name, path = _split_view_spec(spec)
+    text = _read(path)
+    try:
+        return name, parse_query(text, name=name)
+    except TslError as exc:
+        raise RenderedError(_render_tsl_error(exc, text, path)) from exc
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
@@ -83,6 +124,64 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     for rewriting, flavor in rewritings:
         print(f"% {flavor}")
         print(print_query(rewriting, multiline=True))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    texts: dict[str, str] = {}
+    diagnostics: list[Diagnostic] = []
+
+    path = args.query
+    text = _read(path)
+    texts[path] = text
+    query = None
+    try:
+        query = parse_query(text)
+    except TslSyntaxError as exc:
+        diagnostics.append(_error_diagnostic(exc, path))
+
+    views = {}
+    view_files = {}
+    for spec in args.view:
+        name, view_path = _split_view_spec(spec)
+        view_text = _read(view_path)
+        texts[view_path] = view_text
+        try:
+            views[name] = parse_query(view_text, name=name)
+            view_files[name] = view_path
+        except TslSyntaxError as exc:
+            diagnostics.append(_error_diagnostic(exc, view_path))
+
+    dtd = parse_dtd(_read(args.dtd)) if args.dtd else None
+
+    if query is not None:
+        diagnostics.extend(analyze(
+            query, source_text=text, source_name=path,
+            views=views, view_files=view_files, dtd=dtd))
+    for name, view_query in views.items():
+        view_path = view_files[name]
+        diagnostics.extend(analyze(
+            view_query, source_text=texts[view_path],
+            source_name=view_path, dtd=dtd))
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        for diag in diagnostics:
+            print(render_text(diag, text=texts.get(diag.file)))
+        errors = sum(d.severity is Severity.ERROR for d in diagnostics)
+        warnings = sum(d.severity is Severity.WARNING for d in diagnostics)
+        if diagnostics:
+            print(f"{len(diagnostics)} finding(s): {errors} error(s), "
+                  f"{warnings} warning(s)", file=sys.stderr)
+        else:
+            print("clean: no findings", file=sys.stderr)
+
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        return 2
+    if args.strict and any(d.severity is Severity.WARNING
+                           for d in diagnostics):
+        return 1
     return 0
 
 
@@ -112,6 +211,23 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="parse + validate a TSL query file")
     validate_cmd.add_argument("query")
     validate_cmd.set_defaults(handler=_cmd_validate)
+
+    lint_cmd = commands.add_parser(
+        "lint", help="run the TSL static analyzer over a query "
+                     "(and optionally views / a DTD)")
+    lint_cmd.add_argument("query")
+    lint_cmd.add_argument("--view", action="append", default=[],
+                          metavar="NAME=FILE",
+                          help="view definitions to lint alongside "
+                               "the query (repeatable)")
+    lint_cmd.add_argument("--dtd",
+                          help="structural constraints file; enables the "
+                               "TSL2xx satisfiability lints")
+    lint_cmd.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    lint_cmd.add_argument("--strict", action="store_true",
+                          help="exit 1 when warnings were found")
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     evaluate_cmd = commands.add_parser(
         "evaluate", help="evaluate a TSL query over a JSON OEM database")
@@ -150,6 +266,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except RenderedError as exc:
+        print(f"error:\n{exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

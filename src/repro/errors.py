@@ -7,6 +7,8 @@ the subsystems: OEM model errors, TSL language errors, and rewriting errors.
 
 from __future__ import annotations
 
+from .span import Span, excerpt_lines
+
 
 class ReproError(Exception):
     """Base class of all errors raised by the repro library."""
@@ -46,22 +48,56 @@ class TslError(ReproError):
 
 
 class TslSyntaxError(TslError):
-    """The TSL text could not be parsed."""
+    """The TSL text could not be parsed.
+
+    Carries the :class:`~repro.span.Span` of the offending token when the
+    lexer/parser knows it, and — when the raising site supplies the source
+    text — the offending source line with a caret underline, so the error
+    message alone pinpoints the problem.
+    """
 
     def __init__(self, message: str, line: int | None = None,
-                 column: int | None = None) -> None:
+                 column: int | None = None, *,
+                 end_line: int | None = None,
+                 end_column: int | None = None,
+                 source: str | None = None) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        self.span: Span | None = None
+        if line is not None and column is not None:
+            self.span = Span(line, column,
+                             end_line if end_line is not None else line,
+                             end_column if end_column is not None
+                             else column + 1)
         location = ""
         if line is not None:
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
-        super().__init__(f"{message}{location}")
-        self.line = line
-        self.column = column
+        full = f"{message}{location}"
+        if source is not None and self.span is not None:
+            excerpt = excerpt_lines(source, self.span)
+            if excerpt:
+                full = "\n".join([full, *excerpt])
+        super().__init__(full)
 
 
 class ValidationError(TslError):
-    """A parsed query violates a well-formedness rule of the paper."""
+    """A parsed query violates a well-formedness rule of the paper.
+
+    ``span`` points at the offending construct when the query was parsed
+    from text (AST nodes built programmatically have no spans); ``code``
+    is the stable :mod:`repro.analysis` diagnostic code (``TSL001``...)
+    of the violated rule.
+    """
+
+    def __init__(self, message: str, *, span: Span | None = None,
+                 code: str | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.span = span
+        self.code = code
 
 
 class SafetyError(ValidationError):

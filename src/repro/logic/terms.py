@@ -16,8 +16,10 @@ Terms are immutable and hashable.  Three concrete kinds exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Union
+
+from ..span import Span
 
 Atom = Union[str, int, float]
 
@@ -45,6 +47,11 @@ class Constant(Term):
     """An atomic datum: a label, an atomic value, or an atomic object id."""
 
     value: Atom
+    # Source location of this occurrence (parser-attached).  Spans never
+    # participate in equality or hashing: terms with different spans are
+    # the same term, so substitutions and containment mappings are
+    # untouched by the analysis layer.
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def is_ground(self) -> bool:
         return True
@@ -69,6 +76,7 @@ class Variable(Term):
     """
 
     name: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def is_ground(self) -> bool:
         return False
@@ -89,6 +97,7 @@ class FunctionTerm(Term):
 
     functor: str
     args: tuple[Term, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def is_ground(self) -> bool:
         return all(arg.is_ground() for arg in self.args)
@@ -99,7 +108,9 @@ class FunctionTerm(Term):
 
     def substitute(self, mapping: Mapping[Variable, Term]) -> Term:
         return FunctionTerm(self.functor,
-                            tuple(arg.substitute(mapping) for arg in self.args))
+                            tuple(arg.substitute(mapping)
+                                  for arg in self.args),
+                            span=self.span)
 
     def __str__(self) -> str:
         inner = ",".join(str(arg) for arg in self.args)

@@ -1,0 +1,77 @@
+"""Source spans: locations in TSL (and DTD) source text.
+
+A :class:`Span` names a half-open region of the source — from
+``(line, column)`` up to but excluding ``(end_line, end_column)`` — in
+1-based line/column coordinates, matching the coordinates the TSL lexer
+has always attached to tokens.  Spans ride on AST nodes and terms
+(``compare=False``: they never affect equality or hashing, so the
+rewriting machinery is unaffected) and on the language-error exceptions,
+and they are what the :mod:`repro.analysis` diagnostics point at.
+
+The module sits below :mod:`repro.errors` and :mod:`repro.logic.terms`
+in the dependency graph and must not import anything from the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A region of source text, 1-based, end-exclusive."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @classmethod
+    def point(cls, line: int, column: int) -> "Span":
+        """A zero-width span at a single position."""
+        return cls(line, column, line, column + 1)
+
+    def to(self, other: "Span | None") -> "Span":
+        """The span from this span's start to *other*'s end."""
+        if other is None:
+            return self
+        return Span(self.line, self.column, other.end_line, other.end_column)
+
+    @property
+    def start(self) -> tuple[int, int]:
+        return (self.line, self.column)
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+def excerpt_lines(text: str, span: Span, prefix: str = "    ") -> list[str]:
+    """The source line *span* starts on, plus a caret underline.
+
+    Returns ``[]`` when the span does not point inside *text* (e.g. an
+    AST built programmatically rather than parsed).  Tabs are flattened
+    to single spaces so the caret column stays aligned with the lexer's
+    column counting (which advances one column per character).
+    """
+    lines = text.splitlines()
+    if not 1 <= span.line <= len(lines):
+        return []
+    source = lines[span.line - 1].replace("\t", " ")
+    if span.end_line == span.line:
+        width = span.end_column - span.column
+    else:
+        width = len(source) - span.column + 1
+    width = max(1, min(width, len(source) - span.column + 2))
+    caret = " " * (span.column - 1) + "^" * width
+    return [f"{prefix}{source}", f"{prefix}{caret}"]
+
+
+def format_location(span: Span | None, filename: str | None = None) -> str:
+    """``file:line:col`` / ``line:col`` / ``file`` — whatever is known."""
+    parts = []
+    if filename:
+        parts.append(filename)
+    if span is not None:
+        parts.append(str(span.line))
+        parts.append(str(span.column))
+    return ":".join(parts)

@@ -16,6 +16,7 @@ from typing import Iterator, Mapping, Sequence, Union
 
 from ..logic.subst import Substitution
 from ..logic.terms import Term, Variable
+from ..span import Span
 
 DEFAULT_SOURCE = "db"
 
@@ -25,9 +26,14 @@ class SetPattern:
     """A set value pattern: zero or more nested object patterns."""
 
     patterns: tuple["ObjectPattern", ...] = ()
+    # Source spans are parser-attached and excluded from equality/hashing,
+    # so rewriting machinery that rebuilds or compares patterns is
+    # unaffected; rebuilt nodes simply have span None.
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def substitute(self, subst: Substitution) -> "SetPattern":
-        return SetPattern(tuple(p.substitute(subst) for p in self.patterns))
+        return SetPattern(tuple(p.substitute(subst) for p in self.patterns),
+                          span=self.span)
 
     def variables(self) -> Iterator[Variable]:
         for p in self.patterns:
@@ -48,6 +54,7 @@ class ObjectPattern:
     oid: Term
     label: Term
     value: PatternValue
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def substitute(self, subst: Substitution) -> "ObjectPattern":
         value = self.value
@@ -64,8 +71,9 @@ class ObjectPattern:
         if isinstance(oid, SetPatternTerm) or isinstance(label, SetPatternTerm):
             from ..errors import ValidationError
             raise ValidationError(
-                "a set pattern was substituted into an oid or label field")
-        return ObjectPattern(oid, label, value)
+                "a set pattern was substituted into an oid or label field",
+                span=self.span)
+        return ObjectPattern(oid, label, value, span=self.span)
 
     def variables(self) -> Iterator[Variable]:
         yield from self.oid.variables()
@@ -128,9 +136,11 @@ class Condition:
 
     pattern: ObjectPattern
     source: str = DEFAULT_SOURCE
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def substitute(self, subst: Substitution) -> "Condition":
-        return Condition(self.pattern.substitute(subst), self.source)
+        return Condition(self.pattern.substitute(subst), self.source,
+                         span=self.span)
 
     def variables(self) -> Iterator[Variable]:
         return self.pattern.variables()
@@ -146,11 +156,12 @@ class Query:
     head: ObjectPattern
     body: tuple[Condition, ...]
     name: str | None = field(default=None, compare=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def substitute(self, subst: Substitution) -> "Query":
         return Query(self.head.substitute(subst),
                      tuple(c.substitute(subst) for c in self.body),
-                     name=self.name)
+                     name=self.name, span=self.span)
 
     def head_variables(self) -> set[Variable]:
         return set(self.head.variables())

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import TslSyntaxError
+from ..span import Span
 
 PUNCTUATION = {"<", ">", "{", "}", "(", ")", ",", "@", "."}
 
@@ -36,11 +37,34 @@ class Token:
     def __str__(self) -> str:
         return f"{self.kind}({self.text!r})"
 
+    @property
+    def width(self) -> int:
+        """Width in source columns (string literals include their quotes)."""
+        return len(self.text) + (2 if self.kind == "string" else 0)
 
-def tokenize(text: str) -> Iterator[Token]:
-    """Yield tokens for *text*, ending with a single ``eof`` token."""
-    line = 1
-    column = 1
+    @property
+    def end_column(self) -> int:
+        return self.column + self.width
+
+    @property
+    def span(self) -> Span:
+        """The source span this token covers (tokens never span lines)."""
+        return Span(self.line, self.column, self.line, self.end_column)
+
+
+def tokenize(text: str, *, start_line: int = 1, start_column: int = 1,
+             source: str | None = None) -> Iterator[Token]:
+    """Yield tokens for *text*, ending with a single ``eof`` token.
+
+    ``start_line``/``start_column`` offset the reported positions, for
+    callers lexing a slice of a larger document (``parse_program``).
+    ``source`` is the full document used for error excerpts; it defaults
+    to *text* itself.
+    """
+    if source is None:
+        source = text
+    line = start_line
+    column = start_column
     i = 0
     n = len(text)
     while i < n:
@@ -75,11 +99,11 @@ def tokenize(text: str) -> Iterator[Token]:
             while j < n and text[j] != quote:
                 if text[j] == "\n":
                     raise TslSyntaxError("unterminated string literal",
-                                         line, start_col)
+                                         line, start_col, source=source)
                 j += 1
             if j >= n:
                 raise TslSyntaxError("unterminated string literal",
-                                     line, start_col)
+                                     line, start_col, source=source)
             yield Token("string", text[i + 1:j], line, start_col)
             column += j + 1 - i
             i = j + 1
@@ -102,5 +126,6 @@ def tokenize(text: str) -> Iterator[Token]:
             column += j - i
             i = j
             continue
-        raise TslSyntaxError(f"unexpected character {ch!r}", line, start_col)
+        raise TslSyntaxError(f"unexpected character {ch!r}", line, start_col,
+                             source=source)
     yield Token("eof", "", line, column)

@@ -14,6 +14,12 @@ identifiers, integers, and quoted strings are constants.  An identifier
 followed by ``(`` is a function term.  A condition without ``@source``
 defaults to source ``db``.
 
+Every produced AST node and term carries the :class:`~repro.span.Span`
+of the text it was parsed from (spans are ``compare=False``, so parsed
+and hand-built queries still compare equal).  Every
+:class:`~repro.errors.TslSyntaxError` reports ``line:column`` and quotes
+the offending source line with a caret underline.
+
 Example (query (Q2) of the paper)::
 
     parse_query('''
@@ -33,8 +39,15 @@ from .lexer import Token, tokenize
 
 
 class _Parser:
-    def __init__(self, text: str) -> None:
-        self._tokens = list(tokenize(text))
+    def __init__(self, text: str, *, source_text: str | None = None,
+                 start_line: int = 1, start_column: int = 1) -> None:
+        # source_text is the complete document (it differs from text when
+        # parsing one rule of a ';'-separated program); error excerpts
+        # quote it, and start_line/start_column make positions absolute.
+        self._source = text if source_text is None else source_text
+        self._tokens = list(tokenize(text, start_line=start_line,
+                                     start_column=start_column,
+                                     source=self._source))
         self._pos = 0
 
     # -- token helpers -------------------------------------------------------
@@ -48,11 +61,17 @@ class _Parser:
             self._pos += 1
         return token
 
+    def _error(self, message: str, token: Token) -> TslSyntaxError:
+        return TslSyntaxError(message, token.line, token.column,
+                              end_line=token.line,
+                              end_column=token.end_column,
+                              source=self._source)
+
     def _expect_punct(self, text: str) -> Token:
         token = self._peek()
         if token.kind != "punct" or token.text != text:
-            raise TslSyntaxError(f"expected {text!r}, found {token.text!r}",
-                                 token.line, token.column)
+            found = token.text if token.kind != "eof" else "end of input"
+            raise self._error(f"expected {text!r}, found {found!r}", token)
         return self._advance()
 
     # -- grammar ------------------------------------------------------------
@@ -61,37 +80,42 @@ class _Parser:
         head = self.parse_pattern()
         token = self._peek()
         if token.kind != "turnstile":
-            raise TslSyntaxError(f"expected ':-', found {token.text!r}",
-                                 token.line, token.column)
+            raise self._error(f"expected ':-', found {token.text!r}", token)
         self._advance()
         body = [self.parse_condition()]
         while self._peek().kind == "and":
             self._advance()
             body.append(self.parse_condition())
         self._expect_eof()
-        return Query(head, tuple(body), name=name)
+        span = None
+        if head.span is not None:
+            span = head.span.to(body[-1].span)
+        return Query(head, tuple(body), name=name, span=span)
 
     def parse_condition(self) -> Condition:
         pattern = self.parse_pattern()
         source = DEFAULT_SOURCE
+        span = pattern.span
         token = self._peek()
         if token.kind == "punct" and token.text == "@":
             self._advance()
             ident = self._peek()
             if ident.kind != "ident":
-                raise TslSyntaxError(
+                raise self._error(
                     f"expected source name after '@', found {ident.text!r}",
-                    ident.line, ident.column)
+                    ident)
             source = self._advance().text
-        return Condition(pattern, source)
+            if span is not None:
+                span = span.to(ident.span)
+        return Condition(pattern, source, span=span)
 
     def parse_pattern(self) -> ObjectPattern:
-        self._expect_punct("<")
+        lt = self._expect_punct("<")
         oid = self.parse_term()
         label = self.parse_term()
         value = self.parse_value()
-        self._expect_punct(">")
-        return ObjectPattern(oid, label, value)
+        gt = self._expect_punct(">")
+        return ObjectPattern(oid, label, value, span=lt.span.to(gt.span))
 
     def parse_value(self) -> PatternValue:
         token = self._peek()
@@ -100,37 +124,38 @@ class _Parser:
         return self.parse_term()
 
     def parse_set_pattern(self) -> SetPattern:
-        self._expect_punct("{")
+        brace = self._expect_punct("{")
         patterns = []
         while True:
             token = self._peek()
             if token.kind == "punct" and token.text == "}":
                 self._advance()
-                return SetPattern(tuple(patterns))
+                return SetPattern(tuple(patterns),
+                                  span=brace.span.to(token.span))
             patterns.append(self.parse_pattern())
 
     def parse_term(self) -> Term:
         token = self._peek()
         if token.kind == "int":
             self._advance()
-            return Constant(int(token.text))
+            return Constant(int(token.text), span=token.span)
         if token.kind == "string":
             self._advance()
-            return Constant(token.text)
+            return Constant(token.text, span=token.span)
         if token.kind == "ident":
             self._advance()
             after = self._peek()
             if after.kind == "punct" and after.text == "(":
-                return self._parse_function_args(token.text)
+                return self._parse_function_args(token)
             if token.text[0].isupper() or token.text[0] == "$":
                 # "$"-prefixed variables are the *parameters* of
                 # parameterized capability views (Section 1).
-                return Variable(token.text)
-            return Constant(token.text)
-        raise TslSyntaxError(f"expected a term, found {token.text!r}",
-                             token.line, token.column)
+                return Variable(token.text, span=token.span)
+            return Constant(token.text, span=token.span)
+        found = token.text if token.kind != "eof" else "end of input"
+        raise self._error(f"expected a term, found {found!r}", token)
 
-    def _parse_function_args(self, functor: str) -> FunctionTerm:
+    def _parse_function_args(self, functor: Token) -> FunctionTerm:
         self._expect_punct("(")
         args = [self.parse_term()]
         while True:
@@ -139,14 +164,15 @@ class _Parser:
                 self._advance()
                 args.append(self.parse_term())
                 continue
-            self._expect_punct(")")
-            return FunctionTerm(functor, tuple(args))
+            rparen = self._expect_punct(")")
+            return FunctionTerm(functor.text, tuple(args),
+                                span=functor.span.to(rparen.span))
 
     def _expect_eof(self) -> None:
         token = self._peek()
         if token.kind != "eof":
-            raise TslSyntaxError(f"unexpected trailing input {token.text!r}",
-                                 token.line, token.column)
+            raise self._error(f"unexpected trailing input {token.text!r}",
+                              token)
 
 
 def parse_query(text: str, name: str | None = None) -> Query:
@@ -175,9 +201,24 @@ def parse_program(text: str) -> list[Query]:
 
     Compositions of a query with views can be unions of rules (Section 4
     compares *sets* of component queries), so programs are first-class.
+
+    Spans and error positions are absolute within *text*: each chunk is
+    parsed with its real starting line/column, so an error in the third
+    rule points at the third rule, not at a line number relative to the
+    last ``;``.
     """
     rules = []
+    line, column = 1, 1
     for chunk in text.split(";"):
         if chunk.strip():
-            rules.append(parse_query(chunk))
+            parser = _Parser(chunk, source_text=text,
+                             start_line=line, start_column=column)
+            rules.append(parser.parse_query())
+        for ch in chunk:
+            if ch == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+        column += 1  # the ';' separator itself
     return rules

@@ -15,135 +15,79 @@
   must be acyclic (required for chase termination, Section 3.2).
 * **Field shapes**: labels are variables or constants; term-shaped values
   are variables or constants (function terms belong in oid fields only).
+
+The checks themselves live in :mod:`repro.analysis.passes.wellformed` as
+diagnostic generators (codes TSL001-TSL005); this module raises the
+classic exception API from the first error found, so the exceptions now
+carry the :class:`~repro.span.Span` and diagnostic code of the offending
+construct.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
+from ..analysis.diagnostics import Diagnostic
+from ..analysis.passes.wellformed import (acyclicity_diagnostics,
+                                          data_variables,
+                                          field_shape_diagnostics,
+                                          head_oid_diagnostics,
+                                          oid_discipline_diagnostics,
+                                          oid_variables, safety_diagnostics,
+                                          wellformed_diagnostics)
 from ..errors import (CyclicPatternError, OidDisciplineError, SafetyError,
                       ValidationError)
-from ..logic.terms import FunctionTerm, Term, Variable
-from .ast import ObjectPattern, Query, SetPattern
+from .ast import Query
+
+__all__ = [
+    "validate", "is_safe", "check_safety", "check_head_oids",
+    "check_oid_discipline", "check_acyclic", "check_field_shapes",
+    "oid_variables", "data_variables",
+]
+
+_CODE_ERRORS: dict[str, type[ValidationError]] = {
+    "TSL001": SafetyError,
+    "TSL002": OidDisciplineError,
+    "TSL003": CyclicPatternError,
+    "TSL004": ValidationError,
+    "TSL005": ValidationError,
+}
 
 
-def oid_variables(query: Query) -> set[Variable]:
-    """Variables standing alone in an object-id field (head or body).
-
-    Arguments *inside* function-term oids do not count: the paper's view
-    (V1) uses ``pp(P',Y')`` as a head oid with the label variable ``Y'``
-    as an argument, so the ``Vo ∩ Vc = ∅`` discipline can only concern
-    bare oid variables -- which is also exactly what rules out the hidden
-    functional dependency of ``<X Y {<Y Z W>}>`` (Section 5).
-    """
-    out: set[Variable] = set()
-    for pattern in _all_patterns(query):
-        if isinstance(pattern.oid, Variable):
-            out.add(pattern.oid)
-    return out
-
-
-def data_variables(query: Query) -> set[Variable]:
-    """Variables occurring in label or value fields (head or body)."""
-    out: set[Variable] = set()
-    for pattern in _all_patterns(query):
-        out.update(pattern.label.variables())
-        if isinstance(pattern.value, Term):
-            out.update(pattern.value.variables())
-    return out
-
-
-def _all_patterns(query: Query):
-    yield from query.head.nested_patterns()
-    for condition in query.body:
-        yield from condition.pattern.nested_patterns()
+def _raise_first(diagnostics: Iterable[Diagnostic]) -> None:
+    for diag in diagnostics:
+        error_type = _CODE_ERRORS.get(diag.code, ValidationError)
+        raise error_type(diag.message, span=diag.span, code=diag.code)
 
 
 def check_safety(query: Query) -> None:
     """Raise :class:`SafetyError` if a head variable is not in the body."""
-    missing = query.head_variables() - query.body_variables()
-    if missing:
-        names = ", ".join(sorted(v.name for v in missing))
-        raise SafetyError(f"head variables not bound in body: {names}")
+    _raise_first(safety_diagnostics(query))
 
 
 def check_head_oids(query: Query) -> None:
     """Head oid terms must be unique and fresh-id-producing."""
-    seen: set[Term] = set()
-    for pattern in query.head.nested_patterns():
-        oid = pattern.oid
-        if isinstance(oid, Variable):
-            raise ValidationError(
-                f"head object-id {oid} is a bare variable; head oids must "
-                "be function terms or constants so answers get fresh ids")
-        if oid in seen:
-            raise ValidationError(
-                f"head object-id term {oid} is not unique in the head")
-        seen.add(oid)
+    _raise_first(head_oid_diagnostics(query))
 
 
 def check_oid_discipline(query: Query) -> None:
     """Raise :class:`OidDisciplineError` when Vo and Vc intersect."""
-    overlap = oid_variables(query) & data_variables(query)
-    if overlap:
-        names = ", ".join(sorted(v.name for v in overlap))
-        raise OidDisciplineError(
-            f"variables used both as object ids and as labels/values: {names}")
+    _raise_first(oid_discipline_diagnostics(query))
 
 
 def check_acyclic(query: Query) -> None:
     """The oid parent/child relation induced by the body must be acyclic."""
-    edges: dict[Term, set[Term]] = {}
-    for condition in query.body:
-        _collect_edges(condition.pattern, edges)
-    _require_dag(edges)
-
-
-def _collect_edges(pattern: ObjectPattern,
-                   edges: dict[Term, set[Term]]) -> None:
-    if isinstance(pattern.value, SetPattern):
-        for child in pattern.value.patterns:
-            edges.setdefault(pattern.oid, set()).add(child.oid)
-            _collect_edges(child, edges)
-
-
-def _require_dag(edges: dict[Term, set[Term]]) -> None:
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color: dict[Term, int] = {}
-
-    def visit(node: Term) -> None:
-        color[node] = GRAY
-        for succ in edges.get(node, ()):
-            state = color.get(succ, WHITE)
-            if state == GRAY:
-                raise CyclicPatternError(
-                    f"body patterns look for a cycle through oid term {succ}")
-            if state == WHITE:
-                visit(succ)
-        color[node] = BLACK
-
-    for node in list(edges):
-        if color.get(node, WHITE) == WHITE:
-            visit(node)
+    _raise_first(acyclicity_diagnostics(query))
 
 
 def check_field_shapes(query: Query) -> None:
     """Labels and term values must be variables or constants."""
-    for pattern in _all_patterns(query):
-        if isinstance(pattern.label, FunctionTerm):
-            raise ValidationError(
-                f"label field {pattern.label} is a function term")
-        if isinstance(pattern.value, FunctionTerm):
-            # Function terms denote oids; an atomic value is atomic data.
-            raise ValidationError(
-                f"value field {pattern.value} is a function term")
+    _raise_first(field_shape_diagnostics(query))
 
 
 def validate(query: Query) -> Query:
     """Run every check; return the query unchanged when well-formed."""
-    check_field_shapes(query)
-    check_safety(query)
-    check_head_oids(query)
-    check_oid_discipline(query)
-    check_acyclic(query)
+    _raise_first(wellformed_diagnostics(query))
     return query
 
 

@@ -1,0 +1,87 @@
+"""Tests for the diagnostics model, registry, and renderers."""
+
+import json
+
+from repro.analysis import (Diagnostic, Severity, registered_passes,
+                            render_json, render_text)
+from repro.analysis.diagnostics import severity_counts
+from repro.span import Span
+
+
+def diag(**kwargs):
+    base = dict(code="TSL001", severity=Severity.ERROR, message="boom",
+                span=Span(1, 9, 1, 10), file="q.tsl")
+    base.update(kwargs)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_to_dict_shape(self):
+        d = diag(suggestion="fix it")
+        assert d.to_dict() == {
+            "code": "TSL001",
+            "severity": "error",
+            "message": "boom",
+            "file": "q.tsl",
+            "span": {"line": 1, "column": 9, "end_line": 1, "end_column": 10},
+            "suggestion": "fix it",
+        }
+
+    def test_to_dict_without_span(self):
+        assert diag(span=None).to_dict()["span"] is None
+
+    def test_with_file_only_fills_missing(self):
+        assert diag(file=None).with_file("v.tsl").file == "v.tsl"
+        assert diag().with_file("v.tsl").file == "q.tsl"
+
+    def test_severity_is_json_friendly(self):
+        assert Severity.WARNING.value == "warning"
+        assert str(Severity.ERROR) == "error"
+
+
+class TestRenderText:
+    def test_header_line(self):
+        out = render_text(diag())
+        assert out == "q.tsl:1:9: error: boom [TSL001]"
+
+    def test_caret_excerpt(self):
+        out = render_text(diag(), text="<f(P) x W> :- <P a V>@db")
+        lines = out.splitlines()
+        assert lines[1].endswith("<f(P) x W> :- <P a V>@db")
+        assert lines[2].strip() == "^"
+        assert lines[2].index("^") - lines[1].index("<") == 8  # col 9
+
+    def test_suggestion_rendered_as_help(self):
+        out = render_text(diag(suggestion="do the thing"))
+        assert "help: do the thing" in out
+
+    def test_no_span_no_crash(self):
+        out = render_text(diag(span=None), text="irrelevant")
+        assert out.startswith("q.tsl: error: boom")
+
+    def test_span_outside_text_is_ignored(self):
+        out = render_text(diag(span=Span(99, 1, 99, 2)), text="one line")
+        assert out.splitlines() == ["q.tsl:99:1: error: boom [TSL001]"]
+
+
+class TestRenderJson:
+    def test_shape(self):
+        payload = json.loads(render_json(
+            [diag(), diag(code="TSL101", severity=Severity.WARNING)]))
+        assert set(payload) == {"diagnostics", "summary"}
+        assert len(payload["diagnostics"]) == 2
+        assert payload["summary"] == {"error": 1, "warning": 1, "info": 0}
+        first = payload["diagnostics"][0]
+        assert set(first) == {"code", "severity", "message", "file",
+                              "span", "suggestion"}
+
+    def test_severity_counts(self):
+        counts = severity_counts([diag(), diag(severity=Severity.INFO)])
+        assert counts == {"error": 1, "warning": 0, "info": 1}
+
+
+class TestRegistry:
+    def test_builtin_passes_registered(self):
+        import repro.analysis.analyzer  # noqa: F401 -- registers the passes
+        names = list(registered_passes())
+        assert names == ["wellformed", "style", "dtd", "views"]

@@ -1,0 +1,174 @@
+"""Source spans: parser attachment, equality neutrality, error positions."""
+
+import pytest
+
+from repro.errors import TslSyntaxError, ValidationError
+from repro.logic.terms import Constant, FunctionTerm, Variable
+from repro.span import Span, excerpt_lines, format_location
+from repro.tsl import parse_pattern, parse_program, parse_query
+from repro.tsl.ast import ObjectPattern, SetPattern
+
+
+class TestSpanPrimitive:
+    def test_point_and_to(self):
+        span = Span(2, 5, 2, 8)
+        assert Span.point(2, 5) == Span(2, 5, 2, 6)
+        assert span.to(Span(3, 1, 3, 4)) == Span(2, 5, 3, 4)
+        assert span.start == (2, 5)
+
+    def test_excerpt_caret_width(self):
+        lines = excerpt_lines("<P a V>@db", Span(1, 4, 1, 7), prefix="")
+        assert lines == ["<P a V>@db", "   ^^^"]
+
+    def test_excerpt_outside_text(self):
+        assert excerpt_lines("one", Span(5, 1, 5, 2)) == []
+
+    def test_format_location(self):
+        assert format_location(Span(3, 7, 3, 9), "q.tsl") == "q.tsl:3:7"
+        assert format_location(None, "q.tsl") == "q.tsl"
+
+
+class TestParserSpans:
+    def test_term_spans(self):
+        query = parse_query("<f(P) x V> :- <P ab V>@db")
+        cond_pattern = query.body[0].pattern
+        assert cond_pattern.oid.span == Span(1, 16, 1, 17)
+        assert cond_pattern.label.span == Span(1, 18, 1, 20)
+        assert cond_pattern.value.span == Span(1, 21, 1, 22)
+
+    def test_string_constant_span_includes_quotes(self):
+        pattern = parse_pattern('<P a "hi there">')
+        assert pattern.value.span == Span(1, 6, 1, 16)
+
+    def test_function_term_span(self):
+        query = parse_query("<f(P) x V> :- <P a V>@db")
+        assert query.head.oid.span == Span(1, 2, 1, 6)
+
+    def test_pattern_spans_cover_brackets(self):
+        pattern = parse_pattern("<P a {<X b V>}>")
+        assert pattern.span == Span(1, 1, 1, 16)
+        inner = pattern.value
+        assert isinstance(inner, SetPattern)
+        assert inner.span == Span(1, 6, 1, 15)
+        assert inner.patterns[0].span == Span(1, 7, 1, 14)
+
+    def test_condition_span_extends_to_source(self):
+        query = parse_query("<f(V) x V> :- <P a V>@db")
+        assert query.body[0].span == Span(1, 15, 1, 25)
+
+    def test_query_span(self):
+        text = "<f(P) x V> :- <P a V>@db"
+        query = parse_query(text)
+        assert query.span == Span(1, 1, 1, len(text) + 1)
+
+    def test_multiline_spans(self):
+        text = "<f(P) x V> :-\n    <P a V>@db"
+        query = parse_query(text)
+        assert query.body[0].span == Span(2, 5, 2, 15)
+        assert query.body[0].pattern.oid.span == Span(2, 6, 2, 7)
+
+
+class TestSpansAreMetadata:
+    def test_spans_do_not_affect_equality(self):
+        with_span = parse_query("<f(P) x V> :- <P a V>@db")
+        without = parse_query("<f(P)   x   V> :-   <P a V>@db")
+        assert with_span == without
+        assert (with_span.body[0].pattern.oid.span
+                != without.body[0].pattern.oid.span)
+
+    def test_spans_do_not_affect_hashing(self):
+        a = Variable("X", span=Span(1, 1, 1, 2))
+        b = Variable("X")
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_spans_absent_from_repr(self):
+        assert "span" not in repr(Variable("X", span=Span(1, 1, 1, 2)))
+        assert "span" not in repr(parse_query("<f(P) x V> :- <P a V>@db"))
+
+    def test_substitute_preserves_spans(self):
+        from repro.logic.unify import Substitution
+        query = parse_query("<f(P) x V> :- <P a V>@db")
+        subst = Substitution({Variable("V"): Constant("c")})
+        renamed = query.substitute(subst)
+        assert renamed.span == query.span
+        assert renamed.body[0].pattern.oid.span == Span(1, 16, 1, 17)
+        assert renamed.head.oid.span == query.head.oid.span
+
+    def test_function_term_substitute_keeps_span(self):
+        from repro.logic.unify import Substitution
+        term = FunctionTerm("f", (Variable("P"),), span=Span(1, 2, 1, 6))
+        out = term.substitute(Substitution({Variable("P"): Constant("c")}))
+        assert out.span == Span(1, 2, 1, 6)
+
+
+class TestSyntaxErrorPositions:
+    def test_unexpected_character(self):
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_query("<f(P) x V> :- <P a V>@@db")
+        exc = exc_info.value
+        assert (exc.line, exc.column) == (1, 23)
+        assert "line 1, column 23" in str(exc)
+        assert "^" in str(exc)
+
+    def test_error_message_includes_source_line(self):
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_query("<f(P) x V> :- <P a V@db")
+        assert "<f(P) x V> :- <P a V@db" in str(exc_info.value)
+
+    def test_error_on_second_line(self):
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_query("<f(P) x V> :-\n    <P a ?>@db")
+        exc = exc_info.value
+        assert exc.line == 2
+        assert "    <P a ?>@db" in str(exc)
+
+    def test_eof_error_still_positioned(self):
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_query("<f(P) x V> :- <P a V")
+        exc = exc_info.value
+        assert "end of input" in str(exc)
+        assert exc.line == 1
+
+    def test_program_errors_use_absolute_positions(self):
+        text = "<f(P) x V> :- <P a V>@db ;\n<g(Q) y W> :- <Q b W>@@db"
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_program(text)
+        exc = exc_info.value
+        assert (exc.line, exc.column) == (2, 23)
+        assert "<g(Q) y W> :- <Q b W>@@db" in str(exc)
+
+    def test_program_error_mid_line(self):
+        text = "<f(P) x V> :- <P a V>@db ; <g(Q) y W> :- <Q b ?>@db"
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_program(text)
+        exc = exc_info.value
+        assert (exc.line, exc.column) == (1, 47)
+
+    def test_exception_carries_span(self):
+        with pytest.raises(TslSyntaxError) as exc_info:
+            parse_query("<f(P) x V> :- <P a V>@@db")
+        assert exc_info.value.span == Span(1, 23, 1, 24)
+
+
+class TestValidationErrorSpans:
+    def test_validation_error_has_span_and_code(self):
+        from repro.tsl import validate
+        with pytest.raises(ValidationError) as exc_info:
+            validate(parse_query("<f(P) x W> :- <P a V>@db"))
+        exc = exc_info.value
+        assert exc.code == "TSL001"
+        assert exc.span == Span(1, 9, 1, 10)
+
+    def test_hand_built_ast_validation_spanless(self):
+        from repro.tsl import validate
+        from repro.tsl.ast import Condition, Query
+        query = Query(
+            ObjectPattern(FunctionTerm("f", (Variable("P"),)),
+                          Constant("x"), Variable("W")),
+            (Condition(ObjectPattern(Variable("P"), Constant("a"),
+                                     Variable("V"))),))
+        with pytest.raises(ValidationError) as exc_info:
+            validate(query)
+        assert exc_info.value.span is None
+        assert exc_info.value.code == "TSL001"

@@ -104,3 +104,41 @@ class TestFieldShapes:
     def test_validate_returns_query(self):
         q = parse_query("<f(P) x V> :- <P a V>@db")
         assert validate(q) is q
+
+
+class TestEdgeCases:
+    """Regression coverage for corners of the well-formedness rules."""
+
+    def test_function_term_oid_in_value_field(self):
+        # A Skolem oid is only legal in the oid field, even when the
+        # pattern carrying it sits in a body value position.
+        with pytest.raises(ValidationError, match="value") as exc_info:
+            validate(parse_query("<f(P) x g(P)> :- <P a {<X b g(P)>}>@db"))
+        exc = exc_info.value
+        assert exc.code == "TSL005"
+        assert exc.span is not None and exc.span.start == (1, 9)
+
+    def test_head_variable_missing_under_nesting(self):
+        # W appears only inside the head's nested set pattern; the body
+        # binds everything else, so the unsafe variable is the deep one.
+        text = ("<f(P) people {<f(X) name W>}> :- "
+                "<P group {<X member V>}>@db")
+        with pytest.raises(SafetyError) as exc_info:
+            validate(parse_query(text))
+        exc = exc_info.value
+        assert exc.code == "TSL001"
+        assert "W" in str(exc)
+        assert exc.span.start == (1, len("<f(P) people {<f(X) name ") + 1)
+
+    def test_self_referential_oid_through_set_pattern(self):
+        # X's value set contains a pattern whose oid is X again, two
+        # levels down: the cycle must still be caught through nesting.
+        text = "<f(X) r 1> :- <X a {<Y b {<X c V>}>}>@db"
+        with pytest.raises(CyclicPatternError) as exc_info:
+            validate(parse_query(text))
+        exc = exc_info.value
+        assert exc.code == "TSL003"
+        assert exc.span is not None
+        # The diagnostic points at the nested pattern that closes the
+        # cycle, <X c V>.
+        assert exc.span.start == (1, text.index("<X c V>") + 1)
