@@ -5,6 +5,11 @@ index (E5-E11 plus ablations).  Modules double as scripts: running
 ``python benchmarks/bench_mappings.py`` prints the experiment's full
 table; running them under ``pytest --benchmark-only`` times the headline
 configurations and attaches the measured counts as ``extra_info``.
+
+Random-workload fixtures are shared with the test suite through
+:mod:`repro.oracle.fixtures`.
 """
 
 from __future__ import annotations
+
+from repro.oracle.fixtures import *  # noqa: F401,F403

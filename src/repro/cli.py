@@ -9,6 +9,9 @@ Usage (installed as ``python -m repro``)::
     python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--contained]
     python -m repro import-xml DOC.xml -o DATA.json
+    python -m repro fuzz [--seed N] [--iterations N] [--budget-seconds S] \
+        [--oracle NAME ...] [--profile NAME ...] [--corpus DIR] \
+        [--replay FILE] [--no-shrink] [--format text|json]
 
 Queries and views are TSL text files (``%`` comments allowed); databases
 are the JSON encoding of :mod:`repro.oem.serialize`; XML documents import
@@ -19,6 +22,10 @@ codes ``TSLxxx``, see ``docs/LINTING.md``) and exits 0 when clean, 1
 when only warnings were found and ``--strict`` is set, and 2 on errors.
 ``validate`` and ``rewrite`` render their parse/validation failures
 through the same span-aware renderer (source line + caret underline).
+
+``fuzz`` runs the :mod:`repro.oracle` differential-testing campaign
+(see ``docs/TESTING.md``); it exits 0 when all oracles were green, 1
+when a counterexample was found, and 2 on usage/environment errors.
 """
 
 from __future__ import annotations
@@ -185,6 +192,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .oracle import (DEFAULT_ORACLES, DEFAULT_PROFILE_ROTATION, PROFILES,
+                         FuzzConfig, replay, run_fuzz)
+
+    oracles = tuple(args.oracle) if args.oracle else DEFAULT_ORACLES
+    if args.replay:
+        report = replay(args.replay, oracles)
+    else:
+        profiles = tuple(args.profile) if args.profile \
+            else DEFAULT_PROFILE_ROTATION
+        unknown = set(profiles) - set(PROFILES)
+        if unknown:
+            raise ReproError(f"unknown profile(s): {sorted(unknown)}; "
+                             f"available: {sorted(PROFILES)}")
+        report = run_fuzz(FuzzConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            budget_seconds=args.budget_seconds,
+            oracles=oracles,
+            profiles=profiles,
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus,
+        ))
+    if args.format == "json":
+        print(json_module.dumps(report.to_json(), indent=2))
+    else:
+        print(report.summary())
+        for failure in report.failures:
+            print(f"- [{failure.oracle}/{failure.invariant}] "
+                  f"seed={failure.seed} profile={failure.profile} "
+                  f"conditions={failure.conditions}")
+            print(f"  {failure.message}")
+            if failure.corpus_path:
+                print(f"  saved: {failure.corpus_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_import_xml(args: argparse.Namespace) -> int:
     text = _read(args.document)
     db = xml_to_oem(text, name=args.name)
@@ -250,6 +296,36 @@ def build_parser() -> argparse.ArgumentParser:
                              help="maximally contained instead of "
                                   "equivalent rewritings")
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz", help="run the differential-testing oracles on random "
+                     "cases (see docs/TESTING.md)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="base seed; iteration i uses seed+i "
+                               "(default: 0)")
+    fuzz_cmd.add_argument("--iterations", type=int, default=100,
+                          help="number of generated cases (default: 100)")
+    fuzz_cmd.add_argument("--budget-seconds", type=float, default=None,
+                          help="stop starting new iterations after this "
+                               "many seconds")
+    fuzz_cmd.add_argument("--oracle", action="append", default=[],
+                          choices=("semantic", "containment", "metamorphic"),
+                          help="oracle(s) to run (repeatable; default: all)")
+    fuzz_cmd.add_argument("--profile", action="append", default=[],
+                          metavar="NAME",
+                          help="case profile(s) to rotate through "
+                               "(repeatable; default: all)")
+    fuzz_cmd.add_argument("--corpus", metavar="DIR",
+                          help="directory to save shrunk counterexamples to")
+    fuzz_cmd.add_argument("--replay", metavar="FILE",
+                          help="re-run the oracles on one saved corpus case "
+                               "instead of generating new ones")
+    fuzz_cmd.add_argument("--no-shrink", action="store_true",
+                          help="report raw failing cases without "
+                               "minimization")
+    fuzz_cmd.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    fuzz_cmd.set_defaults(handler=_cmd_fuzz)
 
     import_cmd = commands.add_parser(
         "import-xml", help="convert an XML document to OEM JSON")

@@ -1,0 +1,75 @@
+"""Differential testing and fuzzing for the rewriting pipeline.
+
+This package turns the paper's correctness claims into *executable
+oracles* checked on randomly generated inputs:
+
+- :mod:`repro.oracle.gen` -- deterministic seeded generation of fuzz
+  cases (database + query + views + optional DTD) plus the shared
+  random-workload helpers used by the test and benchmark suites.
+- :mod:`repro.oracle.brute` -- an independent brute-force containment
+  mapping enumerator used to cross-check ``repro.rewriting.mappings``.
+- :mod:`repro.oracle.oracles` -- the three oracle families: semantic
+  (rewritings evaluate to the original answers), containment (engine
+  mappings agree with brute force; equivalence verdicts are sound), and
+  metamorphic (chase idempotence, evaluation preservation, composition
+  associativity, printer/parser round trips).
+- :mod:`repro.oracle.shrink` -- greedy counterexample minimization.
+- :mod:`repro.oracle.corpus` -- replayable JSON persistence of failures.
+- :mod:`repro.oracle.runner` -- the campaign loop behind
+  ``python -m repro fuzz``.
+
+See ``docs/TESTING.md`` for the user-facing guide.
+"""
+
+from __future__ import annotations
+
+from .brute import brute_coverage, brute_mappings, brute_query_maps_into
+from .corpus import (case_from_json, case_to_json, load_case, load_corpus,
+                     save_case)
+from .gen import (DEFAULT_PROFILE_ROTATION, LABEL_POOL, PROFILES, VALUE_POOL,
+                  Case, CaseConfig, generate_case, random_ground_term,
+                  random_query, random_substitution, random_term,
+                  sample_db_and_query, sample_view)
+from .oracles import (ORACLES, ContainmentOracle, Failure, MetamorphicOracle,
+                      OracleResult, SemanticOracle, run_oracle)
+from .runner import (DEFAULT_ORACLES, FailureRecord, FuzzConfig, FuzzReport,
+                     replay, run_fuzz)
+from .shrink import shrink_case
+
+__all__ = [
+    "DEFAULT_ORACLES",
+    "DEFAULT_PROFILE_ROTATION",
+    "LABEL_POOL",
+    "ORACLES",
+    "PROFILES",
+    "VALUE_POOL",
+    "Case",
+    "CaseConfig",
+    "ContainmentOracle",
+    "Failure",
+    "FailureRecord",
+    "FuzzConfig",
+    "FuzzReport",
+    "MetamorphicOracle",
+    "OracleResult",
+    "SemanticOracle",
+    "brute_coverage",
+    "brute_mappings",
+    "brute_query_maps_into",
+    "case_from_json",
+    "case_to_json",
+    "generate_case",
+    "load_case",
+    "load_corpus",
+    "random_ground_term",
+    "random_query",
+    "random_substitution",
+    "random_term",
+    "replay",
+    "run_fuzz",
+    "run_oracle",
+    "sample_db_and_query",
+    "sample_view",
+    "save_case",
+    "shrink_case",
+]

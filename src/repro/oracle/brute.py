@@ -1,0 +1,208 @@
+"""A brute-force containment-mapping enumerator.
+
+This is the differential twin of :mod:`repro.rewriting.mappings`: the
+same specification (Section 3.1 -- every single path of the source maps
+into some single path of the target, prefix absorption as set mappings),
+implemented as naively as possible.  No backtracking order heuristics, no
+shared matching engine: paths are flattened by a local walker, candidate
+assignments are enumerated with :func:`itertools.product`, and matching
+is a ~30-line recursive function over plain dicts.  Slow and obviously
+correct, which is the point -- any disagreement with the engine is a bug
+in one of the two.
+
+Only the :class:`~repro.logic.subst.Substitution` container and the AST
+node types are shared with the engine (they are data, not algorithm).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..logic.subst import Substitution
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..tsl.ast import (Condition, ObjectPattern, PatternValue, Query,
+                       SetPattern, SetPatternTerm)
+from ..tsl.normalize import Path
+
+# Renaming marker for the source side.  Deliberately different from the
+# engine's dagger so the two implementations cannot mask each other's
+# renaming bugs.
+_APART = "‡"
+
+Binding = dict[Variable, Term]
+
+
+def flatten(query: Query) -> list[Path]:
+    """Root-to-leaf paths of the query body (local, engine-free walker)."""
+    paths: list[Path] = []
+    seen: set[Path] = set()
+
+    def walk(node: ObjectPattern, prefix: tuple, source: str) -> None:
+        steps = prefix + ((node.oid, node.label),)
+        value = node.value
+        if isinstance(value, SetPattern) and value.patterns:
+            for child in value.patterns:
+                walk(child, steps, source)
+        else:
+            path = Path(steps, value, source)
+            if path not in seen:
+                seen.add(path)
+                paths.append(path)
+
+    for condition in query.body:
+        walk(condition.pattern, (), condition.source)
+    return paths
+
+
+def _resolve(term: Term, binding: Binding) -> Term:
+    """Apply *binding* to *term*.  Bound values contain no source
+    variables (one-way matching only binds the source side), so a single
+    structural pass suffices."""
+    if isinstance(term, Variable):
+        return binding.get(term, term)
+    if isinstance(term, FunctionTerm):
+        return FunctionTerm(term.functor,
+                            tuple(_resolve(a, binding) for a in term.args))
+    return term
+
+
+def _match(pattern: Term, target: Term,
+           binding: Binding) -> Binding | None:
+    """One-way match: bind *pattern*-side variables so it equals *target*.
+
+    Only marker-renamed (source-side) variables are bindable; a target
+    variable surfacing on the pattern side via resolution must match by
+    equality, never capture.
+    """
+    pattern = _resolve(pattern, binding)
+    if isinstance(pattern, Variable) and pattern.name.endswith(_APART):
+        extended = dict(binding)
+        extended[pattern] = target
+        return extended
+    if isinstance(pattern, FunctionTerm):
+        if (not isinstance(target, FunctionTerm)
+                or pattern.functor != target.functor
+                or len(pattern.args) != len(target.args)):
+            return None
+        out: Binding | None = binding
+        for p_arg, t_arg in zip(pattern.args, target.args):
+            out = _match(p_arg, t_arg, out)
+            if out is None:
+                return None
+        return out
+    # Constants and SetPatternTerms: structural equality.
+    return binding if pattern == target else None
+
+
+def _chain(steps: tuple, leaf: PatternValue) -> ObjectPattern:
+    oid, label = steps[-1]
+    pattern = ObjectPattern(oid, label, leaf)
+    for oid, label in reversed(steps[:-1]):
+        pattern = ObjectPattern(oid, label, SetPattern((pattern,)))
+    return pattern
+
+
+def _suffix_term(path: Path, depth: int) -> SetPatternTerm:
+    return SetPatternTerm(SetPattern((_chain(path.steps[depth:],
+                                             path.leaf),)))
+
+
+def map_path(a: Path, b: Path, binding: Binding) -> Binding | None:
+    """Extend *binding* so source path *a* maps into target path *b*."""
+    n, m = len(a.steps), len(b.steps)
+    if a.source != b.source or n > m:
+        return None
+    out: Binding | None = binding
+    for (a_oid, a_label), (b_oid, b_label) in zip(a.steps, b.steps):
+        out = _match(a_oid, b_oid, out)
+        if out is None:
+            return None
+        out = _match(a_label, b_label, out)
+        if out is None:
+            return None
+    a_leaf = a.leaf
+    if isinstance(a_leaf, SetPattern):
+        # `{}` leaf asserts "is a set object".
+        if n < m or isinstance(b.leaf, SetPattern):
+            return out
+        return None
+    if n < m:
+        # Set mapping: the leaf variable absorbs b's leftover suffix.
+        if isinstance(_resolve(a_leaf, out), Constant):
+            return None
+        return _match(a_leaf, _suffix_term(b, n), out)
+    if isinstance(b.leaf, SetPattern):
+        if isinstance(_resolve(a_leaf, out), Constant):
+            return None
+        return _match(a_leaf, SetPatternTerm(SetPattern(())), out)
+    return _match(a_leaf, b.leaf, out)
+
+
+def _rename_apart(paths: list[Path]) -> list[Path]:
+    def rename(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return Variable(term.name + _APART)
+        if isinstance(term, FunctionTerm):
+            return FunctionTerm(term.functor,
+                                tuple(rename(a) for a in term.args))
+        return term
+
+    renamed = []
+    for path in paths:
+        steps = tuple((rename(oid), rename(label))
+                      for oid, label in path.steps)
+        leaf = path.leaf
+        if isinstance(leaf, Term):
+            leaf = rename(leaf)
+        renamed.append(Path(steps, leaf, path.source))
+    return renamed
+
+
+def _unrename(binding: Binding) -> Substitution:
+    return Substitution({Variable(v.name.removesuffix(_APART)): t
+                         for v, t in binding.items()})
+
+
+def brute_mappings(view: Query, query: Query) -> set[Substitution]:
+    """Every containment mapping from body(*view*) to body(*query*).
+
+    Exhaustive: tries all ``len(target) ** len(source)`` assignments of
+    source paths to target paths.  Returns substitutions over the
+    original (unrenamed) view variables, directly comparable with
+    ``{m.subst for m in find_mappings(view, query)}``.
+    """
+    source_paths = _rename_apart(flatten(view))
+    target_paths = flatten(query)
+    found: set[Substitution] = set()
+    if not source_paths:
+        return {Substitution()}
+    for assignment in itertools.product(target_paths,
+                                        repeat=len(source_paths)):
+        binding: Binding | None = {}
+        for source, target in zip(source_paths, assignment):
+            binding = map_path(source, target, binding)
+            if binding is None:
+                break
+        if binding is not None:
+            found.add(_unrename(binding))
+    return found
+
+
+def brute_coverage(view: Query, query: Query,
+                   subst: Substitution) -> frozenset[int]:
+    """Target path indices some view path maps into under fixed *subst*."""
+    fixed: Binding = {Variable(v.name + _APART): t for v, t in subst.items()}
+    source_paths = _rename_apart(flatten(view))
+    target_paths = flatten(query)
+    covered: set[int] = set()
+    for source in source_paths:
+        for index, target in enumerate(target_paths):
+            extended = map_path(source, target, dict(fixed))
+            if extended is not None and extended == fixed:
+                covered.add(index)
+    return frozenset(covered)
+
+
+def brute_query_maps_into(a: Query, b: Query) -> bool:
+    """True when some containment mapping sends body(*a*) into body(*b*)."""
+    return bool(brute_mappings(a, b))

@@ -1,0 +1,104 @@
+"""Corpus persistence: failing cases as replayable JSON files.
+
+Every shrunk counterexample the fuzzer finds is written here so it can
+be (a) replayed exactly with ``python -m repro fuzz --replay FILE`` and
+(b) checked into ``tests/corpus/`` as a permanent regression test.
+Queries and views are stored as TSL *text* (human-readable, and a free
+extra workout for the printer/parser); databases use the JSON codec of
+:mod:`repro.oem.serialize`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any
+
+from ..oem.serialize import database_from_json, database_to_json
+from ..tsl.ast import Query
+from ..tsl.parser import parse_query
+from ..tsl.printer import print_query
+from .gen import Case
+
+FORMAT_VERSION = 1
+
+
+def case_to_json(case: Case) -> dict[str, Any]:
+    """Encode a case as JSON-compatible data."""
+    return {
+        "version": FORMAT_VERSION,
+        "seed": case.seed,
+        "profile": case.profile,
+        "expect_rewriting": case.expect_rewriting,
+        "conjunctive": case.conjunctive,
+        "query": print_query(case.query),
+        "views": {name: print_query(view)
+                  for name, view in sorted(case.views.items())},
+        "database": database_to_json(case.db),
+        "dtd": case.dtd_text,
+    }
+
+
+def case_from_json(data: dict[str, Any]) -> Case:
+    """Decode a case from :func:`case_to_json` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported corpus format version {version!r}")
+    views = {name: _named(parse_query(text), name)
+             for name, text in data.get("views", {}).items()}
+    return Case(
+        seed=data.get("seed", 0),
+        profile=data.get("profile", "corpus"),
+        db=database_from_json(data["database"]),
+        query=parse_query(data["query"]),
+        views=views,
+        dtd_text=data.get("dtd"),
+        expect_rewriting=bool(data.get("expect_rewriting", False)),
+        conjunctive=bool(data.get("conjunctive", True)),
+    )
+
+
+def _named(query: Query, name: str) -> Query:
+    return Query(query.head, query.body, name=name)
+
+
+def save_case(case: Case, directory: str, stem: str) -> str:
+    """Write *case* under *directory* as ``<stem>.json`` (deduplicated).
+
+    Appends ``-2``, ``-3``, ... when the stem is taken by a *different*
+    case; returns the path written (or the existing identical file).
+    """
+    os.makedirs(directory, exist_ok=True)
+    payload = json.dumps(case_to_json(case), indent=2, sort_keys=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]", "-", stem) or "case"
+    suffix = 0
+    while True:
+        suffix += 1
+        filename = f"{stem}.json" if suffix == 1 else f"{stem}-{suffix}.json"
+        path = os.path.join(directory, filename)
+        if not os.path.exists(path):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            return path
+        with open(path, encoding="utf-8") as handle:
+            if handle.read().rstrip("\n") == payload:
+                return path
+
+
+def load_case(path: str) -> Case:
+    """Load one corpus file."""
+    with open(path, encoding="utf-8") as handle:
+        return case_from_json(json.load(handle))
+
+
+def load_corpus(directory: str) -> list[tuple[str, Case]]:
+    """Load every ``*.json`` case under *directory*, sorted by filename."""
+    if not os.path.isdir(directory):
+        return []
+    out: list[tuple[str, Case]] = []
+    for filename in sorted(os.listdir(directory)):
+        if filename.endswith(".json"):
+            path = os.path.join(directory, filename)
+            out.append((path, load_case(path)))
+    return out

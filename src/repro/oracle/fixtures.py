@@ -1,0 +1,53 @@
+"""Reusable pytest fixtures for randomized workloads.
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` pull these in
+(``from repro.oracle.fixtures import *``) so the test and benchmark
+suites sample random databases and queries through one code path --
+:func:`repro.oracle.gen.sample_db_and_query` -- instead of each conftest
+carrying its own copy of the generator calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ..workloads import RandomOemConfig, RandomQueryConfig
+from .gen import generate_case, sample_db_and_query
+
+__all__ = ["random_workload", "random_db", "random_query_for_db",
+           "oracle_case"]
+
+
+@pytest.fixture
+def random_workload():
+    """Factory: seed -> (database, satisfiable query).
+
+    Accepts optional ``oem=RandomOemConfig(...)`` and
+    ``query=RandomQueryConfig(...)`` overrides.
+    """
+
+    def factory(seed: int, *, oem: RandomOemConfig | None = None,
+                query: RandomQueryConfig | None = None):
+        return sample_db_and_query(seed, oem=oem, query=query)
+
+    return factory
+
+
+@pytest.fixture
+def random_db(random_workload):
+    """A deterministic medium-sized random database (seed 0)."""
+    db, _ = random_workload(0)
+    return db
+
+
+@pytest.fixture
+def random_query_for_db(random_workload):
+    """The satisfiable query paired with :func:`random_db`."""
+    _, query = random_workload(0)
+    return query
+
+
+@pytest.fixture
+def oracle_case():
+    """Factory: seed -> a full fuzz :class:`~repro.oracle.gen.Case`."""
+    return generate_case

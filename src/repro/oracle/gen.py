@@ -1,0 +1,329 @@
+"""Deterministic seeded generation of oracle test cases.
+
+A :class:`Case` bundles everything one differential-testing iteration
+needs: a random OEM database, a satisfiable query sampled from it, a set
+of views (always including the *exposing view*, so an equivalent
+rewriting exists by construction -- the completeness check relies on
+this), and optional structural constraints.  Generation is a pure
+function of ``(profile, seed)``, so every failure the fuzzer reports is
+replayable from its seed alone.
+
+The module also hosts the synthetic (non-database-sampled) generators
+shared by the property-based tests: random Herbrand terms, random
+substitutions, and random well-formed TSL queries that exercise the
+printer/parser corners (quoted constants, ``{}`` leaves, label
+variables) which database sampling never produces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..logic.subst import Substitution
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..oem.model import OemDatabase
+from ..rewriting.constraints import PAPER_DTD, Dtd, parse_dtd
+from ..tsl.ast import (Condition, ObjectPattern, PatternValue, Query,
+                       SetPattern, query_size)
+from ..workloads.people import generate_people
+from ..workloads.random_oem import (RandomOemConfig, RandomQueryConfig,
+                                    exposing_view, generate_random_database,
+                                    sample_query)
+
+
+@dataclass
+class Case:
+    """One replayable differential-testing input."""
+
+    seed: int
+    profile: str
+    db: OemDatabase
+    query: Query
+    views: dict[str, Query]
+    dtd_text: str | None = None
+    #: True when ``views`` contains a view admitting an equivalent
+    #: rewriting by construction (the exposing view).
+    expect_rewriting: bool = False
+    #: True when the query is conjunctive TSL (no copy semantics); the
+    #: materialized-view soundness check only applies then.
+    conjunctive: bool = True
+
+    @property
+    def constraints(self) -> Dtd | None:
+        if self.dtd_text is None:
+            return None
+        return parse_dtd(self.dtd_text, source=self.db.name)
+
+    def describe(self) -> str:
+        stats = self.db.stats()
+        return (f"seed={self.seed} profile={self.profile} "
+                f"db={stats['objects']}obj/{stats['roots']}roots "
+                f"query={len(self.query.body)}cond "
+                f"views={sorted(self.views)}")
+
+
+@dataclass(frozen=True)
+class CaseConfig:
+    """Knobs and size budgets for one generation profile."""
+
+    profile: str = "conjunctive"
+    oem: RandomOemConfig = RandomOemConfig(roots=2, max_depth=3,
+                                           max_fanout=2)
+    query: RandomQueryConfig = RandomQueryConfig(conditions=2, max_depth=3)
+    conjunctive_only: bool = True
+    dtd_constrained: bool = False
+    people: int = 8            # database size for the dtd profile
+    extra_views: int = 1       # sampled path views besides the exposing view
+    max_query_size: int = 12   # budget: object patterns in head + body
+    max_db_objects: int = 80   # budget: objects in the database
+
+
+#: The fuzzer's generation profiles, rotated per iteration.
+PROFILES: dict[str, CaseConfig] = {
+    "conjunctive": CaseConfig(),
+    "copy": CaseConfig(profile="copy", conjunctive_only=False),
+    "dag": CaseConfig(profile="dag",
+                      oem=RandomOemConfig(roots=2, max_depth=3, max_fanout=2,
+                                          share_probability=0.3)),
+    "dtd": CaseConfig(profile="dtd", dtd_constrained=True, extra_views=0),
+}
+
+DEFAULT_PROFILE_ROTATION: tuple[str, ...] = ("conjunctive", "copy", "dag",
+                                             "dtd")
+
+
+def _sub_seeds(profile: str, seed: int, count: int) -> list[int]:
+    rng = random.Random(f"{profile}:{seed}")
+    return [rng.randrange(2 ** 31) for _ in range(count)]
+
+
+def _sample_within_budget(db: OemDatabase, config: CaseConfig,
+                          seed: int) -> Query:
+    """Sample a query, shedding conditions until the size budget holds."""
+    query_config = config.query
+    if config.conjunctive_only:
+        query_config = replace(query_config, conjunctive=True)
+    while True:
+        query = sample_query(db, query_config, seed)
+        if (query_size(query) <= config.max_query_size
+                or query_config.conditions <= 1):
+            return query
+        query_config = replace(query_config,
+                               conditions=query_config.conditions - 1)
+
+
+def _shrink_oem_config(oem: RandomOemConfig) -> RandomOemConfig:
+    if oem.max_fanout > 1:
+        return replace(oem, max_fanout=oem.max_fanout - 1)
+    if oem.max_depth > 1:
+        return replace(oem, max_depth=oem.max_depth - 1)
+    return replace(oem, roots=max(1, oem.roots - 1))
+
+
+def generate_case(seed: int, config: CaseConfig | None = None) -> Case:
+    """Generate the case determined by ``(config.profile, seed)``."""
+    config = config or PROFILES["conjunctive"]
+    db_seed, q_seed, v_seed = _sub_seeds(config.profile, seed, 3)
+    dtd_text = None
+    if config.dtd_constrained:
+        db = generate_people(config.people, seed=db_seed)
+        dtd_text = PAPER_DTD
+    else:
+        oem = config.oem
+        db = generate_random_database(oem, seed=db_seed)
+        while db.stats()["objects"] > config.max_db_objects:
+            oem = _shrink_oem_config(oem)
+            db = generate_random_database(oem, seed=db_seed)
+    query = _sample_within_budget(db, config, q_seed)
+    views = {"V": exposing_view(query, name="V")}
+    for index in range(config.extra_views):
+        name = f"W{index + 1}"
+        view = sample_view(db, seed=v_seed + index, name=name)
+        if view is not None:
+            views[name] = view
+    return Case(seed=seed, profile=config.profile, db=db, query=query,
+                views=views, dtd_text=dtd_text, expect_rewriting=True,
+                conjunctive=config.conjunctive_only)
+
+
+def sample_view(db: OemDatabase, seed: int, name: str = "W",
+                max_depth: int = 6) -> Query | None:
+    """A single-path view sampled from *db*, ending at an atomic leaf.
+
+    The body walks one observed root-to-atom chain and pins the leaf to
+    the observed *constant*: a leaf variable would also match set objects
+    elsewhere in the database (TSL cannot assert atomicity), dragging
+    copy semantics into the materialized view, whose ground set values no
+    composition can reconstruct.  The head ``<v_<name>(O1..On) row c>``
+    carries every body variable in its oid, so one assignment determines
+    one head object (no accidental fusion conflicts).  Returns None when
+    the sampled chain never reaches an atomic object.
+    """
+    rng = random.Random(f"view:{seed}")
+    if not db.roots:
+        return None
+    node = rng.choice(db.roots)
+    chain = [node]
+    while len(chain) < max_depth and not db.is_atomic(node):
+        children = db.children(node)
+        if not children:
+            break
+        node = rng.choice(children)
+        chain.append(node)
+    if not db.is_atomic(chain[-1]):
+        return None
+    leaf = Constant(db.atomic_value(chain[-1]))
+    oid_vars = [Variable(f"O{depth}") for depth in range(1, len(chain) + 1)]
+    pattern: ObjectPattern | None = None
+    for position, step in enumerate(reversed(chain)):
+        oid_var = oid_vars[len(chain) - position - 1]
+        label = Constant(db.label(step))
+        value: PatternValue = (leaf if position == 0
+                               else SetPattern((pattern,)))
+        pattern = ObjectPattern(oid_var, label, value)
+    assert pattern is not None
+    head = ObjectPattern(
+        FunctionTerm(f"v_{name.lower()}", tuple(oid_vars)),
+        Constant("row"), leaf)
+    return Query(head, (Condition(pattern, db.name),), name=name)
+
+
+# --------------------------------------------------------------------------
+# Shared database+query sampling (fixture dedup for tests and benchmarks)
+# --------------------------------------------------------------------------
+
+def sample_db_and_query(seed: int,
+                        oem: RandomOemConfig | None = None,
+                        query: RandomQueryConfig | None = None
+                        ) -> tuple[OemDatabase, Query]:
+    """The canonical random (database, satisfiable query) pair.
+
+    One shared entry point for every property-based test and benchmark
+    that needs "a random database and a query with non-trivial answers";
+    previously each test module carried its own copy of this setup.
+    """
+    oem = oem or RandomOemConfig(roots=3, max_depth=4, max_fanout=3)
+    query = query or RandomQueryConfig(conditions=2, max_depth=3)
+    db = generate_random_database(oem, seed=seed)
+    return db, sample_query(db, query, seed=seed + 1)
+
+
+# --------------------------------------------------------------------------
+# Synthetic generators for the property-based tests
+# --------------------------------------------------------------------------
+
+#: Constant pools deliberately include values that must be quoted by the
+#: printer (spaces, uppercase initials, leading digits) and values that
+#: stay bare (apostrophes, hyphens), so round-trip tests cover both.
+LABEL_POOL: tuple[str, ...] = ("a", "b", "name", "addr", "palo alto",
+                               "x-y", "Ab")
+VALUE_POOL: tuple[object, ...] = ("u", "stanford", "palo alto", "o'hara",
+                                  "650-1111", "Ab", 7, 42)
+
+_FUNCTORS = ("f", "g", "h")
+
+
+def random_term(rng: random.Random, depth: int = 2,
+                variables: tuple[str, ...] = ("X", "Y", "Z", "W")) -> Term:
+    """A random term: constants, variables, and function terms."""
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        return Constant(rng.choice(VALUE_POOL))
+    if roll < 0.7:
+        return Variable(rng.choice(variables))
+    return FunctionTerm(rng.choice(_FUNCTORS),
+                        tuple(random_term(rng, depth - 1, variables)
+                              for _ in range(rng.randint(1, 3))))
+
+
+def random_ground_term(rng: random.Random, depth: int = 2) -> Term:
+    """A random variable-free term."""
+    if depth <= 0 or rng.random() < 0.5:
+        return Constant(rng.choice(VALUE_POOL))
+    return FunctionTerm(rng.choice(_FUNCTORS),
+                        tuple(random_ground_term(rng, depth - 1)
+                              for _ in range(rng.randint(1, 2))))
+
+
+def random_substitution(rng: random.Random,
+                        variables: tuple[str, ...] = ("X", "Y", "Z", "W"),
+                        range_variables: tuple[str, ...] = ("A", "B", "C")
+                        ) -> Substitution:
+    """A random substitution whose range avoids its own domain.
+
+    Right-hand sides draw from a disjoint variable pool, so the result is
+    normalized (application is idempotent) -- the form every engine
+    component produces and consumes.
+    """
+    mapping = {}
+    for name in variables:
+        roll = rng.random()
+        if roll < 0.4:
+            continue
+        if roll < 0.7:
+            mapping[Variable(name)] = random_ground_term(rng)
+        else:
+            mapping[Variable(name)] = Variable(rng.choice(range_variables))
+    return Substitution(mapping)
+
+
+def _random_label(rng: random.Random, condition: int, level: int) -> Term:
+    if rng.random() < 0.2:
+        return Variable(f"L{condition}_{level}")
+    return Constant(rng.choice(LABEL_POOL))
+
+
+def random_query(seed: int, max_conditions: int = 3,
+                 max_depth: int = 3) -> Query:
+    """A random well-formed TSL query (not sampled from any database).
+
+    Satisfiability is NOT guaranteed -- these queries feed the
+    printer/parser and logic property tests, which never evaluate them.
+    They do exercise shapes database sampling cannot produce: constant
+    leaves that need quoting, ``{}`` leaves, label variables, and shared
+    root variables across conditions.
+    """
+    rng = random.Random(f"rq:{seed}")
+    shared_root = Variable("R") if rng.random() < 0.4 else None
+    conditions: list[Condition] = []
+    head_children: list[ObjectPattern] = []
+    value_vars: list[Variable] = []
+    for index in range(1, rng.randint(1, max_conditions) + 1):
+        depth = rng.randint(1, max_depth)
+        roll = rng.random()
+        leaf: PatternValue
+        if roll < 0.25:
+            leaf = Constant(rng.choice(VALUE_POOL))
+        elif roll < 0.35:
+            leaf = SetPattern(())
+        else:
+            leaf_var = Variable(f"V{index}")
+            leaf = leaf_var
+            value_vars.append(leaf_var)
+            head_children.append(ObjectPattern(
+                FunctionTerm(f"h{index}", (Variable(f"O{index}_1"),)),
+                Constant("item"), leaf_var))
+        pattern = ObjectPattern(Variable(f"O{index}_{depth}"),
+                                _random_label(rng, index, depth), leaf)
+        for level in range(depth - 1, 0, -1):
+            pattern = ObjectPattern(Variable(f"O{index}_{level}"),
+                                    _random_label(rng, index, level),
+                                    SetPattern((pattern,)))
+        if shared_root is not None:
+            pattern = ObjectPattern(shared_root,
+                                    Constant(rng.choice(LABEL_POOL)),
+                                    SetPattern((pattern,)))
+        conditions.append(Condition(pattern, "db"))
+    top = shared_root if shared_root is not None else Variable("O1_1")
+    roll = rng.random()
+    head_value: PatternValue
+    if head_children and roll < 0.4:
+        head_value = SetPattern(tuple(head_children))
+    elif value_vars and roll < 0.7:
+        head_value = value_vars[0]
+    else:
+        head_value = Constant("yes")
+    head = ObjectPattern(FunctionTerm("ans", (top,)),
+                         Constant(rng.choice(LABEL_POOL)), head_value)
+    return Query(head, tuple(conditions))

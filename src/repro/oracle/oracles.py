@@ -1,0 +1,401 @@
+"""The three executable oracles (semantic, containment, metamorphic).
+
+Each oracle takes a generated :class:`~repro.oracle.gen.Case` and returns
+the invariant violations it found.  The oracles are *executable
+specifications* of the paper's claims:
+
+semantic
+    Soundness of the rewriter (Lemma 5.3 direction of Theorem 5.5): every
+    emitted rewriting -- and its composition with the view definitions --
+    evaluates to a result identical to the original query's on the
+    concrete database.  Plus completeness on cases constructed to admit a
+    rewriting (the exposing view).
+
+containment
+    Differential check of the containment-mapping engine against the
+    brute-force enumerator of :mod:`repro.oracle.brute`, and of the
+    Section 4 equivalence verdicts against actual evaluation (an
+    ``equivalent`` verdict that evaluation refutes is a soundness bug).
+
+metamorphic
+    Relations that must hold between pipeline stages without knowing the
+    expected output: the chase and normal form preserve evaluation, the
+    chase is idempotent, printing then parsing is the identity, and
+    composing a probe query with a view is semantically the same as
+    evaluating the probe over the materialized view -- including through
+    a stack of two views, where one-shot and stepwise composition must
+    agree (associativity of view inlining).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..errors import CompositionError, ReproError
+from ..logic.terms import FunctionTerm
+from ..oem.equivalence import explain_difference, identical
+from ..oem.model import OemDatabase
+from ..rewriting.chase import chase
+from ..rewriting.composition import compose
+from ..rewriting.equivalence import equivalent, minimize, prepare_program
+from ..rewriting.mappings import find_mappings
+from ..rewriting.rewriter import rewrite
+from ..tsl.ast import Query, SetPatternTerm
+from ..tsl.evaluator import evaluate, evaluate_program
+from ..tsl.normalize import normalize, path_to_condition, query_paths
+from ..tsl.parser import parse_query
+from ..tsl.printer import print_query
+from ..tsl.validate import is_safe
+from ..workloads.random_oem import RandomQueryConfig, sample_query
+from .brute import brute_coverage, brute_mappings
+from .gen import Case, sample_view
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One violated invariant."""
+
+    oracle: str
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}/{self.invariant}] {self.message}"
+
+
+@dataclass
+class OracleResult:
+    """What one oracle did on one case."""
+
+    checks: int = 0
+    failures: list[Failure] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.failures is None:
+            self.failures = []
+
+
+class Oracle(Protocol):
+    name: str
+
+    def check(self, case: Case) -> OracleResult: ...
+
+
+def _diff_summary(left: OemDatabase, right: OemDatabase) -> str:
+    diffs = explain_difference(left, right, limit=3)
+    return "; ".join(diffs) if diffs else "results differ"
+
+
+def _term_has_set_pattern(term: object) -> bool:
+    if isinstance(term, SetPatternTerm):
+        return True
+    if isinstance(term, FunctionTerm):
+        return any(_term_has_set_pattern(arg) for arg in term.args)
+    return False
+
+
+def _uses_set_mappings(query: Query) -> bool:
+    """True when a body pattern embeds a set-pattern term.
+
+    View instantiations built from *set mappings* (Example 3.2) carry
+    ``{<...>}`` terms inside their head oids; such a rewriting denotes
+    copies of source subgraphs and is only checkable through its
+    composition, not by direct evaluation over materialized views.
+    """
+    for condition in query.body:
+        for pattern in condition.pattern.nested_patterns():
+            if (_term_has_set_pattern(pattern.oid)
+                    or _term_has_set_pattern(pattern.label)
+                    or _term_has_set_pattern(pattern.value)):
+                return True
+    return False
+
+
+class SemanticOracle:
+    """Evaluate Q and every rewriting; the answers must be identical."""
+
+    name = "semantic"
+
+    def __init__(self, max_candidates: int = 128) -> None:
+        self.max_candidates = max_candidates
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        constraints = case.constraints
+        expected = evaluate(case.query, case.db)
+        materialized = {
+            name: evaluate(view, case.db, answer_name=name)
+            for name, view in case.views.items()}
+        sources = {case.db.name: case.db, **materialized}
+        outcome = rewrite(case.query, case.views, constraints,
+                          max_candidates=self.max_candidates)
+        for rewriting in outcome:
+            if case.conjunctive and not _uses_set_mappings(rewriting.query):
+                # Only meaningful without copy semantics: materialized
+                # views with hanging subgraphs are not faithful sources.
+                result.checks += 1
+                actual = evaluate(rewriting.query, sources)
+                if not identical(expected, actual):
+                    result.failures.append(Failure(
+                        self.name, "rewriting-sound",
+                        f"rewriting via {sorted(rewriting.views_used)} "
+                        f"disagrees with Q on the database: "
+                        f"{_diff_summary(expected, actual)}"))
+            result.checks += 1
+            inlined = evaluate_program(rewriting.composition, case.db)
+            if not identical(expected, inlined):
+                result.failures.append(Failure(
+                    self.name, "composition-sound",
+                    f"composition of rewriting via "
+                    f"{sorted(rewriting.views_used)} disagrees with Q: "
+                    f"{_diff_summary(expected, inlined)}"))
+        result.checks += 1
+        if case.expect_rewriting and not outcome.rewritings:
+            result.failures.append(Failure(
+                self.name, "rewriting-complete",
+                "case admits a rewriting by construction (exposing view) "
+                "but the rewriter found none"))
+        return result
+
+
+class ContainmentOracle:
+    """Differential-test mappings and equivalence verdicts."""
+
+    name = "containment"
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        constraints = case.constraints
+        prepared = prepare_program([case.query], constraints)
+        if not prepared:
+            return result  # contradictory body: nothing to cross-check
+        target = prepared[0]
+        for name, view in sorted(case.views.items()):
+            chased_view = chase(view, constraints)
+            mappings = find_mappings(chased_view, target)
+            engine = {m.subst for m in mappings}
+            brute = brute_mappings(chased_view, target)
+            result.checks += 1
+            if engine != brute:
+                only_engine = {str(s) for s in engine - brute}
+                only_brute = {str(s) for s in brute - engine}
+                result.failures.append(Failure(
+                    self.name, "mappings-differ",
+                    f"view {name}: engine-only={sorted(only_engine)} "
+                    f"brute-only={sorted(only_brute)}"))
+                continue
+            for mapping in mappings:
+                result.checks += 1
+                brute_covers = brute_coverage(chased_view, target,
+                                              mapping.subst)
+                if mapping.covers != brute_covers:
+                    result.failures.append(Failure(
+                        self.name, "coverage-differs",
+                        f"view {name}, mapping {mapping.subst}: engine "
+                        f"covers {sorted(mapping.covers)}, brute covers "
+                        f"{sorted(brute_covers)}"))
+        result.checks += 1
+        if not equivalent(case.query, chase(case.query, constraints),
+                          constraints):
+            result.failures.append(Failure(
+                self.name, "chase-equivalent",
+                "query not judged equivalent to its own chase"))
+        result.checks += 1
+        if not equivalent(case.query, normalize(case.query), constraints):
+            result.failures.append(Failure(
+                self.name, "normalize-equivalent",
+                "query not judged equivalent to its own normal form"))
+        self._check_condition_drops(case, target, result)
+        self._check_minimize(case, target, result)
+        return result
+
+    def _check_condition_drops(self, case: Case, target: Query,
+                               result: OracleResult) -> None:
+        """An `equivalent` verdict refuted by evaluation is a bug."""
+        constraints = case.constraints
+        paths = query_paths(target)
+        if len(paths) < 2:
+            return
+        expected = evaluate(target, case.db)
+        for index in range(len(paths)):
+            body = tuple(path_to_condition(p)
+                         for i, p in enumerate(paths) if i != index)
+            smaller = Query(target.head, body, name=target.name)
+            if not is_safe(smaller):
+                continue
+            result.checks += 1
+            if equivalent(target, smaller, constraints):
+                actual = evaluate(smaller, case.db)
+                if not identical(expected, actual):
+                    result.failures.append(Failure(
+                        self.name, "equivalence-unsound",
+                        f"dropping condition {index} judged equivalent "
+                        f"but evaluation differs: "
+                        f"{_diff_summary(expected, actual)}"))
+
+    def _check_minimize(self, case: Case, target: Query,
+                        result: OracleResult) -> None:
+        constraints = case.constraints
+        minimized = minimize(target)
+        result.checks += 1
+        if not equivalent(target, minimized, constraints):
+            result.failures.append(Failure(
+                self.name, "minimize-equivalent",
+                "minimize() produced a non-equivalent query"))
+            return
+        result.checks += 1
+        expected = evaluate(target, case.db)
+        actual = evaluate(minimized, case.db)
+        if not identical(expected, actual):
+            result.failures.append(Failure(
+                self.name, "minimize-sound",
+                f"minimized query evaluates differently: "
+                f"{_diff_summary(expected, actual)}"))
+
+
+class MetamorphicOracle:
+    """Stage-relation invariants: chase, normal form, printer, composition."""
+
+    name = "metamorphic"
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        constraints = case.constraints
+        expected = evaluate(case.query, case.db)
+        chased = chase(case.query, constraints)
+
+        result.checks += 1
+        rechased = chase(chased, constraints)
+        if set(query_paths(chased)) != set(query_paths(rechased)):
+            result.failures.append(Failure(
+                self.name, "chase-idempotent",
+                "chasing a chased query changed its path set"))
+
+        result.checks += 1
+        actual = evaluate(chased, case.db)
+        if not identical(expected, actual):
+            result.failures.append(Failure(
+                self.name, "chase-preserves-evaluation",
+                f"chase changed the query's result: "
+                f"{_diff_summary(expected, actual)}"))
+
+        result.checks += 1
+        actual = evaluate(normalize(case.query), case.db)
+        if not identical(expected, actual):
+            result.failures.append(Failure(
+                self.name, "normalize-preserves-evaluation",
+                f"normal form changed the query's result: "
+                f"{_diff_summary(expected, actual)}"))
+
+        for label, candidate in [("query", case.query), ("chased", chased),
+                                 *((f"view:{n}", v)
+                                   for n, v in sorted(case.views.items()))]:
+            result.checks += 1
+            text = print_query(candidate)
+            reparsed = parse_query(text)
+            if reparsed != candidate:
+                result.failures.append(Failure(
+                    self.name, "print-parse-roundtrip",
+                    f"{label} did not survive print->parse: {text}"))
+
+        self._check_composition(case, result)
+        self._check_stacked_composition(case, result)
+        return result
+
+    def _probe(self, mv: OemDatabase, seed: int) -> Query | None:
+        if not mv.roots:
+            return None
+        config = RandomQueryConfig(conditions=1, max_depth=2,
+                                   label_variable_probability=0.0,
+                                   conjunctive=True)
+        return sample_query(mv, config, seed=seed)
+
+    def _check_composition(self, case: Case, result: OracleResult) -> None:
+        """evaluate(probe, materialized V) == evaluate(compose(probe, V), db)."""
+        for name, view in sorted(case.views.items()):
+            mv = evaluate(view, case.db, answer_name=name)
+            probe = self._probe(mv, case.seed + 17)
+            if probe is None:
+                continue
+            try:
+                composed = compose(probe, {name: view})
+            except CompositionError:
+                continue  # probe not expressible over base data: fine
+            result.checks += 1
+            direct = evaluate(probe, {name: mv})
+            inlined = evaluate_program(composed, case.db)
+            if not identical(direct, inlined):
+                result.failures.append(Failure(
+                    self.name, "composition-semantics",
+                    f"probe over materialized {name} disagrees with its "
+                    f"composition over the base database: "
+                    f"{_diff_summary(direct, inlined)}"))
+
+    def _check_stacked_composition(self, case: Case,
+                                   result: OracleResult) -> None:
+        """One-shot vs stepwise inlining through a two-view stack."""
+        inner = sample_view(case.db, seed=case.seed + 23, name="S1")
+        if inner is None:
+            return
+        m_inner = evaluate(inner, case.db, answer_name="S1")
+        if not m_inner.roots:
+            return
+        outer = sample_view(m_inner, seed=case.seed + 29, name="S2")
+        if outer is None:
+            return
+        m_outer = evaluate(outer, m_inner, answer_name="S2")
+        probe = self._probe(m_outer, case.seed + 31)
+        if probe is None:
+            return
+        try:
+            one_shot = compose(probe, {"S1": inner, "S2": outer})
+            stepwise = [rule
+                        for partial in compose(probe, {"S2": outer})
+                        for rule in compose(partial, {"S1": inner})]
+        except CompositionError:
+            return
+        result.checks += 1
+        direct = evaluate(probe, {"S2": m_outer})
+        via_one_shot = evaluate_program(one_shot, case.db)
+        via_stepwise = evaluate_program(stepwise, case.db)
+        if not identical(via_one_shot, via_stepwise):
+            result.failures.append(Failure(
+                self.name, "composition-associative",
+                f"one-shot and stepwise inlining of a two-view stack "
+                f"disagree: {_diff_summary(via_one_shot, via_stepwise)}"))
+        elif not identical(direct, via_one_shot):
+            result.failures.append(Failure(
+                self.name, "composition-associative",
+                f"two-view stack inlining disagrees with direct "
+                f"evaluation: {_diff_summary(direct, via_one_shot)}"))
+
+
+ORACLES: dict[str, Callable[[], Oracle]] = {
+    "semantic": SemanticOracle,
+    "containment": ContainmentOracle,
+    "metamorphic": MetamorphicOracle,
+}
+
+
+def run_oracle(oracle: Oracle, case: Case) -> OracleResult:
+    """Run one oracle, converting crashes into failures.
+
+    An unexpected exception inside the pipeline under test is itself an
+    invariant violation (the oracles only feed it well-formed input).
+    """
+    try:
+        return oracle.check(case)
+    except ReproError as exc:
+        result = OracleResult(checks=1)
+        result.failures.append(Failure(
+            oracle.name, "unexpected-error",
+            f"{type(exc).__name__}: {exc}"))
+        return result
+    except Exception as exc:  # noqa: BLE001 -- fuzzing must survive crashes
+        result = OracleResult(checks=1)
+        summary = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        result.failures.append(Failure(
+            oracle.name, "unexpected-error", summary))
+        return result

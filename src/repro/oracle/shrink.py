@@ -1,0 +1,145 @@
+"""Greedy minimization of failing cases.
+
+Given a case and a predicate ("this case still reproduces the failure"),
+the shrinker repeatedly tries structure-removing reductions -- drop a
+view, a body condition, a head child, a database root, a database edge --
+keeping any reduction under which the predicate still holds, until a
+fixpoint.  Counterexamples reported by the fuzzer are therefore close to
+minimal: typically one view, one or two conditions, a handful of objects.
+
+The predicate is the failure *reproducer*, usually "the same (oracle,
+invariant) pair fails again" -- see :mod:`repro.oracle.runner`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from ..oem.model import OemDatabase
+from ..oem.serialize import (database_from_json, database_to_json,
+                             term_to_json)
+from ..tsl.ast import ObjectPattern, Query, SetPattern
+from ..tsl.validate import is_safe
+from .gen import Case
+
+Predicate = Callable[[Case], bool]
+
+
+def _with_query(case: Case, query: Query) -> Case:
+    return replace(case, query=query)
+
+
+def _head_without_child(head: ObjectPattern,
+                        index: int) -> ObjectPattern | None:
+    if not isinstance(head.value, SetPattern):
+        return None
+    children = head.value.patterns
+    if index >= len(children):
+        return None
+    kept = children[:index] + children[index + 1:]
+    return ObjectPattern(head.oid, head.label, SetPattern(kept))
+
+
+def _query_reductions(query: Query) -> Iterator[Query]:
+    """Structurally smaller, still-safe variants of *query*."""
+    if len(query.body) > 1:
+        for index in range(len(query.body)):
+            body = query.body[:index] + query.body[index + 1:]
+            smaller = Query(query.head, body, name=query.name)
+            if is_safe(smaller):
+                yield smaller
+    if isinstance(query.head.value, SetPattern):
+        for index in range(len(query.head.value.patterns)):
+            head = _head_without_child(query.head, index)
+            if head is not None:
+                smaller = Query(head, query.body, name=query.name)
+                if is_safe(smaller):
+                    yield smaller
+
+
+def _case_reductions(case: Case) -> Iterator[Case]:
+    # 1. Drop a view entirely.  Without the exposing view "V" the case no
+    #    longer promises a rewriting, so completeness must not re-fire.
+    for name in sorted(case.views):
+        views = {n: v for n, v in case.views.items() if n != name}
+        expect = case.expect_rewriting and "V" in views
+        yield replace(case, views=views, expect_rewriting=expect)
+    # 2. Shrink the query.
+    for query in _query_reductions(case.query):
+        yield _with_query(case, query)
+    # 3. Shrink a view.
+    for name in sorted(case.views):
+        for view in _query_reductions(case.views[name]):
+            views = dict(case.views)
+            views[name] = view
+            yield replace(case, views=views)
+    # 4. Shrink the database.
+    yield from _database_reductions(case)
+
+
+def _database_reductions(case: Case) -> Iterator[Case]:
+    data = database_to_json(case.db)
+    roots = data.get("roots", [])
+    if len(roots) > 1:
+        for index in range(len(roots)):
+            smaller = dict(data)
+            smaller["roots"] = roots[:index] + roots[index + 1:]
+            yield replace(case, db=_pruned(smaller))
+    for index, obj in enumerate(data.get("objects", [])):
+        children = obj.get("children")
+        if not children:
+            continue
+        for child_index in range(len(children)):
+            objects = [dict(o) for o in data["objects"]]
+            objects[index]["children"] = (children[:child_index]
+                                          + children[child_index + 1:])
+            smaller = dict(data)
+            smaller["objects"] = objects
+            yield replace(case, db=_pruned(smaller))
+
+
+def _canonical(term_json: object) -> str:
+    return json.dumps(term_json, sort_keys=True)
+
+
+def _pruned(data: dict) -> OemDatabase:
+    """Rebuild a database from JSON, dropping unreachable objects."""
+    db = database_from_json(data)
+    reachable = {_canonical(term_to_json(oid))
+                 for oid in db.reachable_oids()}
+    pruned = {
+        "name": data["name"],
+        "roots": data["roots"],
+        "objects": [obj for obj in data["objects"]
+                    if _canonical(obj["oid"]) in reachable],
+    }
+    return database_from_json(pruned)
+
+
+def shrink_case(case: Case, predicate: Predicate,
+                max_attempts: int = 400) -> Case:
+    """Smallest case (under greedy reduction) still satisfying *predicate*.
+
+    Assumes ``predicate(case)`` is already True.  Each candidate
+    reduction costs one predicate evaluation (one oracle run), bounded by
+    *max_attempts* in total.
+    """
+    attempts = 0
+    current = case
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _case_reductions(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                if predicate(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:  # noqa: BLE001 -- a crashy reduction is not it
+                continue
+    return current

@@ -33,6 +33,7 @@ choices), worst-case exponential in the query size (Section 5.1).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
@@ -72,12 +73,36 @@ def _view_parts(view: Query) -> _ViewParts:
                       tuple(object_rules), tuple(hanging), view.body)
 
 
+_COPY_SUFFIX = re.compile(r"~(\d+)$")
+
+
+def _copy_counter_start(candidate: Query, views: Views) -> int:
+    """Lowest safe start for the rename-apart counter.
+
+    A candidate that is itself the output of an earlier composition
+    carries ``~N``-suffixed variables; fresh view copies must begin
+    numbering above every suffix already in play, or a copy collides
+    with a candidate variable and resolution dies on the occurs check.
+    """
+    names = {v.name for v in candidate.head_variables()
+             | candidate.body_variables()}
+    for view in views.values():
+        names |= {v.name for v in view.head_variables()
+                  | view.body_variables()}
+    start = 0
+    for name in names:
+        suffix = _COPY_SUFFIX.search(name)
+        if suffix:
+            start = max(start, int(suffix.group(1)))
+    return start
+
+
 class _Resolver:
     """Backtracking resolution of view-condition paths against view parts."""
 
-    def __init__(self, views: Views) -> None:
+    def __init__(self, views: Views, start: int = 0) -> None:
         self._views = {name: normalize(view) for name, view in views.items()}
-        self._copies = 0
+        self._copies = start
 
     def _fresh_parts(self, source: str) -> _ViewParts:
         self._copies += 1
@@ -217,12 +242,17 @@ def compose(candidate: Query, views: Views,
     pending = [normalize(candidate)]
     rules: list[Query] = []
     emitted: set[Query] = set()
+    # One resolver (one rename-apart counter) across all levels: a fresh
+    # counter per level would reuse ~N suffixes already present in the
+    # partially-unfolded rules, and the colliding copies fail the occurs
+    # check, silently dropping every deeper resolution.
+    resolver = _Resolver(views, start=_copy_counter_start(pending[0], views))
     for _ in range(max_depth):
         if not pending:
             return rules
         next_pending: list[Query] = []
         for rule in pending:
-            for unfolded in _compose_once(rule, views):
+            for unfolded in _compose_once(rule, views, resolver):
                 if unfolded.sources() & set(views):
                     next_pending.append(unfolded)
                 elif unfolded not in emitted:
@@ -236,7 +266,8 @@ def compose(candidate: Query, views: Views,
     return rules
 
 
-def _compose_once(candidate: Query, views: Views) -> list[Query]:
+def _compose_once(candidate: Query, views: Views,
+                  resolver: _Resolver | None = None) -> list[Query]:
     """One level of unfolding of every view condition of *candidate*."""
     candidate = normalize(candidate)
     base_conditions = tuple(c for c in candidate.body
@@ -244,7 +275,9 @@ def _compose_once(candidate: Query, views: Views) -> list[Query]:
     view_paths = [p for p in query_paths(candidate) if p.source in views]
     if not view_paths:
         return [candidate]
-    resolver = _Resolver(views)
+    if resolver is None:
+        resolver = _Resolver(views,
+                             start=_copy_counter_start(candidate, views))
     rules: list[Query] = []
     seen: set[Query] = set()
     for subst, body in resolver.resolve_paths(view_paths, Substitution(),

@@ -1,10 +1,15 @@
-"""Shared fixtures: the paper's running examples, reusable databases."""
+"""Shared fixtures: the paper's running examples, reusable databases.
+
+Random-workload fixtures (``random_workload``, ``oracle_case``, ...)
+come from :mod:`repro.oracle.fixtures`, shared with the benchmark suite.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.oem import build_database, obj
+from repro.oracle.fixtures import *  # noqa: F401,F403
 from repro.tsl import parse_query
 from repro.workloads import (figure3_database, generate_bibliography,
                              generate_people, people_dtd, view_v1)

@@ -1,0 +1,117 @@
+"""Property tests for the logic layer on the oracle generators.
+
+Terms and substitutions come from :mod:`repro.oracle.gen`'s synthetic
+generators (function terms up to depth, constants from the quoting-corner
+pools, normalized substitutions), so these checks see shapes the
+database-sampled property tests never produce.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.subst import Substitution
+from repro.logic.unify import match, unify, unify_all
+from repro.logic.terms import Variable
+from repro.oracle import (random_ground_term, random_substitution,
+                          random_term)
+
+_SETTINGS = dict(max_examples=50, deadline=None)
+_seeds = st.integers(min_value=0, max_value=100_000)
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_substitution_application_is_idempotent(seed):
+    rng = random.Random(seed)
+    subst = random_substitution(rng)
+    term = random_term(rng)
+    once = subst.apply(term)
+    assert subst.apply(once) == once
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_composition_agrees_with_sequential_application(seed):
+    rng = random.Random(seed)
+    first = random_substitution(rng)
+    second = random_substitution(rng, variables=("A", "B", "C"),
+                                 range_variables=("P", "Q"))
+    term = random_term(rng)
+    composed = first.compose(second)
+    assert composed.apply(term) == second.apply(first.apply(term))
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_composition_is_associative_in_effect(seed):
+    rng = random.Random(seed)
+    s1 = random_substitution(rng)
+    s2 = random_substitution(rng, variables=("A", "B", "C"),
+                             range_variables=("P", "Q"))
+    s3 = random_substitution(rng, variables=("P", "Q"),
+                             range_variables=("K",))
+    term = random_term(rng)
+    left = s1.compose(s2).compose(s3)
+    right = s1.compose(s2.compose(s3))
+    assert left.apply(term) == right.apply(term)
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_unify_produces_a_real_unifier(seed):
+    rng = random.Random(seed)
+    left = random_term(rng)
+    right = random_term(rng, variables=("A", "B", "C"))
+    unifier = unify(left, right)
+    if unifier is not None:
+        assert unifier.apply(left) == unifier.apply(right)
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_unifier_is_most_general_against_ground_instances(seed):
+    # If a ground instantiation makes both sides equal, unification must
+    # succeed too (a ground unifier witnesses unifiability).
+    rng = random.Random(seed)
+    term = random_term(rng)
+    grounding = Substitution({v: random_ground_term(rng)
+                              for v in term.variables()})
+    ground = grounding.apply(term)
+    unifier = unify(term, ground)
+    assert unifier is not None
+    assert unifier.apply(term) == ground
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_unify_all_agrees_with_pairwise(seed):
+    rng = random.Random(seed)
+    pairs = [(random_term(rng, depth=1),
+              random_term(rng, depth=1, variables=("A", "B")))
+             for _ in range(3)]
+    whole = unify_all(pairs)
+    if whole is not None:
+        for a, b in pairs:
+            assert whole.apply(a) == whole.apply(b)
+
+
+@settings(**_SETTINGS)
+@given(seed=_seeds)
+def test_match_is_one_way(seed):
+    rng = random.Random(seed)
+    pattern = random_term(rng)
+    target = random_ground_term(rng)
+    subst = match(pattern, target)
+    if subst is not None:
+        assert subst.apply(pattern) == target
+        # Matching never binds target-side variables: the target was
+        # ground, so every binding's domain is a pattern variable.
+        assert set(subst) <= set(pattern.variables()) | set()
+
+
+def test_bind_keeps_substitution_normalized():
+    x, y = Variable("X"), Variable("Y")
+    subst = Substitution({x: y})
+    rebound = subst.bind(y, Variable("Z"))
+    assert rebound.apply(x) == Variable("Z")

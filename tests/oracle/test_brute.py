@@ -1,0 +1,93 @@
+"""The brute-force mapping enumerator against the engine, and by hand.
+
+``brute_mappings``/``brute_coverage`` re-derive containment mappings by
+exhaustive path-to-path assignment, sharing no code with
+``repro.rewriting.mappings``.  Equality of the two on random inputs is
+the containment oracle's core check; here the same comparison runs as a
+property test, plus hand-checked fixtures that pin the expected mapping
+sets themselves (so a bug common to both engines would still be caught).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.subst import Substitution
+from repro.logic.terms import Variable
+from repro.oracle import (brute_coverage, brute_mappings,
+                          brute_query_maps_into, generate_case, sample_view)
+from repro.rewriting import chase
+from repro.rewriting.mappings import find_mappings
+from repro.tsl import parse_query
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _engine_mappings(view, query):
+    return {m.subst for m in find_mappings(view, query)}
+
+
+def test_identity_mapping_on_equal_queries():
+    query = parse_query("<f(X) a V> :- <X a V>@db")
+    identity = Substitution({Variable("X"): Variable("X"),
+                             Variable("V"): Variable("V")})
+    assert identity in brute_mappings(query, query)
+
+
+def test_mapping_binds_view_variables_onto_query_constants():
+    view = parse_query("<v(X) row V> :- <X a V>@db")
+    query = parse_query("<f(X) a 1> :- <X a 7>@db")
+    mappings = brute_mappings(view, query)
+    assert any(m.get(Variable("V")) is not None for m in mappings)
+
+
+def test_no_mapping_on_label_mismatch():
+    view = parse_query("<v(X) row V> :- <X a V>@db")
+    query = parse_query("<f(X) a V> :- <X b V>@db")
+    assert brute_mappings(view, query) == set()
+
+
+def test_set_mapping_into_longer_path():
+    view = parse_query("<v(X) row V> :- <X a V>@db")
+    query = parse_query("<f(X) a V> :- <X a {<Y b V>}>@db")
+    assert brute_mappings(view, query)
+    assert not brute_query_maps_into(query, view)
+
+
+def test_empty_set_leaf_maps_into_nonempty_set():
+    view = parse_query("<v(X) row 1> :- <X a {}>@db")
+    query = parse_query("<f(X) a V> :- <X a {<Y b V>}>@db")
+    assert brute_mappings(view, query)
+    # ... but not into a plain leaf variable: a variable leaf does not
+    # guarantee the object has a set value.
+    atom = parse_query("<f(X) a V> :- <X a V>@db")
+    assert brute_mappings(view, atom) == set()
+
+
+def test_sources_must_agree():
+    view = parse_query("<v(X) row V> :- <X a V>@other")
+    query = parse_query("<f(X) a V> :- <X a V>@db")
+    assert brute_mappings(view, query) == set()
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_brute_agrees_with_engine_on_exposing_views(seed):
+    case = generate_case(seed)
+    target = chase(case.query)
+    for view in case.views.values():
+        chased = chase(view)
+        assert brute_mappings(chased, target) == \
+            _engine_mappings(chased, target)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_brute_coverage_agrees_with_engine(seed):
+    case = generate_case(seed)
+    target = chase(case.query)
+    view = sample_view(case.db, seed)
+    if view is None:
+        return
+    chased = chase(view)
+    for mapping in find_mappings(chased, target):
+        assert brute_coverage(chased, target, mapping.subst) == \
+            mapping.covers

@@ -1,0 +1,67 @@
+"""Corpus files: round trips, dedup, replay of checked-in regressions."""
+
+import os
+
+import pytest
+
+from repro.oem import identical
+from repro.oracle import (ORACLES, case_from_json, case_to_json,
+                          generate_case, load_case, load_corpus, run_oracle,
+                          save_case)
+from repro.tsl import print_query
+
+CHECKED_IN = os.path.join(os.path.dirname(__file__), os.pardir, "corpus")
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_roundtrip_preserves_everything(seed):
+    case = generate_case(seed)
+    data = case_to_json(case)
+    back = case_from_json(data)
+    assert identical(back.db, case.db)
+    assert print_query(back.query) == print_query(case.query)
+    assert {n: print_query(v) for n, v in back.views.items()} == \
+        {n: print_query(v) for n, v in case.views.items()}
+    assert back.seed == case.seed
+    assert back.profile == case.profile
+    assert back.conjunctive == case.conjunctive
+    assert back.expect_rewriting == case.expect_rewriting
+    # Views keep their names -- compositions depend on them.
+    for name, view in back.views.items():
+        assert view.name == name
+
+
+def test_unsupported_version_rejected():
+    data = case_to_json(generate_case(0))
+    data["version"] = 999
+    with pytest.raises(ValueError):
+        case_from_json(data)
+
+
+def test_save_dedups_identical_and_suffixes_different(tmp_path):
+    a = generate_case(1)
+    b = generate_case(2)
+    path_a = save_case(a, str(tmp_path), "bug")
+    again = save_case(a, str(tmp_path), "bug")
+    path_b = save_case(b, str(tmp_path), "bug")
+    assert path_a == again
+    assert path_b != path_a
+    assert len(load_corpus(str(tmp_path))) == 2
+
+
+def test_save_sanitizes_hostile_stems(tmp_path):
+    path = save_case(generate_case(3), str(tmp_path), "a/b: weird*stem")
+    assert os.path.dirname(path) == str(tmp_path)
+    assert os.path.exists(path)
+
+
+def test_checked_in_corpus_is_green():
+    """Every regression case in tests/corpus passes every oracle."""
+    corpus = load_corpus(CHECKED_IN)
+    assert corpus, "tests/corpus must contain regression cases"
+    for path, case in corpus:
+        for name in sorted(ORACLES):
+            result = run_oracle(ORACLES[name](), case)
+            assert not result.failures, \
+                f"{os.path.basename(path)} [{name}]: " + \
+                "; ".join(map(str, result.failures))

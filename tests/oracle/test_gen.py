@@ -1,0 +1,59 @@
+"""Case generation: determinism, budgets, profiles, sampled views."""
+
+import pytest
+
+from repro.oem import identical
+from repro.oracle import PROFILES, generate_case, sample_view
+from repro.oracle.corpus import case_to_json
+from repro.tsl import evaluate, validate
+from repro.tsl.ast import query_size
+from repro.workloads import RandomOemConfig, generate_random_database
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_generation_is_deterministic(profile):
+    config = PROFILES[profile]
+    left = generate_case(42, config)
+    right = generate_case(42, config)
+    assert case_to_json(left) == case_to_json(right)
+    assert identical(left.db, right.db)
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+@pytest.mark.parametrize("seed", range(6))
+def test_cases_respect_budgets_and_are_wellformed(profile, seed):
+    config = PROFILES[profile]
+    case = generate_case(seed, config)
+    assert case.profile == profile
+    assert query_size(case.query) <= config.max_query_size
+    if not config.dtd_constrained:
+        assert case.db.stats()["objects"] <= config.max_db_objects
+    validate(case.query)
+    for view in case.views.values():
+        validate(view)
+    # The exposing view is always present: completeness is checkable.
+    assert "V" in case.views
+    assert case.expect_rewriting
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_generated_query_is_satisfiable(seed):
+    case = generate_case(seed)
+    assert evaluate(case.query, case.db).roots
+
+
+def test_profiles_differ():
+    seen = {case_to_json(generate_case(5, PROFILES[p]))["query"]
+            for p in PROFILES}
+    assert len(seen) > 1
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_sampled_views_are_nonempty_on_their_database(seed):
+    db = generate_random_database(
+        RandomOemConfig(roots=2, max_depth=3, max_fanout=2), seed=seed)
+    view = sample_view(db, seed)
+    if view is None:  # no atomic chain sampled: allowed, nothing to check
+        return
+    validate(view)
+    assert evaluate(view, db, answer_name="W").roots

@@ -1,0 +1,105 @@
+"""The oracles are green on the real engine and catch planted bugs.
+
+The mutation tests are the calibration for the whole subsystem: each
+deliberately breaks one engine layer (a chase rule, the equivalence
+test, the mapping enumerator) and asserts that a short fuzzing campaign
+reports a failure -- with a shrunk counterexample of at most 5 body
+conditions.  An oracle that stays green under mutation tests nothing.
+"""
+
+import importlib
+
+import pytest
+
+from repro.logic.terms import Constant
+from repro.oracle import (ORACLES, FuzzConfig, generate_case, run_fuzz,
+                          run_oracle)
+
+# repro.rewriting re-exports `chase` (the function), shadowing the
+# submodule attribute -- resolve the modules explicitly for monkeypatching.
+chase_mod = importlib.import_module("repro.rewriting.chase")
+equivalence_mod = importlib.import_module("repro.rewriting.equivalence")
+mappings_mod = importlib.import_module("repro.rewriting.mappings")
+
+
+@pytest.mark.parametrize("oracle_name", sorted(ORACLES))
+@pytest.mark.parametrize("seed", range(8))
+def test_oracles_green_on_real_engine(oracle_name, seed):
+    case = generate_case(seed)
+    result = run_oracle(ORACLES[oracle_name](), case)
+    assert not result.failures, "\n".join(map(str, result.failures))
+    assert result.checks > 0
+
+
+def test_campaign_green_on_real_engine():
+    report = run_fuzz(FuzzConfig(seed=7, iterations=24))
+    assert report.ok, "\n".join(f.message for f in report.failures)
+    assert report.iterations_run == 24
+    for name in ORACLES:
+        assert report.checks[name] > 0
+
+
+def _assert_caught(report, max_conditions=5):
+    assert not report.ok, "mutation survived the campaign undetected"
+    assert all(f.conditions <= max_conditions for f in report.failures), \
+        [f.conditions for f in report.failures]
+
+
+def test_broken_chase_rule_is_caught_and_shrunk(monkeypatch):
+    # Break rule 3's reduction step: silently drop a live path.
+    monkeypatch.setattr(
+        chase_mod, "_drop_subsumed_empty_paths",
+        lambda paths: paths[:-1] if len(paths) > 1 else paths)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=16))
+    _assert_caught(report)
+
+
+def test_broken_equivalence_is_caught(monkeypatch):
+    # Equivalence that rejects everything must trip the self-checks
+    # (a query is always equivalent to its own chase / normal form).
+    monkeypatch.setattr(equivalence_mod, "components_subsumed",
+                        lambda *args, **kwargs: False)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=8, shrink=False))
+    assert not report.ok
+    invariants = {f.invariant for f in report.failures}
+    assert invariants & {"chase-equivalent", "normalize-equivalent",
+                         "minimize-equivalent", "rewriting-complete"}
+
+
+def test_sloppy_mapping_match_is_caught(monkeypatch):
+    # An enumerator that tolerates constant mismatches finds mappings
+    # the brute-force cross-check does not -- and admits unsound
+    # rewritings the semantic oracle refutes by evaluation.
+    orig = mappings_mod.match
+
+    def sloppy(a, b, subst=None):
+        out = orig(a, b, subst)
+        if out is None and isinstance(a, Constant) \
+                and isinstance(b, Constant):
+            return subst
+        return out
+
+    monkeypatch.setattr(mappings_mod, "match", sloppy)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=8, shrink=False))
+    assert not report.ok
+    invariants = {f.invariant for f in report.failures}
+    assert "mappings-differ" in invariants
+    assert invariants & {"rewriting-sound", "composition-sound"}
+
+
+def test_mutation_failures_replay_from_corpus(monkeypatch, tmp_path):
+    from repro.oracle import replay
+
+    monkeypatch.setattr(
+        chase_mod, "_drop_subsumed_empty_paths",
+        lambda paths: paths[:-1] if len(paths) > 1 else paths)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=8,
+                                 corpus_dir=str(tmp_path)))
+    _assert_caught(report)
+    saved = report.failures[0].corpus_path
+    assert saved is not None
+    # Still failing while the mutation is active ...
+    assert not replay(saved).ok
+    # ... and green once the engine is restored.
+    monkeypatch.undo()
+    assert replay(saved).ok

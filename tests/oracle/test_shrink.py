@@ -1,0 +1,53 @@
+"""The shrinker minimizes under a predicate without breaking the case."""
+
+from repro.oracle import generate_case, shrink_case
+from repro.tsl import evaluate, validate
+
+
+def test_shrinks_to_predicate_floor():
+    case = generate_case(7)
+    shrunk = shrink_case(case, lambda c: len(c.query.body) >= 1)
+    assert len(shrunk.query.body) == 1
+    assert not shrunk.views  # views are irrelevant to this predicate
+    validate(shrunk.query)
+
+
+def test_keeps_reductions_that_preserve_the_predicate_only():
+    case = generate_case(3)
+    # Predicate: the query still has answers on the database.
+    predicate = lambda c: bool(evaluate(c.query, c.db).roots)  # noqa: E731
+    assert predicate(case)
+    shrunk = shrink_case(case, predicate)
+    assert predicate(shrunk)
+    assert len(list(shrunk.db.oids())) <= len(list(case.db.oids()))
+
+
+def test_database_reductions_drop_unreachable_objects():
+    case = generate_case(11)
+    shrunk = shrink_case(case, lambda c: True)
+    reachable = set(shrunk.db.reachable_oids())
+    assert set(shrunk.db.oids()) <= reachable | set(shrunk.db.roots)
+
+
+def test_crashing_reductions_are_skipped():
+    case = generate_case(5)
+
+    def fragile(c):
+        if len(c.query.body) < len(case.query.body):
+            raise RuntimeError("boom")
+        return True
+
+    shrunk = shrink_case(case, fragile)
+    assert len(shrunk.query.body) == len(case.query.body)
+
+
+def test_respects_attempt_budget():
+    case = generate_case(9)
+    calls = []
+
+    def predicate(c):
+        calls.append(1)
+        return True
+
+    shrink_case(case, predicate, max_attempts=5)
+    assert len(calls) <= 6

@@ -1,0 +1,81 @@
+"""Chase edge cases mined by the fuzzer, pinned as regression tests.
+
+Each scenario here is the hand-minimized form of a shape the random
+campaign exercises: degenerate bodies, set-variable-only bodies, and
+queries where the oid key dependency has to fire more than once before
+the fixpoint.  The replayable full cases live in ``tests/corpus/`` (see
+``tests/oracle/test_corpus.py``); these unit tests assert the *specific*
+chase behavior each shape must exhibit.
+"""
+
+import pytest
+
+from repro.errors import ChaseContradictionError
+from repro.logic.terms import Constant, FunctionTerm, Variable
+from repro.oem import build_database, identical, obj
+from repro.rewriting import chase
+from repro.tsl import evaluate, parse_query, query_paths
+from repro.tsl.ast import ObjectPattern, Query, SetPattern
+
+
+def test_empty_body_is_a_chase_fixpoint():
+    # The parser cannot produce a bodyless rule; compositions can.
+    query = Query(ObjectPattern(FunctionTerm("f", (Constant("k"),)),
+                                Constant("a"), Constant("v")),
+                  ())
+    chased = chase(query)
+    assert chased.body == ()
+    assert chase(chased).body == ()
+
+
+def test_set_variable_only_body_reaches_fixpoint():
+    # Both conditions constrain only set structure; the set-variable
+    # extension must expand V (P provably has a subobject) and stop.
+    query = parse_query(
+        "<f(P) x 1> :- <P a V>@db AND <P a {<X Y Z>}>@db")
+    chased = chase(query)
+    assert identical_paths(chased, chase(chased))
+    leaves = [path.leaf for path in query_paths(chased)]
+    assert not any(isinstance(leaf, Variable) and leaf.name == "V"
+                   for leaf in leaves)
+
+
+def test_empty_set_only_body_is_stable():
+    query = parse_query("<f(P) x 1> :- <P a {}>@db AND <P b {}>@db")
+    with pytest.raises(ChaseContradictionError):
+        # Same oid P with labels a and b: the label key dependency must
+        # reject the constant clash.
+        chase(query)
+
+
+def test_empty_set_bodies_union_under_shared_oid():
+    query = parse_query("<f(P) x 1> :- <P a {}>@db AND <P a {<X b V>}>@db")
+    chased = chase(query)
+    # Rule 3: {} union {<b V>} is {<b V>} -- the empty-set path dissolves.
+    assert all(not isinstance(path.leaf, SetPattern) or path.leaf.patterns
+               for path in query_paths(chased))
+
+
+def test_key_dependency_fires_twice():
+    # First firing: labels of P unify (L -> a).  Second firing: values of
+    # P unify (W -> V).  One step is not enough; the fixpoint loop must
+    # interleave.
+    query = parse_query(
+        "<f(P) x V> :- <P a V>@db AND <P L W>@db")
+    chased = chase(query)
+    paths = query_paths(chased)
+    assert len(paths) == 1
+    (path,) = paths
+    assert path.steps[0][1] == Constant("a")
+    db = build_database("db", [obj("a", "7", oid="p1")])
+    assert identical(evaluate(query, db), evaluate(chased, db))
+
+
+def test_key_dependency_contradiction_atomic_vs_set():
+    query = parse_query("<f(P) x 1> :- <P a 7>@db AND <P a {<X b V>}>@db")
+    with pytest.raises(ChaseContradictionError):
+        chase(query)
+
+
+def identical_paths(left: Query, right: Query) -> bool:
+    return set(query_paths(left)) == set(query_paths(right))

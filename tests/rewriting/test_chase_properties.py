@@ -8,11 +8,10 @@ only license transformations that hold on every conforming database.
 from hypothesis import given, settings, strategies as st
 
 from repro.oem import identical
+from repro.oracle import sample_db_and_query
 from repro.rewriting import chase, dtd_from_dataguide
 from repro.tsl import evaluate, parse_query
-from repro.workloads import (RandomOemConfig, RandomQueryConfig,
-                             generate_people, generate_random_database,
-                             people_dtd, sample_query)
+from repro.workloads import RandomOemConfig, generate_people, people_dtd
 
 _SETTINGS = dict(max_examples=20, deadline=None)
 
@@ -39,11 +38,9 @@ def test_dtd_chase_preserves_answers_on_conforming_data(seed, index):
 @settings(**_SETTINGS)
 @given(seed=st.integers(min_value=0, max_value=5_000))
 def test_instance_mined_constraints_preserve_answers(seed):
-    db = generate_random_database(
-        RandomOemConfig(roots=3, max_depth=3, max_fanout=2), seed=seed)
+    db, query = sample_db_and_query(
+        seed, oem=RandomOemConfig(roots=3, max_depth=3, max_fanout=2))
     mined = dtd_from_dataguide(db)
-    query = sample_query(db, RandomQueryConfig(conditions=2, max_depth=3),
-                         seed=seed + 3)
     chased = chase(query, mined)
     # Instance-derived constraints hold for this very instance, so the
     # chase must preserve the answers here.

@@ -1,0 +1,56 @@
+"""Regression: composition through stacked views must not lose rules.
+
+Found by the fuzzer's composition-associativity invariant: each
+unfolding level (and each separate ``compose`` call) used to restart the
+view-copy rename counter, so a level-2 view copy could be renamed with
+the same ``~N`` suffix as variables introduced at level 1.  The
+resulting self-collision failed the occurs check and silently produced
+zero rules.  The counter now resumes above any ``~N`` already present in
+the candidate or the views.
+"""
+
+from repro.oem import build_database, identical, obj
+from repro.rewriting import compose
+from repro.tsl import evaluate, evaluate_program, parse_query
+
+
+def _stack():
+    # Both views deliberately use the same variable name X: after one
+    # unfolding level renames the S2 copy to X~1, a restarted counter
+    # would rename the S1 copy to X~1 as well and collide.
+    s1 = parse_query("<v_s1(X) row 7> :- <X a 7>@db", name="S1")
+    s2 = parse_query("<v_s2(X) out 7> :- <X row 7>@S1", name="S2")
+    probe = parse_query("<p(Z) x ok> :- <Z out 7>@S2", name="P")
+    return s1, s2, probe
+
+
+def test_one_shot_composition_reaches_the_base_source():
+    s1, s2, probe = _stack()
+    rules = compose(probe, {"S1": s1, "S2": s2})
+    assert rules, "stacked composition produced no rules"
+    assert all(rule.sources() == {"db"} for rule in rules)
+
+
+def test_stepwise_composition_agrees_with_one_shot():
+    s1, s2, probe = _stack()
+    one_shot = compose(probe, {"S1": s1, "S2": s2})
+    partial = compose(probe, {"S2": s2})
+    assert partial and all(rule.sources() == {"S1"} for rule in partial)
+    stepwise = [rule for p in partial for rule in compose(p, {"S1": s1})]
+    assert stepwise
+
+    db = build_database("db", [obj("a", "7", oid="p1"),
+                               obj("a", "8", oid="p2")])
+    assert identical(evaluate_program(one_shot, db),
+                     evaluate_program(stepwise, db))
+
+
+def test_composition_semantics_through_the_stack():
+    s1, s2, probe = _stack()
+    db = build_database("db", [obj("a", "7", oid="p1"),
+                               obj("b", "7", oid="p2")])
+    m1 = evaluate(s1, db, answer_name="S1")
+    m2 = evaluate(s2, {"S1": m1}, answer_name="S2")
+    direct = evaluate(probe, {"S2": m2})
+    via = evaluate_program(compose(probe, {"S1": s1, "S2": s2}), db)
+    assert identical(direct, via)

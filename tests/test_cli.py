@@ -126,3 +126,53 @@ class TestImportXml:
         data = json.loads(out.read_text())
         assert data["name"] == "src1"
         assert "internal DTD found" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_green_campaign_text(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 8 iterations" in out
+
+    def test_green_campaign_json(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--iterations", "4",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["iterations"] == 4
+        assert set(data["checks"]) == {"containment", "metamorphic",
+                                       "semantic"}
+
+    def test_oracle_and_profile_selection(self, capsys):
+        assert main(["fuzz", "--seed", "1", "--iterations", "3",
+                     "--oracle", "semantic",
+                     "--profile", "conjunctive", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["checks"]) == {"semantic"}
+
+    def test_unknown_profile_rejected(self, capsys):
+        assert main(["fuzz", "--profile", "nonsense"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+    def test_replay_corpus_case(self, capsys):
+        import glob
+        import os
+        corpus = os.path.join(os.path.dirname(__file__), "corpus")
+        path = sorted(glob.glob(os.path.join(corpus, "*.json")))[0]
+        assert main(["fuzz", "--replay", path, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+
+    def test_failures_exit_one_and_save_corpus(self, tmp_path, capsys,
+                                               monkeypatch):
+        import importlib
+        chase_mod = importlib.import_module("repro.rewriting.chase")
+        monkeypatch.setattr(
+            chase_mod, "_drop_subsumed_empty_paths",
+            lambda paths: paths[:-1] if len(paths) > 1 else paths)
+        assert main(["fuzz", "--seed", "0", "--iterations", "6",
+                     "--corpus", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILURE" in out
+        assert "saved:" in out
+        assert list(tmp_path.glob("*.json"))

@@ -8,22 +8,13 @@ preserving transformation is checked to actually preserve semantics.
 from hypothesis import given, settings, strategies as st
 
 from repro.oem import identical
+from repro.oracle import random_query, sample_db_and_query as _sample
 from repro.rewriting import chase, equivalent
 from repro.tsl import (evaluate, normalize, parse_query, print_query,
                        query_paths, validate)
 from repro.tsl.ast import Query
-from repro.workloads import (RandomOemConfig, RandomQueryConfig,
-                             generate_random_database, sample_query)
 
 _SETTINGS = dict(max_examples=25, deadline=None)
-
-
-def _sample(seed: int):
-    db = generate_random_database(
-        RandomOemConfig(roots=3, max_depth=4, max_fanout=3), seed=seed)
-    query = sample_query(db, RandomQueryConfig(conditions=2, max_depth=3),
-                         seed=seed + 1)
-    return db, query
 
 
 @settings(**_SETTINGS)
@@ -38,6 +29,29 @@ def test_sampled_queries_validate(seed):
 def test_print_parse_round_trip(seed):
     _, query = _sample(seed)
     assert parse_query(print_query(query)) == query
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_print_parse_round_trip_on_synthetic_queries(seed):
+    # random_query covers shapes database sampling never emits: quoted
+    # constants, {} leaves, label variables, shared-root conditions.
+    query = random_query(seed)
+    assert parse_query(print_query(query)) == query
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_print_is_a_fixed_point_of_print_parse(seed):
+    text = print_query(random_query(seed))
+    assert print_query(parse_query(text)) == text
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_multiline_print_parses_to_the_same_query(seed):
+    query = random_query(seed)
+    assert parse_query(print_query(query, multiline=True)) == query
 
 
 @settings(**_SETTINGS)
