@@ -4,14 +4,24 @@
 Runs the ``run_experiment()`` of each bench module and prints the tables
 in DESIGN.md experiment order.  Usage::
 
-    python benchmarks/run_all.py            # all experiments
-    python benchmarks/run_all.py E5 E6      # a subset
+    python benchmarks/run_all.py                    # all experiments
+    python benchmarks/run_all.py E5 E6              # a subset
+    python benchmarks/run_all.py --json BENCH.json  # machine-readable too
+
+``--json`` additionally writes one JSON document with, per experiment,
+the name, title, wall time, and every measured row (the same counters
+the tables print), stamped with the git revision and date -- the
+machine-readable record the perf trajectory is built from.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+import json
+import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 
 import bench_ablation_minimize
 import bench_cached_queries
@@ -47,17 +57,60 @@ EXPERIMENTS = {
 }
 
 
-def main(selected: list[str]) -> None:
+def _git_rev() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True, timeout=10).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="regenerate the experiment tables")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help=f"subset to run (default: all of "
+                             f"{', '.join(EXPERIMENTS)})")
+    parser.add_argument("--json", metavar="OUT",
+                        help="also write machine-readable results to "
+                             "this file")
+    args = parser.parse_args(argv)
+
+    unknown = set(args.experiments) - set(EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiment(s): {sorted(unknown)}; "
+                     f"available: {list(EXPERIMENTS)}")
+
+    results = []
     for key, (title, module) in EXPERIMENTS.items():
-        if selected and key not in selected:
+        if args.experiments and key not in args.experiments:
             continue
         print("=" * 72)
         print(f"{key}: {title}")
         print("=" * 72)
         started = time.perf_counter()
-        module.print_table(module.run_experiment())
-        print(f"[{time.perf_counter() - started:.1f}s]\n")
+        rows = module.run_experiment()
+        elapsed = time.perf_counter() - started
+        module.print_table(rows)
+        print(f"[{elapsed:.1f}s]\n")
+        results.append({"name": key, "title": title,
+                        "seconds": round(elapsed, 3), "rows": rows})
+
+    if args.json:
+        payload = {
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+            "git_rev": _git_rev(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "benchmarks": results,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"wrote {args.json} ({len(results)} experiment(s))")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    main()

@@ -7,7 +7,9 @@ Usage (installed as ``python -m repro``)::
         [--format text|json] [--strict]
     python -m repro evaluate QUERY.tsl --db DATA.json [--dot]
     python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
-        [--dtd FILE.dtd] [--total] [--contained]
+        [--dtd FILE.dtd] [--total] [--contained] [--format text|json] \
+        [--trace OUT] [--trace-format jsonl|chrome|text] \
+        [--budget-ms N] [--max-steps N] [--max-candidates N]
     python -m repro import-xml DOC.xml -o DATA.json
     python -m repro fuzz [--seed N] [--iterations N] [--budget-seconds S] \
         [--oracle NAME ...] [--profile NAME ...] [--corpus DIR] \
@@ -26,6 +28,11 @@ through the same span-aware renderer (source line + caret underline).
 ``fuzz`` runs the :mod:`repro.oracle` differential-testing campaign
 (see ``docs/TESTING.md``); it exits 0 when all oracles were green, 1
 when a counterexample was found, and 2 on usage/environment errors.
+
+``rewrite`` can trace and bound the (worst-case exponential) search:
+``--trace`` writes the :mod:`repro.obs` span tree, ``--budget-ms`` /
+``--max-steps`` stop a runaway search and return partial results
+flagged ``truncated`` (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from pathlib import Path
 
 from .analysis import Diagnostic, Severity, analyze, render_json, render_text
 from .errors import ReproError, TslError, TslSyntaxError
+from .obs import TRACE_FORMATS, Budget, Tracer, write_trace
 from .oem.dot import to_dot
 from .oem.serialize import dumps, loads
 from .rewriting import (maximally_contained_rewritings, parse_dtd, rewrite)
@@ -111,20 +119,57 @@ def _parse_view_spec(spec: str):
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
+    import json as json_module
+
     query = _load_query(args.query)
     views = dict(_parse_view_spec(spec) for spec in args.view)
     constraints = None
     if args.dtd:
         constraints = parse_dtd(_read(args.dtd))
+    tracer = Tracer() if args.trace else None
+    budget = None
+    if args.budget_ms is not None or args.max_steps is not None:
+        budget = Budget(deadline_ms=args.budget_ms,
+                        max_steps=args.max_steps)
+    stats = None
     if args.contained:
         outcome = maximally_contained_rewritings(
-            query, views, constraints, total_only=args.total)
+            query, views, constraints, total_only=args.total,
+            tracer=tracer, budget=budget)
         rewritings = [(r.query, "equivalent" if r.is_equivalent
                        else "contained") for r in outcome.rewritings]
+        truncated, stop_reason = outcome.truncated, outcome.stop_reason
     else:
         result = rewrite(query, views, constraints,
-                         total_only=args.total)
+                         total_only=args.total,
+                         max_candidates=args.max_candidates,
+                         tracer=tracer, budget=budget)
         rewritings = [(r.query, "equivalent") for r in result.rewritings]
+        truncated, stop_reason = result.truncated, result.stats.stop_reason
+        stats = result.stats
+
+    if tracer is not None:
+        write_trace(tracer, args.trace, args.trace_format)
+        print(f"# trace: {len(tracer.spans)} span(s) written to "
+              f"{args.trace} ({args.trace_format})", file=sys.stderr)
+    if truncated:
+        print(f"warning: search truncated ({stop_reason}); "
+              "the rewritings found so far are sound but the set may "
+              "be incomplete", file=sys.stderr)
+
+    if args.format == "json":
+        payload = {
+            "rewritings": [
+                {"query": print_query(rewriting), "flavor": flavor}
+                for rewriting, flavor in rewritings],
+            "truncated": truncated,
+            "stop_reason": stop_reason,
+        }
+        if stats is not None:
+            payload["stats"] = stats.to_json()
+        print(json_module.dumps(payload, indent=2))
+        return 0 if rewritings else 1
+
     if not rewritings:
         print("no rewriting found", file=sys.stderr)
         return 1
@@ -295,6 +340,26 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("--contained", action="store_true",
                              help="maximally contained instead of "
                                   "equivalent rewritings")
+    rewrite_cmd.add_argument("--format", choices=("text", "json"),
+                             default="text",
+                             help="output format (json includes stats "
+                                  "and the truncation flag)")
+    rewrite_cmd.add_argument("--trace", metavar="OUT",
+                             help="write the pipeline span tree to this "
+                                  "file (see docs/OBSERVABILITY.md)")
+    rewrite_cmd.add_argument("--trace-format", choices=TRACE_FORMATS,
+                             default="jsonl",
+                             help="trace file format (default: jsonl; "
+                                  "chrome loads in Perfetto)")
+    rewrite_cmd.add_argument("--budget-ms", type=float, metavar="N",
+                             help="wall-clock deadline; on expiry the "
+                                  "partial result is returned flagged "
+                                  "truncated")
+    rewrite_cmd.add_argument("--max-steps", type=int, metavar="N",
+                             help="step budget over all search phases")
+    rewrite_cmd.add_argument("--max-candidates", type=int, metavar="N",
+                             help="cap on candidates tested (truncates "
+                                  "the search)")
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
 
     fuzz_cmd = commands.add_parser(

@@ -143,6 +143,29 @@ class CompositionError(RewritingError):
 
 
 # --------------------------------------------------------------------------
+# Resource budgets (repro.obs)
+# --------------------------------------------------------------------------
+
+class BudgetExceededError(ReproError):
+    """A resource budget (wall-clock deadline or step budget) ran out.
+
+    Raised cooperatively by the exponential pipeline phases (mapping
+    search, candidate enumeration, chase, composition, equivalence) when
+    a :class:`repro.obs.Budget` expires.  ``reason`` is ``"deadline"`` or
+    ``"steps"``; callers like :func:`repro.rewriting.rewrite` catch it
+    and return partial results flagged ``truncated``.
+    """
+
+    def __init__(self, message: str, *, reason: str | None = None,
+                 steps: int | None = None,
+                 elapsed_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.steps = steps
+        self.elapsed_ms = elapsed_ms
+
+
+# --------------------------------------------------------------------------
 # Mediator / repository substrates
 # --------------------------------------------------------------------------
 

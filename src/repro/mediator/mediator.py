@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CapabilityError, MediatorError
+from ..obs import NULL_TRACER, Tracer
 from ..oem.model import OemDatabase
 from ..rewriting.chase import StructuralConstraints
 from ..rewriting.composition import compose
@@ -34,6 +35,7 @@ class Mediator:
     integrated_views: dict[str, Query] = field(default_factory=dict)
     constraints: StructuralConstraints | None = None
     cost_model: CostModel = field(default_factory=CostModel)
+    tracer: Tracer | None = None
     wrappers: dict[str, Wrapper] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -67,9 +69,10 @@ class Mediator:
 
     def expand(self, query: Query) -> list[Query]:
         """Expand references to integrated views into source-level rules."""
+        tracer = self.tracer or NULL_TRACER
         if not (query.sources() & set(self.integrated_views)):
             return [query]
-        rules = compose(query, self.integrated_views)
+        rules = compose(query, self.integrated_views, tracer=tracer)
         if not rules:
             raise MediatorError(
                 "the query is unsatisfiable against the integrated views")
@@ -77,14 +80,18 @@ class Mediator:
 
     def plan(self, query: Query | str) -> list[Plan]:
         """One cheapest plan per expanded rule."""
+        tracer = self.tracer or NULL_TRACER
         if isinstance(query, str):
             query = parse_query(query)
-        plans: list[Plan] = []
-        for rule in self.expand(query):
-            candidates = plan_query(rule, self.sources, self.constraints,
-                                    self.cost_model)
-            plans.append(candidates[0])
-        return plans
+        with tracer.span("mediator.plan",
+                         query=query.name or str(query.head)) as span:
+            plans: list[Plan] = []
+            for rule in self.expand(query):
+                candidates = plan_query(rule, self.sources,
+                                        self.constraints, self.cost_model)
+                plans.append(candidates[0])
+            span.add("plans", len(plans))
+            return plans
 
     def answer(self, query: Query | str,
                answer_name: str = "answer") -> OemDatabase:
@@ -93,8 +100,13 @@ class Mediator:
 
     def answer_with_report(self, query: Query | str,
                            answer_name: str = "answer") -> ExecutionReport:
-        plans = self.plan(query)
-        return execute_plans(plans, self.wrappers, answer_name)
+        tracer = self.tracer or NULL_TRACER
+        with tracer.span("mediator.answer") as span:
+            plans = self.plan(query)
+            with tracer.span("mediator.execute"):
+                report = execute_plans(plans, self.wrappers, answer_name)
+            span.add("objects", report.answer.stats()["objects"])
+            return report
 
     def explain(self, query: Query | str) -> str:
         """Human-readable account of the chosen plans."""

@@ -1,0 +1,91 @@
+"""Resource budgets with cooperative cancellation.
+
+A :class:`Budget` bounds a pipeline run by wall-clock time and/or a
+number of *steps* (the unit is one unit of search work: a backtracking
+node in the mapping search, one chase fixpoint iteration, one view copy
+during composition, one enumerated candidate).  Pipeline loops call
+:meth:`Budget.tick`; when the budget is exhausted a typed
+:class:`~repro.errors.BudgetExceededError` unwinds to the nearest entry
+point, which returns whatever partial results it accumulated, flagged
+``truncated``.
+
+``tick`` is designed for hot loops: the step counter is a plain integer
+increment, and the (comparatively expensive) clock is consulted only
+every :data:`Budget.CLOCK_EVERY` ticks.  Phase boundaries should call
+:meth:`Budget.check` for an immediate deadline test.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import BudgetExceededError
+
+__all__ = ["Budget", "BudgetExceededError"]
+
+
+class Budget:
+    """Wall-clock deadline and step budget for one pipeline run."""
+
+    #: How many ticks between clock reads in :meth:`tick`.
+    CLOCK_EVERY = 64
+
+    __slots__ = ("deadline_ms", "max_steps", "steps", "exceeded_reason",
+                 "_clock", "_started", "_since_clock")
+
+    def __init__(self, *, deadline_ms: float | None = None,
+                 max_steps: int | None = None,
+                 clock=time.monotonic) -> None:
+        self.deadline_ms = deadline_ms
+        self.max_steps = max_steps
+        self.steps = 0
+        self.exceeded_reason: str | None = None
+        self._clock = clock
+        self._started = clock()
+        self._since_clock = 0
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._started) * 1e3
+
+    @property
+    def remaining_ms(self) -> float | None:
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms - self.elapsed_ms
+
+    @property
+    def exceeded(self) -> bool:
+        return self.exceeded_reason is not None
+
+    def tick(self, amount: int = 1) -> None:
+        """Record *amount* steps of work; raise when the budget is spent."""
+        self.steps += amount
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._fail("steps",
+                       f"step budget of {self.max_steps} exhausted")
+        if self.deadline_ms is not None:
+            self._since_clock += 1
+            if self._since_clock >= self.CLOCK_EVERY:
+                self._since_clock = 0
+                self._check_deadline()
+
+    def check(self) -> None:
+        """Immediate test of every limit (phase boundaries)."""
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._fail("steps",
+                       f"step budget of {self.max_steps} exhausted")
+        if self.deadline_ms is not None:
+            self._check_deadline()
+
+    def _check_deadline(self) -> None:
+        if self.elapsed_ms > self.deadline_ms:
+            self._fail("deadline",
+                       f"deadline of {self.deadline_ms:g}ms exceeded")
+
+    def _fail(self, reason: str, message: str) -> None:
+        self.exceeded_reason = reason
+        raise BudgetExceededError(
+            f"{message} (after {self.steps} steps, "
+            f"{self.elapsed_ms:.1f}ms)",
+            reason=reason, steps=self.steps, elapsed_ms=self.elapsed_ms)

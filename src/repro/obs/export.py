@@ -1,0 +1,98 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, text tree.
+
+Three consumers, three formats:
+
+* **jsonl** -- one JSON object per span per line, machine-friendly and
+  streamable; :func:`from_jsonl` round-trips it back into records.
+* **chrome** -- the Trace Event Format (``ph: "X"`` complete events)
+  that Perfetto and ``chrome://tracing`` load directly.
+* **text** -- an indented span tree with durations, for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import SpanRecord, Tracer
+
+__all__ = ["to_jsonl", "from_jsonl", "to_chrome", "to_text",
+           "write_trace", "TRACE_FORMATS"]
+
+TRACE_FORMATS = ("jsonl", "chrome", "text")
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per span, in start order."""
+    return "\n".join(json.dumps(span.to_json(), default=str)
+                     for span in tracer.spans)
+
+
+def from_jsonl(text: str) -> list[SpanRecord]:
+    """Rebuild span records from :func:`to_jsonl` output."""
+    records: list[SpanRecord] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        start = data["start_ms"] / 1e3
+        records.append(SpanRecord(
+            span_id=data["id"],
+            parent_id=data["parent"],
+            name=data["name"],
+            start=start,
+            end=start + data["duration_ms"] / 1e3,
+            attrs=data.get("attrs", {}),
+            counters=data.get("counters", {}),
+        ))
+    return records
+
+
+def to_chrome(tracer: Tracer) -> str:
+    """Chrome trace-event JSON (timestamps/durations in microseconds)."""
+    events = []
+    for span in tracer.spans:
+        args = {**span.attrs, **span.counters}
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                      default=str)
+
+
+def _annotations(span: SpanRecord) -> str:
+    parts = [f"{key}={value}" for key, value in span.attrs.items()]
+    parts += [f"{key}={value}" for key, value in span.counters.items()]
+    return ("  [" + " ".join(parts) + "]") if parts else ""
+
+
+def to_text(tracer: Tracer) -> str:
+    """Indented human-readable span tree."""
+    lines = []
+    for span, depth in tracer.walk():
+        duration = f"{span.duration * 1e3:.3f}ms" if span.end is not None \
+            else "(open)"
+        lines.append(f"{'  ' * depth}{span.name} {duration}"
+                     f"{_annotations(span)}")
+    return "\n".join(lines)
+
+
+_EXPORTERS = {"jsonl": to_jsonl, "chrome": to_chrome, "text": to_text}
+
+
+def write_trace(tracer: Tracer, path: str,
+                trace_format: str = "jsonl") -> None:
+    """Serialize *tracer* to *path* in the chosen format."""
+    try:
+        exporter = _EXPORTERS[trace_format]
+    except KeyError:
+        raise ValueError(f"unknown trace format {trace_format!r}; "
+                         f"expected one of {TRACE_FORMATS}") from None
+    Path(path).write_text(exporter(tracer) + "\n", encoding="utf-8")

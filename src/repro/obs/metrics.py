@@ -1,0 +1,113 @@
+"""Process-wide metrics registry: counters and histograms.
+
+Where traces answer "what did *this run* do", metrics aggregate across
+runs: the benchmarks, the fuzz harness, and a long-lived mediator all
+feed the same registry so their numbers are comparable.  The registry is
+thread-safe; instruments hand back plain floats/ints via
+:meth:`MetricsRegistry.snapshot` and can be zeroed with
+:meth:`MetricsRegistry.reset`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def to_json(self) -> int | float:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def to_json(self) -> dict:
+        return {"count": self.count, "sum": self.total,
+                "min": self.minimum, "max": self.maximum,
+                "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    def increment(self, name: str, amount: int | float = 1) -> None:
+        counter = self.counter(name)
+        with self._lock:
+            counter.inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histogram(name)
+        with self._lock:
+            histogram.observe(value)
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of every instrument (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": {name: c.to_json()
+                             for name, c in sorted(self._counters.items())},
+                "histograms": {name: h.to_json()
+                               for name, h in
+                               sorted(self._histograms.items())},
+            }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benchmark repetitions)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry.
+METRICS = MetricsRegistry()

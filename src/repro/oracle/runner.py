@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs import NULL_TRACER
 from .corpus import case_to_json, load_case, save_case
 from .gen import DEFAULT_PROFILE_ROTATION, PROFILES, Case, generate_case
 from .oracles import ORACLES, Failure, Oracle, run_oracle
@@ -139,8 +140,17 @@ def _record_failures(case: Case, oracle: Oracle, failures: list[Failure],
         report.failures.append(record)
 
 
-def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
-    """Run one fuzzing campaign and return the report."""
+def run_fuzz(config: FuzzConfig = FuzzConfig(), *,
+             tracer=None, metrics=None) -> FuzzReport:
+    """Run one fuzzing campaign and return the report.
+
+    *tracer* records one ``fuzz.iteration`` span per generated case with
+    a nested ``oracle.<name>`` span per oracle; *metrics* (a
+    :class:`repro.obs.MetricsRegistry`) accumulates per-oracle check
+    counters and an iteration-duration histogram under ``fuzz.*`` --
+    the same instruments the benchmarks use, so numbers line up.
+    """
+    tracer = tracer or NULL_TRACER
     oracles = _make_oracles(config.oracles)
     report = FuzzReport(checks={o.name: 0 for o in oracles})
     started = time.monotonic()
@@ -149,13 +159,29 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
                 and time.monotonic() - started >= config.budget_seconds):
             break
         profile = config.profiles[iteration % len(config.profiles)]
-        case = generate_case(config.seed + iteration, PROFILES[profile])
-        for oracle in oracles:
-            result = run_oracle(oracle, case)
-            report.checks[oracle.name] += result.checks
-            if result.failures:
-                _record_failures(case, oracle, result.failures, config,
-                                 report)
+        iteration_started = time.monotonic()
+        with tracer.span("fuzz.iteration", seed=config.seed + iteration,
+                         profile=profile) as span:
+            case = generate_case(config.seed + iteration, PROFILES[profile])
+            for oracle in oracles:
+                with tracer.span(f"oracle.{oracle.name}") as oracle_span:
+                    result = run_oracle(oracle, case)
+                    oracle_span.add("checks", result.checks)
+                report.checks[oracle.name] += result.checks
+                if metrics is not None:
+                    metrics.increment(f"fuzz.checks.{oracle.name}",
+                                      result.checks)
+                if result.failures:
+                    span.set("failed", True)
+                    if metrics is not None:
+                        metrics.increment(
+                            f"fuzz.failures.{oracle.name}",
+                            len(result.failures))
+                    _record_failures(case, oracle, result.failures,
+                                     config, report)
+        if metrics is not None:
+            metrics.observe("fuzz.iteration_seconds",
+                            time.monotonic() - iteration_started)
         report.iterations_run = iteration + 1
     report.elapsed_seconds = time.monotonic() - started
     return report

@@ -30,6 +30,7 @@ from ..errors import ChaseContradictionError
 from ..logic.subst import Substitution
 from ..logic.terms import Atom, Constant, Term, Variable
 from ..logic.unify import unify
+from ..obs import NULL_TRACER
 from ..tsl.ast import (Query, SetPattern, SetPatternTerm,
                        fresh_variable_factory)
 from ..tsl.normalize import Path, normalize, path_to_condition, query_paths
@@ -274,29 +275,38 @@ def _labeled_fd_step(query: Query, paths: list[Path],
 
 def chase(query: Query,
           constraints: StructuralConstraints | None = None,
-          max_steps: int = 10_000) -> Query:
+          max_steps: int = 10_000, *,
+          tracer=None, budget=None) -> Query:
     """Chase *query* to a fixpoint; raises on contradiction.
 
     Applies, interleaved until none fires: the oid key-dependency rules
     (including the set-variable extension), label inference, and the
-    labeled-FD chase from *constraints* when given.
+    labeled-FD chase from *constraints* when given.  *tracer* records a
+    ``chase`` span with an iteration counter; *budget* is ticked once
+    per fixpoint iteration and may raise
+    :class:`~repro.errors.BudgetExceededError`.
     """
-    current = normalize(query)
-    for _ in range(max_steps):
-        paths = query_paths(current)
-        stepped = _key_dependency_step(current, paths)
-        if stepped is None and constraints is not None:
-            stepped = _label_inference_step(current, paths, constraints)
+    tracer = tracer or NULL_TRACER
+    with tracer.span("chase") as span:
+        current = normalize(query)
+        for iteration in range(max_steps):
+            if budget is not None:
+                budget.tick()
+            paths = query_paths(current)
+            stepped = _key_dependency_step(current, paths)
+            if stepped is None and constraints is not None:
+                stepped = _label_inference_step(current, paths, constraints)
+                if stepped is None:
+                    stepped = _labeled_fd_step(current, paths, constraints)
             if stepped is None:
-                stepped = _labeled_fd_step(current, paths, constraints)
-        if stepped is None:
-            saturated = _saturate_unions(paths)
-            reduced = _drop_subsumed_empty_paths(saturated)
-            if set(reduced) != set(paths):
-                current = _rebuild(current, reduced)
-                continue
-            return current
-        current = stepped
-    raise ChaseContradictionError(
-        f"chase did not terminate within {max_steps} steps "
-        "(is the query acyclic?)")
+                saturated = _saturate_unions(paths)
+                reduced = _drop_subsumed_empty_paths(saturated)
+                if set(reduced) != set(paths):
+                    current = _rebuild(current, reduced)
+                    continue
+                span.add("iterations", iteration + 1)
+                return current
+            current = stepped
+        raise ChaseContradictionError(
+            f"chase did not terminate within {max_steps} steps "
+            "(is the query acyclic?)")

@@ -39,6 +39,7 @@ from typing import Iterator, Mapping
 
 from ..errors import CompositionError
 from ..logic.subst import Substitution
+from ..obs import NULL_TRACER
 from ..logic.terms import Term, Variable
 from ..logic.unify import unify
 from ..tsl.ast import Condition, Query, SetPattern, SetPatternTerm
@@ -100,11 +101,15 @@ def _copy_counter_start(candidate: Query, views: Views) -> int:
 class _Resolver:
     """Backtracking resolution of view-condition paths against view parts."""
 
-    def __init__(self, views: Views, start: int = 0) -> None:
+    def __init__(self, views: Views, start: int = 0,
+                 budget=None) -> None:
         self._views = {name: normalize(view) for name, view in views.items()}
         self._copies = start
+        self._budget = budget
 
     def _fresh_parts(self, source: str) -> _ViewParts:
+        if self._budget is not None:
+            self._budget.tick()
         self._copies += 1
         view = self._views[source].rename_apart(f"~{self._copies}")
         return _view_parts(view)
@@ -226,7 +231,8 @@ class _Resolver:
 
 
 def compose(candidate: Query, views: Views,
-            max_depth: int = 8) -> list[Query]:
+            max_depth: int = 8, *,
+            tracer=None, budget=None) -> list[Query]:
     """Compute the composition of *candidate* with *views*.
 
     Conditions over sources not in *views* pass through unchanged.
@@ -235,35 +241,46 @@ def compose(candidate: Query, views: Views,
     of rules over the base sources; an empty list means the candidate is
     unsatisfiable against the view definitions.
 
+    *tracer* records a ``compose`` span counting produced rules and view
+    copies; *budget* is ticked once per fresh view copy and may raise
+    :class:`~repro.errors.BudgetExceededError`.
+
     Raises :class:`CompositionError` in the one corner TSL cannot
     express (binding a variable to a set-*constructed* view value), or
     when view definitions are cyclic beyond *max_depth*.
     """
-    pending = [normalize(candidate)]
-    rules: list[Query] = []
-    emitted: set[Query] = set()
-    # One resolver (one rename-apart counter) across all levels: a fresh
-    # counter per level would reuse ~N suffixes already present in the
-    # partially-unfolded rules, and the colliding copies fail the occurs
-    # check, silently dropping every deeper resolution.
-    resolver = _Resolver(views, start=_copy_counter_start(pending[0], views))
-    for _ in range(max_depth):
-        if not pending:
-            return rules
-        next_pending: list[Query] = []
-        for rule in pending:
-            for unfolded in _compose_once(rule, views, resolver):
-                if unfolded.sources() & set(views):
-                    next_pending.append(unfolded)
-                elif unfolded not in emitted:
-                    emitted.add(unfolded)
-                    rules.append(unfolded)
-        pending = next_pending
-    if pending:
-        raise CompositionError(
-            f"view definitions did not unfold within {max_depth} levels "
-            "(cyclic views?)")
-    return rules
+    tracer = tracer or NULL_TRACER
+    with tracer.span("compose") as span:
+        pending = [normalize(candidate)]
+        rules: list[Query] = []
+        emitted: set[Query] = set()
+        # One resolver (one rename-apart counter) across all levels: a fresh
+        # counter per level would reuse ~N suffixes already present in the
+        # partially-unfolded rules, and the colliding copies fail the occurs
+        # check, silently dropping every deeper resolution.
+        counter_start = _copy_counter_start(pending[0], views)
+        resolver = _Resolver(views, start=counter_start, budget=budget)
+        for _ in range(max_depth):
+            if not pending:
+                span.add("rules", len(rules))
+                span.add("view_copies", resolver._copies - counter_start)
+                return rules
+            next_pending: list[Query] = []
+            for rule in pending:
+                for unfolded in _compose_once(rule, views, resolver):
+                    if unfolded.sources() & set(views):
+                        next_pending.append(unfolded)
+                    elif unfolded not in emitted:
+                        emitted.add(unfolded)
+                        rules.append(unfolded)
+            pending = next_pending
+        if pending:
+            raise CompositionError(
+                f"view definitions did not unfold within {max_depth} "
+                "levels (cyclic views?)")
+        span.add("rules", len(rules))
+        span.add("view_copies", resolver._copies - counter_start)
+        return rules
 
 
 def _compose_once(candidate: Query, views: Views,

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, Mapping, Sequence, Union
 
-from ..errors import ChaseContradictionError, CompositionError
+from ..errors import (BudgetExceededError, ChaseContradictionError,
+                      CompositionError)
+from ..obs import NULL_TRACER
 from ..tsl.ast import Query
 from ..tsl.decompose import decompose_program
 from ..tsl.normalize import path_to_condition, query_paths
@@ -54,8 +56,8 @@ def contained_in(candidate: Query, query: Query,
 
 def partial_view_instantiations(
         target: Query, views: Mapping[str, Query],
-        constraints: StructuralConstraints | None = None
-        ) -> list[CandidateAtom]:
+        constraints: StructuralConstraints | None = None, *,
+        budget=None) -> list[CandidateAtom]:
     """Candidate view accesses for *contained* rewritings.
 
     Unlike the equivalence case (Lemma 5.1), a view is relevant whenever
@@ -69,13 +71,14 @@ def partial_view_instantiations(
     taken = set(target.all_variables())
     fresh = fresh_variable_factory(taken, stem="U")
     for name in sorted(views):
-        view = chase(views[name], constraints)
+        view = chase(views[name], constraints, budget=budget)
         view_paths = query_paths(view)
         indices = range(len(view_paths))
         for size in range(1, len(view_paths) + 1):
             for subset in combinations(indices, size):
                 chosen = [view_paths[i] for i in subset]
-                for subst in body_mappings(chosen, query_paths(target)):
+                for subst in body_mappings(chosen, query_paths(target),
+                                           budget=budget):
                     unmapped = {
                         v: fresh() for v in view.all_variables()
                         if v not in subst}
@@ -108,6 +111,8 @@ class ContainedResult:
 
     rewritings: list[ContainedRewriting] = field(default_factory=list)
     candidates_tested: int = 0
+    truncated: bool = False
+    stop_reason: str | None = None
 
     def __len__(self) -> int:
         return len(self.rewritings)
@@ -120,32 +125,61 @@ def maximally_contained_rewritings(
         query: Query,
         views: Union[Mapping[str, Query], Sequence[Query]],
         constraints: StructuralConstraints | None = None,
-        total_only: bool = True) -> ContainedResult:
+        total_only: bool = True, *,
+        tracer=None, budget=None) -> ContainedResult:
     """Find the maximally contained rewritings of *query* using *views*.
 
     Every returned rewriting is sound (its composition is contained in
     the query); none is strictly contained in another returned one.  When
     an equivalent rewriting exists it is returned (it dominates), flagged
-    ``is_equivalent``.
+    ``is_equivalent``.  A *budget* expiry stops the search; the
+    rewritings accepted so far go through the maximality filter and are
+    returned with ``truncated=True``.
     """
+    tracer = tracer or NULL_TRACER
     views = _as_view_dict(views)
     result = ContainedResult()
-    prepared = prepare_program([query], constraints)
+    accepted: list[tuple[ContainedRewriting, list[Query]]] = []
+    with tracer.span("contained_rewrite",
+                     query=query.name or str(query.head)) as span:
+        try:
+            _contained_search(query, views, constraints, total_only,
+                              result, accepted, tracer, budget)
+        except BudgetExceededError as exc:
+            result.truncated = True
+            result.stop_reason = exc.reason or "budget"
+            span.set("truncated", result.stop_reason)
+        with tracer.span("keep_maximal"):
+            result.rewritings = _keep_maximal(accepted, constraints)
+        span.add("candidates_tested", result.candidates_tested)
+        span.add("rewritings", len(result.rewritings))
+    return result
+
+
+def _contained_search(query: Query, views: Mapping[str, Query],
+                      constraints: StructuralConstraints | None,
+                      total_only: bool, result: ContainedResult,
+                      accepted: list, tracer, budget) -> None:
+    """The relaxed Step-2 search loop, accumulating into *accepted*."""
+    prepared = prepare_program([query], constraints, budget=budget)
     if not prepared:
-        return result  # contradictory query: the empty answer is maximal
+        return  # contradictory query: the empty answer is maximal
     target = prepared[0]
     target_paths = query_paths(target)
     k = len(target_paths)
 
-    atoms = partial_view_instantiations(target, views, constraints)
+    with tracer.span("enumerate_mappings"):
+        atoms = partial_view_instantiations(target, views, constraints,
+                                            budget=budget)
     if not total_only:
         atoms.extend(
             CandidateAtom(path_to_condition(path), frozenset([i]), None)
             for i, path in enumerate(target_paths))
 
-    accepted: list[tuple[ContainedRewriting, list[Query]]] = []
     for size in range(1, k + 1):
         for combo in combinations(range(len(atoms)), size):
+            if budget is not None:
+                budget.tick()
             chosen = [atoms[i] for i in combo]
             if not any(atom.is_view for atom in chosen):
                 continue
@@ -154,26 +188,28 @@ def maximally_contained_rewritings(
             if not is_safe(candidate):
                 continue
             result.candidates_tested += 1
-            try:
-                candidate = chase(candidate, constraints)
-                composed = compose(candidate, views)
-            except (ChaseContradictionError, CompositionError):
-                continue
-            composed = prepare_program(composed, constraints,
-                                       minimize_rules=True)
-            if not composed:
-                continue  # empty composition: contributes nothing
-            if not programs_contained(composed, [target], constraints):
-                continue
-            equivalent = programs_contained([target], composed,
-                                            constraints)
+            with tracer.span("candidate",
+                             index=result.candidates_tested - 1):
+                try:
+                    candidate = chase(candidate, constraints,
+                                      tracer=tracer, budget=budget)
+                    composed = compose(candidate, views, tracer=tracer,
+                                       budget=budget)
+                except (ChaseContradictionError, CompositionError):
+                    continue
+                composed = prepare_program(composed, constraints,
+                                           minimize_rules=True,
+                                           budget=budget)
+                if not composed:
+                    continue  # empty composition: contributes nothing
+                if not programs_contained(composed, [target], constraints):
+                    continue
+                equivalent = programs_contained([target], composed,
+                                                constraints)
             accepted.append((ContainedRewriting(
                 candidate, composed, frozenset(
                     c.source for c in candidate.body if c.source in views),
                 equivalent), composed))
-
-    result.rewritings = _keep_maximal(accepted, constraints)
-    return result
 
 
 def _keep_maximal(accepted, constraints) -> list[ContainedRewriting]:

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from ..errors import ChaseContradictionError
 from ..logic.subst import Substitution
+from ..obs import NULL_TRACER
 from ..tsl.ast import Query
 from ..tsl.decompose import ComponentQuery, decompose_program
 from ..tsl.normalize import normalize, path_to_condition, query_paths
@@ -28,42 +29,56 @@ from .mappings import body_mappings, component_mapping
 
 def prepare_program(rules: Iterable[Query],
                     constraints: StructuralConstraints | None = None,
-                    minimize_rules: bool = False) -> list[Query]:
+                    minimize_rules: bool = False, *,
+                    budget=None) -> list[Query]:
     """Chase + normalize each rule; drop rules with contradictory bodies."""
     prepared: list[Query] = []
     for rule in rules:
         try:
-            chased = chase(rule, constraints)
+            chased = chase(rule, constraints, budget=budget)
         except ChaseContradictionError:
             continue  # empty on every legal database: contributes nothing
         if minimize_rules:
-            chased = minimize(chased)
+            chased = minimize(chased, budget=budget)
         prepared.append(chased)
     return prepared
 
 
 def components_subsumed(left: Sequence[ComponentQuery],
-                        right: Sequence[ComponentQuery]) -> bool:
+                        right: Sequence[ComponentQuery],
+                        budget=None) -> bool:
     """True when every left component has a mapping *from* some right one.
 
     Witnesses that the left union's result graph is contained in the
     right's, component-wise (one half of Theorem 4.2).
     """
     return all(
-        any(component_mapping(t, p) is not None for t in right)
+        any(component_mapping(t, p, budget=budget) is not None
+            for t in right)
         for p in left)
 
 
 def programs_equivalent(left: Iterable[Query], right: Iterable[Query],
                         constraints: StructuralConstraints | None = None,
-                        minimize_rules: bool = False) -> bool:
+                        minimize_rules: bool = False, *,
+                        tracer=None, budget=None) -> bool:
     """Theorem 4.3: decompose both unions and test mutual mappings."""
-    left_rules = prepare_program(left, constraints, minimize_rules)
-    right_rules = prepare_program(right, constraints, minimize_rules)
-    left_components = decompose_program(left_rules)
-    right_components = decompose_program(right_rules)
-    return (components_subsumed(left_components, right_components)
-            and components_subsumed(right_components, left_components))
+    tracer = tracer or NULL_TRACER
+    with tracer.span("equivalence") as span:
+        left_rules = prepare_program(left, constraints, minimize_rules,
+                                     budget=budget)
+        right_rules = prepare_program(right, constraints, minimize_rules,
+                                      budget=budget)
+        left_components = decompose_program(left_rules)
+        right_components = decompose_program(right_rules)
+        span.add("components",
+                 len(left_components) + len(right_components))
+        outcome = (components_subsumed(left_components, right_components,
+                                       budget=budget)
+                   and components_subsumed(right_components,
+                                           left_components, budget=budget))
+        span.set("equivalent", outcome)
+        return outcome
 
 
 def equivalent(left: Query, right: Query,
@@ -72,7 +87,7 @@ def equivalent(left: Query, right: Query,
     return programs_equivalent([left], [right], constraints)
 
 
-def minimize(query: Query) -> Query:
+def minimize(query: Query, *, budget=None) -> Query:
     """Remove redundant body conditions (classic CQ minimization).
 
     A path is removable when the full body maps into the remaining body by
@@ -90,7 +105,8 @@ def minimize(query: Query) -> Query:
         improved = False
         for index in range(len(paths)):
             remaining = paths[:index] + paths[index + 1:]
-            if body_mappings(paths, remaining, initial=frozen, limit=1):
+            if body_mappings(paths, remaining, initial=frozen, limit=1,
+                             budget=budget):
                 paths = remaining
                 improved = True
                 break

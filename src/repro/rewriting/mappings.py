@@ -159,7 +159,8 @@ def _unrename(subst: Substitution) -> Substitution:
 
 def body_mappings(source_paths: list[Path], target_paths: list[Path],
                   initial: Substitution | None = None,
-                  limit: int | None = None) -> list[Substitution]:
+                  limit: int | None = None,
+                  budget=None) -> list[Substitution]:
     """All substitutions mapping every source path into some target path.
 
     Source and target may freely share variable names: the source side is
@@ -169,7 +170,8 @@ def body_mappings(source_paths: list[Path], target_paths: list[Path],
     Backtracking search over per-path choices; the result is deduplicated.
     Worst-case exponential in the number of source paths (Section 5.1).
     Pass ``limit=1`` when only existence matters -- the search stops at
-    the first complete mapping.
+    the first complete mapping.  *budget* is ticked once per search node
+    and may raise :class:`~repro.errors.BudgetExceededError`.
     """
     renamed_paths, start = rename_paths_apart(source_paths, initial)
     results: list[Substitution] = []
@@ -180,6 +182,8 @@ def body_mappings(source_paths: list[Path], target_paths: list[Path],
                    key=lambda i: -len(renamed_paths[i].steps))
 
     def extend(position: int, subst: Substitution) -> bool:
+        if budget is not None:
+            budget.tick()
         if position == len(order):
             unrenamed = _unrename(subst)
             if unrenamed not in seen:
@@ -216,7 +220,8 @@ def coverage(source_paths: list[Path], target_paths: list[Path],
     return frozenset(covered)
 
 
-def find_mappings(view: Query, query: Query) -> list[Mapping]:
+def find_mappings(view: Query, query: Query, *,
+                  budget=None) -> list[Mapping]:
     """Step 1A: all mappings from the body of *view* to the body of *query*.
 
     Inputs are normalized defensively; apply the chase first for the full
@@ -225,7 +230,8 @@ def find_mappings(view: Query, query: Query) -> list[Mapping]:
     source_paths = query_paths(view)
     target_paths = query_paths(query)
     return [Mapping(subst, coverage(source_paths, target_paths, subst))
-            for subst in body_mappings(source_paths, target_paths)]
+            for subst in body_mappings(source_paths, target_paths,
+                                       budget=budget)]
 
 
 def query_maps_into(a: Query, b: Query) -> bool:
@@ -249,8 +255,8 @@ def _match_values(a_value, b_value,
     return match(a_value, b_value, subst)
 
 
-def component_mapping(t: ComponentQuery,
-                      p: ComponentQuery) -> Substitution | None:
+def component_mapping(t: ComponentQuery, p: ComponentQuery,
+                      budget=None) -> Substitution | None:
     """A mapping from component query *t* to *p* (witnessing ``p ⊆ t``).
 
     The mapping must send the head of *t* onto the head of *p* and every
@@ -281,7 +287,8 @@ def component_mapping(t: ComponentQuery,
     # Paths are pre-renamed, so hand body_mappings an already-apart
     # initial keyed by the renamed names (it renames once more, which is
     # harmless and keeps the contract uniform).
-    found = body_mappings(t_paths, p_paths, initial=subst, limit=1)
+    found = body_mappings(t_paths, p_paths, initial=subst, limit=1,
+                          budget=budget)
     return found[0] if found else None
 
 

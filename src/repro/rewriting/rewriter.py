@@ -30,8 +30,9 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Mapping, Sequence, Union
 
-from ..errors import (ChaseContradictionError, CompositionError,
-                      RewritingError)
+from ..errors import (BudgetExceededError, ChaseContradictionError,
+                      CompositionError, RewritingError)
+from ..obs import NULL_TRACER
 from ..tsl.ast import Condition, Query
 from ..tsl.normalize import normalize, path_to_condition, query_paths
 from ..tsl.validate import is_safe
@@ -69,7 +70,14 @@ class Rewriting:
 
 @dataclass
 class RewriteStats:
-    """Counters describing one rewriter run (feeds the benchmarks)."""
+    """Counters describing one rewriter run (feeds the benchmarks).
+
+    ``truncated`` is True when the search stopped before exhausting the
+    candidate space -- via ``max_candidates``, a wall-clock deadline, or
+    a step budget -- in which case ``stop_reason`` names the cause
+    (``"max_candidates"``, ``"deadline"``, or ``"steps"``) and the
+    accumulated rewritings are a sound but possibly incomplete set.
+    """
 
     mappings: int = 0
     candidates_enumerated: int = 0
@@ -77,8 +85,16 @@ class RewriteStats:
     candidates_pruned_by_heuristic: int = 0
     candidates_pruned_unsafe: int = 0
     candidates_pruned_subsumed: int = 0
+    candidates_failed_chase: int = 0
+    candidates_failed_composition: int = 0
     composition_rules: int = 0
     rewritings: int = 0
+    truncated: bool = False
+    stop_reason: str | None = None
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name)
+                for f in self.__dataclass_fields__.values()}
 
 
 @dataclass
@@ -91,6 +107,11 @@ class RewriteResult:
     @property
     def queries(self) -> list[Query]:
         return [r.query for r in self.rewritings]
+
+    @property
+    def truncated(self) -> bool:
+        """True when the search stopped early (results may be incomplete)."""
+        return self.stats.truncated
 
     def __iter__(self):
         return iter(self.rewritings)
@@ -113,21 +134,25 @@ def _as_view_dict(views: Union[Mapping[str, Query], Sequence[Query]]
 
 
 def view_instantiations(query: Query, views: Mapping[str, Query],
-                        constraints: StructuralConstraints | None = None
-                        ) -> list[CandidateAtom]:
+                        constraints: StructuralConstraints | None = None,
+                        *, tracer=None, budget=None) -> list[CandidateAtom]:
     """Step 1A: mappings from each view body into body(Q), as atoms.
 
     Each mapping ``θ`` yields the condition ``θ(head(Vi))@Vi`` together
     with the set of Q-conditions it covers.
     """
+    tracer = tracer or NULL_TRACER
     atoms: list[CandidateAtom] = []
     for name in sorted(views):
-        view = chase(views[name], constraints)
-        mapping: ContainmentMapping
-        for mapping in find_mappings(view, query):
-            instantiated = view.head.substitute(mapping.subst)
-            atoms.append(CandidateAtom(Condition(instantiated, name),
-                                       mapping.covers, name))
+        with tracer.span("enumerate_mappings", view=name) as span:
+            view = chase(views[name], constraints, tracer=tracer,
+                         budget=budget)
+            mapping: ContainmentMapping
+            for mapping in find_mappings(view, query, budget=budget):
+                instantiated = view.head.substitute(mapping.subst)
+                atoms.append(CandidateAtom(Condition(instantiated, name),
+                                           mapping.covers, name))
+                span.add("mappings")
     return atoms
 
 
@@ -139,7 +164,10 @@ def rewrite(query: Query,
             total_only: bool = False,
             prune_subsumed: bool = True,
             first_only: bool = False,
-            max_candidates: int | None = None) -> RewriteResult:
+            max_candidates: int | None = None,
+            tracer=None,
+            budget=None,
+            metrics=None) -> RewriteResult:
     """Find rewriting queries of *query* using *views* (Section 3.4).
 
     Parameters
@@ -161,11 +189,54 @@ def rewrite(query: Query,
     first_only:
         Stop after the first rewriting found.
     max_candidates:
-        Safety cap on the number of candidates tested.
+        Safety cap on the number of candidates tested.  Hitting it sets
+        ``stats.truncated`` with ``stop_reason="max_candidates"``.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records the span tree
+        ``rewrite`` > ``prepare``/``enumerate_mappings``/``candidate`` >
+        ``chase``/``compose``/``equivalence``.
+    budget:
+        Optional :class:`repro.obs.Budget`.  Expiry anywhere in the
+        pipeline stops the search; the rewritings found so far are
+        returned with ``stats.truncated=True`` and ``stop_reason`` set.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; the run's counters
+        are recorded under ``rewrite.*`` when it finishes.
     """
+    tracer = tracer or NULL_TRACER
     views = _as_view_dict(views)
     result = RewriteResult()
-    prepared = prepare_program([query], constraints)
+    with tracer.span("rewrite", query=query.name or str(query.head),
+                     views=",".join(sorted(views))) as span:
+        try:
+            _search(query, views, constraints, heuristic, total_only,
+                    prune_subsumed, first_only, max_candidates, result,
+                    tracer, budget)
+        except BudgetExceededError as exc:
+            result.stats.truncated = True
+            result.stats.stop_reason = exc.reason or "budget"
+        if result.stats.truncated:
+            span.set("truncated", result.stats.stop_reason)
+        span.add("candidates_tested", result.stats.candidates_tested)
+        span.add("rewritings", result.stats.rewritings)
+    if metrics is not None:
+        _record_metrics(metrics, result.stats)
+    return result
+
+
+def _search(query: Query, views: dict[str, Query],
+            constraints: StructuralConstraints | None,
+            heuristic: bool, total_only: bool, prune_subsumed: bool,
+            first_only: bool, max_candidates: int | None,
+            result: RewriteResult, tracer, budget) -> None:
+    """The Section 3.4 search loop, mutating *result* in place.
+
+    Results accumulate on *result* (not a return value) so that a
+    :class:`~repro.errors.BudgetExceededError` unwinding from any depth
+    leaves the rewritings found so far intact.
+    """
+    with tracer.span("prepare"):
+        prepared = prepare_program([query], constraints, budget=budget)
     if not prepared:
         raise ChaseContradictionError(
             "the query body contradicts the object-id key dependency")
@@ -174,7 +245,8 @@ def rewrite(query: Query,
     k = len(target_paths)
     all_indices = frozenset(range(k))
 
-    atoms = view_instantiations(target, views, constraints)
+    atoms = view_instantiations(target, views, constraints,
+                                tracer=tracer, budget=budget)
     result.stats.mappings = len(atoms)
     if not total_only:
         atoms.extend(
@@ -184,6 +256,8 @@ def rewrite(query: Query,
     accepted_bodies: list[frozenset[Condition]] = []
     for size in range(1, k + 1):
         for combo in combinations(range(len(atoms)), size):
+            if budget is not None:
+                budget.tick()
             chosen = [atoms[i] for i in combo]
             if not any(atom.is_view for atom in chosen):
                 continue
@@ -205,35 +279,57 @@ def rewrite(query: Query,
                 continue
             if (max_candidates is not None
                     and result.stats.candidates_tested >= max_candidates):
-                return result
+                result.stats.truncated = True
+                result.stats.stop_reason = "max_candidates"
+                return
             result.stats.candidates_tested += 1
-            accepted = _test_candidate(candidate, target, views, constraints,
-                                       result)
+            with tracer.span("candidate",
+                             index=result.stats.candidates_tested - 1,
+                             conditions=len(body)) as span:
+                accepted = _test_candidate(candidate, target, views,
+                                           constraints, result, tracer,
+                                           budget)
+                span.set("accepted", accepted is not None)
             if accepted is not None:
                 accepted_bodies.append(frozenset(body))
                 result.rewritings.append(accepted)
                 result.stats.rewritings += 1
                 if first_only:
-                    return result
-    return result
+                    return
+
+
+def _record_metrics(metrics, stats: RewriteStats) -> None:
+    for name, value in stats.to_json().items():
+        if isinstance(value, bool) or value is None:
+            continue
+        metrics.increment(f"rewrite.{name}", value)
+    metrics.increment("rewrite.runs")
+    if stats.truncated:
+        metrics.increment("rewrite.truncated_runs")
 
 
 def _test_candidate(candidate: Query, target: Query,
                     views: Mapping[str, Query],
                     constraints: StructuralConstraints | None,
-                    result: RewriteResult) -> Rewriting | None:
+                    result: RewriteResult, tracer=NULL_TRACER,
+                    budget=None) -> Rewriting | None:
     """Steps 1C + 2 for one candidate; None when it is not a rewriting."""
     try:
-        candidate = chase(candidate, constraints)
+        candidate = chase(candidate, constraints, tracer=tracer,
+                          budget=budget)
     except ChaseContradictionError:
+        result.stats.candidates_failed_chase += 1
         return None
     try:
-        composed = compose(candidate, views)
+        composed = compose(candidate, views, tracer=tracer, budget=budget)
     except CompositionError:
+        result.stats.candidates_failed_composition += 1
         return None
-    composed = prepare_program(composed, constraints, minimize_rules=True)
+    composed = prepare_program(composed, constraints, minimize_rules=True,
+                               budget=budget)
     result.stats.composition_rules += len(composed)
-    if not programs_equivalent(composed, [target], constraints):
+    if not programs_equivalent(composed, [target], constraints,
+                               tracer=tracer, budget=budget):
         return None
     views_used = frozenset(c.source for c in candidate.body
                            if c.source in views)

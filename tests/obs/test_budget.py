@@ -1,0 +1,94 @@
+"""Budget semantics: step budgets, deadlines, cooperative cancellation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import Budget, BudgetExceededError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestStepBudget:
+    def test_tick_raises_when_steps_exhausted(self):
+        budget = Budget(max_steps=3)
+        budget.tick()
+        budget.tick()
+        budget.tick()
+        with pytest.raises(BudgetExceededError) as info:
+            budget.tick()
+        assert info.value.reason == "steps"
+        assert info.value.steps == 4
+        assert budget.exceeded
+        assert budget.exceeded_reason == "steps"
+
+    def test_bulk_tick(self):
+        budget = Budget(max_steps=10)
+        with pytest.raises(BudgetExceededError):
+            budget.tick(11)
+
+    def test_no_limits_never_raises(self):
+        budget = Budget()
+        for _ in range(1000):
+            budget.tick()
+        budget.check()
+        assert not budget.exceeded
+
+
+class TestDeadline:
+    def test_deadline_raises_via_check(self):
+        clock = FakeClock()
+        budget = Budget(deadline_ms=100, clock=clock)
+        budget.check()
+        clock.advance(0.2)  # 200ms
+        with pytest.raises(BudgetExceededError) as info:
+            budget.check()
+        assert info.value.reason == "deadline"
+        assert info.value.elapsed_ms == pytest.approx(200.0)
+
+    def test_deadline_detected_within_clock_every_ticks(self):
+        clock = FakeClock()
+        budget = Budget(deadline_ms=100, clock=clock)
+        clock.advance(10)  # way past the deadline
+        with pytest.raises(BudgetExceededError):
+            for _ in range(Budget.CLOCK_EVERY):
+                budget.tick()
+
+    def test_tick_cheap_path_skips_clock(self):
+        calls = []
+
+        def clock():
+            calls.append(None)
+            return 0.0
+
+        budget = Budget(deadline_ms=1000, clock=clock)
+        baseline = len(calls)
+        for _ in range(Budget.CLOCK_EVERY - 1):
+            budget.tick()
+        assert len(calls) == baseline  # no clock read before the batch edge
+
+    def test_remaining_ms(self):
+        clock = FakeClock()
+        budget = Budget(deadline_ms=100, clock=clock)
+        clock.advance(0.04)
+        assert budget.remaining_ms == pytest.approx(60.0)
+        assert Budget(max_steps=5).remaining_ms is None
+
+
+class TestErrorType:
+    def test_is_a_repro_error(self):
+        assert issubclass(BudgetExceededError, ReproError)
+
+    def test_message_carries_diagnostics(self):
+        budget = Budget(max_steps=1)
+        budget.tick()
+        with pytest.raises(BudgetExceededError, match="step budget"):
+            budget.tick()

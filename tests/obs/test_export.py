@@ -1,0 +1,94 @@
+"""Exporter round trips: jsonl, Chrome trace-event schema, text tree."""
+
+import json
+
+import pytest
+
+from repro.obs import (Tracer, from_jsonl, to_chrome, to_jsonl, to_text,
+                       write_trace)
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer()
+    with tracer.span("rewrite", query="Q") as root:
+        root.add("candidates_tested", 2)
+        with tracer.span("chase") as chase_span:
+            chase_span.add("iterations", 3)
+        with tracer.span("compose"):
+            pass
+    return tracer
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self, tracer):
+        lines = to_jsonl(tracer).splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_round_trip_preserves_tree_and_data(self, tracer):
+        records = from_jsonl(to_jsonl(tracer))
+        assert [r.name for r in records] == ["rewrite", "chase", "compose"]
+        root, chase, compose = records
+        assert root.parent_id is None
+        assert chase.parent_id == root.span_id
+        assert compose.parent_id == root.span_id
+        assert root.attrs == {"query": "Q"}
+        assert root.counters == {"candidates_tested": 2}
+        assert chase.counters == {"iterations": 3}
+        assert chase.duration == pytest.approx(
+            tracer.spans[1].duration, abs=1e-6)
+
+    def test_round_trip_skips_blank_lines(self, tracer):
+        text = to_jsonl(tracer) + "\n\n"
+        assert len(from_jsonl(text)) == 3
+
+
+class TestChrome:
+    def test_schema(self, tracer):
+        document = json.loads(to_chrome(tracer))
+        events = document["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+            assert event["dur"] >= 0
+        by_name = {event["name"]: event for event in events}
+        assert by_name["rewrite"]["args"]["query"] == "Q"
+        assert by_name["chase"]["args"]["iterations"] == 3
+
+    def test_timestamps_are_microseconds(self, tracer):
+        document = json.loads(to_chrome(tracer))
+        span = tracer.spans[0]
+        event = document["traceEvents"][0]
+        assert event["ts"] == pytest.approx(span.start * 1e6)
+        assert event["dur"] == pytest.approx(span.duration * 1e6)
+
+
+class TestText:
+    def test_tree_indentation_and_durations(self, tracer):
+        lines = to_text(tracer).splitlines()
+        assert lines[0].startswith("rewrite ")
+        assert lines[1].startswith("  chase ")
+        assert lines[2].startswith("  compose ")
+        assert "ms" in lines[0]
+        assert "iterations=3" in lines[1]
+        assert "query=Q" in lines[0]
+
+
+class TestWriteTrace:
+    @pytest.mark.parametrize("trace_format", ["jsonl", "chrome", "text"])
+    def test_writes_each_format(self, tracer, tmp_path, trace_format):
+        path = tmp_path / f"trace.{trace_format}"
+        write_trace(tracer, str(path), trace_format)
+        content = path.read_text()
+        assert content.strip()
+        if trace_format == "jsonl":
+            assert len(from_jsonl(content)) == 3
+        elif trace_format == "chrome":
+            assert "traceEvents" in json.loads(content)
+
+    def test_unknown_format_rejected(self, tracer, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(tracer, str(tmp_path / "x"), "xml")

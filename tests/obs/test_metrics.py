@@ -1,0 +1,80 @@
+"""Metrics registry: counters, histograms, snapshot/reset, threading."""
+
+import json
+import threading
+
+from repro.obs import METRICS, MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_accumulates(self):
+        registry = MetricsRegistry()
+        registry.increment("hits")
+        registry.increment("hits", 4)
+        assert registry.snapshot()["counters"]["hits"] == 5
+
+    def test_counter_handle_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestHistograms:
+    def test_observe_summarizes(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 8.0, 5.0):
+            registry.observe("latency", value)
+        summary = registry.snapshot()["histograms"]["latency"]
+        assert summary["count"] == 3
+        assert summary["sum"] == 15.0
+        assert summary["min"] == 2.0
+        assert summary["max"] == 8.0
+        assert summary["mean"] == 5.0
+
+    def test_empty_histogram_mean_is_none(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        assert registry.snapshot()["histograms"]["empty"]["mean"] is None
+
+
+class TestSnapshotReset:
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        registry.observe("b", 1.5)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        snap = registry.snapshot()
+        registry.increment("a")
+        assert snap["counters"]["a"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        registry.observe("b", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_process_wide_default_exists(self):
+        assert isinstance(METRICS, MetricsRegistry)
+
+
+class TestThreading:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.increment("shared")
+                registry.observe("values", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["shared"] == 4000
+        assert snap["histograms"]["values"]["count"] == 4000

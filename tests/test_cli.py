@@ -107,6 +107,105 @@ class TestRewrite:
                      "--dtd", str(dtd)]) == 0
 
 
+class TestRewriteObservability:
+    def test_json_format(self, query_file, view_file, capsys):
+        assert main(["rewrite", query_file, "--view", f"V={view_file}",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["rewritings"]
+        assert data["rewritings"][0]["flavor"] == "equivalent"
+        assert data["truncated"] is False
+        assert data["stop_reason"] is None
+        assert data["stats"]["candidates_tested"] >= 1
+
+    def test_trace_written_and_parseable(self, query_file, view_file,
+                                         tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        assert main(["rewrite", query_file, "--view", f"V={view_file}",
+                     "--trace", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        names = {record["name"] for record in records}
+        assert {"rewrite", "chase", "compose", "equivalence"} <= names
+        roots = [r for r in records if r["parent"] is None]
+        assert [r["name"] for r in roots] == ["rewrite"]
+        assert f"# trace: {len(records)} span(s)" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("trace_format", ["chrome", "text"])
+    def test_other_trace_formats(self, query_file, view_file, tmp_path,
+                                 trace_format):
+        trace = tmp_path / "out.trace"
+        assert main(["rewrite", query_file, "--view", f"V={view_file}",
+                     "--trace", str(trace),
+                     "--trace-format", trace_format]) == 0
+        content = trace.read_text()
+        if trace_format == "chrome":
+            assert json.loads(content)["traceEvents"]
+        else:
+            assert content.startswith("rewrite ")
+
+    def test_budget_truncation_warns_and_exits_cleanly(
+            self, tmp_path, capsys):
+        from repro.workloads.querygen import star_query, star_view
+        query = tmp_path / "star.tsl"
+        query.write_text(str(star_query(2)))
+        view = tmp_path / "starv.tsl"
+        view.write_text(str(star_view(2)))
+        code = main(["rewrite", str(query), "--view", f"V={view}",
+                     "--max-steps", "700", "--format", "json"])
+        captured = capsys.readouterr()
+        assert "search truncated (steps)" in captured.err
+        data = json.loads(captured.out)
+        assert data["truncated"] is True
+        assert data["stop_reason"] == "steps"
+        assert code in (0, 1)  # clean exit either way
+
+    def test_budget_ms_on_adversarial_workload(self, tmp_path, capsys):
+        # The ISSUE acceptance scenario: a deadline stops a search that
+        # would otherwise run for minutes, exiting cleanly.
+        from repro.workloads.querygen import star_query, star_view
+        query = tmp_path / "star3.tsl"
+        query.write_text(str(star_query(3)))
+        view = tmp_path / "star3v.tsl"
+        view.write_text(str(star_view(3)))
+        trace = tmp_path / "out.jsonl"
+        code = main(["rewrite", str(query), "--view", f"V={view}",
+                     "--budget-ms", "50", "--trace", str(trace),
+                     "--format", "json"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        data = json.loads(captured.out)
+        assert data["truncated"] is True
+        assert data["stop_reason"] == "deadline"
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert {"rewrite", "enumerate_mappings"} <= {
+            r["name"] for r in records}
+        assert all(r["duration_ms"] >= 0 for r in records)
+
+    def test_max_candidates_truncation_warning(self, tmp_path, capsys):
+        query = tmp_path / "q.tsl"
+        query.write_text('<f(P) result V> :- <P c V>@db')
+        v1 = tmp_path / "v1.tsl"
+        v1.write_text('<view1(P) row V> :- <P c V>@db')
+        v2 = tmp_path / "v2.tsl"
+        v2.write_text('<view2(P) row V> :- <P c V>@db')
+        assert main(["rewrite", str(query), "--view", f"V1={v1}",
+                     "--view", f"V2={v2}", "--max-candidates", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "search truncated (max_candidates)" in err
+
+    def test_contained_with_trace(self, tmp_path, view_file, capsys):
+        query = tmp_path / "q3.tsl"
+        query.write_text("<f(P) title T> :- <P pub {<X title T>}>@db")
+        trace = tmp_path / "contained.jsonl"
+        assert main(["rewrite", str(query), "--view", f"V={view_file}",
+                     "--contained", "--trace", str(trace)]) == 0
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().splitlines()}
+        assert "contained_rewrite" in names
+
+
 class TestImportXml:
     def test_stdout(self, tmp_path, capsys):
         doc = tmp_path / "doc.xml"
