@@ -37,12 +37,15 @@ def from_jsonl(text: str) -> list[SpanRecord]:
             continue
         data = json.loads(line)
         start = data["start_ms"] / 1e3
+        # Older traces lack end_ms; fall back to start + duration then
+        # (which cannot distinguish an open span from a zero-length one).
+        end_ms = data.get("end_ms", data["duration_ms"] + data["start_ms"])
         records.append(SpanRecord(
             span_id=data["id"],
             parent_id=data["parent"],
             name=data["name"],
             start=start,
-            end=start + data["duration_ms"] / 1e3,
+            end=None if end_ms is None else end_ms / 1e3,
             attrs=data.get("attrs", {}),
             counters=data.get("counters", {}),
         ))

@@ -55,6 +55,7 @@ class SpanRecord:
             "parent": self.parent_id,
             "name": self.name,
             "start_ms": self.start * 1e3,
+            "end_ms": None if self.end is None else self.end * 1e3,
             "duration_ms": self.duration * 1e3,
             "attrs": dict(self.attrs),
             "counters": dict(self.counters),
@@ -118,6 +119,10 @@ class Tracer:
     def _exit(self, record: SpanRecord) -> None:
         record.end = self._clock() - self.epoch
         # Exceptions may unwind several spans; pop through to this one.
+        # A span exiting twice or out of order is no longer on the stack;
+        # popping anyway would drain unrelated open spans.
+        if record.span_id not in self._stack:
+            return
         while self._stack:
             span_id = self._stack.pop()
             if span_id == record.span_id:
@@ -175,6 +180,15 @@ class NullTracer:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def roots(self) -> list:
+        return []
+
+    def children(self, record) -> list:
+        return []
+
+    def walk(self) -> Iterator:
+        return iter(())
 
 
 NULL_TRACER = NullTracer()

@@ -300,12 +300,14 @@ def _search(query: Query, views: dict[str, Query],
 
 def _record_metrics(metrics, stats: RewriteStats) -> None:
     for name, value in stats.to_json().items():
-        if isinstance(value, bool) or value is None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
         metrics.increment(f"rewrite.{name}", value)
     metrics.increment("rewrite.runs")
     if stats.truncated:
         metrics.increment("rewrite.truncated_runs")
+    if stats.stop_reason is not None:
+        metrics.increment(f"rewrite.stopped.{stats.stop_reason}")
 
 
 def _test_candidate(candidate: Query, target: Query,

@@ -4,8 +4,8 @@ import json
 
 import pytest
 
-from repro.obs import (Tracer, from_jsonl, to_chrome, to_jsonl, to_text,
-                       write_trace)
+from repro.obs import (NULL_TRACER, Tracer, from_jsonl, to_chrome, to_jsonl,
+                       to_text, write_trace)
 
 
 @pytest.fixture
@@ -43,6 +43,24 @@ class TestJsonl:
     def test_round_trip_skips_blank_lines(self, tracer):
         text = to_jsonl(tracer) + "\n\n"
         assert len(from_jsonl(text)) == 3
+
+    def test_open_span_round_trips_as_open(self):
+        tracer = Tracer()
+        tracer.span("never-closed")
+        (record,) = from_jsonl(to_jsonl(tracer))
+        assert record.end is None
+        assert record.duration == 0.0
+
+    def test_legacy_lines_without_end_ms_still_parse(self, tracer):
+        lines = []
+        for line in to_jsonl(tracer).splitlines():
+            data = json.loads(line)
+            del data["end_ms"]
+            lines.append(json.dumps(data))
+        records = from_jsonl("\n".join(lines))
+        for record, span in zip(records, tracer.spans):
+            assert record.end is not None
+            assert record.duration == pytest.approx(span.duration, abs=1e-6)
 
 
 class TestChrome:
@@ -92,3 +110,15 @@ class TestWriteTrace:
     def test_unknown_format_rejected(self, tracer, tmp_path):
         with pytest.raises(ValueError, match="unknown trace format"):
             write_trace(tracer, str(tmp_path / "x"), "xml")
+
+    @pytest.mark.parametrize("trace_format", ["jsonl", "chrome", "text"])
+    def test_null_tracer_exports_empty(self, tmp_path, trace_format):
+        path = tmp_path / f"null.{trace_format}"
+        write_trace(NULL_TRACER, str(path), trace_format)
+        content = path.read_text()
+        if trace_format == "jsonl":
+            assert from_jsonl(content) == []
+        elif trace_format == "chrome":
+            assert json.loads(content)["traceEvents"] == []
+        else:
+            assert content.strip() == ""

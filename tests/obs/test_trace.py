@@ -100,6 +100,28 @@ class TestSpanTree:
         assert root.name == "a"
         assert [c.name for c in tracer.children(root)] == ["b"]
 
+    def test_double_exit_does_not_drain_stack(self):
+        tracer = Tracer()
+        root_span = tracer.span("root")
+        child_span = tracer.span("child")
+        child_span.__exit__(None, None, None)
+        # Exiting again must not pop "root" off the stack.
+        child_span.__exit__(None, None, None)
+        with tracer.span("late"):
+            pass
+        assert tracer.spans[-1].parent_id == root_span.record.span_id
+        root_span.__exit__(None, None, None)
+
+    def test_out_of_order_exit_keeps_parent_attribution(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__exit__(None, None, None)  # unwinds inner too
+        inner.__exit__(None, None, None)  # id already gone: must be a no-op
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
 
 class TestNullTracer:
     def test_span_is_shared_noop(self):
@@ -118,3 +140,9 @@ class TestNullTracer:
         assert as_tracer(None) is NULL_TRACER
         tracer = Tracer()
         assert as_tracer(tracer) is tracer
+
+    def test_tree_accessors_are_empty(self):
+        assert NULL_TRACER.roots() == []
+        assert list(NULL_TRACER.walk()) == []
+        record = NULL_TRACER.span("x")
+        assert NULL_TRACER.children(record) == []

@@ -193,3 +193,18 @@ class TestTracing:
         assert counters["rewrite.runs"] == 1
         assert counters["rewrite.rewritings"] == 1
         assert counters["rewrite.candidates_tested"] >= 1
+
+    def test_metrics_recorded_on_truncated_run(self):
+        # Regression: stop_reason is a str on truncated runs and must not
+        # be fed to Counter.inc (int += str raised TypeError, discarding
+        # the partial result).
+        registry = MetricsRegistry()
+        query, views = star_workload(2)
+        result = rewrite(query, views, budget=Budget(max_steps=700),
+                         metrics=registry)
+        assert result.truncated is True
+        counters = registry.snapshot()["counters"]
+        assert counters["rewrite.runs"] == 1
+        assert counters["rewrite.truncated_runs"] == 1
+        assert counters["rewrite.stopped.steps"] == 1
+        assert "rewrite.stop_reason" not in counters
