@@ -8,19 +8,34 @@ the (small) cached result instead of scanning the (large) database.
 Series reported: database size N -> direct evaluation time vs cache-hit
 time and the speedup.  The speedup must grow with N (the cache is a
 fixed fraction of the data, and rewriting cost is size-independent).
+
+A second series measures the cache's *rewrite session* (prepared views
++ canonical-hash memo tables): repeated lookups against a warm cache
+with memoization on vs off (``cache_memoize=False``, the ``--no-memo``
+baseline).  The memoized per-lookup time must be at least ~2x faster
+and the exported ``cache.hits`` counter nonzero.
 """
 
 from __future__ import annotations
 
 import time
 
+from repro.obs import MetricsRegistry
 from repro.repository import Repository
 from repro.tsl import evaluate
 from repro.workloads import (conference_query, generate_bibliography,
                              sigmod_97_query)
+from repro.workloads.biblio import CONFERENCES
 
 SIZES = (500, 2000, 8000)
 SIGMOD_FRACTION = 0.15
+#: Database size / repeated lookups for the memo-on/off series.  The
+#: smaller SIGMOD fraction keeps the (memoization-independent) cost of
+#: evaluating the rewriting over the cached answer from drowning out
+#: the search time under measurement.
+MEMO_SIZE = 2000
+MEMO_REPEATS = 20
+MEMO_FRACTION = 0.05
 
 
 def build_repo(size: int) -> Repository:
@@ -28,6 +43,18 @@ def build_repo(size: int) -> Repository:
                                sigmod_fraction=SIGMOD_FRACTION)
     repo = Repository.from_database(db)
     repo.query(conference_query("sigmod"), use_views=False)  # warm cache
+    return repo
+
+
+def build_warm_repo(size: int, memoize: bool = True,
+                    metrics: MetricsRegistry | None = None) -> Repository:
+    """A repository whose cache holds every per-conference query."""
+    db = generate_bibliography(size, seed=size,
+                               sigmod_fraction=MEMO_FRACTION)
+    repo = Repository.from_database(db, cache_memoize=memoize,
+                                    metrics=metrics)
+    for conference in CONFERENCES:
+        repo.query(conference_query(conference), use_views=False)
     return repo
 
 
@@ -39,6 +66,31 @@ def cached_lookup(repo: Repository):
 
 def direct_lookup(repo: Repository):
     return evaluate(sigmod_97_query(), repo.store.db)
+
+
+def run_memo_experiment(size: int = MEMO_SIZE,
+                        repeats: int = MEMO_REPEATS) -> dict:
+    """Per-lookup time of repeated warm lookups, memoization on vs off."""
+    per_lookup: dict[bool, float] = {}
+    cache_hits = 0
+    for memoize in (True, False):
+        metrics = MetricsRegistry()
+        repo = build_warm_repo(size, memoize=memoize, metrics=metrics)
+        started = time.perf_counter()
+        for _ in range(repeats):
+            cached_lookup(repo)
+        per_lookup[memoize] = (time.perf_counter() - started) / repeats
+        if memoize:
+            counters = metrics.snapshot()["counters"]
+            cache_hits = counters.get("cache.hits", 0)
+    return {
+        "pubs": size,
+        "repeats": repeats,
+        "memo_s": per_lookup[True],
+        "nomemo_s": per_lookup[False],
+        "memo_speedup": per_lookup[False] / max(per_lookup[True], 1e-9),
+        "cache_hits": cache_hits,
+    }
 
 
 def run_experiment() -> list[dict]:
@@ -58,6 +110,7 @@ def run_experiment() -> list[dict]:
             "cached_s": t_cached,
             "speedup": t_direct / max(t_cached, 1e-9),
         })
+    rows.append(run_memo_experiment())
     return rows
 
 
@@ -65,9 +118,20 @@ def print_table(rows: list[dict]) -> None:
     print(f"{'pubs':>6} {'answers':>8} {'direct(s)':>10} "
           f"{'cached(s)':>10} {'speedup':>8}")
     for row in rows:
+        if "memo_s" in row:
+            continue
         print(f"{row['pubs']:>6} {row['answers']:>8} "
               f"{row['direct_s']:>10.3f} {row['cached_s']:>10.3f} "
               f"{row['speedup']:>7.1f}x")
+    for row in rows:
+        if "memo_s" not in row:
+            continue
+        print(f"\nmemo on/off ({row['repeats']} warm lookups, "
+              f"{row['pubs']} pubs): "
+              f"memo={row['memo_s'] * 1e3:.1f}ms "
+              f"no-memo={row['nomemo_s'] * 1e3:.1f}ms "
+              f"speedup={row['memo_speedup']:.1f}x "
+              f"cache.hits={row['cache_hits']}")
 
 
 # -- pytest-benchmark entry points ------------------------------------------
@@ -80,6 +144,31 @@ def test_direct_2000(benchmark):
 def test_cached_2000(benchmark):
     repo = build_repo(2000)
     benchmark(cached_lookup, repo)
+
+
+def test_memo_lookup_2000(benchmark):
+    repo = build_warm_repo(2000)
+    cached_lookup(repo)         # warm the session's result memo
+    benchmark(cached_lookup, repo)
+
+
+def test_memo_faster_and_agrees():
+    from repro.oem import identical
+    metrics = MetricsRegistry()
+    memo = build_warm_repo(2000, memoize=True, metrics=metrics)
+    plain = build_warm_repo(2000, memoize=False)
+    assert identical(cached_lookup(memo), cached_lookup(plain))
+    repeats = 5
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        cached_lookup(memo)
+    t_memo = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        cached_lookup(plain)
+    t_plain = time.perf_counter() - t0
+    assert t_memo < t_plain
+    assert metrics.snapshot()["counters"].get("cache.hits", 0) > 0
 
 
 def test_cache_wins_and_agrees():

@@ -9,7 +9,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--contained] [--format text|json] \
         [--trace OUT] [--trace-format jsonl|chrome|text] \
-        [--budget-ms N] [--max-steps N] [--max-candidates N]
+        [--budget-ms N] [--max-steps N] [--max-candidates N] \
+        [--no-memo] [--memo-size N]
     python -m repro import-xml DOC.xml -o DATA.json
     python -m repro fuzz [--seed N] [--iterations N] [--budget-seconds S] \
         [--oracle NAME ...] [--profile NAME ...] [--corpus DIR] \
@@ -46,7 +47,8 @@ from .errors import ReproError, TslError, TslSyntaxError
 from .obs import TRACE_FORMATS, Budget, Tracer, write_trace
 from .oem.dot import to_dot
 from .oem.serialize import dumps, loads
-from .rewriting import (maximally_contained_rewritings, parse_dtd, rewrite)
+from .rewriting import (DEFAULT_MEMO_SIZE, RewriteSession,
+                        maximally_contained_rewritings, parse_dtd)
 from .tsl import evaluate, parse_query, print_query, validate
 from .xmlbridge import dtd_from_document, xml_to_oem
 
@@ -140,10 +142,12 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
                        else "contained") for r in outcome.rewritings]
         truncated, stop_reason = outcome.truncated, outcome.stop_reason
     else:
-        result = rewrite(query, views, constraints,
-                         total_only=args.total,
-                         max_candidates=args.max_candidates,
-                         tracer=tracer, budget=budget)
+        session = RewriteSession(views, constraints,
+                                 memo_size=args.memo_size,
+                                 enabled=not args.no_memo)
+        result = session.rewrite(query, total_only=args.total,
+                                 max_candidates=args.max_candidates,
+                                 tracer=tracer, budget=budget)
         rewritings = [(r.query, "equivalent") for r in result.rewritings]
         truncated, stop_reason = result.truncated, result.stats.stop_reason
         stats = result.stats
@@ -360,6 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("--max-candidates", type=int, metavar="N",
                              help="cap on candidates tested (truncates "
                                   "the search)")
+    rewrite_cmd.add_argument("--no-memo", action="store_true",
+                             help="disable the rewrite session's memo "
+                                  "tables (prepared views + canonical-"
+                                  "hash caches)")
+    rewrite_cmd.add_argument("--memo-size", type=int, metavar="N",
+                             default=DEFAULT_MEMO_SIZE,
+                             help="per-table memo capacity (default: "
+                                  f"{DEFAULT_MEMO_SIZE})")
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
 
     fuzz_cmd = commands.add_parser(
@@ -374,7 +386,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stop starting new iterations after this "
                                "many seconds")
     fuzz_cmd.add_argument("--oracle", action="append", default=[],
-                          choices=("semantic", "containment", "metamorphic"),
+                          choices=("semantic", "containment", "memo",
+                                   "metamorphic"),
                           help="oracle(s) to run (repeatable; default: all)")
     fuzz_cmd.add_argument("--profile", action="append", default=[],
                           metavar="NAME",

@@ -16,8 +16,10 @@ from dataclasses import dataclass, field
 from ..errors import CapabilityError, MediatorError
 from ..obs import NULL_TRACER, Tracer
 from ..oem.model import OemDatabase
+from ..rewriting.canon import canonicalize
 from ..rewriting.chase import StructuralConstraints
 from ..rewriting.composition import compose
+from ..rewriting.session import DEFAULT_MEMO_SIZE, MemoTable
 from ..tsl.ast import Query
 from ..tsl.parser import parse_query
 from .cbr import Plan, plan_query
@@ -36,7 +38,11 @@ class Mediator:
     constraints: StructuralConstraints | None = None
     cost_model: CostModel = field(default_factory=CostModel)
     tracer: Tracer | None = None
+    memoize: bool = True
+    memo_size: int = DEFAULT_MEMO_SIZE
+    metrics: object | None = None
     wrappers: dict[str, Wrapper] = field(init=False, default_factory=dict)
+    _expansions: MemoTable = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         for name, source in self.sources.items():
@@ -45,6 +51,8 @@ class Mediator:
                     f"source registered as {name!r} is named "
                     f"{source.name!r}")
             self.wrappers[name] = Wrapper(source)
+        self._expansions = MemoTable("mediator.expand", self.memo_size,
+                                     self.metrics)
 
     # -- registration --------------------------------------------------------
 
@@ -53,6 +61,7 @@ class Mediator:
             raise MediatorError(f"duplicate source {source.name!r}")
         self.sources[source.name] = source
         self.wrappers[source.name] = Wrapper(source)
+        self._expansions.clear()
 
     def define_view(self, name: str, definition: Query | str) -> None:
         """Register an integrated view over the sources."""
@@ -64,18 +73,35 @@ class Mediator:
                 f"integrated view {name!r} references unknown sources: "
                 f"{sorted(unknown)}")
         self.integrated_views[name] = definition
+        self._expansions.clear()
 
     # -- planning and answering ------------------------------------------------
 
     def expand(self, query: Query) -> list[Query]:
-        """Expand references to integrated views into source-level rules."""
+        """Expand references to integrated views into source-level rules.
+
+        Expansions are memoized per canonical query hash (exact-query
+        compare before serving, like the rewrite session's result memo)
+        and invalidated whenever a view or source is registered.
+        """
         tracer = self.tracer or NULL_TRACER
         if not (query.sources() & set(self.integrated_views)):
             return [query]
+        if self.memoize:
+            probe = canonicalize(query)
+            value = self._expansions.peek(probe.key, None)
+            if value is not None:
+                stored, rules = value
+                if stored == query:
+                    self._expansions.record_hit()
+                    return list(rules)
+            self._expansions.record_miss()
         rules = compose(query, self.integrated_views, tracer=tracer)
         if not rules:
             raise MediatorError(
                 "the query is unsatisfiable against the integrated views")
+        if self.memoize:
+            self._expansions.put(probe.key, (query, tuple(rules)))
         return rules
 
     def plan(self, query: Query | str) -> list[Plan]:

@@ -25,6 +25,14 @@ metamorphic
     evaluating the probe over the materialized view -- including through
     a stack of two views, where one-shot and stepwise composition must
     agree (associativity of view inlining).
+
+memo
+    Memoization transparency: rewriting through a
+    :class:`~repro.rewriting.session.RewriteSession` -- cold and warm
+    (the second call over the same session exercises every memo hit
+    path) -- returns exactly the rewriting set of the unmemoized
+    pipeline, compared by canonical hash, and the session's memoized
+    chase agrees with the plain chase.
 """
 
 from __future__ import annotations
@@ -33,15 +41,17 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from ..errors import CompositionError, ReproError
+from ..errors import ChaseContradictionError, CompositionError, ReproError
 from ..logic.terms import FunctionTerm
 from ..oem.equivalence import explain_difference, identical
 from ..oem.model import OemDatabase
+from ..rewriting.canon import query_key
 from ..rewriting.chase import chase
 from ..rewriting.composition import compose
 from ..rewriting.equivalence import equivalent, minimize, prepare_program
 from ..rewriting.mappings import find_mappings
 from ..rewriting.rewriter import rewrite
+from ..rewriting.session import RewriteSession
 from ..tsl.ast import Query, SetPatternTerm
 from ..tsl.evaluator import evaluate, evaluate_program
 from ..tsl.normalize import normalize, path_to_condition, query_paths
@@ -372,9 +382,73 @@ class MetamorphicOracle:
                 f"evaluation: {_diff_summary(direct, via_one_shot)}"))
 
 
+class MemoOracle:
+    """Memoization must not change any rewriting result.
+
+    Runs ``rewrite`` three ways -- unmemoized, through a cold
+    :class:`~repro.rewriting.session.RewriteSession`, and again through
+    the now-warm session (serving from the result memo) -- and demands
+    the identical rewriting set, compared by the canonical hash of each
+    rewriting query plus the views it uses.
+    """
+
+    name = "memo"
+
+    def __init__(self, max_candidates: int = 128) -> None:
+        self.max_candidates = max_candidates
+
+    @staticmethod
+    def _fingerprint(outcome) -> set:
+        return {(query_key(r.query), tuple(sorted(r.views_used)))
+                for r in outcome.rewritings}
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        constraints = case.constraints
+        plain = rewrite(case.query, case.views, constraints,
+                        max_candidates=self.max_candidates)
+        if plain.truncated:
+            return result  # partial sets may legitimately differ
+        expected = self._fingerprint(plain)
+        session = RewriteSession(case.views, constraints)
+        for phase in ("cold", "warm"):
+            result.checks += 1
+            memoized = session.rewrite(
+                case.query, max_candidates=self.max_candidates)
+            actual = self._fingerprint(memoized)
+            if actual != expected:
+                result.failures.append(Failure(
+                    self.name, f"rewrite-{phase}-differs",
+                    f"memoized ({phase} session) rewriting set differs "
+                    f"from unmemoized: only_memo="
+                    f"{sorted(actual - expected)} only_plain="
+                    f"{sorted(expected - actual)}"))
+        result.checks += 1
+        try:
+            plain_chase = chase(case.query, constraints)
+        except ChaseContradictionError:
+            try:
+                session.chase(case.query)
+            except ChaseContradictionError:
+                pass
+            else:
+                result.failures.append(Failure(
+                    self.name, "chase-memo-differs",
+                    "chase() contradicts but session.chase() does not"))
+        else:
+            if query_key(session.chase(case.query)) \
+                    != query_key(plain_chase):
+                result.failures.append(Failure(
+                    self.name, "chase-memo-differs",
+                    "session.chase() disagrees with chase() up to "
+                    "renaming"))
+        return result
+
+
 ORACLES: dict[str, Callable[[], Oracle]] = {
     "semantic": SemanticOracle,
     "containment": ContainmentOracle,
+    "memo": MemoOracle,
     "metamorphic": MetamorphicOracle,
 }
 

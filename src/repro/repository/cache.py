@@ -10,6 +10,23 @@ Each cache entry stores the query *statement* (playing the role of a view
 definition) and its materialized answer.  Lookup runs the paper's
 rewriting algorithm against the cached statements; a hit is a total
 rewriting evaluated over cached answers only.
+
+Two properties keep repeated lookups cheap:
+
+* statements are identified by their **canonical hash**
+  (:mod:`repro.rewriting.canon`), so caching the same statement twice --
+  even renamed or with reordered conjuncts -- refreshes the existing
+  entry instead of filling the LRU with copies;
+* all lookups against one store version share a single
+  :class:`~repro.rewriting.session.RewriteSession` (prepared views +
+  memo tables), so the statements are chased once and repeated queries
+  hit the session's result memo instead of re-running the exponential
+  search.
+
+Stale entries (cached against an older store version) are purged on
+every lookup and insert -- they can never serve a hit, so letting them
+pin LRU capacity would be a leak -- and counted in
+``stats.invalidations``.
 """
 
 from __future__ import annotations
@@ -18,8 +35,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..oem.model import OemDatabase
+from ..rewriting.canon import query_key
 from ..rewriting.chase import StructuralConstraints
-from ..rewriting.rewriter import rewrite
+from ..rewriting.session import DEFAULT_MEMO_SIZE, RewriteSession
 from ..tsl.ast import Query
 from ..tsl.evaluator import evaluate
 
@@ -32,6 +50,7 @@ class CacheEntry:
     statement: Query
     answer: OemDatabase
     as_of_version: int
+    key: str = ""
     hits: int = 0
 
 
@@ -42,6 +61,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    refreshes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -50,58 +70,152 @@ class CacheStats:
 
 @dataclass
 class QueryCache:
-    """An LRU cache of query answers, consulted via query rewriting."""
+    """An LRU cache of query answers, consulted via query rewriting.
+
+    ``memoize=False`` disables the shared rewrite session (every lookup
+    re-runs the full search; the ``--no-memo`` baseline of benchmark
+    E10).  *metrics* receives ``cache.lookup.{hits,misses}`` and
+    ``cache.entries.{evictions,invalidations}`` counters plus the
+    session's ``cache.*`` memo counters.
+    """
 
     capacity: int = 16
     constraints: StructuralConstraints | None = None
+    memoize: bool = True
+    memo_size: int = DEFAULT_MEMO_SIZE
+    metrics: object | None = None
     entries: "OrderedDict[str, CacheEntry]" = field(
         default_factory=OrderedDict)
     stats: CacheStats = field(default_factory=CacheStats)
     _counter: int = 0
+    _by_key: dict = field(default_factory=dict, repr=False)
+    _session: RewriteSession | None = field(default=None, repr=False)
+    _session_template: RewriteSession | None = field(default=None,
+                                                     repr=False)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.increment(name, amount)
+
+    # -- the shared rewrite session --------------------------------------------
+
+    def session(self) -> RewriteSession:
+        """The rewrite session over the current statements (lazy).
+
+        Entry churn (insert of a *new* statement, eviction, purge)
+        resets the view-dependent memo tables via
+        :meth:`RewriteSession.update_views`; refreshing an existing
+        statement's answer keeps the session fully warm, because
+        rewriting only reads statements, never answers.
+        """
+        if self._session is None:
+            views = {name: entry.statement
+                     for name, entry in self.entries.items()}
+            if self._session_template is None:
+                self._session_template = RewriteSession(
+                    views, self.constraints, memo_size=self.memo_size,
+                    metrics=self.metrics, enabled=self.memoize)
+            else:
+                self._session_template.update_views(views)
+            self._session = self._session_template
+        return self._session
+
+    def _entries_changed(self) -> None:
+        """The statement set changed: next lookup rebuilds the session."""
+        self._session = None
+
+    # -- mutation --------------------------------------------------------------
+
+    def _purge_stale(self, version: int) -> None:
+        """Evict entries cached against an older store version.
+
+        They are skipped by lookup but -- before this fix -- were never
+        removed, so after a store-version bump they pinned LRU capacity
+        (and inflated ``len()``) forever.
+        """
+        stale = [name for name, entry in self.entries.items()
+                 if entry.as_of_version != version]
+        for name in stale:
+            entry = self.entries.pop(name)
+            self._by_key.pop(entry.key, None)
+        if stale:
+            self.stats.invalidations += len(stale)
+            self._count("cache.entries.invalidations", len(stale))
+            self._entries_changed()
 
     def insert(self, statement: Query, answer: OemDatabase,
                version: int) -> CacheEntry:
-        """Cache a (query, answer) pair; evicts LRU beyond capacity."""
+        """Cache a (query, answer) pair; evicts LRU beyond capacity.
+
+        A statement already cached (same canonical hash, so renamed or
+        conjunct-reordered copies count) refreshes the existing entry --
+        new answer, new version, moved to the LRU tail -- instead of
+        inserting a duplicate that would evict a distinct entry.
+        """
+        self._purge_stale(version)
+        key = query_key(statement)
+        existing_name = self._by_key.get(key)
+        if existing_name is not None:
+            entry = self.entries[existing_name]
+            entry.answer = answer
+            entry.as_of_version = version
+            self.entries.move_to_end(existing_name)
+            self.stats.refreshes += 1
+            self._count("cache.entries.refreshes")
+            return entry
         self._counter += 1
         name = f"cached_{self._counter}"
         renamed = Query(statement.head, statement.body, name=name)
-        entry = CacheEntry(name, renamed, answer, version)
+        entry = CacheEntry(name, renamed, answer, version, key=key)
         self.entries[name] = entry
+        self._by_key[key] = name
         while len(self.entries) > self.capacity:
-            self.entries.popitem(last=False)
+            _, evicted = self.entries.popitem(last=False)
+            self._by_key.pop(evicted.key, None)
             self.stats.evictions += 1
+            self._count("cache.entries.evictions")
+        self._entries_changed()
         return entry
+
+    # -- lookup ----------------------------------------------------------------
 
     def lookup(self, query: Query, version: int) -> OemDatabase | None:
         """Try to answer *query* from the cache by rewriting.
 
         Returns the answer database on a hit (after evaluating the
-        rewriting over the cached answers), None on a miss.  Entries
-        cached against an older store version are skipped (stale).
+        rewriting over the cached answers), None on a miss.  Stale
+        entries are purged first, so everything remaining is rewritable
+        against; the rewrite itself runs through the shared session.
         """
         self.stats.lookups += 1
-        fresh = {name: entry for name, entry in self.entries.items()
-                 if entry.as_of_version == version}
-        if fresh:
-            views = {name: entry.statement for name, entry in fresh.items()}
-            outcome = rewrite(query, views, self.constraints,
-                              total_only=True, first_only=True)
+        self._purge_stale(version)
+        if self.entries:
+            session = self.session()
+            outcome = session.rewrite(query, total_only=True,
+                                      first_only=True)
             if outcome.rewritings:
                 rewriting = outcome.rewritings[0]
-                sources = {name: fresh[name].answer
+                sources = {name: self.entries[name].answer
                            for name in rewriting.views_used}
                 for name in rewriting.views_used:
-                    fresh[name].hits += 1
+                    self.entries[name].hits += 1
                     self.entries.move_to_end(name)
                 self.stats.hits += 1
+                self._count("cache.lookup.hits")
                 return evaluate(rewriting.query, sources)
         self.stats.misses += 1
+        self._count("cache.lookup.misses")
         return None
 
     def invalidate(self) -> None:
         """Drop every entry (a store update with no delta propagation)."""
         self.stats.invalidations += len(self.entries)
+        self._count("cache.entries.invalidations", len(self.entries))
         self.entries.clear()
+        self._by_key.clear()
+        self._entries_changed()
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -44,18 +44,25 @@ class Repository:
     cache: QueryCache = field(init=False)
     constraints: StructuralConstraints | None = None
     cache_capacity: int = 16
+    cache_memoize: bool = True
+    metrics: object | None = None
 
     def __post_init__(self) -> None:
         self.views = ViewManager(self.store)
         self.cache = QueryCache(capacity=self.cache_capacity,
-                                constraints=self.constraints)
+                                constraints=self.constraints,
+                                memoize=self.cache_memoize,
+                                metrics=self.metrics)
 
     @classmethod
     def from_database(cls, db: OemDatabase,
                       constraints: StructuralConstraints | None = None,
-                      cache_capacity: int = 16) -> "Repository":
+                      cache_capacity: int = 16, *,
+                      cache_memoize: bool = True,
+                      metrics=None) -> "Repository":
         repo = cls(Store.wrap(db), constraints=constraints,
-                   cache_capacity=cache_capacity)
+                   cache_capacity=cache_capacity,
+                   cache_memoize=cache_memoize, metrics=metrics)
         return repo
 
     # -- views ----------------------------------------------------------------

@@ -2,7 +2,10 @@
 
 from .mappings import (Mapping, body_mappings, component_mapping, coverage,
                        find_mappings, map_path_into, query_maps_into)
+from .canon import (Canonical, canonicalize, component_key, condition_key,
+                    program_key, query_key)
 from .chase import StructuralConstraints, chase
+from .session import DEFAULT_MEMO_SIZE, MemoTable, RewriteSession
 from .composition import compose
 from .equivalence import (equivalent, minimize, prepare_program,
                           programs_equivalent)
@@ -24,6 +27,9 @@ __all__ = [
     "rewrite", "rewrite_single_path", "find_all_rewritings", "is_rewriting",
     "Rewriting", "RewriteResult", "RewriteStats", "CandidateAtom",
     "view_instantiations",
+    "Canonical", "canonicalize", "query_key", "condition_key",
+    "component_key", "program_key",
+    "RewriteSession", "MemoTable", "DEFAULT_MEMO_SIZE",
     "maximally_contained_rewritings", "programs_contained", "contained_in",
     "ContainedRewriting", "ContainedResult",
     "Dtd", "ChildSpec", "parse_dtd", "paper_dtd", "parse_xml_data",

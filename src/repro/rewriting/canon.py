@@ -1,0 +1,252 @@
+"""Canonical forms and stable hashes for queries (memoization keys).
+
+The cached-query manager and the :class:`~repro.rewriting.session.
+RewriteSession` memo tables key work on *query identity* -- but two TSL
+queries that differ only in variable spelling or in the order of their
+body conjuncts denote the same rewriting problem.  This module computes
+a **variable-order-independent canonical form**:
+
+* body conditions are split to single paths (normal form) and sorted by
+  a name-free structural *skeleton*;
+* every variable is renamed apart to a De Bruijn-style index ``$0, $1,
+  ...`` assigned by first occurrence scanning the head and then the
+  sorted body;
+* the sort/number passes iterate to a fixpoint so ties between
+  structurally identical conjuncts resolve deterministically.
+
+The canonical form is itself a :class:`~repro.tsl.ast.Query` (same
+head structure, path-normal body), so it round-trips through the whole
+pipeline and is *equivalent* to its input.  Equality of canonical forms
+implies alpha-equivalence of the inputs -- the soundness requirement for
+a memoization key; the converse holds up to skeleton ties, which only
+costs an occasional memo miss, never a wrong hit.
+
+:func:`query_key` (and friends) hash the canonical rendering with
+``blake2b``, so keys are stable across processes (unlike ``hash()``,
+which is salted for strings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.subst import Substitution
+from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..tsl.ast import (Condition, ObjectPattern, Query, SetPattern,
+                       SetPatternTerm)
+from ..tsl.decompose import ComponentQuery
+from ..tsl.normalize import normalize
+
+#: Canonical variables are named ``$0, $1, ...``; the lexer cannot
+#: produce ``$`` in an identifier, so canonical names never collide with
+#: parsed ones (mirrors the ``†`` marker of :mod:`.mappings`).
+CANON_STEM = "$"
+
+#: Fixpoint bound for the sort/renumber refinement.  Two passes settle
+#: every query the generators produce; the bound is a safety net.
+_MAX_PASSES = 8
+
+
+# --------------------------------------------------------------------------
+# Structural skeletons (name-free sort keys)
+# --------------------------------------------------------------------------
+
+def _term_skeleton(term) -> str:
+    if isinstance(term, Variable):
+        return "?"
+    if isinstance(term, Constant):
+        return f"c:{term.value!r}"
+    if isinstance(term, FunctionTerm):
+        inner = ",".join(_term_skeleton(arg) for arg in term.args)
+        return f"{term.functor}({inner})"
+    if isinstance(term, SetPatternTerm):
+        return _set_skeleton(term.pattern)
+    return str(term)
+
+
+def _set_skeleton(pattern: SetPattern) -> str:
+    inner = " ".join(sorted(_pattern_skeleton(p) for p in pattern.patterns))
+    return "{" + inner + "}"
+
+
+def _pattern_skeleton(pattern: ObjectPattern) -> str:
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        rendered = _set_skeleton(value)
+    else:
+        rendered = _term_skeleton(value)
+    return (f"<{_term_skeleton(pattern.oid)} "
+            f"{_term_skeleton(pattern.label)} {rendered}>")
+
+
+def _condition_skeleton(condition: Condition) -> str:
+    return f"{_pattern_skeleton(condition.pattern)}@{condition.source}"
+
+
+# --------------------------------------------------------------------------
+# Canonicalization
+# --------------------------------------------------------------------------
+
+def _collect_variables(term, out: list[Variable]) -> None:
+    """Append each variable of a term/pattern in deterministic preorder."""
+    if isinstance(term, Variable):
+        out.append(term)
+    elif isinstance(term, FunctionTerm):
+        for arg in term.args:
+            _collect_variables(arg, out)
+    elif isinstance(term, SetPatternTerm):
+        _collect_variables(term.pattern, out)
+    elif isinstance(term, SetPattern):
+        for pattern in term.patterns:
+            _collect_variables(pattern, out)
+    elif isinstance(term, ObjectPattern):
+        _collect_variables(term.oid, out)
+        _collect_variables(term.label, out)
+        _collect_variables(term.value, out)
+
+
+def _number_variables(head: ObjectPattern | None,
+                      body: Sequence[Condition]) -> Substitution:
+    """First-occurrence De Bruijn numbering over head then body."""
+    occurrences: list[Variable] = []
+    if head is not None:
+        _collect_variables(head, occurrences)
+    for condition in body:
+        _collect_variables(condition.pattern, occurrences)
+    forward: dict[Variable, Variable] = {}
+    for variable in occurrences:
+        if variable not in forward:
+            forward[variable] = Variable(f"{CANON_STEM}{len(forward)}")
+    return Substitution(forward)
+
+
+@dataclass(frozen=True)
+class Canonical:
+    """A canonicalized query plus the renaming that produced it."""
+
+    query: Query
+    #: original variable -> canonical ``$i`` variable (injective).
+    forward: Substitution
+
+    @property
+    def key(self) -> str:
+        return _digest(_render_query(self.query))
+
+
+def canonicalize(query: Query) -> Canonical:
+    """The canonical form of *query* (normal-form body, ``$i`` variables).
+
+    The result is equivalent to the input: the body is only split to
+    single paths, reordered (conjunction is a set), and renamed apart.
+    """
+    current = normalize(query)
+    body = list(current.body)
+    # Initial sort ignores variable names entirely.
+    body.sort(key=_condition_skeleton)
+    forward = _number_variables(current.head, body)
+    for _ in range(_MAX_PASSES):
+        # Refine: sort by the fully-rendered canonical conjunct (ties
+        # between equal skeletons now resolve by variable wiring), then
+        # renumber; stop when the order is stable.
+        rendered = [(str(c.substitute(forward)), c) for c in body]
+        rendered.sort(key=lambda item: item[0])
+        reordered = [c for _, c in rendered]
+        renumbered = _number_variables(current.head, reordered)
+        if reordered == body and renumbered == forward:
+            break
+        body, forward = reordered, renumbered
+    return Canonical(
+        Query(current.head.substitute(forward),
+              tuple(c.substitute(forward) for c in body)),
+        forward)
+
+
+def _digest(rendered: str) -> str:
+    return hashlib.blake2b(rendered.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def _render_query(query: Query) -> str:
+    body = " AND ".join(str(c) for c in query.body)
+    return f"{query.head} :- {body}"
+
+
+def query_key(query: Query) -> str:
+    """A stable hash identifying *query* up to renaming and body order."""
+    return canonicalize(query).key
+
+
+def condition_key(condition: Condition) -> str:
+    """A stable hash of one condition up to variable renaming."""
+    forward = _number_variables(None, [condition])
+    return _digest(str(condition.substitute(forward)))
+
+
+def component_key(component: ComponentQuery) -> str:
+    """A stable hash of a graph component query up to renaming."""
+    occurrences: list[Variable] = []
+    for term in component.head_terms:
+        _collect_variables(term, occurrences)
+    if component.value is not None:
+        _collect_variables(component.value, occurrences)
+    body = sorted(component.body, key=_condition_skeleton)
+    for condition in body:
+        _collect_variables(condition.pattern, occurrences)
+    forward_map: dict[Variable, Variable] = {}
+    for variable in occurrences:
+        if variable not in forward_map:
+            forward_map[variable] = Variable(
+                f"{CANON_STEM}{len(forward_map)}")
+    forward = Substitution(forward_map)
+    heads = ",".join(str(forward.apply(t)) for t in component.head_terms)
+    value = component.value
+    if isinstance(value, Term):
+        value = forward.apply(value)
+    rendered_body = " AND ".join(
+        sorted(str(c.substitute(forward)) for c in body))
+    return _digest(f"{component.kind}({heads})={value} :- {rendered_body}")
+
+
+def program_key(rules: Iterable[Query]) -> str:
+    """A stable hash of a union of rules, order-independent."""
+    return _digest("|".join(sorted(query_key(rule) for rule in rules)))
+
+
+# --------------------------------------------------------------------------
+# Rebasing memoized results between alpha-equivalent variable spaces
+# --------------------------------------------------------------------------
+
+def rebase(result: Query, stored: Canonical, probe: Canonical) -> Query:
+    """Translate *result* from *stored*'s variable space into *probe*'s.
+
+    ``stored`` and ``probe`` must have equal canonical queries (the memo
+    key matched).  Variables of *result* in ``stored.forward``'s domain
+    are mapped through the canonical form into *probe*'s names; variables
+    the pipeline introduced afterwards (e.g. the chase's fresh ``W_n``)
+    are kept when they cannot collide with a probe variable and renamed
+    to fresh ones otherwise.
+    """
+    inverse_probe = {canon: orig for orig, canon in probe.forward.items()}
+    renaming: dict[Variable, Variable] = {}
+    for orig, canon in stored.forward.items():
+        renaming[orig] = inverse_probe[canon]
+    taken = set(inverse_probe.values())
+    counter = 0
+    extras = sorted(
+        (v for v in result.all_variables() if v not in renaming),
+        key=lambda v: v.name)
+    for variable in extras:
+        if variable not in taken:
+            renaming[variable] = variable
+            taken.add(variable)
+            continue
+        while True:
+            counter += 1
+            candidate = Variable(f"W_r{counter}")
+            if candidate not in taken:
+                renaming[variable] = candidate
+                taken.add(candidate)
+                break
+    return result.substitute(Substitution(renaming))

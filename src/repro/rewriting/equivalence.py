@@ -30,16 +30,27 @@ from .mappings import body_mappings, component_mapping
 def prepare_program(rules: Iterable[Query],
                     constraints: StructuralConstraints | None = None,
                     minimize_rules: bool = False, *,
-                    budget=None) -> list[Query]:
-    """Chase + normalize each rule; drop rules with contradictory bodies."""
+                    budget=None, session=None) -> list[Query]:
+    """Chase + normalize each rule; drop rules with contradictory bodies.
+
+    With a :class:`~repro.rewriting.session.RewriteSession` (created for
+    the same *constraints*) the per-rule chase and minimization hit the
+    session's memo tables.
+    """
     prepared: list[Query] = []
     for rule in rules:
         try:
-            chased = chase(rule, constraints, budget=budget)
+            if session is not None:
+                chased = session.chase(rule, budget=budget)
+            else:
+                chased = chase(rule, constraints, budget=budget)
         except ChaseContradictionError:
             continue  # empty on every legal database: contributes nothing
         if minimize_rules:
-            chased = minimize(chased, budget=budget)
+            if session is not None:
+                chased = session.minimize(chased, budget=budget)
+            else:
+                chased = minimize(chased, budget=budget)
         prepared.append(chased)
     return prepared
 
@@ -61,16 +72,26 @@ def components_subsumed(left: Sequence[ComponentQuery],
 def programs_equivalent(left: Iterable[Query], right: Iterable[Query],
                         constraints: StructuralConstraints | None = None,
                         minimize_rules: bool = False, *,
-                        tracer=None, budget=None) -> bool:
-    """Theorem 4.3: decompose both unions and test mutual mappings."""
+                        tracer=None, budget=None, session=None) -> bool:
+    """Theorem 4.3: decompose both unions and test mutual mappings.
+
+    *session* memoizes the sub-steps (chase, minimize, decomposition);
+    the verdict itself is memoized by
+    :meth:`~repro.rewriting.session.RewriteSession.programs_equivalent`,
+    which delegates here on a miss.
+    """
     tracer = tracer or NULL_TRACER
     with tracer.span("equivalence") as span:
         left_rules = prepare_program(left, constraints, minimize_rules,
-                                     budget=budget)
+                                     budget=budget, session=session)
         right_rules = prepare_program(right, constraints, minimize_rules,
-                                      budget=budget)
-        left_components = decompose_program(left_rules)
-        right_components = decompose_program(right_rules)
+                                      budget=budget, session=session)
+        if session is not None:
+            left_components = session.decompose(left_rules)
+            right_components = session.decompose(right_rules)
+        else:
+            left_components = decompose_program(left_rules)
+            right_components = decompose_program(right_rules)
         span.add("components",
                  len(left_components) + len(right_components))
         outcome = (components_subsumed(left_components, right_components,

@@ -26,7 +26,7 @@ remains sound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import combinations
 from typing import Mapping, Sequence, Union
 
@@ -85,6 +85,7 @@ class RewriteStats:
     candidates_pruned_by_heuristic: int = 0
     candidates_pruned_unsafe: int = 0
     candidates_pruned_subsumed: int = 0
+    candidates_pruned_duplicate: int = 0
     candidates_failed_chase: int = 0
     candidates_failed_composition: int = 0
     composition_rules: int = 0
@@ -135,18 +136,25 @@ def _as_view_dict(views: Union[Mapping[str, Query], Sequence[Query]]
 
 def view_instantiations(query: Query, views: Mapping[str, Query],
                         constraints: StructuralConstraints | None = None,
-                        *, tracer=None, budget=None) -> list[CandidateAtom]:
+                        *, tracer=None, budget=None,
+                        session=None) -> list[CandidateAtom]:
     """Step 1A: mappings from each view body into body(Q), as atoms.
 
     Each mapping ``θ`` yields the condition ``θ(head(Vi))@Vi`` together
-    with the set of Q-conditions it covers.
+    with the set of Q-conditions it covers.  With a
+    :class:`~repro.rewriting.session.RewriteSession` the per-view chase
+    is done once per session (prepared views), not once per call.
     """
     tracer = tracer or NULL_TRACER
     atoms: list[CandidateAtom] = []
     for name in sorted(views):
         with tracer.span("enumerate_mappings", view=name) as span:
-            view = chase(views[name], constraints, tracer=tracer,
-                         budget=budget)
+            if session is not None:
+                view = session.prepared_view(name, tracer=tracer,
+                                             budget=budget)
+            else:
+                view = chase(views[name], constraints, tracer=tracer,
+                             budget=budget)
             mapping: ContainmentMapping
             for mapping in find_mappings(view, query, budget=budget):
                 instantiated = view.head.substitute(mapping.subst)
@@ -167,7 +175,8 @@ def rewrite(query: Query,
             max_candidates: int | None = None,
             tracer=None,
             budget=None,
-            metrics=None) -> RewriteResult:
+            metrics=None,
+            session=None) -> RewriteResult:
     """Find rewriting queries of *query* using *views* (Section 3.4).
 
     Parameters
@@ -202,16 +211,38 @@ def rewrite(query: Query,
     metrics:
         Optional :class:`repro.obs.MetricsRegistry`; the run's counters
         are recorded under ``rewrite.*`` when it finishes.
+    session:
+        Optional :class:`repro.rewriting.session.RewriteSession` created
+        for these *views* and *constraints*.  The search then reuses the
+        session's prepared views and memo tables; complete results are
+        memoized per (canonical query, flags) and served on repeat
+        calls.  Prefer :meth:`RewriteSession.rewrite`, which supplies
+        the matching views/constraints automatically.
     """
     tracer = tracer or NULL_TRACER
     views = _as_view_dict(views)
+    flags = (heuristic, total_only, prune_subsumed, first_only,
+             max_candidates)
+    if session is not None:
+        memoized = session.lookup_result(query, flags)
+        if memoized is not None:
+            with tracer.span("rewrite",
+                             query=query.name or str(query.head),
+                             views=",".join(sorted(views))) as span:
+                span.set("memo", "hit")
+                span.add("rewritings", memoized.stats.rewritings)
+            result = RewriteResult(list(memoized.rewritings),
+                                   replace(memoized.stats))
+            if metrics is not None:
+                _record_metrics(metrics, result.stats)
+            return result
     result = RewriteResult()
     with tracer.span("rewrite", query=query.name or str(query.head),
                      views=",".join(sorted(views))) as span:
         try:
             _search(query, views, constraints, heuristic, total_only,
                     prune_subsumed, first_only, max_candidates, result,
-                    tracer, budget)
+                    tracer, budget, session)
         except BudgetExceededError as exc:
             result.stats.truncated = True
             result.stats.stop_reason = exc.reason or "budget"
@@ -219,6 +250,8 @@ def rewrite(query: Query,
             span.set("truncated", result.stats.stop_reason)
         span.add("candidates_tested", result.stats.candidates_tested)
         span.add("rewritings", result.stats.rewritings)
+    if session is not None:
+        session.store_result(query, flags, result)
     if metrics is not None:
         _record_metrics(metrics, result.stats)
     return result
@@ -228,7 +261,8 @@ def _search(query: Query, views: dict[str, Query],
             constraints: StructuralConstraints | None,
             heuristic: bool, total_only: bool, prune_subsumed: bool,
             first_only: bool, max_candidates: int | None,
-            result: RewriteResult, tracer, budget) -> None:
+            result: RewriteResult, tracer, budget,
+            session=None) -> None:
     """The Section 3.4 search loop, mutating *result* in place.
 
     Results accumulate on *result* (not a return value) so that a
@@ -236,7 +270,8 @@ def _search(query: Query, views: dict[str, Query],
     leaves the rewritings found so far intact.
     """
     with tracer.span("prepare"):
-        prepared = prepare_program([query], constraints, budget=budget)
+        prepared = prepare_program([query], constraints, budget=budget,
+                                   session=session)
     if not prepared:
         raise ChaseContradictionError(
             "the query body contradicts the object-id key dependency")
@@ -245,13 +280,18 @@ def _search(query: Query, views: dict[str, Query],
     k = len(target_paths)
     all_indices = frozenset(range(k))
 
-    atoms = view_instantiations(target, views, constraints,
-                                tracer=tracer, budget=budget)
+    if session is not None:
+        atoms = session.candidate_atoms(target, tracer=tracer,
+                                        budget=budget)
+    else:
+        atoms = view_instantiations(target, views, constraints,
+                                    tracer=tracer, budget=budget)
     result.stats.mappings = len(atoms)
     if not total_only:
         atoms.extend(
             CandidateAtom(path_to_condition(path), frozenset([i]), None)
             for i, path in enumerate(target_paths))
+    atoms = _merge_duplicate_atoms(atoms, result.stats)
 
     accepted_bodies: list[frozenset[Condition]] = []
     for size in range(1, k + 1):
@@ -288,7 +328,7 @@ def _search(query: Query, views: dict[str, Query],
                              conditions=len(body)) as span:
                 accepted = _test_candidate(candidate, target, views,
                                            constraints, result, tracer,
-                                           budget)
+                                           budget, session)
                 span.set("accepted", accepted is not None)
             if accepted is not None:
                 accepted_bodies.append(frozenset(body))
@@ -296,6 +336,31 @@ def _search(query: Query, views: dict[str, Query],
                 result.stats.rewritings += 1
                 if first_only:
                     return
+
+
+def _merge_duplicate_atoms(atoms: list[CandidateAtom],
+                           stats: RewriteStats) -> list[CandidateAtom]:
+    """Merge atoms with equal conditions, unioning their coverage.
+
+    Two containment mappings can instantiate the same ``θ(head(Vi))``;
+    keeping both makes ``combinations`` enumerate duplicate candidate
+    bodies, each paying the full chase/compose/equivalence bill.  A
+    candidate body is a *set* of conditions, so equal-condition atoms
+    are interchangeable; the merged atom covers everything either
+    mapping covered, which keeps every previously-reachable body
+    reachable (at a smaller combination size).
+    """
+    merged: dict[Condition, CandidateAtom] = {}
+    for atom in atoms:
+        existing = merged.get(atom.condition)
+        if existing is None:
+            merged[atom.condition] = atom
+        else:
+            merged[atom.condition] = CandidateAtom(
+                existing.condition, existing.covers | atom.covers,
+                existing.view)
+            stats.candidates_pruned_duplicate += 1
+    return list(merged.values())
 
 
 def _record_metrics(metrics, stats: RewriteStats) -> None:
@@ -314,11 +379,15 @@ def _test_candidate(candidate: Query, target: Query,
                     views: Mapping[str, Query],
                     constraints: StructuralConstraints | None,
                     result: RewriteResult, tracer=NULL_TRACER,
-                    budget=None) -> Rewriting | None:
+                    budget=None, session=None) -> Rewriting | None:
     """Steps 1C + 2 for one candidate; None when it is not a rewriting."""
     try:
-        candidate = chase(candidate, constraints, tracer=tracer,
-                          budget=budget)
+        if session is not None:
+            candidate = session.chase(candidate, tracer=tracer,
+                                      budget=budget)
+        else:
+            candidate = chase(candidate, constraints, tracer=tracer,
+                              budget=budget)
     except ChaseContradictionError:
         result.stats.candidates_failed_chase += 1
         return None
@@ -328,10 +397,15 @@ def _test_candidate(candidate: Query, target: Query,
         result.stats.candidates_failed_composition += 1
         return None
     composed = prepare_program(composed, constraints, minimize_rules=True,
-                               budget=budget)
+                               budget=budget, session=session)
     result.stats.composition_rules += len(composed)
-    if not programs_equivalent(composed, [target], constraints,
-                               tracer=tracer, budget=budget):
+    if session is not None:
+        equivalent_verdict = session.programs_equivalent(
+            composed, [target], tracer=tracer, budget=budget)
+    else:
+        equivalent_verdict = programs_equivalent(
+            composed, [target], constraints, tracer=tracer, budget=budget)
+    if not equivalent_verdict:
         return None
     views_used = frozenset(c.source for c in candidate.body
                            if c.source in views)

@@ -1,0 +1,347 @@
+"""Memoized rewrite sessions: prepared views + bounded memo tables.
+
+The motivating application of Section 1 (answering from cached queries
+[19]) issues many :func:`~repro.rewriting.rewriter.rewrite` calls
+against one slowly-changing view set.  The stock pipeline re-chases
+every view and re-runs the full exponential search on every call; a
+:class:`RewriteSession` factors the repeated work out:
+
+* **prepared views** -- each view is chased + normalized once per
+  session and reused by every ``rewrite()`` call;
+* **memo tables** -- bounded (LRU) caches, keyed on the canonical
+  hashes of :mod:`~repro.rewriting.canon`, for ``chase()``,
+  ``minimize()``, ``decompose_program()``, ``programs_equivalent()``
+  verdict pairs, candidate-atom enumeration, and whole ``rewrite()``
+  results.
+
+Memo keys are canonical, so queries differing only in variable spelling
+or conjunct order share a slot; a hit is served directly when the
+stored query is structurally identical to the probe and *rebased*
+(renamed into the probe's variable space) for the chase/minimize
+tables otherwise.  Truncated (budget-stopped) results are never
+memoized.  Every table exports ``cache.{hits,misses,evictions}``
+counters -- aggregate and per-table -- through a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+A session is bound to one ``(views, constraints)`` pair;
+:meth:`RewriteSession.update_views` swaps the view set while keeping
+the view-independent tables (chase, minimize, equivalence, decompose)
+warm -- the pattern the cached-query manager uses when entries churn.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence, Union
+
+from ..errors import ChaseContradictionError
+from ..tsl.ast import Query
+from .canon import Canonical, canonicalize, program_key, rebase
+from .chase import StructuralConstraints, chase
+
+#: Default per-table memo capacity.
+DEFAULT_MEMO_SIZE = 1024
+
+_MISS = object()
+
+
+class MemoTable:
+    """A bounded LRU mapping with hit/miss/eviction accounting."""
+
+    __slots__ = ("name", "capacity", "entries", "hits", "misses",
+                 "evictions", "_metrics")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_MEMO_SIZE,
+                 metrics=None) -> None:
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._metrics = metrics
+
+    def _count(self, outcome: str) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(f"cache.{outcome}")
+            self._metrics.increment(f"cache.{self.name}.{outcome}")
+
+    def get(self, key):
+        """The stored value, or the module-private miss sentinel."""
+        value = self.peek(key)
+        if value is _MISS:
+            self.record_miss()
+        else:
+            self.record_hit()
+        return value
+
+    def peek(self, key, default=_MISS):
+        """Like :meth:`get` but without hit/miss accounting.
+
+        Callers that must verify the stored value before serving it
+        (exact-query compare) peek first, then call
+        :meth:`record_hit` / :meth:`record_miss` with the verdict.
+        *default* is returned on a miss (the module-private sentinel
+        when not given, so ``None`` is storable).
+        """
+        value = self.entries.get(key, default)
+        if value is not default:
+            self.entries.move_to_end(key)
+        return value
+
+    def record_hit(self) -> None:
+        self.hits += 1
+        self._count("hits")
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        self._count("misses")
+
+    def put(self, key, value) -> None:
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        while len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+            self._count("evictions")
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stats(self) -> dict:
+        return {"size": len(self.entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class RewriteSession:
+    """Prepared views and memo tables for repeated ``rewrite()`` calls.
+
+    Parameters
+    ----------
+    views:
+        The view set (name -> query mapping, or a sequence of named
+        queries), shared by every call through this session.
+    constraints:
+        Optional structural constraints; all memoized work is keyed
+        under this one constraints object.
+    memo_size:
+        Per-table LRU capacity.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving
+        ``cache.*`` counters.
+    enabled:
+        ``False`` turns every table into a pass-through (the
+        ``--no-memo`` baseline measured by benchmark E10) while keeping
+        a single code path.
+    """
+
+    def __init__(self, views: Union[Mapping[str, Query], Sequence[Query]],
+                 constraints: StructuralConstraints | None = None, *,
+                 memo_size: int = DEFAULT_MEMO_SIZE,
+                 metrics=None, enabled: bool = True) -> None:
+        from .rewriter import _as_view_dict
+        self.views = _as_view_dict(views)
+        self.constraints = constraints
+        self.memo_size = memo_size
+        self.metrics = metrics
+        self.enabled = enabled
+        self._prepared_views: dict[str, Query] = {}
+
+        def table(name: str) -> MemoTable:
+            return MemoTable(name, memo_size, metrics)
+
+        # View-independent tables (survive update_views).
+        self._chase = table("chase")
+        self._minimize = table("minimize")
+        self._equivalence = table("equivalence")
+        self._decompose = table("decompose")
+        # View-dependent tables (reset on update_views).
+        self._atoms = table("atoms")
+        self._results = table("rewrite")
+
+    # -- view-set lifecycle --------------------------------------------------
+
+    def update_views(self, views: Union[Mapping[str, Query],
+                                        Sequence[Query]]) -> None:
+        """Swap the view set; keeps the view-independent memos warm."""
+        from .rewriter import _as_view_dict
+        self.views = _as_view_dict(views)
+        self._prepared_views.clear()
+        self._atoms.clear()
+        self._results.clear()
+
+    def prepared_view(self, name: str, *, tracer=None,
+                      budget=None) -> Query:
+        """The chased + normalized form of view *name*, computed once."""
+        prepared = self._prepared_views.get(name)
+        if prepared is None:
+            prepared = chase(self.views[name], self.constraints,
+                             tracer=tracer, budget=budget)
+            if self.enabled:
+                self._prepared_views[name] = prepared
+        return prepared
+
+    # -- memoized pipeline stages --------------------------------------------
+
+    def chase(self, query: Query, *, tracer=None, budget=None) -> Query:
+        """Memoized :func:`~repro.rewriting.chase.chase`.
+
+        Contradictions are memoized too (they are a property of the
+        query, not of the run).  A hit whose stored query differs only
+        by renaming is rebased into the probe's variable space.
+        """
+        if not self.enabled:
+            return chase(query, self.constraints, tracer=tracer,
+                         budget=budget)
+        probe = canonicalize(query)
+        value = self._chase.get(probe.key)
+        if value is not _MISS:
+            original, stored, outcome = value
+            if isinstance(outcome, ChaseContradictionError):
+                raise ChaseContradictionError(str(outcome))
+            if original == query:
+                return outcome
+            return rebase(outcome, stored, probe)
+        try:
+            result = chase(query, self.constraints, tracer=tracer,
+                           budget=budget)
+        except ChaseContradictionError as exc:
+            self._chase.put(probe.key, (query, probe, exc))
+            raise
+        self._chase.put(probe.key, (query, probe, result))
+        return result
+
+    def minimize(self, query: Query, *, budget=None) -> Query:
+        """Memoized :func:`~repro.rewriting.equivalence.minimize`."""
+        from .equivalence import minimize
+        if not self.enabled:
+            return minimize(query, budget=budget)
+        probe = canonicalize(query)
+        value = self._minimize.get(probe.key)
+        if value is not _MISS:
+            original, stored, result = value
+            if original == query:
+                return result
+            return rebase(result, stored, probe)
+        result = minimize(query, budget=budget)
+        self._minimize.put(probe.key, (query, probe, result))
+        return result
+
+    def decompose(self, rules: Sequence[Query]):
+        """Memoized :func:`~repro.tsl.decompose.decompose_program`.
+
+        Keyed on the exact rules (components carry the rules'
+        variables, so only structurally identical programs share).
+        """
+        from ..tsl.decompose import decompose_program
+        if not self.enabled:
+            return decompose_program(rules)
+        key = tuple(rules)
+        value = self._decompose.get(key)
+        if value is not _MISS:
+            return value
+        components = decompose_program(rules)
+        self._decompose.put(key, components)
+        return components
+
+    def programs_equivalent(self, left: Sequence[Query],
+                            right: Sequence[Query],
+                            minimize_rules: bool = False, *,
+                            tracer=None, budget=None) -> bool:
+        """Memoized equivalence verdict (symmetric, canonical-keyed)."""
+        from .equivalence import programs_equivalent
+        left = list(left)
+        right = list(right)
+        if not self.enabled:
+            return programs_equivalent(left, right, self.constraints,
+                                       minimize_rules, tracer=tracer,
+                                       budget=budget)
+        left_key = program_key(left)
+        right_key = program_key(right)
+        key = (left_key, right_key, minimize_rules)
+        value = self._equivalence.get(key)
+        if value is _MISS:
+            # Equivalence is symmetric; probe the mirrored pair too
+            # (counted against the same table).
+            value = self._equivalence.get(
+                (right_key, left_key, minimize_rules))
+        if value is not _MISS:
+            return value
+        verdict = programs_equivalent(left, right, self.constraints,
+                                      minimize_rules, tracer=tracer,
+                                      budget=budget, session=self)
+        self._equivalence.put(key, verdict)
+        return verdict
+
+    # -- candidate atoms and whole-result memoization ------------------------
+
+    def candidate_atoms(self, target: Query, *, tracer=None, budget=None):
+        """Memoized Step 1A over the prepared views.
+
+        ``covers`` indices are positions in the target's path list, so a
+        hit is only served for a structurally identical target.
+        """
+        from .rewriter import view_instantiations
+        if not self.enabled:
+            return view_instantiations(target, self.views,
+                                       self.constraints, tracer=tracer,
+                                       budget=budget, session=self)
+        probe = canonicalize(target)
+        value = self._atoms.peek(probe.key)
+        if value is not _MISS:
+            stored, atoms = value
+            if stored == target:
+                self._atoms.record_hit()
+                return list(atoms)
+        self._atoms.record_miss()
+        atoms = view_instantiations(target, self.views, self.constraints,
+                                    tracer=tracer, budget=budget,
+                                    session=self)
+        self._atoms.put(probe.key, (target, tuple(atoms)))
+        return atoms
+
+    def rewrite(self, query: Query, **kwargs):
+        """Memoized :func:`~repro.rewriting.rewriter.rewrite`.
+
+        Keyword arguments are the searched-affecting flags of
+        ``rewrite()`` (``heuristic``, ``total_only``, ...) plus
+        ``tracer``/``budget``/``metrics``.  Complete results are cached
+        per (canonical query, flags); truncated results are returned but
+        never stored.
+        """
+        from .rewriter import rewrite
+        return rewrite(query, self.views, self.constraints,
+                       session=self, **kwargs)
+
+    def lookup_result(self, query: Query, flags: tuple):
+        """The memoized complete result for (query, flags), if any."""
+        if not self.enabled:
+            return None
+        probe = canonicalize(query)
+        value = self._results.peek((probe.key, flags))
+        if value is not _MISS:
+            stored, result = value
+            if stored == query:
+                self._results.record_hit()
+                return result
+        self._results.record_miss()
+        return None
+
+    def store_result(self, query: Query, flags: tuple, result) -> None:
+        if not self.enabled or result.stats.truncated:
+            return
+        probe = canonicalize(query)
+        self._results.put((probe.key, flags), (query, result))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-table memo statistics (JSON-serializable)."""
+        return {table.name: table.stats()
+                for table in (self._chase, self._minimize,
+                              self._equivalence, self._decompose,
+                              self._atoms, self._results)}

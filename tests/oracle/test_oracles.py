@@ -20,6 +20,7 @@ from repro.oracle import (ORACLES, FuzzConfig, generate_case, run_fuzz,
 chase_mod = importlib.import_module("repro.rewriting.chase")
 equivalence_mod = importlib.import_module("repro.rewriting.equivalence")
 mappings_mod = importlib.import_module("repro.rewriting.mappings")
+session_mod = importlib.import_module("repro.rewriting.session")
 
 
 @pytest.mark.parametrize("oracle_name", sorted(ORACLES))
@@ -85,6 +86,38 @@ def test_sloppy_mapping_match_is_caught(monkeypatch):
     invariants = {f.invariant for f in report.failures}
     assert "mappings-differ" in invariants
     assert invariants & {"rewriting-sound", "composition-sound"}
+
+
+def test_corrupted_memo_hit_is_caught(monkeypatch):
+    # A result memo that serves the wrong value on a hit only shows up
+    # on a warm session -- exactly the memo oracle's second phase.
+    from repro.rewriting.rewriter import RewriteResult
+
+    orig = session_mod.RewriteSession.lookup_result
+
+    def corrupted(self, query, flags):
+        result = orig(self, query, flags)
+        if result is not None and result.rewritings:
+            return RewriteResult([], result.stats)
+        return result
+
+    monkeypatch.setattr(session_mod.RewriteSession, "lookup_result",
+                        corrupted)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=8,
+                                 oracles=("memo",), shrink=False))
+    assert not report.ok
+    assert {f.invariant for f in report.failures} \
+        == {"rewrite-warm-differs"}
+
+
+def test_memo_oracle_compares_seeded_corpus(monkeypatch):
+    # The green direction of satellite 4: a seeded campaign of the memo
+    # oracle alone -- memoized (cold + warm) and unmemoized rewrite()
+    # agree on every generated case.
+    report = run_fuzz(FuzzConfig(seed=31, iterations=12,
+                                 oracles=("memo",)))
+    assert report.ok, "\n".join(f.message for f in report.failures)
+    assert report.checks["memo"] >= 24     # >= 2 rewrite checks per case
 
 
 def test_mutation_failures_replay_from_corpus(monkeypatch, tmp_path):

@@ -40,7 +40,8 @@ def test_report_json_is_serializable():
     data = json.loads(json.dumps(report.to_json()))
     assert data["ok"] is True
     assert data["iterations"] == 4
-    assert set(data["checks"]) == {"containment", "metamorphic", "semantic"}
+    assert set(data["checks"]) == {"containment", "memo", "metamorphic",
+                                   "semantic"}
     assert data["failures"] == []
 
 

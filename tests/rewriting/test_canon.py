@@ -1,0 +1,124 @@
+"""Tests for canonical query forms and stable hashes (memo keys)."""
+
+import pytest
+
+from repro.oracle.gen import PROFILES, generate_case
+from repro.rewriting import (canonicalize, chase, component_key,
+                             condition_key, equivalent, program_key,
+                             query_key)
+from repro.rewriting.canon import rebase
+from repro.tsl import parse_query
+from repro.tsl.ast import Query
+from repro.tsl.decompose import decompose_program
+from repro.workloads import (condition_view, conference_query,
+                             k_conditions_query, sigmod_97_query)
+
+
+def reversed_body(query: Query) -> Query:
+    return Query(query.head, tuple(reversed(query.body)), name=query.name)
+
+
+class TestQueryKey:
+    def test_stable_across_calls(self):
+        q = sigmod_97_query()
+        assert query_key(q) == query_key(q)
+
+    def test_invariant_under_renaming(self):
+        q = k_conditions_query(3)
+        assert query_key(q) == query_key(q.rename_apart("renamed"))
+
+    def test_invariant_under_body_reorder(self):
+        q = k_conditions_query(3)
+        assert query_key(q) == query_key(reversed_body(q))
+
+    def test_invariant_under_both_at_once(self):
+        q = sigmod_97_query()
+        variant = reversed_body(q.rename_apart("x"))
+        assert query_key(q) == query_key(variant)
+
+    def test_distinct_queries_get_distinct_keys(self):
+        keys = {query_key(condition_view(i)) for i in range(1, 6)}
+        assert len(keys) == 5
+
+    def test_constants_distinguish(self):
+        assert query_key(conference_query("sigmod")) \
+            != query_key(conference_query("vldb"))
+
+    def test_structural_difference_distinguishes(self):
+        left = parse_query("<f(X) r X> :- <X a Y>@db")
+        right = parse_query("<f(X) r X> :- <X a Y>@db AND <Y b Z>@db")
+        assert query_key(left) != query_key(right)
+
+
+class TestCanonicalize:
+    def test_canonical_query_is_equivalent(self):
+        for q in (k_conditions_query(2), sigmod_97_query(),
+                  conference_query("sigmod", 1997)):
+            assert equivalent(q, canonicalize(q).query)
+
+    def test_idempotent(self):
+        canon = canonicalize(sigmod_97_query()).query
+        again = canonicalize(canon)
+        assert again.query == canon
+        assert again.key == canonicalize(sigmod_97_query()).key
+
+    def test_variables_use_canon_stem(self):
+        canon = canonicalize(k_conditions_query(2)).query
+        assert all(v.name.startswith("$")
+                   for v in canon.all_variables())
+
+    def test_forward_maps_original_variables(self):
+        q = k_conditions_query(2)
+        canon = canonicalize(q)
+        assert set(canon.forward) == set(q.all_variables())
+
+
+class TestRebase:
+    def test_rebase_restores_probe_variables(self):
+        q = k_conditions_query(2)
+        renamed = q.rename_apart("z")
+        stored = canonicalize(q)
+        probe = canonicalize(renamed)
+        assert stored.key == probe.key
+        rebased = rebase(chase(q), stored, probe)
+        assert rebased == chase(renamed)
+
+    def test_rebase_keeps_fresh_chase_variables_distinct(self):
+        # sigmod_97's chase introduces fresh W_n variables; rebasing
+        # into an alpha-variant's space must not capture them.
+        q = sigmod_97_query()
+        renamed = q.rename_apart("w")
+        rebased = rebase(chase(q), canonicalize(q), canonicalize(renamed))
+        assert query_key(rebased) == query_key(chase(renamed))
+
+
+class TestOtherKeys:
+    def test_condition_key_rename_invariant(self):
+        q = k_conditions_query(1)
+        renamed = q.rename_apart("r")
+        assert condition_key(q.body[0]) == condition_key(renamed.body[0])
+        assert condition_key(q.body[0]) \
+            != condition_key(conference_query("sigmod").body[0])
+
+    def test_program_key_order_and_rename_invariant(self):
+        a, b = condition_view(1), condition_view(2)
+        assert program_key([a, b]) == program_key([b.rename_apart("p"), a])
+        assert program_key([a]) != program_key([a, b])
+
+    def test_component_key_rename_invariant(self):
+        q = sigmod_97_query()
+        left = decompose_program([q])
+        right = decompose_program([q.rename_apart("c")])
+        assert sorted(component_key(c) for c in left) \
+            == sorted(component_key(c) for c in right)
+
+
+@pytest.mark.parametrize("seed", range(0, 18, 3))
+@pytest.mark.parametrize("profile", ["conjunctive", "copy"])
+def test_key_invariance_on_generated_cases(seed, profile):
+    """Property: keys are rename/reorder invariant on fuzzer queries."""
+    case = generate_case(seed, PROFILES[profile])
+    for q in (case.query, *case.views.values()):
+        variant = reversed_body(q.rename_apart("v"))
+        assert query_key(q) == query_key(variant)
+        assert canonicalize(q).query == canonicalize(variant).query

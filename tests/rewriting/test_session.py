@@ -1,0 +1,182 @@
+"""Tests for memoized rewrite sessions (prepared views + memo tables)."""
+
+import pytest
+
+from repro.errors import ChaseContradictionError
+from repro.obs import MetricsRegistry
+from repro.rewriting import (MemoTable, RewriteSession, chase, query_key,
+                             rewrite)
+from repro.rewriting.session import _MISS
+from repro.tsl import parse_query
+from repro.workloads import (condition_view, conference_query,
+                             k_conditions_query, sigmod_97_query)
+
+
+def fingerprint(result):
+    return {(query_key(r.query), tuple(sorted(r.views_used)))
+            for r in result.rewritings}
+
+
+@pytest.fixture
+def views():
+    return {"V1": condition_view(1), "V2": condition_view(2)}
+
+
+class TestMemoTable:
+    def test_get_put_and_accounting(self):
+        table = MemoTable("t", capacity=8)
+        assert table.get("a") is _MISS
+        table.put("a", 1)
+        assert table.get("a") == 1
+        assert (table.hits, table.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        table = MemoTable("t", capacity=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.get("a")          # refresh a; b is now LRU
+        table.put("c", 3)
+        assert table.peek("b") is _MISS
+        assert table.peek("a") == 1
+        assert table.evictions == 1
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        table = MemoTable("probe", capacity=1, metrics=metrics)
+        table.get("a")
+        table.put("a", 1)
+        table.get("a")
+        table.put("b", 2)       # evicts a
+        counters = metrics.snapshot()["counters"]
+        assert counters["cache.hits"] == 1
+        assert counters["cache.misses"] == 1
+        assert counters["cache.evictions"] == 1
+        assert counters["cache.probe.hits"] == 1
+
+    def test_stats_shape(self):
+        table = MemoTable("t", capacity=4)
+        table.put("a", 1)
+        assert table.stats() == {"size": 1, "capacity": 4, "hits": 0,
+                                 "misses": 0, "evictions": 0}
+
+
+class TestSessionChase:
+    def test_matches_plain_chase(self, views):
+        session = RewriteSession(views)
+        q = sigmod_97_query()
+        assert session.chase(q) == chase(q)
+
+    def test_second_call_hits(self, views):
+        session = RewriteSession(views)
+        q = sigmod_97_query()
+        first = session.chase(q)
+        second = session.chase(q)
+        assert first == second
+        assert session.stats()["chase"]["hits"] == 1
+
+    def test_alias_hit_is_rebased(self, views):
+        session = RewriteSession(views)
+        q = sigmod_97_query()
+        renamed = q.rename_apart("alias")
+        session.chase(q)
+        rebased = session.chase(renamed)
+        # Served from the memo, but in the probe's variable space.
+        assert session.stats()["chase"]["hits"] == 1
+        assert rebased == chase(renamed)
+
+    def test_contradiction_is_memoized(self, views):
+        session = RewriteSession(views)
+        bad = parse_query('<f(X) r X> :- <X a "one">@db AND <X a "two">@db')
+        for _ in range(2):
+            with pytest.raises(ChaseContradictionError):
+                session.chase(bad)
+        assert session.stats()["chase"]["hits"] == 1
+
+    def test_disabled_session_never_memoizes(self, views):
+        session = RewriteSession(views, enabled=False)
+        q = sigmod_97_query()
+        assert session.chase(q) == chase(q)
+        session.chase(q)
+        stats = session.stats()["chase"]
+        assert stats["size"] == 0
+        assert stats["hits"] == 0
+
+
+class TestSessionEquivalence:
+    def test_verdict_memoized_and_symmetric(self, views):
+        session = RewriteSession(views)
+        left = [k_conditions_query(2)]
+        right = [k_conditions_query(2).rename_apart("e")]
+        assert session.programs_equivalent(left, right)
+        assert session.programs_equivalent(left, right)
+        assert session.programs_equivalent(right, left)
+        assert session.stats()["equivalence"]["hits"] == 2
+
+    def test_minimize_memoized(self, views):
+        session = RewriteSession(views)
+        q = sigmod_97_query()
+        first = session.minimize(q)
+        assert session.minimize(q) == first
+        assert session.stats()["minimize"]["hits"] == 1
+
+
+class TestSessionRewrite:
+    def test_same_rewritings_as_plain(self, views):
+        session = RewriteSession(views)
+        q = k_conditions_query(2)
+        plain = rewrite(q, views)
+        assert fingerprint(session.rewrite(q)) == fingerprint(plain)
+
+    def test_warm_result_served_from_memo(self, views):
+        session = RewriteSession(views)
+        q = k_conditions_query(2)
+        cold = session.rewrite(q)
+        warm = session.rewrite(q)
+        assert fingerprint(cold) == fingerprint(warm)
+        assert session.stats()["rewrite"]["hits"] == 1
+
+    def test_alpha_variant_recomputed_not_misserved(self, views):
+        session = RewriteSession(views)
+        q = k_conditions_query(2)
+        session.rewrite(q)
+        renamed = q.rename_apart("v")
+        warm = session.rewrite(renamed)
+        # Exact-compare fails, so the variant re-runs the search in its
+        # own variable space -- and still agrees canonically.
+        assert session.stats()["rewrite"]["hits"] == 0
+        assert fingerprint(warm) == fingerprint(rewrite(renamed, views))
+
+    def test_flags_partition_the_memo(self, views):
+        session = RewriteSession(views)
+        q = k_conditions_query(2)
+        session.rewrite(q)
+        total = session.rewrite(q, total_only=True)
+        assert session.stats()["rewrite"]["hits"] == 0
+        assert all(set(r.query.sources()) <= set(views)
+                   for r in total.rewritings)
+
+    def test_prepared_views_chased_once(self, views):
+        session = RewriteSession(views)
+        v1 = session.prepared_view("V1")
+        assert session.prepared_view("V1") is v1
+
+    def test_update_views_keeps_chase_memo(self, views):
+        session = RewriteSession(views)
+        q = k_conditions_query(2)
+        session.rewrite(q)
+        before = session.stats()["chase"]["size"]
+        assert before > 0
+        session.update_views(views)
+        assert session.stats()["chase"]["size"] == before
+        assert session.stats()["rewrite"]["size"] == 0
+        warm = session.rewrite(q)
+        assert fingerprint(warm) == fingerprint(rewrite(q, views))
+
+
+class TestTruncatedResults:
+    def test_truncated_result_not_stored(self, views):
+        session = RewriteSession(views)
+        q = k_conditions_query(2)
+        truncated = session.rewrite(q, max_candidates=0)
+        assert truncated.truncated
+        assert session.stats()["rewrite"]["size"] == 0

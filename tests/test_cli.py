@@ -239,8 +239,8 @@ class TestFuzz:
         data = json.loads(capsys.readouterr().out)
         assert data["ok"] is True
         assert data["iterations"] == 4
-        assert set(data["checks"]) == {"containment", "metamorphic",
-                                       "semantic"}
+        assert set(data["checks"]) == {"containment", "memo",
+                                       "metamorphic", "semantic"}
 
     def test_oracle_and_profile_selection(self, capsys):
         assert main(["fuzz", "--seed", "1", "--iterations", "3",
