@@ -12,9 +12,19 @@ from __future__ import annotations
 
 import time
 
-from repro.rewriting import paper_dtd, rewrite
+from repro.obs import METRICS
+from repro.rewriting import Explanation, paper_dtd, rewrite
 from repro.workloads import (condition_view, k_conditions_query, query_q3,
                              query_q5, query_q7, view_v1)
+
+#: Repetitions for the instrumentation-overhead measurement.
+OVERHEAD_REPEATS = 10
+
+#: The opt-out path must stay within noise of the instrumented one --
+#: generous bound so CI machines under load don't flake, but a default
+#: path that accidentally does the EXPLAIN/metrics work blows past it.
+OVERHEAD_TOLERANCE = 2.0
+OVERHEAD_SLACK_SECONDS = 0.05
 
 
 def rewrite_q3():
@@ -48,6 +58,46 @@ SCENARIOS = {
 }
 
 
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure_overhead(repeats: int = OVERHEAD_REPEATS) -> dict:
+    """Opt-in instrumentation cost: plain vs explain+metrics rewrite.
+
+    The plain run uses the library defaults (``explain=None``,
+    ``metrics=None``); the instrumented run attaches a fresh
+    :class:`~repro.rewriting.Explanation` per call and feeds the
+    process-wide :data:`~repro.obs.METRICS` registry (so a recorded
+    snapshot carries the phase histograms this produces).  Asserts the
+    default path is within noise of the instrumented one -- the
+    "observability is opt-in" contract.
+    """
+    plain_s, result = _best_of(rewrite_q3, repeats)
+    instrumented_s, _ = _best_of(
+        lambda: rewrite(query_q3(), {"V1": view_v1()},
+                        metrics=METRICS, explain=Explanation()),
+        repeats)
+    assert plain_s <= instrumented_s * OVERHEAD_TOLERANCE \
+        + OVERHEAD_SLACK_SECONDS, (
+        f"default (uninstrumented) rewrite took {plain_s:.4f}s vs "
+        f"{instrumented_s:.4f}s instrumented -- the opt-out path is "
+        f"paying for observability it did not ask for")
+    return {"scenario": f"obs overhead (Q3 best of {repeats})",
+            "rewritings": len(result.rewritings),
+            "tested": result.stats.candidates_tested,
+            "seconds": plain_s,
+            "instrumented_seconds": instrumented_s,
+            "overhead_ratio": (instrumented_s / plain_s
+                               if plain_s > 0 else None)}
+
+
 def run_experiment() -> list[dict]:
     rows = []
     for name, scenario in SCENARIOS.items():
@@ -58,6 +108,7 @@ def run_experiment() -> list[dict]:
                      "rewritings": len(result.rewritings),
                      "tested": result.stats.candidates_tested,
                      "seconds": elapsed})
+    rows.append(measure_overhead())
     return rows
 
 

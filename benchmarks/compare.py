@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Diff two recorded benchmark snapshots and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json \
+        [--threshold 1.5] [--noise-floor 0.05] [--fail-on-regression]
+
+Both inputs are ``BENCH_<date>.json`` snapshots written by
+``run_all.py --record`` (or ``--json``).  Experiments are matched by
+name and rows within an experiment by their string-valued fields (the
+scenario / configuration columns); every shared numeric field is then
+compared.  A row regresses when the current value exceeds
+``baseline * threshold`` AND the absolute delta exceeds the noise
+floor -- the floor keeps micro-benchmarks that jitter by a millisecond
+from tripping a ratio test on a near-zero baseline.
+
+Exit status is 0 unless ``--fail-on-regression`` is given and at least
+one regression was found (CI runs warn-only against the committed
+baseline, since the baseline machine and the runner differ).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Snapshot schema this comparator understands (see run_all.SCHEMA_VERSION).
+SCHEMA_VERSION = 1
+
+#: Numeric fields that are counters, not timings: compared for drift but
+#: never counted as perf regressions (a different candidate count is a
+#: behavior change worth seeing, not a slowdown).
+COUNTER_HINTS = ("rewritings", "tested", "candidates", "hits", "misses",
+                 "count", "rules", "mappings", "atoms", "size")
+
+
+def load_snapshot(path: str) -> dict:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = data.get("schema_version", 1)
+    if version != SCHEMA_VERSION:
+        raise SystemExit(f"{path}: snapshot schema_version {version} is "
+                         f"not supported (expected {SCHEMA_VERSION})")
+    if "benchmarks" not in data:
+        raise SystemExit(f"{path}: not a benchmark snapshot "
+                         f"(no 'benchmarks' key)")
+    return data
+
+
+def row_key(row: dict) -> tuple:
+    """Identity of a row: its string-valued (configuration) fields."""
+    return tuple(sorted((k, v) for k, v in row.items()
+                        if isinstance(v, str)))
+
+
+def _is_counter(field: str) -> bool:
+    return any(hint in field for hint in COUNTER_HINTS)
+
+
+def compare_rows(base_row: dict, curr_row: dict, threshold: float,
+                 noise_floor: float) -> list[dict]:
+    """Per-field deltas for one matched row pair."""
+    deltas = []
+    for field, base_value in base_row.items():
+        curr_value = curr_row.get(field)
+        if isinstance(base_value, bool) or isinstance(curr_value, bool):
+            continue
+        if not isinstance(base_value, (int, float)) or \
+                not isinstance(curr_value, (int, float)):
+            continue
+        delta = curr_value - base_value
+        ratio = curr_value / base_value if base_value else None
+        regressed = (not _is_counter(field)
+                     and curr_value > base_value * threshold
+                     and delta > noise_floor)
+        improved = (not _is_counter(field) and ratio is not None
+                    and curr_value * threshold < base_value
+                    and -delta > noise_floor)
+        deltas.append({"field": field, "baseline": base_value,
+                       "current": curr_value, "delta": delta,
+                       "ratio": ratio, "regressed": regressed,
+                       "improved": improved,
+                       "counter": _is_counter(field)})
+    return deltas
+
+
+def compare_snapshots(baseline: dict, current: dict, threshold: float,
+                      noise_floor: float) -> dict:
+    """The full diff: matched/missing experiments and per-row deltas."""
+    base_benchmarks = {b["name"]: b for b in baseline["benchmarks"]}
+    curr_benchmarks = {b["name"]: b for b in current["benchmarks"]}
+    report = {
+        "baseline_rev": baseline.get("git_rev"),
+        "current_rev": current.get("git_rev"),
+        "threshold": threshold,
+        "noise_floor": noise_floor,
+        "missing_experiments": sorted(base_benchmarks.keys()
+                                      - curr_benchmarks.keys()),
+        "new_experiments": sorted(curr_benchmarks.keys()
+                                  - base_benchmarks.keys()),
+        "experiments": [],
+        "regressions": 0,
+        "improvements": 0,
+    }
+    for name in sorted(base_benchmarks.keys() & curr_benchmarks.keys()):
+        base_rows = {row_key(r): r for r in base_benchmarks[name]["rows"]}
+        curr_rows = {row_key(r): r for r in curr_benchmarks[name]["rows"]}
+        entry = {"name": name, "rows": [],
+                 "missing_rows": len(base_rows.keys() - curr_rows.keys()),
+                 "new_rows": len(curr_rows.keys() - base_rows.keys())}
+        for key in sorted(base_rows.keys() & curr_rows.keys()):
+            deltas = compare_rows(base_rows[key], curr_rows[key],
+                                  threshold, noise_floor)
+            label = ", ".join(v for _, v in key) or "(unlabeled)"
+            entry["rows"].append({"row": label, "fields": deltas})
+            report["regressions"] += sum(d["regressed"] for d in deltas)
+            report["improvements"] += sum(d["improved"] for d in deltas)
+        report["experiments"].append(entry)
+    return report
+
+
+def print_report(report: dict) -> None:
+    print(f"baseline rev: {report['baseline_rev']}")
+    print(f"current  rev: {report['current_rev']}")
+    print(f"threshold: {report['threshold']}x, noise floor: "
+          f"{report['noise_floor']}")
+    for name in report["missing_experiments"]:
+        print(f"!! experiment {name} missing from current snapshot")
+    for name in report["new_experiments"]:
+        print(f"++ experiment {name} new in current snapshot")
+    for experiment in report["experiments"]:
+        printed_header = False
+        for row in experiment["rows"]:
+            flagged = [d for d in row["fields"]
+                       if d["regressed"] or d["improved"]]
+            for delta in flagged:
+                if not printed_header:
+                    print(f"-- {experiment['name']}")
+                    printed_header = True
+                marker = "REGRESSION" if delta["regressed"] else "improved"
+                ratio = (f"{delta['ratio']:.2f}x"
+                         if delta["ratio"] is not None else "n/a")
+                print(f"   {marker}: [{row['row']}] {delta['field']} "
+                      f"{delta['baseline']:.4f} -> "
+                      f"{delta['current']:.4f} ({ratio})")
+    print(f"{report['regressions']} regression(s), "
+          f"{report['improvements']} improvement(s)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two benchmark snapshots")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="regression ratio (default: 1.5 = 50%% "
+                             "slower)")
+    parser.add_argument("--noise-floor", type=float, default=0.05,
+                        help="absolute delta a regression must also "
+                             "exceed (default: 0.05, i.e. 50ms for "
+                             "seconds-valued fields)")
+    parser.add_argument("--json", metavar="OUT",
+                        help="also write the full diff as JSON")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when regressions were found "
+                             "(default: warn only)")
+    args = parser.parse_args(argv)
+
+    report = compare_snapshots(load_snapshot(args.baseline),
+                               load_snapshot(args.current),
+                               args.threshold, args.noise_floor)
+    print_report(report)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    if args.fail_on_regression and report["regressions"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

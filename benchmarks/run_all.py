@@ -7,11 +7,19 @@ in DESIGN.md experiment order.  Usage::
     python benchmarks/run_all.py                    # all experiments
     python benchmarks/run_all.py E5 E6              # a subset
     python benchmarks/run_all.py --json BENCH.json  # machine-readable too
+    python benchmarks/run_all.py --record [DIR]     # BENCH_<date>.json
 
 ``--json`` additionally writes one JSON document with, per experiment,
 the name, title, wall time, and every measured row (the same counters
 the tables print), stamped with the git revision and date -- the
 machine-readable record the perf trajectory is built from.
+
+``--record`` writes the same document to ``DIR/BENCH_<UTC-date>.json``
+(default: the current directory), the dated snapshot format
+``benchmarks/compare.py`` diffs to flag regressions between runs.  The
+payload is schema-versioned (``schema_version``) and includes the
+process-wide :data:`repro.obs.METRICS` snapshot, so phase-latency
+histograms recorded during the run travel with the timings.
 """
 
 from __future__ import annotations
@@ -22,6 +30,11 @@ import platform
 import subprocess
 import time
 from datetime import datetime, timezone
+from pathlib import Path
+
+#: Bump when the snapshot payload shape changes incompatibly;
+#: compare.py refuses to diff snapshots with different major shapes.
+SCHEMA_VERSION = 1
 
 import bench_ablation_minimize
 import bench_cached_queries
@@ -75,6 +88,10 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--json", metavar="OUT",
                         help="also write machine-readable results to "
                              "this file")
+    parser.add_argument("--record", nargs="?", const=".", metavar="DIR",
+                        help="write a dated BENCH_<UTC-date>.json "
+                             "snapshot into DIR (default: .) for "
+                             "benchmarks/compare.py")
     args = parser.parse_args(argv)
 
     unknown = set(args.experiments) - set(EXPERIMENTS)
@@ -97,19 +114,28 @@ def main(argv: list[str] | None = None) -> None:
         results.append({"name": key, "title": title,
                         "seconds": round(elapsed, 3), "rows": rows})
 
-    if args.json:
+    if args.json or args.record is not None:
+        from repro.obs import METRICS
+        now = datetime.now(timezone.utc)
         payload = {
-            "generated": datetime.now(timezone.utc).isoformat(
-                timespec="seconds"),
+            "schema_version": SCHEMA_VERSION,
+            "generated": now.isoformat(timespec="seconds"),
             "git_rev": _git_rev(),
             "python": platform.python_version(),
             "platform": platform.platform(),
             "benchmarks": results,
+            "metrics": METRICS.snapshot(),
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, default=str)
-            handle.write("\n")
-        print(f"wrote {args.json} ({len(results)} experiment(s))")
+        encoded = json.dumps(payload, indent=2, default=str) + "\n"
+        if args.json:
+            Path(args.json).write_text(encoded, encoding="utf-8")
+            print(f"wrote {args.json} ({len(results)} experiment(s))")
+        if args.record is not None:
+            target = Path(args.record)
+            target.mkdir(parents=True, exist_ok=True)
+            snapshot = target / f"BENCH_{now.strftime('%Y-%m-%d')}.json"
+            snapshot.write_text(encoded, encoding="utf-8")
+            print(f"recorded {snapshot} ({len(results)} experiment(s))")
 
 
 if __name__ == "__main__":

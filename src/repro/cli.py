@@ -5,16 +5,23 @@ Usage (installed as ``python -m repro``)::
     python -m repro validate QUERY.tsl
     python -m repro lint QUERY.tsl [--view NAME=V.tsl ...] [--dtd FILE] \
         [--format text|json] [--strict]
-    python -m repro evaluate QUERY.tsl --db DATA.json [--dot]
+    python -m repro evaluate QUERY.tsl --db DATA.json [--dot] \
+        [--trace OUT] [--trace-format jsonl|chrome|text]
     python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--contained] [--format text|json] \
         [--trace OUT] [--trace-format jsonl|chrome|text] \
         [--budget-ms N] [--max-steps N] [--max-candidates N] \
         [--no-memo] [--memo-size N]
+    python -m repro explain QUERY.tsl --view NAME=VIEW.tsl ... \
+        [--dtd FILE.dtd] [--total] [--format text|json] \
+        [--budget-ms N] [--max-steps N] [--max-candidates N] [--no-memo]
+    python -m repro metrics [QUERY.tsl --view NAME=VIEW.tsl ...] \
+        [--dtd FILE.dtd] [--format prom|json]
     python -m repro import-xml DOC.xml -o DATA.json
     python -m repro fuzz [--seed N] [--iterations N] [--budget-seconds S] \
         [--oracle NAME ...] [--profile NAME ...] [--corpus DIR] \
-        [--replay FILE] [--no-shrink] [--format text|json]
+        [--replay FILE] [--no-shrink] [--format text|json] \
+        [--trace OUT] [--trace-format jsonl|chrome|text]
 
 Queries and views are TSL text files (``%`` comments allowed); databases
 are the JSON encoding of :mod:`repro.oem.serialize`; XML documents import
@@ -33,7 +40,16 @@ when a counterexample was found, and 2 on usage/environment errors.
 ``rewrite`` can trace and bound the (worst-case exponential) search:
 ``--trace`` writes the :mod:`repro.obs` span tree, ``--budget-ms`` /
 ``--max-steps`` stop a runaway search and return partial results
-flagged ``truncated`` (see ``docs/OBSERVABILITY.md``).
+flagged ``truncated`` (see ``docs/OBSERVABILITY.md``).  ``evaluate``
+and ``fuzz`` accept the same ``--trace`` flags.
+
+``explain`` runs the same search with the EXPLAIN decision log
+attached and prints, per view, the containment mappings found or the
+reason none exists, and, per enumerated candidate, its conjunction and
+verdict (accepted, pruned, or where the chase / composition /
+equivalence test failed).  ``metrics`` runs a workload (the paper's
+Q3/Q5/Q7 over V1 by default) against a fresh registry and renders it
+as Prometheus text exposition or JSON.
 """
 
 from __future__ import annotations
@@ -44,10 +60,11 @@ from pathlib import Path
 
 from .analysis import Diagnostic, Severity, analyze, render_json, render_text
 from .errors import ReproError, TslError, TslSyntaxError
-from .obs import TRACE_FORMATS, Budget, Tracer, write_trace
+from .obs import (TRACE_FORMATS, Budget, MetricsRegistry, Tracer,
+                  render_prometheus, write_trace)
 from .oem.dot import to_dot
 from .oem.serialize import dumps, loads
-from .rewriting import (DEFAULT_MEMO_SIZE, RewriteSession,
+from .rewriting import (DEFAULT_MEMO_SIZE, Explanation, RewriteSession,
                         maximally_contained_rewritings, parse_dtd)
 from .tsl import evaluate, parse_query, print_query, validate
 from .xmlbridge import dtd_from_document, xml_to_oem
@@ -90,10 +107,20 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_if_requested(tracer, args) -> None:
+    if tracer is None:
+        return
+    write_trace(tracer, args.trace, args.trace_format)
+    print(f"# trace: {len(tracer.spans)} span(s) written to "
+          f"{args.trace} ({args.trace_format})", file=sys.stderr)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
     db = loads(_read(args.db))
-    answer = evaluate(query, db)
+    tracer = Tracer() if args.trace else None
+    answer = evaluate(query, db, tracer=tracer)
+    _write_trace_if_requested(tracer, args)
     if args.dot:
         print(to_dot(answer, graph_name="answer"))
     else:
@@ -152,10 +179,7 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         truncated, stop_reason = result.truncated, result.stats.stop_reason
         stats = result.stats
 
-    if tracer is not None:
-        write_trace(tracer, args.trace, args.trace_format)
-        print(f"# trace: {len(tracer.spans)} span(s) written to "
-              f"{args.trace} ({args.trace_format})", file=sys.stderr)
+    _write_trace_if_requested(tracer, args)
     if truncated:
         print(f"warning: search truncated ({stop_reason}); "
               "the rewritings found so far are sound but the set may "
@@ -180,6 +204,65 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     for rewriting, flavor in rewritings:
         print(f"% {flavor}")
         print(print_query(rewriting, multiline=True))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    query = _load_query(args.query)
+    views = dict(_parse_view_spec(spec) for spec in args.view)
+    constraints = parse_dtd(_read(args.dtd)) if args.dtd else None
+    tracer = Tracer() if args.trace else None
+    budget = None
+    if args.budget_ms is not None or args.max_steps is not None:
+        budget = Budget(deadline_ms=args.budget_ms,
+                        max_steps=args.max_steps)
+    explanation = Explanation()
+    session = RewriteSession(views, constraints,
+                             memo_size=args.memo_size,
+                             enabled=not args.no_memo)
+    result = session.rewrite(query, total_only=args.total,
+                             max_candidates=args.max_candidates,
+                             tracer=tracer, budget=budget,
+                             explain=explanation)
+    _write_trace_if_requested(tracer, args)
+    if args.format == "json":
+        print(json_module.dumps(explanation.to_json(), indent=2))
+    else:
+        print(explanation.render_text())
+    return 0 if result.rewritings else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    registry = MetricsRegistry()
+    if args.query:
+        if not args.view:
+            raise ReproError("metrics QUERY requires at least one --view")
+        query = _load_query(args.query)
+        views = dict(_parse_view_spec(spec) for spec in args.view)
+        constraints = parse_dtd(_read(args.dtd)) if args.dtd else None
+        workload = [query]
+    else:
+        # Built-in workload: the paper's running example (Q3, Q5, Q7
+        # over V1 with the Section 3.3 DTD).
+        from .rewriting import paper_dtd
+        from .workloads import query_q3, query_q5, query_q7, view_v1
+        views = {"V1": view_v1()}
+        constraints = paper_dtd()
+        workload = [query_q3(), query_q5(), query_q7()]
+    session = RewriteSession(views, constraints, metrics=registry)
+    for target in workload:
+        # Two passes per query: the second feeds the memo_lookup
+        # histogram with a hit.
+        session.rewrite(target, metrics=registry)
+        session.rewrite(target, metrics=registry)
+    if args.format == "json":
+        print(json_module.dumps(registry.snapshot(), indent=2))
+    else:
+        print(render_prometheus(registry), end="")
     return 0
 
 
@@ -248,7 +331,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                          FuzzConfig, replay, run_fuzz)
 
     oracles = tuple(args.oracle) if args.oracle else DEFAULT_ORACLES
+    tracer = Tracer() if args.trace else None
     if args.replay:
+        if tracer is not None:
+            raise ReproError("--trace is not supported with --replay "
+                             "(replay runs no fuzz loop to trace)")
         report = replay(args.replay, oracles)
     else:
         profiles = tuple(args.profile) if args.profile \
@@ -265,7 +352,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             profiles=profiles,
             shrink=not args.no_shrink,
             corpus_dir=args.corpus,
-        ))
+        ), tracer=tracer)
+    _write_trace_if_requested(tracer, args)
     if args.format == "json":
         print(json_module.dumps(report.to_json(), indent=2))
     else:
@@ -293,6 +381,16 @@ def _cmd_import_xml(args: argparse.Namespace) -> int:
         print(f"# internal DTD found ({len(dtd.elements)} elements); "
               "pass it to rewrite via --dtd", file=sys.stderr)
     return 0
+
+
+def _add_trace_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--trace", metavar="OUT",
+                     help="write the pipeline span tree to this file "
+                          "(see docs/OBSERVABILITY.md)")
+    cmd.add_argument("--trace-format", choices=TRACE_FORMATS,
+                     default="jsonl",
+                     help="trace file format (default: jsonl; chrome "
+                          "loads in Perfetto)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -331,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="database JSON file")
     evaluate_cmd.add_argument("--dot", action="store_true",
                               help="emit Graphviz DOT instead of JSON")
+    _add_trace_flags(evaluate_cmd)
     evaluate_cmd.set_defaults(handler=_cmd_evaluate)
 
     rewrite_cmd = commands.add_parser(
@@ -348,13 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
                              default="text",
                              help="output format (json includes stats "
                                   "and the truncation flag)")
-    rewrite_cmd.add_argument("--trace", metavar="OUT",
-                             help="write the pipeline span tree to this "
-                                  "file (see docs/OBSERVABILITY.md)")
-    rewrite_cmd.add_argument("--trace-format", choices=TRACE_FORMATS,
-                             default="jsonl",
-                             help="trace file format (default: jsonl; "
-                                  "chrome loads in Perfetto)")
+    _add_trace_flags(rewrite_cmd)
     rewrite_cmd.add_argument("--budget-ms", type=float, metavar="N",
                              help="wall-clock deadline; on expiry the "
                                   "partial result is returned flagged "
@@ -373,6 +466,52 @@ def build_parser() -> argparse.ArgumentParser:
                              help="per-table memo capacity (default: "
                                   f"{DEFAULT_MEMO_SIZE})")
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="run the rewrite search with the EXPLAIN "
+                        "decision log and report every mapping and "
+                        "candidate verdict")
+    explain_cmd.add_argument("query")
+    explain_cmd.add_argument("--view", action="append", default=[],
+                             metavar="NAME=FILE", required=True)
+    explain_cmd.add_argument("--dtd", help="structural constraints file")
+    explain_cmd.add_argument("--total", action="store_true",
+                             help="views-only (total) rewritings")
+    explain_cmd.add_argument("--format", choices=("text", "json"),
+                             default="text",
+                             help="decision-log rendering (json is "
+                                  "schema-versioned and machine-readable)")
+    _add_trace_flags(explain_cmd)
+    explain_cmd.add_argument("--budget-ms", type=float, metavar="N",
+                             help="wall-clock deadline (the log notes "
+                                  "truncation)")
+    explain_cmd.add_argument("--max-steps", type=int, metavar="N",
+                             help="step budget over all search phases")
+    explain_cmd.add_argument("--max-candidates", type=int, metavar="N",
+                             help="cap on candidates tested")
+    explain_cmd.add_argument("--no-memo", action="store_true",
+                             help="disable the rewrite session's memo "
+                                  "tables")
+    explain_cmd.add_argument("--memo-size", type=int, metavar="N",
+                             default=DEFAULT_MEMO_SIZE,
+                             help="per-table memo capacity (default: "
+                                  f"{DEFAULT_MEMO_SIZE})")
+    explain_cmd.set_defaults(handler=_cmd_explain)
+
+    metrics_cmd = commands.add_parser(
+        "metrics", help="run a rewrite workload against a fresh metrics "
+                        "registry and render the instruments")
+    metrics_cmd.add_argument("query", nargs="?",
+                             help="query file (default: the paper's "
+                                  "Q3/Q5/Q7 over V1 with its DTD)")
+    metrics_cmd.add_argument("--view", action="append", default=[],
+                             metavar="NAME=FILE")
+    metrics_cmd.add_argument("--dtd", help="structural constraints file")
+    metrics_cmd.add_argument("--format", choices=("prom", "json"),
+                             default="prom",
+                             help="Prometheus text exposition (default) "
+                                  "or the JSON snapshot")
+    metrics_cmd.set_defaults(handler=_cmd_metrics)
 
     fuzz_cmd = commands.add_parser(
         "fuzz", help="run the differential-testing oracles on random "
@@ -403,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "minimization")
     fuzz_cmd.add_argument("--format", choices=("text", "json"),
                           default="text")
+    _add_trace_flags(fuzz_cmd)
     fuzz_cmd.set_defaults(handler=_cmd_fuzz)
 
     import_cmd = commands.add_parser(

@@ -22,17 +22,19 @@ guards.  See ``docs/OBSERVABILITY.md``.
 """
 
 from .budget import Budget, BudgetExceededError
-from .metrics import METRICS, Counter, Histogram, MetricsRegistry
+from .metrics import (DEFAULT_BUCKETS, METRICS, Counter, Histogram,
+                      MetricsRegistry)
 from .trace import (NULL_TRACER, NullTracer, Span, SpanRecord, Tracer,
                     as_tracer)
-from .export import (TRACE_FORMATS, from_jsonl, to_chrome, to_jsonl,
-                     to_text, write_trace)
+from .export import (TRACE_FORMATS, from_jsonl, render_prometheus,
+                     to_chrome, to_jsonl, to_text, write_trace)
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanRecord",
     "as_tracer",
     "MetricsRegistry", "Counter", "Histogram", "METRICS",
+    "DEFAULT_BUCKETS",
     "Budget", "BudgetExceededError",
     "to_jsonl", "from_jsonl", "to_chrome", "to_text", "write_trace",
-    "TRACE_FORMATS",
+    "TRACE_FORMATS", "render_prometheus",
 ]

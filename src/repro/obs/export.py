@@ -1,23 +1,31 @@
-"""Trace exporters: JSON-lines, Chrome trace-event format, text tree.
+"""Trace and metrics exporters.
 
-Three consumers, three formats:
+Traces -- three consumers, three formats:
 
 * **jsonl** -- one JSON object per span per line, machine-friendly and
   streamable; :func:`from_jsonl` round-trips it back into records.
 * **chrome** -- the Trace Event Format (``ph: "X"`` complete events)
   that Perfetto and ``chrome://tracing`` load directly.
 * **text** -- an indented span tree with durations, for terminals.
+
+Metrics -- :func:`render_prometheus` turns a
+:class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
+exposition format (version 0.0.4): one ``# TYPE`` line per metric
+family, ``_total`` counters, and cumulative ``_bucket{le=...}`` /
+``_sum`` / ``_count`` series per histogram, in stable sorted order.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
+from .metrics import MetricsRegistry
 from .trace import SpanRecord, Tracer
 
 __all__ = ["to_jsonl", "from_jsonl", "to_chrome", "to_text",
-           "write_trace", "TRACE_FORMATS"]
+           "write_trace", "TRACE_FORMATS", "render_prometheus"]
 
 TRACE_FORMATS = ("jsonl", "chrome", "text")
 
@@ -88,6 +96,87 @@ def to_text(tracer: Tracer) -> str:
 
 
 _EXPORTERS = {"jsonl": to_jsonl, "chrome": to_chrome, "text": to_text}
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition (metrics)
+# --------------------------------------------------------------------------
+
+#: Prefix for every exposed metric family.
+PROM_NAMESPACE = "repro"
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """``cache.hits`` -> ``repro_cache_hits`` (valid exposition name)."""
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return f"{PROM_NAMESPACE}_{sanitized}"
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _label_block(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(str(value))}"'
+                     for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms expand into the
+    ``_bucket`` (cumulative, ``le``-labeled, ``+Inf`` included) /
+    ``_sum`` / ``_count`` triple.  Families are sorted by name and
+    series by label set, so output order is deterministic -- the
+    golden-file tests rely on it.
+    """
+    collected = registry.collect()
+    lines: list[str] = []
+
+    families: dict[str, list] = {}
+    for counter in collected["counters"]:
+        families.setdefault(counter.name, []).append(counter)
+    for family_name in sorted(families):
+        prom = prometheus_name(family_name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        for counter in families[family_name]:
+            lines.append(f"{prom}{_label_block(counter.labels)} "
+                         f"{_format_value(counter.value)}")
+
+    histogram_families: dict[str, list] = {}
+    for histogram in collected["histograms"]:
+        histogram_families.setdefault(histogram.name, []).append(histogram)
+    for family_name in sorted(histogram_families):
+        prom = prometheus_name(family_name)
+        lines.append(f"# TYPE {prom} histogram")
+        for histogram in histogram_families[family_name]:
+            for bound, cumulative in histogram.cumulative():
+                le = (("le", _format_value(bound)),)
+                lines.append(
+                    f"{prom}_bucket{_label_block(histogram.labels, le)} "
+                    f"{cumulative}")
+            lines.append(f"{prom}_sum{_label_block(histogram.labels)} "
+                         f"{_format_value(histogram.total)}")
+            lines.append(f"{prom}_count{_label_block(histogram.labels)} "
+                         f"{histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_trace(tracer: Tracer, path: str,

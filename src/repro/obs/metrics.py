@@ -1,106 +1,262 @@
-"""Process-wide metrics registry: counters and histograms.
+"""Process-wide metrics registry: counters and bucketed histograms.
 
 Where traces answer "what did *this run* do", metrics aggregate across
 runs: the benchmarks, the fuzz harness, and a long-lived mediator all
-feed the same registry so their numbers are comparable.  The registry is
-thread-safe; instruments hand back plain floats/ints via
-:meth:`MetricsRegistry.snapshot` and can be zeroed with
-:meth:`MetricsRegistry.reset`.
+feed the same registry so their numbers are comparable.
+
+Instruments may carry **labels** (``phase.seconds{phase=chase}``): the
+registry keys each (name, labels) pair separately, and the Prometheus
+renderer in :mod:`repro.obs.export` groups them back into one metric
+family per name.  Histograms are **bucketed**: each records cumulative
+bucket counts against configurable upper boundaries plus count / sum /
+min / max, from which p50/p90/p99 are estimated by linear interpolation
+inside the winning bucket (the same estimate ``histogram_quantile``
+computes server-side).
+
+Thread-safety is per instrument: every :class:`Counter` and
+:class:`Histogram` owns its lock, so a handle obtained once via
+:meth:`MetricsRegistry.counter` and hammered with ``inc()`` from many
+threads is exactly as safe as going through
+:meth:`MetricsRegistry.increment` every time.  The registry's own lock
+only guards the instrument dictionaries.
 """
 
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
+from typing import Mapping
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "METRICS"]
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "METRICS",
+           "DEFAULT_BUCKETS", "PHASE_SECONDS"]
+
+#: Histogram name for pipeline phase latencies; the phase is a label
+#: (``phase.seconds{phase=rewrite|chase|compose|equivalence|memo_lookup}``).
+PHASE_SECONDS = "phase.seconds"
+
+#: Default histogram boundaries (seconds), tuned for the latencies the
+#: pipeline produces: sub-millisecond chases up to multi-second
+#: exponential searches.  The +Inf overflow bucket is implicit.
+DEFAULT_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                   0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Quantiles reported in snapshots.
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Mapping[str, object] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def labeled_name(name: str, labels: Labels) -> str:
+    """The flat snapshot key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count with its own lock."""
 
-    __slots__ = ("value",)
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "", labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_json(self) -> int | float:
         return self.value
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+    """Bucketed streaming summary of observed values.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    ``buckets`` holds the upper boundaries (inclusive, as in Prometheus:
+    bucket *i* counts observations ``<= buckets[i]``); ``bucket_counts``
+    has one extra slot for the +Inf overflow.  Counts are per-bucket
+    (not cumulative) internally; :meth:`cumulative` and :meth:`to_json`
+    expose the cumulative form the exposition format wants.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "total", "minimum", "maximum", "_lock")
+
+    def __init__(self, name: str = "", labels: Labels = (),
+                 buckets: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        self.labels = labels
+        chosen = DEFAULT_BUCKETS if buckets is None else tuple(buckets)
+        if list(chosen) != sorted(set(chosen)):
+            raise ValueError(f"histogram buckets must be strictly "
+                             f"increasing, got {chosen}")
+        self.buckets = chosen
+        self.bucket_counts = [0] * (len(chosen) + 1)
         self.count = 0
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs; the last bound is +Inf."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        bounds = self.buckets + (float("inf"),)
+        for bound, bucket_count in zip(bounds, self.bucket_counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        return pairs
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the *q*-quantile (0 < q <= 1) from the buckets.
+
+        Linear interpolation inside the winning bucket, the way
+        Prometheus's ``histogram_quantile`` does it; the estimate is
+        clamped to the observed min/max so deterministic tests get exact
+        answers when a bucket holds a single value.
+        """
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0.0
+        previous_bound = 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                if index < len(self.buckets):
+                    previous_bound = self.buckets[index]
+                continue
+            if running + bucket_count >= rank:
+                if index >= len(self.buckets):
+                    # Overflow bucket: no finite upper bound to
+                    # interpolate against; the max observed is the best
+                    # (and a sound upper) estimate.
+                    return self.maximum
+                upper = self.buckets[index]
+                lower = previous_bound
+                estimate = lower + (upper - lower) * \
+                    ((rank - running) / bucket_count)
+                return self._clamp(estimate)
+            running += bucket_count
+            if index < len(self.buckets):
+                previous_bound = self.buckets[index]
+        return self.maximum
+
+    def _clamp(self, value: float) -> float:
+        if self.minimum is not None and value < self.minimum:
+            return self.minimum
+        if self.maximum is not None and value > self.maximum:
+            return self.maximum
+        return value
+
     def to_json(self) -> dict:
-        return {"count": self.count, "sum": self.total,
-                "min": self.minimum, "max": self.maximum,
-                "mean": self.mean}
+        payload = {"count": self.count, "sum": self.total,
+                   "min": self.minimum, "max": self.maximum,
+                   "mean": self.mean,
+                   "buckets": [
+                       ["+Inf" if bound == float("inf") else bound, total]
+                       for bound, total in self.cumulative()]}
+        for key, q in SNAPSHOT_QUANTILES:
+            payload[key] = self.quantile(q)
+        return payload
 
 
 class MetricsRegistry:
-    """Named counters and histograms behind one lock."""
+    """Named counters and histograms, optionally labeled.
+
+    The registry lock guards only the instrument dictionaries; every
+    instrument carries its own lock, so handles returned by
+    :meth:`counter` / :meth:`histogram` are safe to mutate directly from
+    any thread.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._histograms: dict[tuple[str, Labels], Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: Mapping[str, object] | None = None) -> Counter:
+        key = (name, _freeze_labels(labels))
         with self._lock:
-            instrument = self._counters.get(name)
+            instrument = self._counters.get(key)
             if instrument is None:
-                instrument = self._counters[name] = Counter()
+                instrument = self._counters[key] = Counter(*key)
             return instrument
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  labels: Mapping[str, object] | None = None,
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram for (name, labels), created on first use.
+
+        *buckets* only takes effect at creation; later callers share the
+        existing instrument whatever boundaries they pass.
+        """
+        key = (name, _freeze_labels(labels))
         with self._lock:
-            instrument = self._histograms.get(name)
+            instrument = self._histograms.get(key)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram()
+                instrument = self._histograms[key] = Histogram(
+                    key[0], key[1], buckets)
             return instrument
 
-    def increment(self, name: str, amount: int | float = 1) -> None:
-        counter = self.counter(name)
-        with self._lock:
-            counter.inc(amount)
+    def increment(self, name: str, amount: int | float = 1,
+                  labels: Mapping[str, object] | None = None) -> None:
+        self.counter(name, labels).inc(amount)
 
-    def observe(self, name: str, value: float) -> None:
-        histogram = self.histogram(name)
-        with self._lock:
-            histogram.observe(value)
+    def observe(self, name: str, value: float,
+                labels: Mapping[str, object] | None = None) -> None:
+        self.histogram(name, labels).observe(value)
 
-    def snapshot(self) -> dict:
-        """Plain-data copy of every instrument (JSON-serializable)."""
+    def collect(self) -> dict:
+        """Structured instrument listing (for exposition renderers).
+
+        ``{"counters": [Counter, ...], "histograms": [Histogram, ...]}``,
+        each list sorted by (name, labels) so output is stable.
+        """
         with self._lock:
             return {
-                "counters": {name: c.to_json()
-                             for name, c in sorted(self._counters.items())},
-                "histograms": {name: h.to_json()
-                               for name, h in
-                               sorted(self._histograms.items())},
+                "counters": [c for _, c in sorted(self._counters.items())],
+                "histograms": [h for _, h in
+                               sorted(self._histograms.items())],
             }
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of every instrument (JSON-serializable).
+
+        Labeled instruments appear under ``name{k=v,...}`` keys.
+        """
+        collected = self.collect()
+        return {
+            "counters": {labeled_name(c.name, c.labels): c.to_json()
+                         for c in collected["counters"]},
+            "histograms": {labeled_name(h.name, h.labels): h.to_json()
+                           for h in collected["histograms"]},
+        }
 
     def reset(self) -> None:
         """Drop every instrument (tests and benchmark repetitions)."""

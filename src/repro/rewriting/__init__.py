@@ -7,8 +7,9 @@ from .canon import (Canonical, canonicalize, component_key, condition_key,
 from .chase import StructuralConstraints, chase
 from .session import DEFAULT_MEMO_SIZE, MemoTable, RewriteSession
 from .composition import compose
-from .equivalence import (equivalent, minimize, prepare_program,
-                          programs_equivalent)
+from .equivalence import (equivalence_obstacle, equivalent, minimize,
+                          prepare_program, programs_equivalent)
+from .explain import CandidateEvent, Explanation, MappingEvent
 from .rewriter import (CandidateAtom, RewriteResult, RewriteStats, Rewriting,
                        find_all_rewritings, is_rewriting, rewrite,
                        rewrite_single_path, view_instantiations)
@@ -24,6 +25,8 @@ __all__ = [
     "chase", "StructuralConstraints",
     "compose",
     "equivalent", "programs_equivalent", "minimize", "prepare_program",
+    "equivalence_obstacle",
+    "Explanation", "MappingEvent", "CandidateEvent",
     "rewrite", "rewrite_single_path", "find_all_rewritings", "is_rewriting",
     "Rewriting", "RewriteResult", "RewriteStats", "CandidateAtom",
     "view_instantiations",

@@ -102,6 +102,47 @@ def programs_equivalent(left: Iterable[Query], right: Iterable[Query],
         return outcome
 
 
+def equivalence_obstacle(left: Iterable[Query], right: Iterable[Query],
+                         constraints: StructuralConstraints | None = None,
+                         *, budget=None, session=None) -> dict | None:
+    """Why :func:`programs_equivalent` says False: the unmapped component.
+
+    Re-runs the Theorem 4.3 test and returns the first graph component
+    (top / member / object rule) that no component of the other side
+    maps onto::
+
+        {"unmapped_side": "left" | "right",
+         "component_kind": "top" | "member" | "object",
+         "component": "<printable component rule>"}
+
+    ``unmapped_side="left"`` means a *left* component is not covered by
+    any right component (left is not contained in right), and
+    symmetrically.  Returns None when the programs are equivalent.
+    This is a diagnostic (EXPLAIN) path: it redoes the decomposition
+    and mapping searches rather than touching the hot path.
+    """
+    left_rules = prepare_program(left, constraints, budget=budget,
+                                 session=session)
+    right_rules = prepare_program(right, constraints, budget=budget,
+                                  session=session)
+    if session is not None:
+        left_components = session.decompose(left_rules)
+        right_components = session.decompose(right_rules)
+    else:
+        left_components = decompose_program(left_rules)
+        right_components = decompose_program(right_rules)
+    for side, components, others in (
+            ("left", left_components, right_components),
+            ("right", right_components, left_components)):
+        for p in components:
+            if not any(component_mapping(t, p, budget=budget) is not None
+                       for t in others):
+                return {"unmapped_side": side,
+                        "component_kind": p.kind,
+                        "component": str(p)}
+    return None
+
+
 def equivalent(left: Query, right: Query,
                constraints: StructuralConstraints | None = None) -> bool:
     """Equivalence of two single TSL rules."""

@@ -1,0 +1,263 @@
+"""EXPLAIN provenance for the rewriting search: *why* each decision.
+
+The stats counters of :class:`~repro.rewriting.rewriter.RewriteStats`
+say *that* candidates were pruned; production deployments (and the
+paper's own worked examples -- 3.3 and 3.5 turn on whether a structural
+constraint makes a rewriting exist) need to know *why this one*.  An
+:class:`Explanation` is a structured decision log the rewriter fills in
+when asked (``rewrite(..., explain=Explanation())``):
+
+* per view, every containment mapping **found** (substitution + covered
+  conditions) or the **refutation obstacle** (the first failing
+  condition/label) when none exists;
+* the candidate atoms that survive duplicate merging;
+* per enumerated candidate, its conjunction and a machine-readable
+  **verdict**: ``accepted``, a prune reason (``pruned-heuristic`` /
+  ``pruned-unsafe`` / ``pruned-subsumed`` / ``skipped-max-candidates``),
+  or the chase -> compose -> equivalence failure including the graph
+  component (top / member / object rule) on which equivalence failed.
+
+Explanations render as text (:meth:`Explanation.render_text`) and JSON
+(:meth:`Explanation.to_json`); ``python -m repro explain`` exposes both.
+:class:`~repro.rewriting.session.RewriteSession` memoizes explanations
+alongside results, so a warm-session run replays the cached decision log
+byte-for-byte (tagged ``memo="hit"`` outside the JSON payload, which
+keeps memoized and unmemoized JSON identical).
+
+Recording is strictly opt-in: with ``explain=None`` (the default) the
+rewriter takes the pre-existing code path and builds none of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Explanation", "MappingEvent", "CandidateEvent", "VERDICTS",
+           "EXPLAIN_SCHEMA_VERSION"]
+
+#: Bumped when the JSON layout changes incompatibly.
+EXPLAIN_SCHEMA_VERSION = 1
+
+#: Every verdict a candidate can receive.
+VERDICTS = ("accepted", "pruned-heuristic", "pruned-unsafe",
+            "pruned-subsumed", "skipped-max-candidates", "failed-chase",
+            "failed-composition", "failed-equivalence")
+
+
+@dataclass(frozen=True, slots=True)
+class MappingEvent:
+    """One Step 1A outcome: a containment mapping found, or the refutation.
+
+    ``found`` events carry the substitution and the covered target-path
+    indices; refutations carry ``obstacle`` -- the first failing
+    condition/label of the mapping search.
+    """
+
+    view: str
+    found: bool
+    substitution: str | None = None
+    covers: tuple[int, ...] | None = None
+    obstacle: str | None = None
+
+    def to_json(self) -> dict:
+        payload: dict = {"view": self.view, "found": self.found}
+        if self.found:
+            payload["substitution"] = self.substitution
+            payload["covers"] = list(self.covers or ())
+        else:
+            payload["obstacle"] = self.obstacle
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateEvent:
+    """One enumerated candidate and the decision the search made on it."""
+
+    index: int                      # enumeration order (0-based)
+    conditions: tuple[str, ...]     # the conjunction, printable
+    views: tuple[str, ...]          # views the conjunction instantiates
+    verdict: str                    # one of VERDICTS
+    reason: str | None = None       # human-readable detail
+    detail: tuple[tuple[str, str], ...] = ()   # machine-readable extras
+
+    def to_json(self) -> dict:
+        return {"index": self.index,
+                "conditions": list(self.conditions),
+                "views": list(self.views),
+                "verdict": self.verdict,
+                "reason": self.reason,
+                "detail": dict(self.detail)}
+
+
+@dataclass
+class Explanation:
+    """The full decision log of one ``rewrite()`` run.
+
+    Create one empty and pass it as ``rewrite(..., explain=...)``; the
+    rewriter populates it in place.  ``memo`` is ``"hit"`` when the log
+    was replayed from a session memo; it is deliberately *not* part of
+    :meth:`to_json`, so memoized and unmemoized runs produce identical
+    JSON.
+    """
+
+    query: str = ""
+    views: dict = field(default_factory=dict)
+    constraints: str | None = None
+    flags: dict = field(default_factory=dict)
+    mappings: list = field(default_factory=list)
+    atoms: list = field(default_factory=list)
+    candidates: list = field(default_factory=list)
+    rewritings: list = field(default_factory=list)
+    truncated: bool = False
+    stop_reason: str | None = None
+    memo: str | None = None
+
+    # -- recording hooks (called by the rewriter) ---------------------------
+
+    def begin(self, query, views, constraints, flags: dict) -> None:
+        from ..tsl.printer import print_query
+        self.query = print_query(query)
+        self.views = {name: print_query(view)
+                      for name, view in sorted(views.items())}
+        self.constraints = getattr(constraints, "source", None) \
+            if constraints is not None else None
+        self.flags = dict(flags)
+
+    def mapping_found(self, view: str, substitution, covers) -> None:
+        self.mappings.append(MappingEvent(
+            view=view, found=True, substitution=str(substitution),
+            covers=tuple(sorted(covers))))
+
+    def mapping_refuted(self, view: str, obstacle: str) -> None:
+        self.mappings.append(MappingEvent(
+            view=view, found=False, obstacle=obstacle))
+
+    def atom(self, condition, view: str | None, covers,
+             merged_from: int = 1) -> None:
+        self.atoms.append({"condition": str(condition), "view": view,
+                           "covers": sorted(covers),
+                           "merged_mappings": merged_from})
+
+    def candidate(self, index: int, conditions, views, verdict: str,
+                  reason: str | None = None,
+                  detail: dict | None = None) -> None:
+        assert verdict in VERDICTS, verdict
+        self.candidates.append(CandidateEvent(
+            index=index,
+            conditions=tuple(str(c) for c in conditions),
+            views=tuple(views),
+            verdict=verdict,
+            reason=reason,
+            detail=tuple(sorted((detail or {}).items()))))
+
+    def finish(self, result) -> None:
+        from ..tsl.printer import print_query
+        self.rewritings = [print_query(r.query) for r in result.rewritings]
+        self.truncated = result.stats.truncated
+        self.stop_reason = result.stats.stop_reason
+
+    # -- memo plumbing ------------------------------------------------------
+
+    def snapshot(self) -> "Explanation":
+        """An independent copy safe to keep in a memo table."""
+        copy = Explanation(
+            query=self.query, views=dict(self.views),
+            constraints=self.constraints, flags=dict(self.flags),
+            mappings=list(self.mappings),
+            atoms=[dict(a) for a in self.atoms],
+            candidates=list(self.candidates),
+            rewritings=list(self.rewritings),
+            truncated=self.truncated, stop_reason=self.stop_reason)
+        return copy
+
+    def replay(self, stored: "Explanation") -> None:
+        """Overwrite this log with a memoized one, tagged ``memo="hit"``."""
+        restored = stored.snapshot()
+        self.query = restored.query
+        self.views = restored.views
+        self.constraints = restored.constraints
+        self.flags = restored.flags
+        self.mappings = restored.mappings
+        self.atoms = restored.atoms
+        self.candidates = restored.candidates
+        self.rewritings = restored.rewritings
+        self.truncated = restored.truncated
+        self.stop_reason = restored.stop_reason
+        self.memo = "hit"
+
+    # -- renderers ----------------------------------------------------------
+
+    def verdict_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for event in self.candidates:
+            counts[event.verdict] = counts.get(event.verdict, 0) + 1
+        return counts
+
+    def to_json(self) -> dict:
+        """Machine-readable form (identical for memoized replays)."""
+        return {
+            "schema_version": EXPLAIN_SCHEMA_VERSION,
+            "query": self.query,
+            "views": dict(self.views),
+            "constraints": self.constraints,
+            "flags": dict(self.flags),
+            "mappings": [m.to_json() for m in self.mappings],
+            "atoms": [dict(a) for a in self.atoms],
+            "candidates": [c.to_json() for c in self.candidates],
+            "rewritings": list(self.rewritings),
+            "truncated": self.truncated,
+            "stop_reason": self.stop_reason,
+        }
+
+    def render_text(self) -> str:
+        """The terminal-friendly report (``repro explain`` default)."""
+        lines: list[str] = []
+        lines.append(f"query: {self.query}")
+        for name, view in self.views.items():
+            lines.append(f"view {name}: {view}")
+        if self.constraints is not None:
+            lines.append(f"constraints: structural constraints over "
+                         f"source {self.constraints!r}")
+        if self.memo is not None:
+            lines.append(f"memo: {self.memo} (explanation replayed from "
+                         "the session cache)")
+        lines.append("")
+        lines.append("step 1A -- containment mappings:")
+        if not self.mappings:
+            lines.append("  (none recorded)")
+        for event in self.mappings:
+            if event.found:
+                covers = ", ".join(map(str, event.covers or ()))
+                lines.append(f"  {event.view}: mapping {event.substitution}"
+                             f" covers condition(s) [{covers}]")
+            else:
+                lines.append(f"  {event.view}: refuted -- {event.obstacle}")
+        lines.append("")
+        lines.append(f"candidate atoms ({len(self.atoms)}):")
+        for atom in self.atoms:
+            origin = f"view {atom['view']}" if atom["view"] else "original"
+            merged = ""
+            if atom.get("merged_mappings", 1) > 1:
+                merged = (f" (merged from {atom['merged_mappings']} "
+                          "mappings)")
+            lines.append(f"  {atom['condition']}  [{origin}, covers "
+                         f"{atom['covers']}{merged}]")
+        lines.append("")
+        counts = self.verdict_counts()
+        summary = ", ".join(f"{v}={n}" for v, n in sorted(counts.items()))
+        lines.append(f"candidates ({len(self.candidates)}; {summary}):")
+        for event in self.candidates:
+            conjunction = " AND ".join(event.conditions)
+            lines.append(f"  #{event.index} {{{conjunction}}}")
+            if event.reason:
+                lines.append(f"      -> {event.verdict}: {event.reason}")
+            else:
+                lines.append(f"      -> {event.verdict}")
+        lines.append("")
+        if self.truncated:
+            lines.append(f"search truncated ({self.stop_reason}); the "
+                         "decisions above cover the explored prefix")
+        lines.append(f"rewritings ({len(self.rewritings)}):")
+        for rewriting in self.rewritings:
+            lines.append(f"  {rewriting}")
+        return "\n".join(lines)

@@ -29,7 +29,7 @@ from ..logic.unify import match
 from ..tsl.ast import Query, SetPattern, SetPatternTerm
 from ..tsl.decompose import ComponentQuery
 from ..tsl.normalize import (Path, condition_paths, path_pattern,
-                             query_paths)
+                             path_to_condition, query_paths)
 
 EMPTY_SET_TERM = SetPatternTerm(SetPattern(()))
 
@@ -237,6 +237,72 @@ def find_mappings(view: Query, query: Query, *,
 def query_maps_into(a: Query, b: Query) -> bool:
     """True when some containment mapping sends body(*a*) into body(*b*)."""
     return bool(body_mappings(query_paths(a), query_paths(b)))
+
+
+# --------------------------------------------------------------------------
+# Refutation diagnostics (EXPLAIN provenance)
+# --------------------------------------------------------------------------
+
+def path_mapping_obstacle(a: Path, b: Path) -> str | None:
+    """None when *a* maps into *b*; otherwise the first failing check.
+
+    Diagnostic counterpart of :func:`map_path_into`: re-runs the
+    pointwise match and names the condition component (source, length,
+    oid, label, or leaf) that refutes it.  Messages quote the original
+    (un-renamed) terms.
+    """
+    if a.source != b.source:
+        return f"sources differ ({a.source!r} vs {b.source!r})"
+    if len(a.steps) > len(b.steps):
+        return (f"source path is deeper ({len(a.steps)} steps) than the "
+                f"target ({len(b.steps)} steps)")
+    (renamed,), subst = rename_paths_apart([a], None)
+    for depth in range(len(renamed.steps)):
+        r_oid, r_label = renamed.steps[depth]
+        a_oid, a_label = a.steps[depth]
+        b_oid, b_label = b.steps[depth]
+        extended = match(r_oid, b_oid, subst)
+        if extended is None:
+            return (f"oid {a_oid} does not match {b_oid} "
+                    f"at step {depth}")
+        subst = extended
+        extended = match(r_label, b_label, subst)
+        if extended is None:
+            return (f"label {a_label} does not match {b_label} "
+                    f"at step {depth}")
+        subst = extended
+    if _map_leaf(renamed, b, subst) is None:
+        return f"leaf value {a.leaf} does not match {b.leaf}"
+    return None
+
+
+def mapping_obstacle(source_paths: list[Path],
+                     target_paths: list[Path]) -> str:
+    """Why no containment mapping exists, as one printable sentence.
+
+    Finds the first source path that maps into *no* target path in
+    isolation and reports its best obstacle (preferring a same-source
+    target so the message names a label/oid/leaf clash rather than the
+    trivial source mismatch).  When every path maps somewhere
+    individually the failure is a cross-condition binding conflict,
+    which is reported as such.  Only call this after
+    :func:`body_mappings` came back empty.
+    """
+    if not target_paths:
+        return "the target query has no conditions"
+    for source in source_paths:
+        obstacles = [path_mapping_obstacle(source, target)
+                     for target in target_paths]
+        if all(obstacle is not None for obstacle in obstacles):
+            best = next(
+                (o for o in obstacles if not o.startswith("sources differ")),
+                obstacles[0])
+            condition = path_to_condition(source)
+            return (f"condition {condition} maps into no query "
+                    f"condition: {best}")
+    return ("every condition maps into some query condition "
+            "individually, but no single substitution satisfies all of "
+            "them (variable bindings conflict across conditions)")
 
 
 # --------------------------------------------------------------------------

@@ -26,6 +26,7 @@ remains sound.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from itertools import combinations
 from typing import Mapping, Sequence, Union
@@ -33,14 +34,58 @@ from typing import Mapping, Sequence, Union
 from ..errors import (BudgetExceededError, ChaseContradictionError,
                       CompositionError, RewritingError)
 from ..obs import NULL_TRACER
+from ..obs.metrics import PHASE_SECONDS
 from ..tsl.ast import Condition, Query
 from ..tsl.normalize import normalize, path_to_condition, query_paths
 from ..tsl.validate import is_safe
 from .chase import StructuralConstraints, chase
 from .composition import compose
-from .equivalence import minimize, prepare_program, programs_equivalent
+from .equivalence import (equivalence_obstacle, minimize, prepare_program,
+                          programs_equivalent)
 from .mappings import Mapping as ContainmentMapping
-from .mappings import find_mappings
+from .mappings import find_mappings, mapping_obstacle
+
+class _PhaseTimer:
+    """Times a pipeline phase into ``phase.seconds{phase=...}``.
+
+    Constructed only when a metrics registry is in play, so the default
+    (``metrics=None``) path never allocates or reads the clock.
+    Observes on exit even when the phase raises (budget expiry,
+    chase contradictions): a truncated phase still spent its time.
+    """
+
+    __slots__ = ("_metrics", "_phase", "_start")
+
+    def __init__(self, metrics, phase: str) -> None:
+        self._metrics = metrics
+        self._phase = phase
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._metrics.observe(PHASE_SECONDS,
+                              time.perf_counter() - self._start,
+                              labels={"phase": self._phase})
+        return False
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def _phase(metrics, phase: str):
+    return _NULL_TIMER if metrics is None else _PhaseTimer(metrics, phase)
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,13 +182,15 @@ def _as_view_dict(views: Union[Mapping[str, Query], Sequence[Query]]
 def view_instantiations(query: Query, views: Mapping[str, Query],
                         constraints: StructuralConstraints | None = None,
                         *, tracer=None, budget=None,
-                        session=None) -> list[CandidateAtom]:
+                        session=None, explain=None) -> list[CandidateAtom]:
     """Step 1A: mappings from each view body into body(Q), as atoms.
 
     Each mapping ``θ`` yields the condition ``θ(head(Vi))@Vi`` together
     with the set of Q-conditions it covers.  With a
     :class:`~repro.rewriting.session.RewriteSession` the per-view chase
-    is done once per session (prepared views), not once per call.
+    is done once per session (prepared views), not once per call.  An
+    :class:`~repro.rewriting.explain.Explanation` receives one event per
+    mapping found, or the refutation obstacle for views with none.
     """
     tracer = tracer or NULL_TRACER
     atoms: list[CandidateAtom] = []
@@ -155,12 +202,22 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
             else:
                 view = chase(views[name], constraints, tracer=tracer,
                              budget=budget)
+            found = 0
             mapping: ContainmentMapping
             for mapping in find_mappings(view, query, budget=budget):
                 instantiated = view.head.substitute(mapping.subst)
                 atoms.append(CandidateAtom(Condition(instantiated, name),
                                            mapping.covers, name))
                 span.add("mappings")
+                found += 1
+                if explain is not None:
+                    explain.mapping_found(name, mapping.subst,
+                                          mapping.covers)
+            if explain is not None and not found:
+                obstacle = mapping_obstacle(query_paths(view),
+                                            query_paths(query))
+                explain.mapping_refuted(name, obstacle)
+                span.set("refuted", True)
     return atoms
 
 
@@ -176,7 +233,8 @@ def rewrite(query: Query,
             tracer=None,
             budget=None,
             metrics=None,
-            session=None) -> RewriteResult:
+            session=None,
+            explain=None) -> RewriteResult:
     """Find rewriting queries of *query* using *views* (Section 3.4).
 
     Parameters
@@ -210,7 +268,15 @@ def rewrite(query: Query,
         returned with ``stats.truncated=True`` and ``stop_reason`` set.
     metrics:
         Optional :class:`repro.obs.MetricsRegistry`; the run's counters
-        are recorded under ``rewrite.*`` when it finishes.
+        are recorded under ``rewrite.*`` when it finishes, and the
+        rewrite / chase / compose / equivalence phases feed the
+        ``phase.seconds{phase=...}`` latency histogram.
+    explain:
+        Optional :class:`~repro.rewriting.explain.Explanation`; the
+        search fills it with per-mapping and per-candidate decisions
+        (EXPLAIN provenance).  Session memo hits replay the cached
+        explanation, tagged ``memo="hit"``; a memoized result stored
+        *without* an explanation is recomputed when one is requested.
     session:
         Optional :class:`repro.rewriting.session.RewriteSession` created
         for these *views* and *constraints*.  The search then reuses the
@@ -223,37 +289,51 @@ def rewrite(query: Query,
     views = _as_view_dict(views)
     flags = (heuristic, total_only, prune_subsumed, first_only,
              max_candidates)
-    if session is not None:
-        memoized = session.lookup_result(query, flags)
-        if memoized is not None:
-            with tracer.span("rewrite",
-                             query=query.name or str(query.head),
-                             views=",".join(sorted(views))) as span:
-                span.set("memo", "hit")
-                span.add("rewritings", memoized.stats.rewritings)
-            result = RewriteResult(list(memoized.rewritings),
-                                   replace(memoized.stats))
-            if metrics is not None:
-                _record_metrics(metrics, result.stats)
-            return result
-    result = RewriteResult()
-    with tracer.span("rewrite", query=query.name or str(query.head),
-                     views=",".join(sorted(views))) as span:
-        try:
-            _search(query, views, constraints, heuristic, total_only,
-                    prune_subsumed, first_only, max_candidates, result,
-                    tracer, budget, session)
-        except BudgetExceededError as exc:
-            result.stats.truncated = True
-            result.stats.stop_reason = exc.reason or "budget"
-        if result.stats.truncated:
-            span.set("truncated", result.stats.stop_reason)
-        span.add("candidates_tested", result.stats.candidates_tested)
-        span.add("rewritings", result.stats.rewritings)
-    if session is not None:
-        session.store_result(query, flags, result)
-    if metrics is not None:
-        _record_metrics(metrics, result.stats)
+    with _phase(metrics, "rewrite"):
+        if session is not None:
+            memoized = session.lookup_result(
+                query, flags, need_explanation=explain is not None)
+            if memoized is not None:
+                memo_result, memo_explanation = memoized
+                with tracer.span("rewrite",
+                                 query=query.name or str(query.head),
+                                 views=",".join(sorted(views))) as span:
+                    span.set("memo", "hit")
+                    span.add("rewritings", memo_result.stats.rewritings)
+                result = RewriteResult(list(memo_result.rewritings),
+                                       replace(memo_result.stats))
+                if explain is not None:
+                    explain.replay(memo_explanation)
+                if metrics is not None:
+                    _record_metrics(metrics, result.stats)
+                return result
+        if explain is not None:
+            explain.begin(query, views, constraints,
+                          {"heuristic": heuristic,
+                           "total_only": total_only,
+                           "prune_subsumed": prune_subsumed,
+                           "first_only": first_only,
+                           "max_candidates": max_candidates})
+        result = RewriteResult()
+        with tracer.span("rewrite", query=query.name or str(query.head),
+                         views=",".join(sorted(views))) as span:
+            try:
+                _search(query, views, constraints, heuristic, total_only,
+                        prune_subsumed, first_only, max_candidates, result,
+                        tracer, budget, session, metrics, explain)
+            except BudgetExceededError as exc:
+                result.stats.truncated = True
+                result.stats.stop_reason = exc.reason or "budget"
+            if result.stats.truncated:
+                span.set("truncated", result.stats.stop_reason)
+            span.add("candidates_tested", result.stats.candidates_tested)
+            span.add("rewritings", result.stats.rewritings)
+        if explain is not None:
+            explain.finish(result)
+        if session is not None:
+            session.store_result(query, flags, result, explain)
+        if metrics is not None:
+            _record_metrics(metrics, result.stats)
     return result
 
 
@@ -262,7 +342,7 @@ def _search(query: Query, views: dict[str, Query],
             heuristic: bool, total_only: bool, prune_subsumed: bool,
             first_only: bool, max_candidates: int | None,
             result: RewriteResult, tracer, budget,
-            session=None) -> None:
+            session=None, metrics=None, explain=None) -> None:
     """The Section 3.4 search loop, mutating *result* in place.
 
     Results accumulate on *result* (not a return value) so that a
@@ -280,7 +360,13 @@ def _search(query: Query, views: dict[str, Query],
     k = len(target_paths)
     all_indices = frozenset(range(k))
 
-    if session is not None:
+    if explain is not None:
+        # Explanations need the per-mapping events, so Step 1A bypasses
+        # the session's atom memo (prepared views are still shared).
+        atoms = view_instantiations(target, views, constraints,
+                                    tracer=tracer, budget=budget,
+                                    session=session, explain=explain)
+    elif session is not None:
         atoms = session.candidate_atoms(target, tracer=tracer,
                                         budget=budget)
     else:
@@ -291,7 +377,20 @@ def _search(query: Query, views: dict[str, Query],
         atoms.extend(
             CandidateAtom(path_to_condition(path), frozenset([i]), None)
             for i, path in enumerate(target_paths))
-    atoms = _merge_duplicate_atoms(atoms, result.stats)
+    merge_counts: dict[Condition, int] = {}
+    atoms = _merge_duplicate_atoms(atoms, result.stats, merge_counts)
+    if explain is not None:
+        for atom in atoms:
+            explain.atom(atom.condition, atom.view, atom.covers,
+                         merge_counts.get(atom.condition, 1))
+
+    def record(chosen, verdict, reason=None, detail=None):
+        if explain is not None:
+            explain.candidate(
+                result.stats.candidates_enumerated - 1,
+                [atom.condition for atom in chosen],
+                sorted({atom.view for atom in chosen if atom.is_view}),
+                verdict, reason, detail)
 
     accepted_bodies: list[frozenset[Condition]] = []
     for size in range(1, k + 1):
@@ -307,29 +406,51 @@ def _search(query: Query, views: dict[str, Query],
                     *(atom.covers for atom in chosen))
                 if covered != all_indices:
                     result.stats.candidates_pruned_by_heuristic += 1
+                    if explain is not None:
+                        uncovered = sorted(all_indices - covered)
+                        missing = "; ".join(
+                            str(path_to_condition(target_paths[i]))
+                            for i in uncovered)
+                        record(chosen, "pruned-heuristic",
+                               f"covering heuristic: leaves query "
+                               f"condition(s) {uncovered} uncovered "
+                               f"({missing})",
+                               {"uncovered": str(uncovered)})
                     continue
             body = tuple(atom.condition for atom in chosen)
             candidate = Query(target.head, body, name=query.name)
             if not is_safe(candidate):
                 result.stats.candidates_pruned_unsafe += 1
+                record(chosen, "pruned-unsafe",
+                       "candidate is unsafe: a head variable is not "
+                       "bound by the body")
                 continue
             if prune_subsumed and any(
                     prior <= frozenset(body) for prior in accepted_bodies):
                 result.stats.candidates_pruned_subsumed += 1
+                record(chosen, "pruned-subsumed",
+                       "body extends an already-accepted rewriting "
+                       "(trivial rewriting)")
                 continue
             if (max_candidates is not None
                     and result.stats.candidates_tested >= max_candidates):
                 result.stats.truncated = True
                 result.stats.stop_reason = "max_candidates"
+                record(chosen, "skipped-max-candidates",
+                       f"candidate cap of {max_candidates} reached; "
+                       "search stopped")
                 return
             result.stats.candidates_tested += 1
             with tracer.span("candidate",
                              index=result.stats.candidates_tested - 1,
                              conditions=len(body)) as span:
-                accepted = _test_candidate(candidate, target, views,
-                                           constraints, result, tracer,
-                                           budget, session)
+                accepted, verdict, reason, detail = _test_candidate(
+                    candidate, target, views, constraints, result, tracer,
+                    budget, session, metrics, explain is not None)
                 span.set("accepted", accepted is not None)
+                if explain is not None:
+                    span.set("verdict", verdict)
+                    record(chosen, verdict, reason, detail)
             if accepted is not None:
                 accepted_bodies.append(frozenset(body))
                 result.rewritings.append(accepted)
@@ -339,7 +460,9 @@ def _search(query: Query, views: dict[str, Query],
 
 
 def _merge_duplicate_atoms(atoms: list[CandidateAtom],
-                           stats: RewriteStats) -> list[CandidateAtom]:
+                           stats: RewriteStats,
+                           merge_counts: dict[Condition, int] | None = None
+                           ) -> list[CandidateAtom]:
     """Merge atoms with equal conditions, unioning their coverage.
 
     Two containment mappings can instantiate the same ``θ(head(Vi))``;
@@ -349,6 +472,9 @@ def _merge_duplicate_atoms(atoms: list[CandidateAtom],
     are interchangeable; the merged atom covers everything either
     mapping covered, which keeps every previously-reachable body
     reachable (at a smaller combination size).
+
+    *merge_counts*, when given, receives how many source atoms each
+    surviving condition absorbed (EXPLAIN provenance).
     """
     merged: dict[Condition, CandidateAtom] = {}
     for atom in atoms:
@@ -360,6 +486,9 @@ def _merge_duplicate_atoms(atoms: list[CandidateAtom],
                 existing.condition, existing.covers | atom.covers,
                 existing.view)
             stats.candidates_pruned_duplicate += 1
+        if merge_counts is not None:
+            merge_counts[atom.condition] = \
+                merge_counts.get(atom.condition, 0) + 1
     return list(merged.values())
 
 
@@ -379,38 +508,89 @@ def _test_candidate(candidate: Query, target: Query,
                     views: Mapping[str, Query],
                     constraints: StructuralConstraints | None,
                     result: RewriteResult, tracer=NULL_TRACER,
-                    budget=None, session=None) -> Rewriting | None:
-    """Steps 1C + 2 for one candidate; None when it is not a rewriting."""
+                    budget=None, session=None, metrics=None,
+                    explain_active: bool = False
+                    ) -> tuple[Rewriting | None, str, str | None,
+                               dict | None]:
+    """Steps 1C + 2 for one candidate.
+
+    Returns ``(rewriting_or_None, verdict, reason, detail)``.  The
+    verdict/reason strings are cheap to produce; the expensive
+    equivalence-failure diagnosis (which graph component has no mapping)
+    only runs when *explain_active*.
+    """
     try:
-        if session is not None:
-            candidate = session.chase(candidate, tracer=tracer,
-                                      budget=budget)
-        else:
-            candidate = chase(candidate, constraints, tracer=tracer,
-                              budget=budget)
-    except ChaseContradictionError:
+        with _phase(metrics, "chase"):
+            if session is not None:
+                candidate = session.chase(candidate, tracer=tracer,
+                                          budget=budget)
+            else:
+                candidate = chase(candidate, constraints, tracer=tracer,
+                                  budget=budget)
+    except ChaseContradictionError as exc:
         result.stats.candidates_failed_chase += 1
-        return None
+        return None, "failed-chase", str(exc), None
     try:
-        composed = compose(candidate, views, tracer=tracer, budget=budget)
-    except CompositionError:
+        with _phase(metrics, "compose"):
+            composed = compose(candidate, views, tracer=tracer,
+                               budget=budget)
+    except CompositionError as exc:
         result.stats.candidates_failed_composition += 1
-        return None
+        return None, "failed-composition", str(exc), None
     composed = prepare_program(composed, constraints, minimize_rules=True,
                                budget=budget, session=session)
     result.stats.composition_rules += len(composed)
-    if session is not None:
-        equivalent_verdict = session.programs_equivalent(
-            composed, [target], tracer=tracer, budget=budget)
-    else:
-        equivalent_verdict = programs_equivalent(
-            composed, [target], constraints, tracer=tracer, budget=budget)
+    with _phase(metrics, "equivalence"):
+        if session is not None:
+            equivalent_verdict = session.programs_equivalent(
+                composed, [target], tracer=tracer, budget=budget)
+        else:
+            equivalent_verdict = programs_equivalent(
+                composed, [target], constraints, tracer=tracer,
+                budget=budget)
     if not equivalent_verdict:
-        return None
+        reason, detail = _equivalence_failure_reason(
+            composed, target, constraints, session, budget,
+            explain_active)
+        return None, "failed-equivalence", reason, detail
     views_used = frozenset(c.source for c in candidate.body
                            if c.source in views)
-    return Rewriting(query=candidate, composition=composed,
-                     views_used=views_used)
+    rewriting = Rewriting(query=candidate, composition=composed,
+                          views_used=views_used)
+    return (rewriting, "accepted",
+            f"composition is equivalent to the query "
+            f"({len(composed)} composition rule(s))" if explain_active
+            else None, None)
+
+
+def _equivalence_failure_reason(composed, target, constraints, session,
+                                budget, explain_active
+                                ) -> tuple[str | None, dict | None]:
+    """Name the graph component on which the Step 2 test failed."""
+    if not explain_active:
+        return None, None
+    if not composed:
+        return ("the composition is empty: the candidate is "
+                "unsatisfiable against the view definitions", None)
+    obstacle = equivalence_obstacle(composed, [target], constraints,
+                                    budget=budget, session=session)
+    if obstacle is None:  # diagnostic re-run disagreed; report plainly
+        return "composition is not equivalent to the query", None
+    kind = obstacle["component_kind"]
+    component = obstacle["component"]
+    if obstacle["unmapped_side"] == "left":
+        reason = (f"the composition's {kind}-rule component "
+                  f"[{component}] has no containment mapping from any "
+                  f"query component (composition ⊄ query)")
+    else:
+        reason = (f"the query's {kind}-rule component [{component}] has "
+                  f"no containment mapping from any composition "
+                  f"component (query ⊄ composition)")
+    return reason, {"direction": "composition-into-query"
+                    if obstacle["unmapped_side"] == "left"
+                    else "query-into-composition",
+                    "component_kind": kind,
+                    "component": component}
 
 
 def rewrite_single_path(query: Query, view: Query,

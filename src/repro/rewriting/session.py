@@ -31,10 +31,12 @@ warm -- the pattern the cached-query manager uses when entries churn.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Mapping, Sequence, Union
 
 from ..errors import ChaseContradictionError
+from ..obs.metrics import PHASE_SECONDS
 from ..tsl.ast import Query
 from .canon import Canonical, canonicalize, program_key, rebase
 from .chase import StructuralConstraints, chase
@@ -317,25 +319,47 @@ class RewriteSession:
         return rewrite(query, self.views, self.constraints,
                        session=self, **kwargs)
 
-    def lookup_result(self, query: Query, flags: tuple):
-        """The memoized complete result for (query, flags), if any."""
+    def lookup_result(self, query: Query, flags: tuple, *,
+                      need_explanation: bool = False):
+        """The memoized ``(result, explanation)`` for (query, flags).
+
+        Returns None on a miss.  With *need_explanation*, an entry
+        stored without a decision log is treated as a miss (the caller
+        recomputes and :meth:`store_result` upgrades the entry); the
+        stored explanation is replayed so warm-session EXPLAIN output is
+        byte-identical to the cold run.  The lookup itself is timed into
+        ``phase.seconds{phase=memo_lookup}`` when the session has a
+        metrics registry.
+        """
         if not self.enabled:
             return None
-        probe = canonicalize(query)
-        value = self._results.peek((probe.key, flags))
-        if value is not _MISS:
-            stored, result = value
-            if stored == query:
-                self._results.record_hit()
-                return result
-        self._results.record_miss()
-        return None
+        started = time.perf_counter() if self.metrics is not None else 0.0
+        try:
+            probe = canonicalize(query)
+            value = self._results.peek((probe.key, flags))
+            if value is not _MISS:
+                stored, result, explanation = value
+                if stored == query and not (need_explanation
+                                            and explanation is None):
+                    self._results.record_hit()
+                    return result, explanation
+            self._results.record_miss()
+            return None
+        finally:
+            if self.metrics is not None:
+                self.metrics.observe(PHASE_SECONDS,
+                                     time.perf_counter() - started,
+                                     labels={"phase": "memo_lookup"})
 
-    def store_result(self, query: Query, flags: tuple, result) -> None:
+    def store_result(self, query: Query, flags: tuple, result,
+                     explain=None) -> None:
+        """Memoize a complete result (and its decision log, if any)."""
         if not self.enabled or result.stats.truncated:
             return
         probe = canonicalize(query)
-        self._results.put((probe.key, flags), (query, result))
+        explanation = explain.snapshot() if explain is not None else None
+        self._results.put((probe.key, flags),
+                          (query, result, explanation))
 
     # -- introspection -------------------------------------------------------
 

@@ -21,6 +21,7 @@ from ..errors import FusionConflictError, OemError, TslError
 from ..logic.subst import Substitution
 from ..logic.unify import unify
 from ..logic.terms import Constant, SetValue, Term, Variable
+from ..obs import NULL_TRACER
 from ..oem.model import OemDatabase, Oid
 from .ast import Condition, ObjectPattern, Query, SetPattern
 
@@ -192,26 +193,40 @@ def _instantiate_head(answer: OemDatabase, pattern: ObjectPattern,
 
 def evaluate(query: Query,
              sources: Union[OemDatabase, Sources],
-             answer_name: str = ANSWER_NAME) -> OemDatabase:
+             answer_name: str = ANSWER_NAME, *,
+             tracer=None) -> OemDatabase:
     """Evaluate one TSL rule and return the answer database."""
-    return evaluate_program([query], sources, answer_name)
+    return evaluate_program([query], sources, answer_name, tracer=tracer)
 
 
 def evaluate_program(rules: Iterable[Query],
                      sources: Union[OemDatabase, Sources],
-                     answer_name: str = ANSWER_NAME) -> OemDatabase:
+                     answer_name: str = ANSWER_NAME, *,
+                     tracer=None) -> OemDatabase:
     """Evaluate a union of rules into one fused answer database.
 
     Per Section 2, when two assignments (possibly from different rules)
     produce the same oid, "the same object is returned, and the values of
     the two objects are fused".
+
+    *tracer* records one ``evaluate.rule`` span per rule with the
+    assignment count, under an ``evaluate`` root span.
     """
+    tracer = tracer or NULL_TRACER
     sources = _as_sources(sources)
     answer = OemDatabase(answer_name)
-    for rule in rules:
-        for assignment in body_assignments(rule, sources):
-            root_oid = _instantiate_head(answer, rule.head, assignment,
-                                         sources)
-            answer.add_root(root_oid)
-    answer.check_integrity()
+    rules = list(rules)
+    with tracer.span("evaluate", rules=len(rules)) as span:
+        for rule in rules:
+            with tracer.span("evaluate.rule",
+                             rule=rule.name or "?") as rule_span:
+                assignments = 0
+                for assignment in body_assignments(rule, sources):
+                    root_oid = _instantiate_head(answer, rule.head,
+                                                 assignment, sources)
+                    answer.add_root(root_oid)
+                    assignments += 1
+                rule_span.set("assignments", assignments)
+        answer.check_integrity()
+        span.set("objects", answer.stats()["objects"])
     return answer

@@ -78,3 +78,130 @@ class TestThreading:
         snap = registry.snapshot()
         assert snap["counters"]["shared"] == 4000
         assert snap["histograms"]["values"]["count"] == 4000
+
+
+class TestBuckets:
+    def test_exact_bucket_counts(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 9.0):
+            histogram.observe(value)
+        # Boundaries are inclusive (Prometheus `le` semantics): 1.0
+        # lands in the first bucket, 2.0 in the second.
+        assert histogram.cumulative() == [
+            (1.0, 2), (2.0, 4), (4.0, 5), (float("inf"), 6)]
+
+    def test_snapshot_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", buckets=(1.0, 2.0)).observe(1.5)
+        summary = registry.snapshot()["histograms"]["t"]
+        assert summary["buckets"] == [[1.0, 0], [2.0, 1], ["+Inf", 1]]
+
+    def test_custom_buckets_only_apply_at_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("t", buckets=(1.0,))
+        again = registry.histogram("t", buckets=(5.0, 6.0))
+        assert again is first
+        assert first.buckets == (1.0,)
+
+    def test_non_increasing_buckets_rejected(self):
+        registry = MetricsRegistry()
+        try:
+            registry.histogram("bad", buckets=(2.0, 1.0))
+        except ValueError as exc:
+            assert "increasing" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestQuantiles:
+    def test_interpolated_quantiles_are_deterministic(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", buckets=(1.0, 2.0, 4.0))
+        # 3 observations <= 1.0, 5 in (2.0, 4.0], 2 overflow.
+        for value in (0.2, 0.4, 0.6):
+            histogram.observe(value)
+        for value in (2.2, 2.4, 2.6, 2.8, 3.0):
+            histogram.observe(value)
+        for value in (8.0, 9.0):
+            histogram.observe(value)
+        # rank 5 falls in (2, 4] after a cumulative 3: 2 + 2 * (2/5).
+        assert histogram.quantile(0.5) == 2.8
+        # Overflow bucket: clamped to the observed maximum.
+        assert histogram.quantile(0.99) == 9.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", buckets=(10.0,))
+        histogram.observe(4.0)
+        histogram.observe(4.0)
+        # Interpolation alone would say 5.0 (half of the 0-10 bucket);
+        # clamping to max keeps the estimate inside the data.
+        assert histogram.quantile(0.5) == 4.0
+
+    def test_empty_histogram_quantiles_are_none(self):
+        registry = MetricsRegistry()
+        summary_keys = registry.histogram("t")
+        assert summary_keys.quantile(0.5) is None
+        snap = registry.snapshot()["histograms"]["t"]
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_snapshot_reports_p50_p90_p99(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("t", value / 100.0)
+        snap = registry.snapshot()["histograms"]["t"]
+        assert snap["p50"] is not None
+        assert snap["p50"] <= snap["p90"] <= snap["p99"] <= snap["max"]
+
+
+class TestLabels:
+    def test_labeled_instruments_are_separate(self):
+        registry = MetricsRegistry()
+        registry.increment("calls", labels={"phase": "chase"})
+        registry.increment("calls", 2, labels={"phase": "compose"})
+        counters = registry.snapshot()["counters"]
+        assert counters["calls{phase=chase}"] == 1
+        assert counters["calls{phase=compose}"] == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.increment("c", labels={"a": 1, "b": 2})
+        registry.increment("c", labels={"b": 2, "a": 1})
+        assert registry.snapshot()["counters"]["c{a=1,b=2}"] == 2
+
+    def test_labeled_histogram_snapshot_key(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.5, labels={"view": "V1"})
+        assert "lat{view=V1}" in registry.snapshot()["histograms"]
+
+
+class TestDirectHandleConcurrency:
+    def test_direct_handles_are_as_safe_as_registry_calls(self):
+        # The locking-asymmetry regression test: a handle obtained once
+        # and hammered directly must not lose updates racing against
+        # registry-mediated calls to the same instruments.
+        registry = MetricsRegistry()
+        counter = registry.counter("shared")
+        histogram = registry.histogram("values")
+
+        def direct():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(1.0)
+
+        def mediated():
+            for _ in range(1000):
+                registry.increment("shared")
+                registry.observe("values", 1.0)
+
+        threads = [threading.Thread(target=direct) for _ in range(2)] + \
+                  [threading.Thread(target=mediated) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["shared"] == 4000
+        assert snap["histograms"]["values"]["count"] == 4000
+        assert snap["histograms"]["values"]["buckets"][-1][1] == 4000

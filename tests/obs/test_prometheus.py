@@ -1,0 +1,65 @@
+"""Prometheus text exposition: names, labels, and the golden file."""
+
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.export import prometheus_name
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A deterministic registry covering every exposition feature."""
+    registry = MetricsRegistry()
+    registry.increment("cache.hits", 3)
+    registry.increment("calls", 2, labels={"phase": "chase"})
+    registry.increment("calls", labels={"phase": "compose"})
+    histogram = registry.histogram("phase.seconds",
+                                   labels={"phase": "rewrite"},
+                                   buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.05, 2.0):
+        histogram.observe(value)
+    registry.observe("plain", 0.5)
+    return registry
+
+
+class TestNames:
+    def test_namespace_prefix_and_sanitization(self):
+        assert prometheus_name("phase.seconds") == "repro_phase_seconds"
+        assert prometheus_name("cache.q-1.hits") == "repro_cache_q_1_hits"
+
+    def test_counters_get_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.increment("cache.hits")
+        assert "repro_cache_hits_total 1" in render_prometheus(registry)
+
+
+class TestLabelsAndEscaping:
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.increment("c", labels={"view": 'a"b\\c\nd'})
+        line = [l for l in render_prometheus(registry).splitlines()
+                if l.startswith("repro_c_total{")][0]
+        assert line == 'repro_c_total{view="a\\"b\\\\c\\nd"} 1'
+
+    def test_histogram_le_label_appended_after_instrument_labels(self):
+        rendered = render_prometheus(golden_registry())
+        assert 'repro_phase_seconds_bucket{phase="rewrite",le="0.001"} 1' \
+            in rendered
+        assert 'repro_phase_seconds_bucket{phase="rewrite",le="+Inf"} 4' \
+            in rendered
+
+
+class TestGoldenFile:
+    def test_exposition_matches_golden_file(self):
+        # Stable ordering is part of the contract: two runs over the
+        # same instruments must render byte-identical exposition.
+        assert render_prometheus(golden_registry()) == GOLDEN.read_text()
+
+    def test_rendering_is_deterministic(self):
+        assert render_prometheus(golden_registry()) == \
+            render_prometheus(golden_registry())
+
+    def test_ends_with_single_trailing_newline(self):
+        rendered = render_prometheus(golden_registry())
+        assert rendered.endswith("\n") and not rendered.endswith("\n\n")

@@ -95,11 +95,13 @@ def test_corrupted_memo_hit_is_caught(monkeypatch):
 
     orig = session_mod.RewriteSession.lookup_result
 
-    def corrupted(self, query, flags):
-        result = orig(self, query, flags)
-        if result is not None and result.rewritings:
-            return RewriteResult([], result.stats)
-        return result
+    def corrupted(self, query, flags, **kwargs):
+        value = orig(self, query, flags, **kwargs)
+        if value is not None:
+            result, explanation = value
+            if result.rewritings:
+                return RewriteResult([], result.stats), explanation
+        return value
 
     monkeypatch.setattr(session_mod.RewriteSession, "lookup_result",
                         corrupted)

@@ -118,9 +118,10 @@ class TestFailureCounters:
         candidate = parse_query(
             '<f(P) ans V> :- <P pub V>@V AND <P x "a">@V AND <P y "b">@V')
         result = RewriteResult()
-        accepted = _test_candidate(candidate, target, {"V": view}, None,
-                                   result)
+        accepted, verdict, _, _ = _test_candidate(candidate, target,
+                                                  {"V": view}, None, result)
         assert accepted is None
+        assert verdict == "failed-chase"
         assert result.stats.candidates_failed_chase == 1
         assert result.stats.candidates_failed_composition == 0
 
@@ -132,9 +133,10 @@ class TestFailureCounters:
         # corner compose() rejects with CompositionError.
         candidate = parse_query('<f(P) ans V> :- <P pub V>@V')
         result = RewriteResult()
-        accepted = _test_candidate(candidate, target, {"V": view}, None,
-                                   result)
+        accepted, verdict, _, _ = _test_candidate(candidate, target,
+                                                  {"V": view}, None, result)
         assert accepted is None
+        assert verdict == "failed-composition"
         assert result.stats.candidates_failed_composition == 1
         assert result.stats.candidates_failed_chase == 0
 

@@ -1,0 +1,109 @@
+"""benchmarks/compare.py: snapshot diffing and regression flagging."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+COMPARE = Path(__file__).parent.parent / "benchmarks" / "compare.py"
+
+
+def snapshot(rows, name="end-to-end", rev="abc123"):
+    return {"schema_version": 1, "generated": "2026-01-01T00:00:00+00:00",
+            "git_rev": rev, "python": "3.12", "platform": "test",
+            "benchmarks": [{"name": name, "title": "t", "seconds": 1.0,
+                            "rows": rows}],
+            "metrics": {"counters": {}, "histograms": {}}}
+
+
+def run_compare(tmp_path, baseline, current, *extra):
+    base = tmp_path / "base.json"
+    curr = tmp_path / "curr.json"
+    base.write_text(json.dumps(baseline))
+    curr.write_text(json.dumps(current))
+    return subprocess.run(
+        [sys.executable, str(COMPARE), str(base), str(curr), *extra],
+        capture_output=True, text=True)
+
+
+class TestCompare:
+    def test_no_change_reports_clean(self, tmp_path):
+        rows = [{"scenario": "Q3", "seconds": 0.1, "tested": 1}]
+        proc = run_compare(tmp_path, snapshot(rows), snapshot(rows))
+        assert proc.returncode == 0
+        assert "0 regression(s)" in proc.stdout
+
+    def test_regression_flagged_beyond_threshold_and_floor(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "seconds": 0.10}])
+        curr = snapshot([{"scenario": "Q3", "seconds": 0.30}])
+        proc = run_compare(tmp_path, base, curr)
+        assert proc.returncode == 0  # warn-only by default
+        assert "REGRESSION" in proc.stdout
+        assert "1 regression(s)" in proc.stdout
+
+    def test_fail_on_regression_exits_nonzero(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "seconds": 0.10}])
+        curr = snapshot([{"scenario": "Q3", "seconds": 0.30}])
+        proc = run_compare(tmp_path, base, curr, "--fail-on-regression")
+        assert proc.returncode == 1
+
+    def test_noise_floor_suppresses_tiny_ratios(self, tmp_path):
+        # 3x slower but only 2ms absolute: below the default 50ms floor.
+        base = snapshot([{"scenario": "Q3", "seconds": 0.001}])
+        curr = snapshot([{"scenario": "Q3", "seconds": 0.003}])
+        proc = run_compare(tmp_path, base, curr, "--fail-on-regression")
+        assert proc.returncode == 0
+        assert "0 regression(s)" in proc.stdout
+
+    def test_counter_fields_never_regress(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "tested": 1}])
+        curr = snapshot([{"scenario": "Q3", "tested": 100}])
+        proc = run_compare(tmp_path, base, curr, "--fail-on-regression")
+        assert proc.returncode == 0
+
+    def test_improvement_reported(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "seconds": 0.50}])
+        curr = snapshot([{"scenario": "Q3", "seconds": 0.10}])
+        proc = run_compare(tmp_path, base, curr)
+        assert "1 improvement(s)" in proc.stdout
+
+    def test_missing_and_new_experiments_noted(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "seconds": 0.1}], name="E10")
+        curr = snapshot([{"scenario": "Q3", "seconds": 0.1}], name="E11")
+        proc = run_compare(tmp_path, base, curr)
+        assert "E10 missing" in proc.stdout
+        assert "E11 new" in proc.stdout
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "seconds": 0.1}])
+        bad = dict(base, schema_version=99)
+        proc = run_compare(tmp_path, base, bad)
+        assert proc.returncode != 0
+        assert "schema_version" in proc.stderr
+
+    def test_json_report_written(self, tmp_path):
+        base = snapshot([{"scenario": "Q3", "seconds": 0.10}])
+        curr = snapshot([{"scenario": "Q3", "seconds": 0.30}])
+        out = tmp_path / "diff.json"
+        run_compare(tmp_path, base, curr, "--json", str(out))
+        report = json.loads(out.read_text())
+        assert report["regressions"] == 1
+        field = report["experiments"][0]["rows"][0]["fields"][0]
+        assert field["field"] == "seconds" and field["regressed"]
+
+
+class TestBaselineSnapshot:
+    def test_committed_baseline_is_loadable(self, tmp_path):
+        baseline = (Path(__file__).parent.parent / "benchmarks" /
+                    "baselines" / "BENCH_baseline.json")
+        data = json.loads(baseline.read_text())
+        assert data["schema_version"] == 1
+        names = {b["name"] for b in data["benchmarks"]}
+        assert {"end-to-end", "E10"} <= names
+        # The baseline self-compares clean.
+        proc = subprocess.run(
+            [sys.executable, str(COMPARE), str(baseline), str(baseline),
+             "--fail-on-regression"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 regression(s)" in proc.stdout

@@ -275,3 +275,118 @@ class TestFuzz:
         assert "FAILURE" in out
         assert "saved:" in out
         assert list(tmp_path.glob("*.json"))
+
+
+@pytest.fixture
+def paper_files(tmp_path):
+    """Q7, V1, and the DTD of the paper's running example."""
+    from repro.rewriting.constraints import PAPER_DTD
+    query = tmp_path / "q7.tsl"
+    query.write_text("<f(P) stanford yes> :- "
+                     "<P p {<X name {<Z last stanford>}>}>@db")
+    view = tmp_path / "v1.tsl"
+    view.write_text("<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- "
+                    "<P' p {<X' Y' Z'>}>@db")
+    dtd = tmp_path / "people.dtd"
+    dtd.write_text(PAPER_DTD)
+    return str(query), str(view), str(dtd)
+
+
+class TestExplainCmd:
+    def test_text_rendering_and_exit_codes(self, paper_files, capsys):
+        query, view, dtd = paper_files
+        assert main(["explain", query, "--view", f"V1={view}"]) == 1
+        out = capsys.readouterr().out
+        assert "failed-equivalence" in out
+        assert "step 1A -- containment mappings:" in out
+        assert main(["explain", query, "--view", f"V1={view}",
+                     "--dtd", dtd]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_json_is_machine_readable(self, paper_files, capsys):
+        query, view, dtd = paper_files
+        assert main(["explain", query, "--view", f"V1={view}",
+                     "--dtd", dtd, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == 1
+        assert all(c["verdict"] for c in data["candidates"])
+        assert data["rewritings"]
+
+    def test_memoized_json_identical_to_cold(self, paper_files, capsys):
+        # Same process, two invocations: the second run rebuilds the
+        # session, so this checks determinism of the log itself; the
+        # in-session memo replay is covered in test_explain.py.
+        query, view, dtd = paper_files
+        main(["explain", query, "--view", f"V1={view}", "--dtd", dtd,
+              "--format", "json"])
+        first = capsys.readouterr().out
+        main(["explain", query, "--view", f"V1={view}", "--dtd", dtd,
+              "--format", "json"])
+        assert capsys.readouterr().out == first
+
+    def test_trace_flag(self, paper_files, tmp_path, capsys):
+        query, view, dtd = paper_files
+        trace = tmp_path / "explain.jsonl"
+        assert main(["explain", query, "--view", f"V1={view}",
+                     "--dtd", dtd, "--trace", str(trace)]) == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert {"rewrite", "equivalence"} <= {r["name"] for r in records}
+
+
+class TestMetricsCmd:
+    def test_default_workload_prometheus(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_phase_seconds histogram" in out
+        for phase in ("rewrite", "chase", "compose", "equivalence",
+                      "memo_lookup"):
+            assert f'phase="{phase}"' in out
+        assert 'le="+Inf"' in out
+
+    def test_json_snapshot(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hist = data["histograms"]["phase.seconds{phase=rewrite}"]
+        assert hist["count"] > 0
+        assert hist["p50"] is not None
+
+    def test_explicit_query_requires_view(self, paper_files, capsys):
+        query, view, _ = paper_files
+        assert main(["metrics", query]) == 2
+        assert "--view" in capsys.readouterr().err
+        assert main(["metrics", query, "--view", f"V1={view}"]) == 0
+
+
+class TestEvaluateTrace:
+    def test_evaluate_trace_written(self, query_file, db_file, tmp_path,
+                                    capsys):
+        trace = tmp_path / "eval.jsonl"
+        assert main(["evaluate", query_file, "--db", db_file,
+                     "--trace", str(trace)]) == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert "evaluate" in names and "evaluate.rule" in names
+        rule = next(r for r in records if r["name"] == "evaluate.rule")
+        assert rule["attrs"]["assignments"] >= 1
+
+
+class TestFuzzTrace:
+    def test_fuzz_trace_written(self, tmp_path, capsys):
+        trace = tmp_path / "fuzz.jsonl"
+        assert main(["fuzz", "--iterations", "2", "--oracle", "semantic",
+                     "--trace", str(trace)]) == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert {"fuzz.iteration", "oracle.semantic"} <= \
+            {r["name"] for r in records}
+
+    def test_trace_rejected_with_replay(self, tmp_path, capsys):
+        import glob
+        import os
+        corpus = os.path.join(os.path.dirname(__file__), "corpus")
+        path = sorted(glob.glob(os.path.join(corpus, "*.json")))[0]
+        assert main(["fuzz", "--replay", path,
+                     "--trace", str(tmp_path / "t.jsonl")]) == 2
+        assert "--replay" in capsys.readouterr().err
