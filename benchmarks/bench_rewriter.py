@@ -14,11 +14,20 @@ import time
 
 from repro.obs import METRICS
 from repro.rewriting import Explanation, paper_dtd, rewrite
+from repro.rewriting.canon import query_key
 from repro.workloads import (condition_view, k_conditions_query, query_q3,
                              query_q5, query_q7, view_v1)
 
 #: Repetitions for the instrumentation-overhead measurement.
 OVERHEAD_REPEATS = 10
+
+#: The signature-prefilter series: a mediator with many registered views
+#: of which only a handful mention the query's labels.  200 dead views
+#: is a realistic "big mediator config"; the pre-filter should skip all
+#: of them before Step 1A.
+PREFILTER_QUERY_K = 6
+PREFILTER_DEAD_VIEWS = 200
+PREFILTER_REPEATS = 3
 
 #: The opt-out path must stay within noise of the instrumented one --
 #: generous bound so CI machines under load don't flake, but a default
@@ -98,6 +107,53 @@ def measure_overhead(repeats: int = OVERHEAD_REPEATS) -> dict:
                                if plain_s > 0 else None)}
 
 
+def _prefilter_views(k: int = PREFILTER_QUERY_K,
+                     dead: int = PREFILTER_DEAD_VIEWS) -> dict:
+    """k live per-condition views plus *dead* label-disjoint ones."""
+    views = {}
+    for index in range(1, k + 1):
+        view = condition_view(index)
+        views[view.name] = view
+    for index in range(1000, 1000 + dead):
+        view = condition_view(index)
+        views[view.name] = view
+    return views
+
+
+def measure_signature_prefilter(repeats: int = PREFILTER_REPEATS) -> dict:
+    """Label-signature pre-filter on vs off over a many-view config.
+
+    Uses the plain :func:`~repro.rewriting.rewrite` (no session), so
+    neither series can serve the other from a memo; asserts the two
+    rewriting sets are canonically identical -- the benchmark doubles as
+    a parity check on exactly the configuration it measures.
+    """
+    query = k_conditions_query(PREFILTER_QUERY_K)
+    views = _prefilter_views()
+    on_s, on = _best_of(
+        lambda: rewrite(query, views, total_only=True), repeats)
+    off_s, off = _best_of(
+        lambda: rewrite(query, views, total_only=True,
+                        signature_prefilter=False), repeats)
+
+    def canonical(result):
+        return {(query_key(r.query), tuple(sorted(r.views_used)))
+                for r in result.rewritings}
+
+    assert canonical(on) == canonical(off), (
+        "signature pre-filter changed the rewriting set on the "
+        "benchmark configuration")
+    assert on.stats.views_pruned_signature == PREFILTER_DEAD_VIEWS
+    return {"scenario": f"prefilter {PREFILTER_DEAD_VIEWS}+"
+                        f"{PREFILTER_QUERY_K} views",
+            "rewritings": len(on.rewritings),
+            "tested": on.stats.candidates_tested,
+            "seconds": on_s,
+            "noprefilter_seconds": off_s,
+            "prefilter_speedup": off_s / on_s if on_s > 0 else None,
+            "views_pruned": on.stats.views_pruned_signature}
+
+
 def run_experiment() -> list[dict]:
     rows = []
     for name, scenario in SCENARIOS.items():
@@ -109,6 +165,7 @@ def run_experiment() -> list[dict]:
                      "tested": result.stats.candidates_tested,
                      "seconds": elapsed})
     rows.append(measure_overhead())
+    rows.append(measure_signature_prefilter())
     return rows
 
 

@@ -23,6 +23,12 @@ _EXPORTS = {
     "render_json": ".diagnostics",
     "AnalysisContext": ".analyzer",
     "analyze": ".analyzer",
+    "render_sarif": ".sarif",
+    "ViewSetContext": ".viewset",
+    "analyze_view_set": ".viewset",
+    "LabelSignatureIndex": ".viewset",
+    "MediatorConfig": ".viewset",
+    "load_config": ".viewset",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -85,22 +85,40 @@ class Diagnostic:
 # analyzer.
 PassFn = Callable[[object], Iterable[Diagnostic]]
 
+#: Pass scopes: ``"query"`` passes analyze one query (an
+#: ``AnalysisContext``); ``"viewset"`` passes analyze a whole mediator
+#: configuration (a ``ViewSetContext``, see ``analysis.viewset``).
+PASS_SCOPES = ("query", "viewset")
+
 _REGISTRY: dict[str, PassFn] = {}
+_SCOPES: dict[str, str] = {}
 
 
-def register_pass(name: str) -> Callable[[PassFn], PassFn]:
-    """Class decorator registering a pass under *name* (definition order)."""
+def register_pass(name: str,
+                  scope: str = "query") -> Callable[[PassFn], PassFn]:
+    """Class decorator registering a pass under *name* (definition order).
+
+    *scope* selects the context the pass receives: ``"query"`` (the
+    default, run by :func:`~repro.analysis.analyzer.analyze`) or
+    ``"viewset"`` (run by
+    :func:`~repro.analysis.viewset.analyze_view_set`).
+    """
+    if scope not in PASS_SCOPES:
+        raise ValueError(f"unknown pass scope {scope!r}; "
+                         f"expected one of {PASS_SCOPES}")
 
     def decorator(fn: PassFn) -> PassFn:
         _REGISTRY[name] = fn
+        _SCOPES[name] = scope
         return fn
 
     return decorator
 
 
-def registered_passes() -> dict[str, PassFn]:
-    """The registered passes, in registration order."""
-    return dict(_REGISTRY)
+def registered_passes(scope: str = "query") -> dict[str, PassFn]:
+    """The registered passes of *scope*, in registration order."""
+    return {name: fn for name, fn in _REGISTRY.items()
+            if _SCOPES[name] == scope}
 
 
 # --------------------------------------------------------------------------

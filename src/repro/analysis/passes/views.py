@@ -19,12 +19,18 @@ def views_pass(ctx) -> Iterator[Diagnostic]:
         view = ctx.views[name]
         if view.head_variables():
             continue
+        # Only file-backed views keep their spans: a view registered via
+        # the API either has no span at all (programmatic AST) or a span
+        # into text the renderer does not have -- rendering it against
+        # the main query's source would underline an unrelated line.
+        # File attribution falls back to the view's name.
+        file_backed = name in ctx.view_files
         yield Diagnostic(
             "TSL301", Severity.WARNING,
             f"view {name} exports no variables in its head; it can never "
             "participate in a containment mapping that carries data into "
             "a rewriting",
-            span=view.head.span,
+            span=view.head.span if file_backed else None,
             file=ctx.view_files.get(name, name),
             suggestion="export the body variables the mediator should "
                        "be able to query, e.g. include them in the head "

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 rendering of diagnostics (``--format sarif``).
+
+One renderer shared by ``lint`` and ``check-views``: a single-run SARIF
+log whose rules are the distinct diagnostic codes and whose results
+carry the repro severity mapped onto SARIF levels (``error`` ->
+``error``, ``warning`` -> ``warning``, ``info`` -> ``note``).
+
+Only what the diagnostics actually know is emitted: a result without a
+file has no ``locations``; a location without a span has no ``region``
+(SARIF regions are 1-based, like :class:`repro.span.Span`).  The
+fingerprint of :mod:`repro.analysis.viewset.baseline` is carried as a
+``partialFingerprints`` entry so SARIF viewers and the baseline file
+agree on identity.
+
+Output is deterministic (sorted rules, indent=2, trailing newline) so it
+can be golden-file tested and diffed across CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .diagnostics import Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _location(diag: Diagnostic) -> dict | None:
+    if diag.file is None:
+        return None
+    physical: dict = {"artifactLocation": {"uri": diag.file}}
+    if diag.span is not None:
+        physical["region"] = {
+            "startLine": diag.span.line,
+            "startColumn": diag.span.column,
+            "endLine": diag.span.end_line,
+            "endColumn": diag.span.end_column,
+        }
+    return {"physicalLocation": physical}
+
+
+def _result(diag: Diagnostic) -> dict:
+    from .viewset.baseline import fingerprint
+
+    result: dict = {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "partialFingerprints": {"reproFingerprint/v1": fingerprint(diag)},
+    }
+    location = _location(diag)
+    if location is not None:
+        result["locations"] = [location]
+    if diag.suggestion:
+        result["message"]["text"] += f" (help: {diag.suggestion})"
+    return result
+
+
+def render_sarif(diags: Sequence[Diagnostic], *,
+                 tool_name: str = "repro-lint") -> str:
+    """The SARIF 2.1.0 log of *diags*, as deterministic JSON text."""
+    rules = [{"id": code} for code in sorted({d.code for d in diags})]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "rules": rules,
+            }},
+            "results": [_result(d) for d in diags],
+        }],
+    }
+    return json.dumps(log, indent=2) + "\n"

@@ -1,0 +1,116 @@
+"""Run the viewset-scope passes over a whole mediator configuration.
+
+:func:`analyze_view_set` is the library entry point behind ``python -m
+repro check-views`` (and ``lint --views-only``).  It builds a
+:class:`ViewSetContext` -- the view set plus shared, memoized derived
+artifacts (chased bodies, canonical keys, the label-signature index) so
+the passes do not chase the same view five times -- runs every pass
+registered with ``scope="viewset"``, and returns the findings sorted
+with the same key the per-query analyzer uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ...errors import ChaseContradictionError
+from ...mediator.capabilities import CapabilityView
+from ...rewriting.constraints import Dtd
+from ...tsl.ast import Query
+from ..analyzer import _sort_key
+from ..diagnostics import Diagnostic, registered_passes
+from .signature import LabelSignatureIndex, view_signature
+
+# Importing the pass module registers the TSL4xx passes.
+from . import passes as _passes  # noqa: F401  (registers)
+
+
+@dataclass
+class ViewSetContext:
+    """Everything a viewset pass may look at, plus shared caches.
+
+    ``view_files`` maps a view name to the attribution string findings
+    carry (a file path, or the config-relative pseudo-path of an inline
+    view); a view absent from it was registered programmatically, and
+    passes must suppress its spans (there is no text to excerpt from).
+    """
+
+    views: Mapping[str, Query]
+    view_files: Mapping[str, str] = field(default_factory=dict)
+    dtd: Dtd | None = None
+    capabilities: Mapping[str, CapabilityView] = field(default_factory=dict)
+    capability_files: Mapping[str, str] = field(default_factory=dict)
+
+    _chased: dict = field(default_factory=dict, repr=False)
+    _keys: dict = field(default_factory=dict, repr=False)
+    _index: LabelSignatureIndex | None = field(default=None, repr=False)
+
+    # -- derived artifacts, shared across passes ------------------------
+
+    def chased(self, name: str) -> Query | None:
+        """View *name* chased under the DTD; None when contradictory."""
+        if name not in self._chased:
+            from ...rewriting.chase import chase
+            try:
+                self._chased[name] = chase(self.views[name], self.dtd)
+            except ChaseContradictionError:
+                self._chased[name] = None
+        return self._chased[name]
+
+    def key(self, name: str) -> str:
+        """Canonical hash of the chased view (raw body on contradiction)."""
+        if name not in self._keys:
+            from ...rewriting.canon import query_key
+            chased = self.chased(name)
+            self._keys[name] = query_key(
+                chased if chased is not None else self.views[name])
+        return self._keys[name]
+
+    def index(self) -> LabelSignatureIndex:
+        """The label-signature index of the satisfiable views."""
+        if self._index is None:
+            signatures = {}
+            for name in sorted(self.views):
+                chased = self.chased(name)
+                if chased is not None:
+                    signatures[name] = view_signature(chased)
+            self._index = LabelSignatureIndex(signatures)
+        return self._index
+
+    # -- attribution ----------------------------------------------------
+
+    def file_of(self, name: str) -> str:
+        """Finding attribution: the view's file, or its name."""
+        return self.view_files.get(name, name)
+
+    def span_of(self, name: str, span):
+        """*span*, but only when view *name* has renderable text."""
+        return span if name in self.view_files else None
+
+
+def analyze_view_set(views: Mapping[str, Query], *,
+                     view_files: Mapping[str, str] | None = None,
+                     dtd: Dtd | None = None,
+                     capabilities: Mapping[str, CapabilityView] | None = None,
+                     capability_files: Mapping[str, str] | None = None,
+                     passes: Iterable[str] | None = None
+                     ) -> list[Diagnostic]:
+    """Run the viewset-scope passes and return sorted findings.
+
+    ``passes`` restricts the run to a subset of pass names (see
+    ``registered_passes("viewset")``).
+    """
+    ctx = ViewSetContext(views=dict(views),
+                         view_files=dict(view_files or {}),
+                         dtd=dtd,
+                         capabilities=dict(capabilities or {}),
+                         capability_files=dict(capability_files or {}))
+    wanted = None if passes is None else set(passes)
+    findings: list[Diagnostic] = []
+    for name, pass_fn in registered_passes("viewset").items():
+        if wanted is not None and name not in wanted:
+            continue
+        findings.extend(pass_fn(ctx))
+    findings.sort(key=lambda d: _sort_key(d, None))
+    return findings

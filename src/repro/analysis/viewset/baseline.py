@@ -1,0 +1,102 @@
+"""Baseline suppression for ``check-views``: gate on *new* findings only.
+
+An existing configuration usually carries known findings nobody wants a
+flag-day cleanup for.  A baseline file records their fingerprints;
+``check-views --baseline FILE`` reports and gates only on findings whose
+fingerprint is absent, and ``--update-baseline`` rewrites the file from
+the current report.
+
+A fingerprint is ``CODE:FILE:HASH`` where ``HASH`` is a short blake2b of
+the message.  Spans are deliberately excluded: editing an unrelated line
+of a view file must not un-suppress every finding below it.  Messages
+name the offending views/variables, so distinct findings in one file
+keep distinct fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ...errors import ConfigError
+from ..diagnostics import Diagnostic
+
+#: Bumped when the fingerprint recipe or file layout changes.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """The stable suppression key of *diag* (span-independent)."""
+    digest = hashlib.blake2b(diag.message.encode("utf-8"),
+                             digest_size=6).hexdigest()
+    return f"{diag.code}:{diag.file or ''}:{digest}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A set of suppressed fingerprints."""
+
+    fingerprints: frozenset[str]
+
+    def partition(self, diags: Sequence[Diagnostic]
+                  ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Split *diags* into (new, suppressed), preserving order."""
+        new: list[Diagnostic] = []
+        suppressed: list[Diagnostic] = []
+        for diag in diags:
+            (suppressed if fingerprint(diag) in self.fingerprints
+             else new).append(diag)
+        return new, suppressed
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+
+def baseline_payload(diags: Sequence[Diagnostic]) -> dict:
+    """The JSON document suppressing exactly *diags*.
+
+    Entries carry the code/file/message alongside the fingerprint so a
+    reviewer can audit what a baseline hides without recomputing hashes.
+    """
+    entries = sorted(
+        ({"fingerprint": fingerprint(d), "code": d.code,
+          "file": d.file, "message": d.message} for d in diags),
+        key=lambda e: e["fingerprint"])
+    return {"schema_version": BASELINE_SCHEMA_VERSION,
+            "suppressions": entries}
+
+
+def write_baseline(path: str, diags: Sequence[Diagnostic]) -> None:
+    """Write a baseline file suppressing exactly *diags*."""
+    Path(path).write_text(
+        json.dumps(baseline_payload(diags), indent=2) + "\n",
+        encoding="utf-8")
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load a baseline file written by :func:`write_baseline`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) \
+            or data.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}: not a baseline file (expected schema_version "
+            f"{BASELINE_SCHEMA_VERSION})")
+    suppressions = data.get("suppressions", [])
+    if not isinstance(suppressions, list):
+        raise ConfigError(f"{path}: \"suppressions\" must be a list")
+    fingerprints = set()
+    for entry in suppressions:
+        if not isinstance(entry, dict) \
+                or not isinstance(entry.get("fingerprint"), str):
+            raise ConfigError(f"{path}: each suppression needs a string "
+                              "\"fingerprint\" field")
+        fingerprints.add(entry["fingerprint"])
+    return Baseline(frozenset(fingerprints))

@@ -1,0 +1,184 @@
+"""The viewset-scope lint passes (TSL401-TSL405).
+
+Each pass receives a :class:`~repro.analysis.viewset.analyzer.ViewSetContext`
+and examines the *configuration* -- relations between views that no
+per-query pass can see:
+
+* **TSL401** duplicate view: canonically equivalent (same
+  :func:`~repro.rewriting.canon.query_key` after the chase) to an
+  earlier view, so Step 1A enumerates its mappings twice for nothing.
+* **TSL402** subsumed view: contained in another view
+  (:func:`~repro.rewriting.contained.contained_in`), so every candidate
+  it could contribute the subsumer contributes too.
+* **TSL403** unsatisfiable view: empty on every legal database -- its
+  body trips a TSL2xx DTD check, or the chase derives a contradiction.
+* **TSL404** unsafe view: a head variable not range-restricted by the
+  body; the rewriter refuses such a view at mapping time, so it is dead
+  configuration weight (and usually a typo).
+* **TSL405** capability-unreachable view: a ``$``-parameter that no CBR
+  execution order can ever bind to a constant, because it never occurs
+  in a bindable (label or value) position of the body.
+
+Spans are emitted only for views the context can attribute to real text
+(``ctx.span_of``); programmatically registered views get a name-only
+attribution -- the TSL301 lesson (a span without its text renders a
+caret into the wrong file).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...mediator.capabilities import bindable_parameters
+from ...rewriting.contained import contained_in
+from ..diagnostics import Diagnostic, Severity, register_pass
+from ..passes.dtd import dtd_diagnostics
+from ..passes.wellformed import _first_span
+from .signature import query_profile
+
+
+@register_pass("view-duplicate", scope="viewset")
+def duplicate_pass(ctx) -> Iterator[Diagnostic]:
+    """TSL401: views with identical canonical forms."""
+    first_with_key: dict[str, str] = {}
+    for name in sorted(ctx.views):
+        original = first_with_key.setdefault(ctx.key(name), name)
+        if original == name:
+            continue
+        yield Diagnostic(
+            "TSL401", Severity.WARNING,
+            f"view {name} is canonically equivalent to view {original}; "
+            "the rewriter enumerates both, but they contribute identical "
+            "candidates",
+            span=ctx.span_of(name, ctx.views[name].head.span),
+            file=ctx.file_of(name),
+            suggestion=f"unregister {name} (or {original}) -- one copy "
+                       "answers every query the pair does")
+
+
+@register_pass("view-subsumed", scope="viewset")
+def subsumed_pass(ctx) -> Iterator[Diagnostic]:
+    """TSL402: views contained in another registered view.
+
+    Pairs with equal canonical keys are TSL401's business and skipped
+    here; unsatisfiable views are TSL403's and skipped too (the empty
+    view is vacuously contained in everything).  The signature index
+    pre-screens each direction: testing ``a ⊆ b`` needs a containment
+    mapping from ``b`` into ``a``, which requires ``b``'s signature to
+    be admissible for ``a``'s profile.
+    """
+    index = ctx.index()
+    names = [n for n in sorted(ctx.views) if ctx.chased(n) is not None]
+    profiles = {n: query_profile(ctx.chased(n)) for n in names}
+    subsumed: set[str] = set()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if ctx.key(a) == ctx.key(b):
+                continue
+            a_in_b = (index.admissible(b, profiles[a])
+                      and contained_in(ctx.views[a], ctx.views[b], ctx.dtd))
+            b_in_a = (index.admissible(a, profiles[b])
+                      and contained_in(ctx.views[b], ctx.views[a], ctx.dtd))
+            if a_in_b and b_in_a:
+                # Equivalent but not syntactically canonical-equal:
+                # report the later name, like TSL401 does.
+                pair = [(b, a)]
+            elif a_in_b:
+                pair = [(a, b)]
+            elif b_in_a:
+                pair = [(b, a)]
+            else:
+                continue
+            for loser, winner in pair:
+                if loser in subsumed:
+                    continue
+                subsumed.add(loser)
+                yield Diagnostic(
+                    "TSL402", Severity.WARNING,
+                    f"view {loser} is contained in view {winner}; every "
+                    f"object it returns, {winner} returns too, so it can "
+                    "never contribute a candidate the subsumer does not",
+                    span=ctx.span_of(loser, ctx.views[loser].head.span),
+                    file=ctx.file_of(loser),
+                    suggestion=f"drop {loser}, or widen it if it was "
+                               "meant to cover data the subsumer misses")
+
+
+@register_pass("view-dtd", scope="viewset")
+def dtd_pass(ctx) -> Iterator[Diagnostic]:
+    """TSL403: views that are empty on every legal database."""
+    for name in sorted(ctx.views):
+        view = ctx.views[name]
+        if ctx.dtd is not None:
+            for diag in dtd_diagnostics(view, ctx.dtd):
+                if diag.code != "TSL201":   # TSL202 is advice, not emptiness
+                    continue
+                yield Diagnostic(
+                    "TSL403", Severity.WARNING,
+                    f"view {name} is unsatisfiable under the DTD: "
+                    f"{diag.message}",
+                    span=ctx.span_of(name, diag.span),
+                    file=ctx.file_of(name),
+                    suggestion=diag.suggestion)
+        if ctx.chased(name) is None:
+            yield Diagnostic(
+                "TSL403", Severity.WARNING,
+                f"view {name} is unsatisfiable: the chase derives a "
+                "contradiction from its body (the oid key dependency "
+                "forces one object to carry two distinct atomic values)",
+                span=ctx.span_of(name, view.head.span),
+                file=ctx.file_of(name),
+                suggestion="the view is empty on every database; fix the "
+                           "conflicting conditions or unregister it")
+
+
+@register_pass("view-safety", scope="viewset")
+def safety_pass(ctx) -> Iterator[Diagnostic]:
+    """TSL404: head variables not range-restricted by the body."""
+    for name in sorted(ctx.views):
+        view = ctx.views[name]
+        missing = view.head_variables() - view.body_variables()
+        for var_name in sorted(v.name for v in missing):
+            yield Diagnostic(
+                "TSL404", Severity.ERROR,
+                f"view {name} is unsafe: head variable {var_name} is not "
+                "bound in the view body, so no containment mapping can "
+                "ever instantiate it",
+                span=ctx.span_of(
+                    name, _first_span(view.head.variables(), var_name)),
+                file=ctx.file_of(name),
+                suggestion=f"bind {var_name} in a body condition or drop "
+                           "it from the head")
+
+
+@register_pass("view-capability", scope="viewset")
+def capability_pass(ctx) -> Iterator[Diagnostic]:
+    """TSL405: capability parameters no execution order can bind.
+
+    ``CapabilityView.instantiate`` requires every ``$``-parameter bound
+    to a constant; the CBR discovers those constants from label/value
+    positions during the mapping step.  A parameter that never occurs in
+    a bindable body position -- absent from the body, or used only as an
+    object id -- can therefore never be supplied, and the capability is
+    unusable in any execution order.
+    """
+    for name in sorted(ctx.capabilities):
+        capability = ctx.capabilities[name]
+        bindable = {v.name for v in bindable_parameters(capability.query)}
+        for param in sorted(v.name for v in capability.parameters):
+            if param in bindable:
+                continue
+            body_vars = {v.name
+                         for v in capability.query.body_variables()}
+            where = ("only in object-id positions" if param in body_vars
+                     else "nowhere in the body")
+            yield Diagnostic(
+                "TSL405", Severity.WARNING,
+                f"capability {name} is unreachable: parameter {param} "
+                f"occurs {where}, so no execution order can ever bind it "
+                "to a constant and instantiate() always fails",
+                span=(_first_span(capability.query.all_variables(), param)
+                      if name in ctx.capability_files else None),
+                file=ctx.capability_files.get(name, name),
+                suggestion=f"use {param} in a label or value field of the "
+                           "body, or drop the parameter")

@@ -4,17 +4,22 @@ Usage (installed as ``python -m repro``)::
 
     python -m repro validate QUERY.tsl
     python -m repro lint QUERY.tsl [--view NAME=V.tsl ...] [--dtd FILE] \
-        [--format text|json] [--strict]
+        [--format text|json|sarif] [--strict]
+    python -m repro lint --views-only --view NAME=V.tsl ... [--dtd FILE] \
+        [--format text|json|sarif] [--strict]
+    python -m repro check-views CONFIG.json [--format text|json|sarif] \
+        [--baseline FILE] [--update-baseline] [--strict]
     python -m repro evaluate QUERY.tsl --db DATA.json [--dot] \
         [--trace OUT] [--trace-format jsonl|chrome|text]
     python -m repro rewrite QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--contained] [--format text|json] \
         [--trace OUT] [--trace-format jsonl|chrome|text] \
         [--budget-ms N] [--max-steps N] [--max-candidates N] \
-        [--no-memo] [--memo-size N]
+        [--no-memo] [--memo-size N] [--no-signature-prefilter]
     python -m repro explain QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--format text|json] \
-        [--budget-ms N] [--max-steps N] [--max-candidates N] [--no-memo]
+        [--budget-ms N] [--max-steps N] [--max-candidates N] \
+        [--no-memo] [--no-signature-prefilter]
     python -m repro metrics [QUERY.tsl --view NAME=VIEW.tsl ...] \
         [--dtd FILE.dtd] [--format prom|json]
     python -m repro import-xml DOC.xml -o DATA.json
@@ -32,6 +37,13 @@ codes ``TSLxxx``, see ``docs/LINTING.md``) and exits 0 when clean, 1
 when only warnings were found and ``--strict`` is set, and 2 on errors.
 ``validate`` and ``rewrite`` render their parse/validation failures
 through the same span-aware renderer (source line + caret underline).
+
+``check-views`` analyzes a whole mediator configuration (views +
+optional DTD + capability records) with the viewset passes (``TSL4xx``:
+duplicate, subsumed, DTD-unsatisfiable, unsafe, and capability-
+unreachable views).  ``--baseline`` suppresses known findings by
+fingerprint and gates only on new ones; ``--format sarif`` emits SARIF
+2.1.0 for code-scanning upload.  Exit codes match ``lint``.
 
 ``fuzz`` runs the :mod:`repro.oracle` differential-testing campaign
 (see ``docs/TESTING.md``); it exits 0 when all oracles were green, 1
@@ -58,7 +70,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from .analysis import Diagnostic, Severity, analyze, render_json, render_text
+from .analysis import (Diagnostic, Severity, analyze, analyze_view_set,
+                       load_config, render_json, render_sarif, render_text)
 from .errors import ReproError, TslError, TslSyntaxError
 from .obs import (TRACE_FORMATS, Budget, MetricsRegistry, Tracer,
                   render_prometheus, write_trace)
@@ -172,9 +185,11 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         session = RewriteSession(views, constraints,
                                  memo_size=args.memo_size,
                                  enabled=not args.no_memo)
-        result = session.rewrite(query, total_only=args.total,
-                                 max_candidates=args.max_candidates,
-                                 tracer=tracer, budget=budget)
+        result = session.rewrite(
+            query, total_only=args.total,
+            max_candidates=args.max_candidates,
+            signature_prefilter=not args.no_signature_prefilter,
+            tracer=tracer, budget=budget)
         rewritings = [(r.query, "equivalent") for r in result.rewritings]
         truncated, stop_reason = result.truncated, result.stats.stop_reason
         stats = result.stats
@@ -222,10 +237,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     session = RewriteSession(views, constraints,
                              memo_size=args.memo_size,
                              enabled=not args.no_memo)
-    result = session.rewrite(query, total_only=args.total,
-                             max_candidates=args.max_candidates,
-                             tracer=tracer, budget=budget,
-                             explain=explanation)
+    result = session.rewrite(
+        query, total_only=args.total,
+        max_candidates=args.max_candidates,
+        signature_prefilter=not args.no_signature_prefilter,
+        tracer=tracer, budget=budget, explain=explanation)
     _write_trace_if_requested(tracer, args)
     if args.format == "json":
         print(json_module.dumps(explanation.to_json(), indent=2))
@@ -266,18 +282,40 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _severity_exit(diagnostics: list[Diagnostic], strict: bool) -> int:
+    """The lint-family exit code: 2 on errors, 1 on strict warnings."""
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        return 2
+    if strict and any(d.severity is Severity.WARNING
+                      for d in diagnostics):
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.views_only:
+        if args.query:
+            raise ReproError("lint --views-only takes no query; pass the "
+                             "view set via --view")
+        if not args.view:
+            raise ReproError("lint --views-only requires at least one "
+                             "--view")
+    elif not args.query:
+        raise ReproError("lint requires a query file (or --views-only "
+                         "with --view)")
+
     texts: dict[str, str] = {}
     diagnostics: list[Diagnostic] = []
 
-    path = args.query
-    text = _read(path)
-    texts[path] = text
     query = None
-    try:
-        query = parse_query(text)
-    except TslSyntaxError as exc:
-        diagnostics.append(_error_diagnostic(exc, path))
+    if not args.views_only:
+        path = args.query
+        text = _read(path)
+        texts[path] = text
+        try:
+            query = parse_query(text)
+        except TslSyntaxError as exc:
+            diagnostics.append(_error_diagnostic(exc, path))
 
     views = {}
     view_files = {}
@@ -302,9 +340,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         diagnostics.extend(analyze(
             view_query, source_text=texts[view_path],
             source_name=view_path, dtd=dtd))
+    if args.views_only:
+        diagnostics.extend(analyze_view_set(
+            views, view_files=view_files, dtd=dtd))
 
     if args.format == "json":
         print(render_json(diagnostics))
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics), end="")
     else:
         for diag in diagnostics:
             print(render_text(diag, text=texts.get(diag.file)))
@@ -316,12 +359,56 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             print("clean: no findings", file=sys.stderr)
 
-    if any(d.severity is Severity.ERROR for d in diagnostics):
-        return 2
-    if args.strict and any(d.severity is Severity.WARNING
-                           for d in diagnostics):
-        return 1
-    return 0
+    return _severity_exit(diagnostics, args.strict)
+
+
+def _cmd_check_views(args: argparse.Namespace) -> int:
+    from .analysis.viewset.baseline import load_baseline, write_baseline
+
+    config = load_config(args.config)
+    diagnostics = list(config.diagnostics)
+    diagnostics.extend(analyze_view_set(
+        config.views, view_files=config.view_files, dtd=config.dtd,
+        capabilities=config.capabilities,
+        capability_files=config.capability_files))
+
+    if args.update_baseline:
+        if not args.baseline:
+            raise ReproError("--update-baseline requires --baseline FILE "
+                             "(the file to rewrite)")
+        write_baseline(args.baseline, diagnostics)
+        print(f"baseline {args.baseline} updated: "
+              f"{len(diagnostics)} suppression(s)", file=sys.stderr)
+        return 0
+
+    suppressed_count = 0
+    reported = diagnostics
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        reported, suppressed = baseline.partition(diagnostics)
+        suppressed_count = len(suppressed)
+
+    if args.format == "json":
+        print(render_json(reported))
+    elif args.format == "sarif":
+        print(render_sarif(reported, tool_name="repro-check-views"),
+              end="")
+    else:
+        for diag in reported:
+            print(render_text(diag, text=config.texts.get(diag.file)))
+        errors = sum(d.severity is Severity.ERROR for d in reported)
+        warnings = sum(d.severity is Severity.WARNING for d in reported)
+        suffix = (f"; {suppressed_count} suppressed by baseline"
+                  if args.baseline else "")
+        noun = "new finding(s)" if args.baseline else "finding(s)"
+        if reported:
+            print(f"{len(reported)} {noun}: {errors} error(s), "
+                  f"{warnings} warning(s){suffix}", file=sys.stderr)
+        else:
+            clean = "new findings" if args.baseline else "findings"
+            print(f"clean: no {clean}{suffix}", file=sys.stderr)
+
+    return _severity_exit(reported, args.strict)
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -408,19 +495,47 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd = commands.add_parser(
         "lint", help="run the TSL static analyzer over a query "
                      "(and optionally views / a DTD)")
-    lint_cmd.add_argument("query")
+    lint_cmd.add_argument("query", nargs="?",
+                          help="query file (omit with --views-only)")
     lint_cmd.add_argument("--view", action="append", default=[],
                           metavar="NAME=FILE",
                           help="view definitions to lint alongside "
                                "the query (repeatable)")
+    lint_cmd.add_argument("--views-only", action="store_true",
+                          help="lint only the --view set, including the "
+                               "whole-configuration TSL4xx passes")
     lint_cmd.add_argument("--dtd",
                           help="structural constraints file; enables the "
                                "TSL2xx satisfiability lints")
-    lint_cmd.add_argument("--format", choices=("text", "json"),
+    lint_cmd.add_argument("--format", choices=("text", "json", "sarif"),
                           default="text")
     lint_cmd.add_argument("--strict", action="store_true",
                           help="exit 1 when warnings were found")
     lint_cmd.set_defaults(handler=_cmd_lint)
+
+    check_views_cmd = commands.add_parser(
+        "check-views", help="analyze a whole mediator view configuration "
+                            "(TSL4xx: duplicate / subsumed / "
+                            "unsatisfiable / unsafe / capability-"
+                            "unreachable views)")
+    check_views_cmd.add_argument(
+        "config", help="mediator configuration JSON (views + optional "
+                       "dtd / capabilities)")
+    check_views_cmd.add_argument("--format",
+                                 choices=("text", "json", "sarif"),
+                                 default="text")
+    check_views_cmd.add_argument("--baseline", metavar="FILE",
+                                 help="suppression baseline: report and "
+                                      "gate only on findings absent "
+                                      "from it")
+    check_views_cmd.add_argument("--update-baseline", action="store_true",
+                                 help="rewrite --baseline to suppress "
+                                      "every current finding, then "
+                                      "exit 0")
+    check_views_cmd.add_argument("--strict", action="store_true",
+                                 help="exit 1 when new warnings were "
+                                      "found")
+    check_views_cmd.set_defaults(handler=_cmd_check_views)
 
     evaluate_cmd = commands.add_parser(
         "evaluate", help="evaluate a TSL query over a JSON OEM database")
@@ -457,6 +572,12 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("--max-candidates", type=int, metavar="N",
                              help="cap on candidates tested (truncates "
                                   "the search)")
+    rewrite_cmd.add_argument("--no-signature-prefilter",
+                             action="store_true",
+                             help="disable the sound label-signature "
+                                  "pre-filter that skips views whose "
+                                  "body labels cannot map into the "
+                                  "query")
     rewrite_cmd.add_argument("--no-memo", action="store_true",
                              help="disable the rewrite session's memo "
                                   "tables (prepared views + canonical-"
@@ -489,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="step budget over all search phases")
     explain_cmd.add_argument("--max-candidates", type=int, metavar="N",
                              help="cap on candidates tested")
+    explain_cmd.add_argument("--no-signature-prefilter",
+                             action="store_true",
+                             help="disable the label-signature "
+                                  "pre-filter (every view then reaches "
+                                  "mapping enumeration)")
     explain_cmd.add_argument("--no-memo", action="store_true",
                              help="disable the rewrite session's memo "
                                   "tables")
@@ -526,7 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "many seconds")
     fuzz_cmd.add_argument("--oracle", action="append", default=[],
                           choices=("semantic", "containment", "memo",
-                                   "metamorphic"),
+                                   "metamorphic", "signature"),
                           help="oracle(s) to run (repeatable; default: all)")
     fuzz_cmd.add_argument("--profile", action="append", default=[],
                           metavar="NAME",

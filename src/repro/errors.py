@@ -177,5 +177,16 @@ class CapabilityError(MediatorError):
     """No capability-respecting plan exists for a query."""
 
 
+class ConfigError(MediatorError):
+    """A mediator configuration file is malformed.
+
+    Raised by :func:`repro.analysis.viewset.load_config` for structural
+    problems (bad JSON, wrong types, missing files).  TSL syntax errors
+    *inside* a referenced view are not raised: they become ``TSL000``
+    diagnostics in the config's report, so one broken view does not hide
+    the analysis of the rest.
+    """
+
+
 class RepositoryError(ReproError):
     """Base class for repository-layer errors."""

@@ -33,6 +33,29 @@ def parameters_of(query: Query) -> frozenset[Variable]:
                      if v.name.startswith("$"))
 
 
+def bindable_parameters(query: Query) -> frozenset[Variable]:
+    """The parameters a CBR execution order can actually bind.
+
+    The mapping step discovers parameter values from *data* positions:
+    a parameter occurring as a body label or atomic value can be matched
+    against a constant of the query (or of an earlier view's output) and
+    fed to :meth:`CapabilityView.instantiate`.  A parameter that occurs
+    only in object-id fields -- or not in the body at all -- never meets
+    a constant, so the capability can never be instantiated (see lint
+    TSL405 in :mod:`repro.analysis.viewset`).
+    """
+    from ..tsl.normalize import query_paths
+
+    bindable: set[Variable] = set()
+    for path in query_paths(query):
+        for _oid, label in path.steps:
+            if isinstance(label, Variable) and label.name.startswith("$"):
+                bindable.add(label)
+        if isinstance(path.leaf, Variable) and path.leaf.name.startswith("$"):
+            bindable.add(path.leaf)
+    return frozenset(bindable)
+
+
 @dataclass(frozen=True)
 class CapabilityView:
     """One supported query template of a source."""

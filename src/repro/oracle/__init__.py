@@ -31,7 +31,8 @@ from .gen import (DEFAULT_PROFILE_ROTATION, LABEL_POOL, PROFILES, VALUE_POOL,
                   random_query, random_substitution, random_term,
                   sample_db_and_query, sample_view)
 from .oracles import (ORACLES, ContainmentOracle, Failure, MetamorphicOracle,
-                      OracleResult, SemanticOracle, run_oracle)
+                      OracleResult, SemanticOracle, SignatureOracle,
+                      run_oracle)
 from .runner import (DEFAULT_ORACLES, FailureRecord, FuzzConfig, FuzzReport,
                      replay, run_fuzz)
 from .shrink import shrink_case
@@ -53,6 +54,7 @@ __all__ = [
     "MetamorphicOracle",
     "OracleResult",
     "SemanticOracle",
+    "SignatureOracle",
     "brute_coverage",
     "brute_mappings",
     "brute_query_maps_into",

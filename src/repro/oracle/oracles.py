@@ -33,6 +33,14 @@ memo
     path) -- returns exactly the rewriting set of the unmemoized
     pipeline, compared by canonical hash, and the session's memoized
     chase agrees with the plain chase.
+
+signature
+    Transparency and soundness of the label-signature pre-filter
+    (:mod:`repro.analysis.viewset.signature`): rewriting with the
+    pre-filter on returns exactly the rewriting set of rewriting with
+    it off, and every view the signature judges inadmissible for the
+    query profile truly has no containment mapping into the prepared
+    target, confirmed by the brute-force enumerator.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+from ..analysis.viewset.signature import query_profile, view_signature
 from ..errors import ChaseContradictionError, CompositionError, ReproError
 from ..logic.terms import FunctionTerm
 from ..oem.equivalence import explain_difference, identical
@@ -445,11 +454,83 @@ class MemoOracle:
         return result
 
 
+class SignatureOracle:
+    """The label-signature pre-filter must be invisible and sound.
+
+    Two invariants over every case:
+
+    * **parity** -- ``rewrite`` with ``signature_prefilter=True`` (the
+      default) and ``False`` produce the identical rewriting set,
+      compared by canonical hash plus views used (truncated searches
+      are skipped: a partial set may legitimately differ when pruning
+      changes the enumeration order).
+    * **soundness** -- every chased view whose
+      :class:`~repro.analysis.viewset.signature.ViewSignature` is
+      inadmissible for the prepared target's profile must have *zero*
+      containment mappings into that target, confirmed against the
+      brute-force enumerator.  A single mapping from a pruned view
+      would mean the pre-filter discards real rewritings.
+    """
+
+    name = "signature"
+
+    def __init__(self, max_candidates: int = 128) -> None:
+        self.max_candidates = max_candidates
+
+    @staticmethod
+    def _fingerprint(outcome) -> set:
+        return {(query_key(r.query), tuple(sorted(r.views_used)))
+                for r in outcome.rewritings}
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        constraints = case.constraints
+        filtered = rewrite(case.query, case.views, constraints,
+                           max_candidates=self.max_candidates)
+        unfiltered = rewrite(case.query, case.views, constraints,
+                             max_candidates=self.max_candidates,
+                             signature_prefilter=False)
+        if not filtered.truncated and not unfiltered.truncated:
+            result.checks += 1
+            on = self._fingerprint(filtered)
+            off = self._fingerprint(unfiltered)
+            if on != off:
+                result.failures.append(Failure(
+                    self.name, "prefilter-parity",
+                    f"rewriting set changed under the pre-filter: "
+                    f"only_on={sorted(on - off)} "
+                    f"only_off={sorted(off - on)}"))
+        prepared = prepare_program([case.query], constraints)
+        if not prepared:
+            return result  # contradictory body: every pruning is sound
+        target = prepared[0]
+        profile = query_profile(target)
+        for name, view in sorted(case.views.items()):
+            try:
+                chased_view = chase(view, constraints)
+            except ChaseContradictionError:
+                continue  # unsatisfiable view: rewriter skips it anyway
+            signature = view_signature(chased_view)
+            if signature.admissible_for(profile):
+                continue
+            result.checks += 1
+            mappings = brute_mappings(chased_view, target)
+            if mappings:
+                result.failures.append(Failure(
+                    self.name, "prefilter-unsound",
+                    f"view {name} judged inadmissible "
+                    f"({signature.missing_from(profile)}) but has "
+                    f"{len(mappings)} brute-force containment "
+                    f"mapping(s) into the target"))
+        return result
+
+
 ORACLES: dict[str, Callable[[], Oracle]] = {
     "semantic": SemanticOracle,
     "containment": ContainmentOracle,
     "memo": MemoOracle,
     "metamorphic": MetamorphicOracle,
+    "signature": SignatureOracle,
 }
 
 

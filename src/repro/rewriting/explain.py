@@ -38,10 +38,13 @@ __all__ = ["Explanation", "MappingEvent", "CandidateEvent", "VERDICTS",
 #: Bumped when the JSON layout changes incompatibly.
 EXPLAIN_SCHEMA_VERSION = 1
 
-#: Every verdict a candidate can receive.
+#: Every verdict a candidate can receive.  ``pruned-signature`` is a
+#: Step 1A verdict (a whole view skipped by the label-signature
+#: pre-filter before mapping enumeration); the rest are per-candidate.
 VERDICTS = ("accepted", "pruned-heuristic", "pruned-unsafe",
             "pruned-subsumed", "skipped-max-candidates", "failed-chase",
-            "failed-composition", "failed-equivalence")
+            "failed-composition", "failed-equivalence",
+            "pruned-signature")
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,7 +53,10 @@ class MappingEvent:
 
     ``found`` events carry the substitution and the covered target-path
     indices; refutations carry ``obstacle`` -- the first failing
-    condition/label of the mapping search.
+    condition/label of the mapping search.  A view the label-signature
+    pre-filter skipped *without* enumerating anything carries
+    ``verdict="pruned-signature"`` (serialized only when set, so logs
+    from runs without the pre-filter are byte-identical to before).
     """
 
     view: str
@@ -58,6 +64,7 @@ class MappingEvent:
     substitution: str | None = None
     covers: tuple[int, ...] | None = None
     obstacle: str | None = None
+    verdict: str | None = None
 
     def to_json(self) -> dict:
         payload: dict = {"view": self.view, "found": self.found}
@@ -66,6 +73,8 @@ class MappingEvent:
             payload["covers"] = list(self.covers or ())
         else:
             payload["obstacle"] = self.obstacle
+        if self.verdict is not None:
+            payload["verdict"] = self.verdict
         return payload
 
 
@@ -131,6 +140,12 @@ class Explanation:
     def mapping_refuted(self, view: str, obstacle: str) -> None:
         self.mappings.append(MappingEvent(
             view=view, found=False, obstacle=obstacle))
+
+    def view_pruned(self, view: str, obstacle: str) -> None:
+        """The signature pre-filter skipped *view* before Step 1A."""
+        self.mappings.append(MappingEvent(
+            view=view, found=False, obstacle=obstacle,
+            verdict="pruned-signature"))
 
     def atom(self, condition, view: str | None, covers,
              merged_from: int = 1) -> None:
@@ -230,6 +245,9 @@ class Explanation:
                 covers = ", ".join(map(str, event.covers or ()))
                 lines.append(f"  {event.view}: mapping {event.substitution}"
                              f" covers condition(s) [{covers}]")
+            elif event.verdict == "pruned-signature":
+                lines.append(f"  {event.view}: pruned (signature) -- "
+                             f"{event.obstacle}")
             else:
                 lines.append(f"  {event.view}: refuted -- {event.obstacle}")
         lines.append("")

@@ -125,6 +125,7 @@ class RewriteStats:
     """
 
     mappings: int = 0
+    views_pruned_signature: int = 0
     candidates_enumerated: int = 0
     candidates_tested: int = 0
     candidates_pruned_by_heuristic: int = 0
@@ -182,7 +183,11 @@ def _as_view_dict(views: Union[Mapping[str, Query], Sequence[Query]]
 def view_instantiations(query: Query, views: Mapping[str, Query],
                         constraints: StructuralConstraints | None = None,
                         *, tracer=None, budget=None,
-                        session=None, explain=None) -> list[CandidateAtom]:
+                        session=None, explain=None,
+                        signature_index=None,
+                        signature_prefilter: bool = False,
+                        stats: "RewriteStats | None" = None
+                        ) -> list[CandidateAtom]:
     """Step 1A: mappings from each view body into body(Q), as atoms.
 
     Each mapping ``θ`` yields the condition ``θ(head(Vi))@Vi`` together
@@ -191,10 +196,36 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
     is done once per session (prepared views), not once per call.  An
     :class:`~repro.rewriting.explain.Explanation` receives one event per
     mapping found, or the refutation obstacle for views with none.
+
+    The label-signature pre-filter (a sound necessary condition, see
+    :mod:`repro.analysis.viewset.signature`) skips views that provably
+    have no containment mapping into *query*: with *signature_index* (a
+    precomputed :class:`~repro.analysis.viewset.LabelSignatureIndex`)
+    the skip happens before the view is even chased; with bare
+    ``signature_prefilter=True`` each view's signature is computed from
+    its chased body, saving only the mapping enumeration.  Skips are
+    counted on ``stats.views_pruned_signature`` and recorded as
+    ``pruned-signature`` events on *explain*.  *query* must already be
+    chased (as in ``_search``) for the profile to be sound.
     """
     tracer = tracer or NULL_TRACER
     atoms: list[CandidateAtom] = []
+    profile = None
+    if signature_index is not None or signature_prefilter:
+        from ..analysis.viewset.signature import (query_profile,
+                                                  view_signature)
+        profile = query_profile(query)
     for name in sorted(views):
+        if signature_index is not None:
+            signature = signature_index.signature(name)
+            if signature is not None \
+                    and not signature.admissible_for(profile):
+                if stats is not None:
+                    stats.views_pruned_signature += 1
+                if explain is not None:
+                    explain.view_pruned(name,
+                                        signature.missing_from(profile))
+                continue
         with tracer.span("enumerate_mappings", view=name) as span:
             if session is not None:
                 view = session.prepared_view(name, tracer=tracer,
@@ -202,6 +233,16 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
             else:
                 view = chase(views[name], constraints, tracer=tracer,
                              budget=budget)
+            if signature_index is None and signature_prefilter:
+                signature = view_signature(view)
+                if not signature.admissible_for(profile):
+                    if stats is not None:
+                        stats.views_pruned_signature += 1
+                    if explain is not None:
+                        explain.view_pruned(
+                            name, signature.missing_from(profile))
+                    span.set("pruned", "signature")
+                    continue
             found = 0
             mapping: ContainmentMapping
             for mapping in find_mappings(view, query, budget=budget):
@@ -230,6 +271,7 @@ def rewrite(query: Query,
             prune_subsumed: bool = True,
             first_only: bool = False,
             max_candidates: int | None = None,
+            signature_prefilter: bool = True,
             tracer=None,
             budget=None,
             metrics=None,
@@ -258,6 +300,15 @@ def rewrite(query: Query,
     max_candidates:
         Safety cap on the number of candidates tested.  Hitting it sets
         ``stats.truncated`` with ``stop_reason="max_candidates"``.
+    signature_prefilter:
+        Skip views whose label signature cannot embed into the query
+        (default True).  The check is a *sound* necessary condition for
+        a containment mapping to exist (see
+        :mod:`repro.analysis.viewset.signature`), so the rewriting set
+        is unchanged -- only Step 1A work is saved; skipped views are
+        counted in ``stats.views_pruned_signature``.  Deliberately not
+        part of the session memo key: on or off, the memoized result is
+        the same.
     tracer:
         Optional :class:`repro.obs.Tracer`; records the span tree
         ``rewrite`` > ``prepare``/``enumerate_mappings``/``candidate`` >
@@ -319,7 +370,8 @@ def rewrite(query: Query,
                          views=",".join(sorted(views))) as span:
             try:
                 _search(query, views, constraints, heuristic, total_only,
-                        prune_subsumed, first_only, max_candidates, result,
+                        prune_subsumed, first_only, max_candidates,
+                        signature_prefilter, result,
                         tracer, budget, session, metrics, explain)
             except BudgetExceededError as exc:
                 result.stats.truncated = True
@@ -341,6 +393,7 @@ def _search(query: Query, views: dict[str, Query],
             constraints: StructuralConstraints | None,
             heuristic: bool, total_only: bool, prune_subsumed: bool,
             first_only: bool, max_candidates: int | None,
+            signature_prefilter: bool,
             result: RewriteResult, tracer, budget,
             session=None, metrics=None, explain=None) -> None:
     """The Section 3.4 search loop, mutating *result* in place.
@@ -362,16 +415,25 @@ def _search(query: Query, views: dict[str, Query],
 
     if explain is not None:
         # Explanations need the per-mapping events, so Step 1A bypasses
-        # the session's atom memo (prepared views are still shared).
+        # the session's atom memo (prepared views are still shared; the
+        # session's signature index is too).
+        index = session.signature_index() \
+            if signature_prefilter and session is not None else None
         atoms = view_instantiations(target, views, constraints,
                                     tracer=tracer, budget=budget,
-                                    session=session, explain=explain)
+                                    session=session, explain=explain,
+                                    signature_index=index,
+                                    signature_prefilter=signature_prefilter,
+                                    stats=result.stats)
     elif session is not None:
-        atoms = session.candidate_atoms(target, tracer=tracer,
-                                        budget=budget)
+        atoms = session.candidate_atoms(
+            target, tracer=tracer, budget=budget,
+            signature_prefilter=signature_prefilter, stats=result.stats)
     else:
         atoms = view_instantiations(target, views, constraints,
-                                    tracer=tracer, budget=budget)
+                                    tracer=tracer, budget=budget,
+                                    signature_prefilter=signature_prefilter,
+                                    stats=result.stats)
     result.stats.mappings = len(atoms)
     if not total_only:
         atoms.extend(
@@ -498,6 +560,10 @@ def _record_metrics(metrics, stats: RewriteStats) -> None:
             continue
         metrics.increment(f"rewrite.{name}", value)
     metrics.increment("rewrite.runs")
+    # The ISSUE-facing name for the signature pre-filter's work saved;
+    # rewrite.views_pruned_signature above is the raw stats-field dump.
+    metrics.increment("rewrite.pruned.signature",
+                      stats.views_pruned_signature)
     if stats.truncated:
         metrics.increment("rewrite.truncated_runs")
     if stats.stop_reason is not None:

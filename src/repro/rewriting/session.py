@@ -152,6 +152,7 @@ class RewriteSession:
         self.metrics = metrics
         self.enabled = enabled
         self._prepared_views: dict[str, Query] = {}
+        self._signature_index = None
 
         def table(name: str) -> MemoTable:
             return MemoTable(name, memo_size, metrics)
@@ -173,6 +174,7 @@ class RewriteSession:
         from .rewriter import _as_view_dict
         self.views = _as_view_dict(views)
         self._prepared_views.clear()
+        self._signature_index = None
         self._atoms.clear()
         self._results.clear()
 
@@ -186,6 +188,31 @@ class RewriteSession:
             if self.enabled:
                 self._prepared_views[name] = prepared
         return prepared
+
+    def signature_index(self, *, tracer=None, budget=None):
+        """The label-signature index of this session's view set.
+
+        Built lazily from the prepared (chased) views -- sharing the
+        per-view chase with Step 1A -- and invalidated by
+        :meth:`update_views`.  Views whose body is contradictory are
+        left out: the pre-filter never prunes a view it has no
+        signature for.  The index is a pure function of the (views,
+        constraints) pair, so it is kept even with ``enabled=False``
+        (it is not a memo of per-query work).
+        """
+        from ..analysis.viewset.signature import (LabelSignatureIndex,
+                                                  view_signature)
+        if self._signature_index is None:
+            signatures = {}
+            for name in sorted(self.views):
+                try:
+                    prepared = self.prepared_view(name, tracer=tracer,
+                                                  budget=budget)
+                except ChaseContradictionError:
+                    continue
+                signatures[name] = view_signature(prepared)
+            self._signature_index = LabelSignatureIndex(signatures)
+        return self._signature_index
 
     # -- memoized pipeline stages --------------------------------------------
 
@@ -281,29 +308,46 @@ class RewriteSession:
 
     # -- candidate atoms and whole-result memoization ------------------------
 
-    def candidate_atoms(self, target: Query, *, tracer=None, budget=None):
+    def candidate_atoms(self, target: Query, *, tracer=None, budget=None,
+                        signature_prefilter: bool = False, stats=None):
         """Memoized Step 1A over the prepared views.
 
         ``covers`` indices are positions in the target's path list, so a
-        hit is only served for a structurally identical target.
+        hit is only served for a structurally identical target.  With
+        *signature_prefilter*, Step 1A consults
+        :meth:`signature_index`; the memo key includes the flag (the
+        atoms are identical either way -- the pre-filter is sound -- but
+        the pruned-view count stored with the entry is not), and a hit
+        replays that count onto *stats*.
         """
-        from .rewriter import view_instantiations
+        from .rewriter import RewriteStats, view_instantiations
+        index = self.signature_index(tracer=tracer, budget=budget) \
+            if signature_prefilter else None
         if not self.enabled:
             return view_instantiations(target, self.views,
                                        self.constraints, tracer=tracer,
-                                       budget=budget, session=self)
+                                       budget=budget, session=self,
+                                       signature_index=index, stats=stats)
         probe = canonicalize(target)
-        value = self._atoms.peek(probe.key)
+        key = (probe.key, signature_prefilter)
+        value = self._atoms.peek(key)
         if value is not _MISS:
-            stored, atoms = value
+            stored, atoms, pruned = value
             if stored == target:
                 self._atoms.record_hit()
+                if stats is not None:
+                    stats.views_pruned_signature += pruned
                 return list(atoms)
         self._atoms.record_miss()
+        counter = RewriteStats()
         atoms = view_instantiations(target, self.views, self.constraints,
                                     tracer=tracer, budget=budget,
-                                    session=self)
-        self._atoms.put(probe.key, (target, tuple(atoms)))
+                                    session=self, signature_index=index,
+                                    stats=counter)
+        if stats is not None:
+            stats.views_pruned_signature += counter.views_pruned_signature
+        self._atoms.put(key, (target, tuple(atoms),
+                              counter.views_pruned_signature))
         return atoms
 
     def rewrite(self, query: Query, **kwargs):

@@ -1,0 +1,182 @@
+"""End-to-end tests for ``python -m repro check-views`` and
+``lint --views-only``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_VIEW = "<a(P) x V> :- <P alpha V>@db"
+DUP_VIEW = "<a(Q) x W> :- <Q alpha W>@db"
+UNSAFE_VIEW = "<u(P) x W> :- <P alpha V>@db"
+
+
+@pytest.fixture
+def config(tmp_path):
+    def _config(payload, **files):
+        for name, text in files.items():
+            (tmp_path / name).write_text(text, encoding="utf-8")
+        path = tmp_path / "mediator.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+    return _config
+
+
+def check_views(capsys, *argv):
+    code = main(["check-views", *argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_clean_config_exits_zero(self, config, capsys):
+        path = config({"views": {"VA": "va.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW})
+        code, out, err = check_views(capsys, path, "--strict")
+        assert code == 0
+        assert out == ""
+        assert "clean" in err
+
+    def test_warnings_exit_zero_by_default(self, config, capsys):
+        path = config({"views": {"VA": "va.tsl", "VA2": "va2.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW, "va2.tsl": DUP_VIEW})
+        code, out, _ = check_views(capsys, path)
+        assert code == 0
+        assert "TSL401" in out
+
+    def test_warnings_exit_one_under_strict(self, config, capsys):
+        path = config({"views": {"VA": "va.tsl", "VA2": "va2.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW, "va2.tsl": DUP_VIEW})
+        code, _, _ = check_views(capsys, path, "--strict")
+        assert code == 1
+
+    def test_errors_exit_two(self, config, capsys):
+        path = config({"views": {"VU": "vu.tsl"}},
+                      **{"vu.tsl": UNSAFE_VIEW})
+        code, out, _ = check_views(capsys, path)
+        assert code == 2
+        assert "TSL404" in out
+
+    def test_config_error_exits_two(self, config, capsys, tmp_path):
+        path = config({"views": {"V": "missing.tsl"}})
+        code, _, err = check_views(capsys, path)
+        assert code == 2
+        assert "missing.tsl" in err
+
+
+class TestRendering:
+    def test_text_renders_carets_from_view_files(self, config, capsys):
+        path = config({"views": {"VA": "va.tsl", "VA2": "va2.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW, "va2.tsl": DUP_VIEW})
+        _, out, _ = check_views(capsys, path)
+        assert "va2.tsl:1:1:" in out
+        assert "^" in out
+
+    def test_inline_views_are_attributed_to_the_config(self, config,
+                                                       capsys):
+        path = config({"views": {
+            "VA": {"text": CLEAN_VIEW},
+            "VA2": {"text": DUP_VIEW}}})
+        _, out, _ = check_views(capsys, path)
+        assert f"{path}#views.VA2:1:1:" in out
+
+    def test_json_format(self, config, capsys):
+        path = config({"views": {"VU": "vu.tsl"}},
+                      **{"vu.tsl": UNSAFE_VIEW})
+        code, out, _ = check_views(capsys, path, "--format", "json")
+        payload = json.loads(out)
+        assert payload["summary"]["error"] == 1
+        assert payload["diagnostics"][0]["code"] == "TSL404"
+
+    def test_sarif_format(self, config, capsys):
+        path = config({"views": {"VU": "vu.tsl"}},
+                      **{"vu.tsl": UNSAFE_VIEW})
+        _, out, _ = check_views(capsys, path, "--format", "sarif")
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == \
+            "repro-check-views"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "TSL404"
+
+    def test_broken_view_reported_as_tsl000(self, config, capsys):
+        path = config({"views": {
+            "VBAD": {"text": "<a(P) x V> :- <P a V@db"}}})
+        code, out, _ = check_views(capsys, path)
+        assert code == 2
+        assert "TSL000" in out
+
+
+class TestBaseline:
+    def test_update_then_suppress(self, config, capsys, tmp_path):
+        path = config({"views": {"VA": "va.tsl", "VA2": "va2.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW, "va2.tsl": DUP_VIEW})
+        baseline = str(tmp_path / "baseline.json")
+        code, _, err = check_views(capsys, path, "--baseline", baseline,
+                                   "--update-baseline")
+        assert code == 0 and "1 suppression(s)" in err
+        code, out, err = check_views(capsys, path, "--baseline", baseline,
+                                     "--strict")
+        assert code == 0
+        assert out == ""
+        assert "1 suppressed by baseline" in err
+
+    def test_new_finding_still_gates(self, config, capsys, tmp_path):
+        path = config({"views": {"VA": "va.tsl", "VA2": "va2.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW, "va2.tsl": DUP_VIEW})
+        baseline = str(tmp_path / "baseline.json")
+        check_views(capsys, path, "--baseline", baseline,
+                    "--update-baseline")
+        path = config({"views": {"VA": "va.tsl", "VA2": "va2.tsl",
+                                 "VU": "vu.tsl"}},
+                      **{"va.tsl": CLEAN_VIEW, "va2.tsl": DUP_VIEW,
+                         "vu.tsl": UNSAFE_VIEW})
+        code, out, err = check_views(capsys, path, "--baseline", baseline)
+        assert code == 2
+        assert "TSL404" in out and "TSL401" not in out
+        assert "1 new finding(s)" in err
+
+    def test_update_baseline_requires_a_path(self, config, capsys):
+        path = config({"views": {}})
+        code, _, err = check_views(capsys, path, "--update-baseline")
+        assert code == 2
+        assert "--baseline" in err
+
+
+class TestLintViewsOnly:
+    def test_runs_the_viewset_passes(self, tmp_path, capsys):
+        va = tmp_path / "va.tsl"
+        va.write_text(CLEAN_VIEW, encoding="utf-8")
+        va2 = tmp_path / "va2.tsl"
+        va2.write_text(DUP_VIEW, encoding="utf-8")
+        code = main(["lint", "--views-only", "--view", f"VA={va}",
+                     "--view", f"VA2={va2}"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TSL401" in out
+
+    def test_rejects_a_query_argument(self, tmp_path, capsys):
+        va = tmp_path / "va.tsl"
+        va.write_text(CLEAN_VIEW, encoding="utf-8")
+        code = main(["lint", "--views-only", str(va),
+                     "--view", f"VA={va}"])
+        assert code == 2
+        assert "takes no query" in capsys.readouterr().err
+
+    def test_requires_views(self, capsys):
+        code = main(["lint", "--views-only"])
+        assert code == 2
+        assert "--view" in capsys.readouterr().err
+
+    def test_plain_lint_still_requires_a_query(self, capsys):
+        code = main(["lint"])
+        assert code == 2
+        assert "query" in capsys.readouterr().err
+
+    def test_lint_sarif_format(self, tmp_path, capsys):
+        q = tmp_path / "q.tsl"
+        q.write_text("<f(P) x W> :- <P a V>@db", encoding="utf-8")
+        code = main(["lint", str(q), "--format", "sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert doc["runs"][0]["results"][0]["ruleId"] == "TSL001"

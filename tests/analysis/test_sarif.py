@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 rendering: shape, levels, fingerprints, golden file."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze, render_sarif
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.viewset.baseline import fingerprint
+from repro.tsl import parse_query
+
+GOLDEN = Path(__file__).parent / "golden" / "lint.sarif"
+
+
+def sample_diagnostics():
+    """A deterministic mix: spanned error, spanned warning, span-less."""
+    text = "<f(P) x W> :- <P a V>@db AND <P b V>@db"
+    query = parse_query(text)
+    headless = parse_query("<v all yes> :- <P q V>@db", name="V1")
+    return analyze(query, source_text=text, source_name="q.tsl",
+                   views={"V1": headless})
+
+
+class TestShape:
+    def test_document_is_valid_sarif_210(self):
+        doc = json.loads(render_sarif(sample_diagnostics()))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == len(sample_diagnostics())
+
+    def test_tool_name_is_configurable(self):
+        doc = json.loads(render_sarif([], tool_name="repro-check-views"))
+        assert doc["runs"][0]["tool"]["driver"]["name"] == \
+            "repro-check-views"
+
+    def test_rules_list_the_distinct_codes_sorted(self):
+        doc = json.loads(render_sarif(sample_diagnostics()))
+        rules = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert rules == sorted(set(rules))
+        results = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert results == set(rules)
+
+    def test_levels_map_from_severities(self):
+        diags = [Diagnostic("TSL900", Severity.ERROR, "e"),
+                 Diagnostic("TSL901", Severity.WARNING, "w"),
+                 Diagnostic("TSL902", Severity.INFO, "i")]
+        doc = json.loads(render_sarif(diags))
+        levels = {r["ruleId"]: r["level"]
+                  for r in doc["runs"][0]["results"]}
+        assert levels == {"TSL900": "error", "TSL901": "warning",
+                          "TSL902": "note"}
+
+    def test_region_is_one_based_and_omitted_without_a_span(self):
+        doc = json.loads(render_sarif(sample_diagnostics()))
+        results = doc["runs"][0]["results"]
+        spanned = [r for r in results
+                   if r["locations"]
+                   and "region" in r["locations"][0]["physicalLocation"]]
+        assert spanned
+        region = spanned[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        spanless = [r for r in results if r["ruleId"] == "TSL301"]
+        location = spanless[0]["locations"][0]["physicalLocation"]
+        assert "region" not in location
+        assert location["artifactLocation"]["uri"] == "V1"
+
+    def test_results_carry_the_baseline_fingerprint(self):
+        diags = sample_diagnostics()
+        doc = json.loads(render_sarif(diags))
+        for diag, result in zip(diags, doc["runs"][0]["results"]):
+            assert result["partialFingerprints"] == {
+                "reproFingerprint/v1": fingerprint(diag)}
+
+    def test_suggestion_is_appended_to_the_message(self):
+        diags = [d for d in sample_diagnostics() if d.suggestion]
+        doc = json.loads(render_sarif(diags))
+        text = doc["runs"][0]["results"][0]["message"]["text"]
+        assert "(help: " in text
+
+
+class TestGolden:
+    def test_rendering_matches_the_golden_file(self):
+        assert render_sarif(sample_diagnostics()) == GOLDEN.read_text()
+
+    def test_rendering_is_deterministic(self):
+        assert render_sarif(sample_diagnostics()) == \
+            render_sarif(sample_diagnostics())
+
+    def test_ends_with_exactly_one_newline(self):
+        rendered = render_sarif(sample_diagnostics())
+        assert rendered.endswith("\n") and not rendered.endswith("\n\n")

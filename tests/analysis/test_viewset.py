@@ -1,0 +1,364 @@
+"""View-set analysis: signatures, TSL4xx passes, configs, baselines.
+
+The mutation-calibration classes follow the oracle-test idiom: start
+from a configuration the analyzer reports clean, plant exactly one
+defect, and demand exactly the expected code fires.  A pass that cannot
+see its own planted defect is miscalibrated regardless of how many
+tests its happy path survives.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze, analyze_view_set
+from repro.analysis.diagnostics import Severity, registered_passes
+from repro.analysis.viewset import (Baseline, LabelSignatureIndex,
+                                    fingerprint, load_baseline, load_config,
+                                    query_profile, view_signature,
+                                    write_baseline)
+from repro.errors import ConfigError
+from repro.mediator.capabilities import (CapabilityView,
+                                         bindable_parameters,
+                                         parameters_of)
+from repro.rewriting import parse_dtd
+from repro.span import Span
+from repro.tsl import parse_query
+
+DTD_TEXT = """\
+<!ELEMENT p (name, phone)>
+<!ELEMENT name (last, first)>
+<!ELEMENT phone CDATA>
+<!ELEMENT last CDATA>
+<!ELEMENT first CDATA>
+"""
+
+
+def view(text, name="V"):
+    return parse_query(text, name=name)
+
+
+def capability(text, name="C"):
+    query = parse_query(text, name=name)
+    return CapabilityView(name, query, parameters_of(query))
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+#: A configuration every pass reports clean: label-disjoint bodies,
+#: distinct head functors, safe heads, no DTD, bindable parameters.
+def clean_views():
+    return {
+        "VA": view("<a(P) x V> :- <P alpha V>@db", name="VA"),
+        "VB": view("<b(P) y V> :- <P beta V>@db", name="VB"),
+    }
+
+
+def clean_capabilities():
+    return {"CN": capability("<c(P) name $N> :- <P name $N>@db",
+                             name="CN")}
+
+
+class TestSignature:
+    def test_signature_collects_labels_leaves_and_sources(self):
+        v = view('<a(P) x V> :- <P alpha {<X beta "k">}>@src')
+        sig = view_signature(v)
+        assert sig.labels == frozenset({"alpha", "beta"})
+        assert sig.leaves == frozenset({"k"})
+        assert sig.sources == frozenset({"src"})
+
+    def test_variable_labels_do_not_constrain(self):
+        sig = view_signature(view("<a(P) x V> :- <P L V>@db"))
+        assert sig.labels == frozenset()
+
+    def test_admissible_iff_parts_subset_of_profile(self):
+        sig = view_signature(view("<a(P) x V> :- <P alpha V>@db"))
+        yes = query_profile(view("<f(P) x V> :- <P alpha V>@db AND "
+                                 "<P beta V>@db"))
+        no = query_profile(view("<f(P) x V> :- <P beta V>@db"))
+        assert sig.admissible_for(yes)
+        assert not sig.admissible_for(no)
+        assert "alpha" in sig.missing_from(no)
+
+    def test_index_prunes_by_label_and_keeps_unknown_views(self):
+        index = LabelSignatureIndex.from_views(clean_views())
+        profile = query_profile(view("<f(P) x V> :- <P alpha V>@db"))
+        assert index.admissible_views(profile) == ["VA"]
+        assert index.admissible("VA", profile)
+        assert not index.admissible("VB", profile)
+        # A view the index never saw must not be filtered out.
+        assert index.admissible("V-unknown", profile)
+
+    def test_index_skips_contradictory_views(self):
+        views = dict(clean_views())
+        views["VBAD"] = view("<z(P) x N> :- <P name N>@db AND "
+                             "<P age A>@db", name="VBAD")
+        index = LabelSignatureIndex.from_views(views)
+        assert index.signature("VBAD") is None
+        assert len(index) == 2
+
+    def test_signature_uses_the_chased_view(self):
+        # The DTD chase can add required structure; the signature must
+        # reflect it or the pre-filter would be unsound.
+        dtd = parse_dtd(DTD_TEXT)
+        index = LabelSignatureIndex.from_views(
+            {"VP": view("<a(P) x V> :- <P p {<X phone V>}>@db",
+                        name="VP")},
+            constraints=dtd)
+        assert "p" in index.signature("VP").labels
+
+
+class TestCleanConfiguration:
+    def test_clean_views_report_nothing(self):
+        assert analyze_view_set(clean_views(),
+                                capabilities=clean_capabilities()) == []
+
+    def test_all_passes_are_registered(self):
+        assert set(registered_passes(scope="viewset")) == {
+            "view-duplicate", "view-subsumed", "view-dtd",
+            "view-safety", "view-capability"}
+
+    def test_viewset_passes_stay_out_of_query_scope(self):
+        assert "view-duplicate" not in registered_passes()
+
+
+class TestDuplicateCalibration:
+    def test_planted_duplicate_fires_tsl401_only(self):
+        views = clean_views()
+        views["VA2"] = view("<a(Q) x W> :- <Q alpha W>@db", name="VA2")
+        diags = analyze_view_set(views)
+        assert codes(diags) == ["TSL401"]
+        assert "VA2" in diags[0].message and "VA" in diags[0].message
+        assert diags[0].file == "VA2"
+        assert diags[0].span is None  # API-registered: no text to point at
+
+    def test_different_head_functor_is_not_a_duplicate(self):
+        views = clean_views()
+        views["VA2"] = view("<other(P) x V> :- <P alpha V>@db",
+                            name="VA2")
+        assert analyze_view_set(views) == []
+
+
+class TestSubsumedCalibration:
+    def test_planted_subsumed_view_fires_tsl402_only(self):
+        views = clean_views()
+        views["VNARROW"] = view(
+            "<a(P) x {<c(X) y V>}> :- <P alpha {<X beta V>}>@db AND "
+            "<P alpha {<Y gamma W>}>@db", name="VNARROW")
+        views["VA"] = view("<a(P) x {<c(X) y V>}> :- "
+                           "<P alpha {<X beta V>}>@db", name="VA")
+        diags = analyze_view_set(views)
+        assert codes(diags) == ["TSL402"]
+        assert "VNARROW is contained in view VA" in diags[0].message
+
+    def test_containment_needs_the_same_head_functor(self):
+        views = {
+            "VW": view("<wide(P) x {<c(X) y V>}> :- "
+                       "<P alpha {<X beta V>}>@db", name="VW"),
+            "VN": view("<narrow(P) x {<c(X) y V>}> :- "
+                       "<P alpha {<X beta V>}>@db AND "
+                       "<P alpha {<Y gamma W>}>@db", name="VN"),
+        }
+        assert analyze_view_set(views) == []
+
+
+class TestDtdCalibration:
+    def test_planted_dtd_violation_fires_tsl403_only(self):
+        views = clean_views()
+        views["VJ"] = view("<j(P) x V> :- <P p {<X junk V>}>@db",
+                           name="VJ")
+        diags = analyze_view_set(views, dtd=parse_dtd(DTD_TEXT))
+        assert codes(diags) == ["TSL403"]
+        assert "unsatisfiable under the DTD" in diags[0].message
+        assert "VJ" in diags[0].message
+
+    def test_chase_contradiction_fires_tsl403_without_a_dtd(self):
+        views = clean_views()
+        views["VC"] = view("<c(P) x N> :- <P name N>@db AND "
+                           "<P age A>@db", name="VC")
+        diags = analyze_view_set(views)
+        assert codes(diags) == ["TSL403"]
+        assert "chase derives a contradiction" in diags[0].message
+
+
+class TestSafetyCalibration:
+    def test_planted_unsafe_head_fires_tsl404_only(self):
+        views = clean_views()
+        views["VU"] = view("<u(P) x W> :- <P alpha V>@db", name="VU")
+        diags = analyze_view_set(views)
+        assert codes(diags) == ["TSL404"]
+        assert diags[0].severity is Severity.ERROR
+        assert "head variable W" in diags[0].message
+
+
+class TestCapabilityCalibration:
+    def test_oid_only_parameter_fires_tsl405_only(self):
+        caps = clean_capabilities()
+        caps["CO"] = capability("<c(N) hit yes> :- "
+                                "<$P p {<X name N>}>@db", name="CO")
+        diags = analyze_view_set(clean_views(), capabilities=caps)
+        assert codes(diags) == ["TSL405"]
+        assert "only in object-id positions" in diags[0].message
+
+    def test_head_only_parameter_fires_tsl405_only(self):
+        caps = clean_capabilities()
+        caps["CH"] = capability("<c(P) x $Z> :- <P alpha V>@db",
+                                name="CH")
+        diags = analyze_view_set(clean_views(), capabilities=caps)
+        assert codes(diags) == ["TSL405"]
+        assert "nowhere in the body" in diags[0].message
+
+    def test_bindable_parameters_sees_labels_and_leaves(self):
+        query = parse_query("<c(P) x $V> :- <P $L {<X name $V>}>@db")
+        assert {v.name for v in bindable_parameters(query)} == \
+            {"$L", "$V"}
+
+
+class TestSpanAttribution:
+    def test_file_backed_views_carry_spans(self, tmp_path):
+        text = "<a2(Q) x W> :- <Q alpha W>@db"
+        views = clean_views()
+        views["VA2"] = view("<a(Q) x W> :- <Q alpha W>@db", name="VA2")
+        diags = analyze_view_set(views,
+                                 view_files={"VA2": "va2.tsl",
+                                             "VA": "va.tsl",
+                                             "VB": "vb.tsl"})
+        (diag,) = diags
+        assert diag.file == "va2.tsl"
+        assert diag.span == views["VA2"].head.span
+
+    def test_tsl301_api_registered_view_has_no_bogus_span(self):
+        # Satellite regression: analyze() with a views mapping but no
+        # view_files used to attribute the view's own span to the
+        # *query* file, rendering carets into the wrong text.
+        query = parse_query("<f(P) x V> :- <P a V>@db AND <P b V>@db")
+        headless = parse_query("<v all yes> :- <P q V>@db", name="V1")
+        diags = [d for d in analyze(query, source_name="q.tsl",
+                                    views={"V1": headless})
+                 if d.code == "TSL301"]
+        (diag,) = diags
+        assert diag.span is None
+        assert diag.file == "V1"
+
+    def test_tsl301_file_backed_view_keeps_its_span(self):
+        query = parse_query("<f(P) x V> :- <P a V>@db AND <P b V>@db")
+        headless = parse_query("<v all yes> :- <P q V>@db", name="V1")
+        diags = [d for d in analyze(query, source_name="q.tsl",
+                                    views={"V1": headless},
+                                    view_files={"V1": "v.tsl"})
+                 if d.code == "TSL301"]
+        (diag,) = diags
+        assert diag.span == headless.head.span
+        assert diag.file == "v.tsl"
+
+
+class TestConfigLoading:
+    def write_config(self, tmp_path, payload, **files):
+        for name, text in files.items():
+            (tmp_path / name).write_text(text, encoding="utf-8")
+        path = tmp_path / "mediator.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_loads_files_and_inline_entries(self, tmp_path):
+        path = self.write_config(
+            tmp_path,
+            {"dtd": "p.dtd",
+             "views": {"VF": "vf.tsl",
+                       "VI": {"text": "<b(P) y V> :- <P beta V>@db"}},
+             "capabilities": {"CN": {
+                 "text": "<c(P) name $N> :- <P name $N>@db"}}},
+            **{"vf.tsl": "<a(P) x V> :- <P alpha V>@db",
+               "p.dtd": DTD_TEXT})
+        config = load_config(path)
+        assert sorted(config.views) == ["VF", "VI"]
+        assert config.view_files["VF"] == "vf.tsl"
+        assert config.view_files["VI"] == f"{path}#views.VI"
+        assert config.texts["vf.tsl"].startswith("<a(P)")
+        assert config.dtd is not None and config.dtd_file == "p.dtd"
+        assert sorted(config.capabilities) == ["CN"]
+        assert config.diagnostics == []
+
+    def test_broken_view_becomes_tsl000_not_a_crash(self, tmp_path):
+        path = self.write_config(
+            tmp_path,
+            {"views": {"VBAD": {"text": "<a(P) x V> :- <P a V@db"},
+                       "VOK": {"text": "<b(P) y V> :- <P b V>@db"}}})
+        config = load_config(path)
+        assert sorted(config.views) == ["VOK"]
+        (diag,) = config.diagnostics
+        assert diag.code == "TSL000"
+        assert diag.file == f"{path}#views.VBAD"
+
+    def test_unknown_key_raises_config_error(self, tmp_path):
+        path = self.write_config(tmp_path, {"view": {}})
+        with pytest.raises(ConfigError, match="unknown configuration"):
+            load_config(path)
+
+    def test_missing_view_file_raises_config_error(self, tmp_path):
+        path = self.write_config(tmp_path,
+                                 {"views": {"V": "nope.tsl"}})
+        with pytest.raises(ConfigError, match="cannot read nope.tsl"):
+            load_config(path)
+
+    def test_invalid_json_raises_config_error(self, tmp_path):
+        path = tmp_path / "mediator.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_config(str(path))
+
+    def test_dtd_object_form_sets_the_source(self, tmp_path):
+        path = self.write_config(
+            tmp_path,
+            {"dtd": {"file": "p.dtd", "source": "warehouse"},
+             "views": {}},
+            **{"p.dtd": DTD_TEXT})
+        assert load_config(path).dtd.source == "warehouse"
+
+
+class TestBaseline:
+    def make_diags(self):
+        views = clean_views()
+        views["VA2"] = view("<a(Q) x W> :- <Q alpha W>@db", name="VA2")
+        views["VU"] = view("<u(P) x W> :- <P alpha V>@db", name="VU")
+        return analyze_view_set(views)
+
+    def test_roundtrip_suppresses_exactly_the_written_set(self, tmp_path):
+        diags = self.make_diags()
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, diags)
+        baseline = load_baseline(path)
+        new, suppressed = baseline.partition(diags)
+        assert new == [] and len(suppressed) == len(diags)
+
+    def test_new_findings_survive_the_partition(self, tmp_path):
+        diags = self.make_diags()
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, diags[:1])
+        new, suppressed = load_baseline(path).partition(diags)
+        assert new == diags[1:] and suppressed == diags[:1]
+
+    def test_fingerprint_ignores_spans(self):
+        diags = self.make_diags()
+        moved = diags[0].__class__(
+            diags[0].code, diags[0].severity, diags[0].message,
+            span=Span(99, 1, 99, 2), file=diags[0].file,
+            suggestion=diags[0].suggestion)
+        assert fingerprint(moved) == fingerprint(diags[0])
+
+    def test_fingerprint_distinguishes_file_and_message(self):
+        diags = self.make_diags()
+        assert len({fingerprint(d) for d in diags}) == len(diags)
+
+    def test_load_rejects_non_baseline_files(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema_version": 99}', encoding="utf-8")
+        with pytest.raises(ConfigError, match="schema_version"):
+            load_baseline(str(path))
+
+    def test_partition_with_empty_baseline(self):
+        diags = self.make_diags()
+        new, suppressed = Baseline(frozenset()).partition(diags)
+        assert new == diags and suppressed == []

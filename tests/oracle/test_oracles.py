@@ -21,6 +21,7 @@ chase_mod = importlib.import_module("repro.rewriting.chase")
 equivalence_mod = importlib.import_module("repro.rewriting.equivalence")
 mappings_mod = importlib.import_module("repro.rewriting.mappings")
 session_mod = importlib.import_module("repro.rewriting.session")
+signature_mod = importlib.import_module("repro.analysis.viewset.signature")
 
 
 @pytest.mark.parametrize("oracle_name", sorted(ORACLES))
@@ -120,6 +121,30 @@ def test_memo_oracle_compares_seeded_corpus(monkeypatch):
                                  oracles=("memo",)))
     assert report.ok, "\n".join(f.message for f in report.failures)
     assert report.checks["memo"] >= 24     # >= 2 rewrite checks per case
+
+
+def test_overeager_prefilter_is_caught(monkeypatch):
+    # A signature pre-filter that prunes every view silently discards
+    # real rewritings; the signature oracle reports the parity break
+    # (and the brute-force soundness check refutes the verdicts too).
+    monkeypatch.setattr(signature_mod.ViewSignature, "admissible_for",
+                        lambda self, profile: False)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=8,
+                                 oracles=("signature",), shrink=False))
+    assert not report.ok
+    invariants = {f.invariant for f in report.failures}
+    assert invariants & {"prefilter-parity", "prefilter-unsound"}
+
+
+def test_signature_oracle_parity_campaign():
+    # Acceptance criterion: the pruning-parity oracle stays green over
+    # >= 500 seeded iterations (pre-filter on vs off canonically
+    # identical, and every inadmissible view brute-force refuted).
+    report = run_fuzz(FuzzConfig(seed=7, iterations=500,
+                                 oracles=("signature",)))
+    assert report.ok, "\n".join(f.message for f in report.failures)
+    assert report.iterations_run == 500
+    assert report.checks["signature"] > 500
 
 
 def test_mutation_failures_replay_from_corpus(monkeypatch, tmp_path):

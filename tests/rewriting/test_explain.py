@@ -79,13 +79,33 @@ class TestPrunedCandidates:
         assert "<P a {<X2 c Z>}>@db" in pruned[0].reason
 
     def test_refuted_mapping_reports_the_obstacle(self):
+        # With the signature pre-filter off, the mapping enumerator
+        # itself refutes the view and names the first failing label.
         query = parse_query('<f(P) ans yes> :- <P a {<X b Y>}>@db')
         view = parse_query('<g(P) vz {<h(X) z2 Y>}> :- '
                            '<P zzz {<X qqq Y>}>@db', name="VZ")
-        _, explanation = explain_rewrite(query, {"VZ": view})
+        _, explanation = explain_rewrite(query, {"VZ": view},
+                                         signature_prefilter=False)
         refuted = [m for m in explanation.mappings if not m.found]
         assert refuted and refuted[0].view == "VZ"
+        assert refuted[0].verdict is None
         assert "label zzz" in refuted[0].obstacle
+
+    def test_signature_prefilter_prunes_before_enumeration(self):
+        # Same configuration with the pre-filter on (the default): the
+        # view is skipped before Step 1A, with the missing labels named.
+        query = parse_query('<f(P) ans yes> :- <P a {<X b Y>}>@db')
+        view = parse_query('<g(P) vz {<h(X) z2 Y>}> :- '
+                           '<P zzz {<X qqq Y>}>@db', name="VZ")
+        result, explanation = explain_rewrite(query, {"VZ": view})
+        pruned = [m for m in explanation.mappings
+                  if m.verdict == "pruned-signature"]
+        assert pruned and pruned[0].view == "VZ"
+        assert not pruned[0].found
+        assert "qqq" in pruned[0].obstacle and "zzz" in pruned[0].obstacle
+        assert result.stats.views_pruned_signature == 1
+        assert pruned[0].to_json()["verdict"] == "pruned-signature"
+        assert "pruned (signature)" in explanation.render_text()
 
 
 class TestMemoReplay:
