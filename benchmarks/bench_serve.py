@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Concurrent load against the in-process rewrite service (serve series).
+
+Drives N client threads against a live :class:`repro.server.ReproServer`
+(real HTTP over loopback, real worker pool, real shared sessions) with
+the paper's workload, and reports:
+
+* throughput (requests/second) and wall time per concurrency level;
+* p50/p90/p99 request latency, read back from the server's own
+  ``server.seconds{endpoint=POST /rewrite}`` histogram -- the same
+  numbers a Prometheus scrape of ``/metrics`` would show;
+* memo hits served by the shared session pool (every client posts the
+  same canonical queries, so all but the first few searches replay);
+* a **parity check**: each response's rewriting set must be canonically
+  fingerprint-identical to the serial in-process rewrite of the same
+  query -- zero divergences under concurrency, or the bench raises;
+* a **load-shed series**: a deliberately tiny server (1 worker,
+  ``max_pending=2``) under a burst, asserting the 429 + ``server.shed``
+  admission-control contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import MetricsRegistry
+from repro.rewriting import RewriteSession, paper_dtd
+from repro.rewriting.canon import program_key
+from repro.server import ServerConfig, running_server
+from repro.tsl import print_query
+from repro.workloads import (query_q3, query_q5, query_q7, star_query,
+                             star_view, view_v1)
+
+#: Client-thread counts (the concurrency series).
+CLIENTS = (1, 4, 8)
+
+#: Requests each client issues (round-robin over the workload).
+REQUESTS_PER_CLIENT = 30
+
+#: Worker threads in the serving pool.
+WORKERS = 4
+
+#: Burst size + capacity for the load-shed series.
+SHED_BURST = 12
+SHED_MAX_PENDING = 2
+
+
+def _dtd_text() -> str:
+    from repro.rewriting.constraints import PAPER_DTD
+    return PAPER_DTD
+
+
+def _workload() -> list[dict]:
+    """The request mix: the paper's Q3/Q5/Q7 over V1 with its DTD."""
+    dtd = _dtd_text()
+    views = {"V1": print_query(view_v1())}
+    return [{"query": print_query(query), "views": views, "dtd": dtd}
+            for query in (query_q3(), query_q5(), query_q7())]
+
+
+def _serial_fingerprints(requests: list[dict]) -> list[str]:
+    """The expected rewriting-set fingerprint per workload entry."""
+    session = RewriteSession({"V1": view_v1()}, paper_dtd())
+    fingerprints = []
+    for entry in requests:
+        from repro.tsl import parse_query
+        result = session.rewrite(parse_query(entry["query"]))
+        fingerprints.append(
+            program_key([r.query for r in result.rewritings]))
+    return fingerprints
+
+
+def _response_fingerprint(body: dict) -> str:
+    from repro.tsl import parse_query
+    return program_key([parse_query(r["query"])
+                        for r in body["rewritings"]])
+
+
+def run_load(clients: int, requests_per_client: int = REQUESTS_PER_CLIENT,
+             workers: int = WORKERS) -> dict:
+    """One concurrency level: clients x requests against a fresh server."""
+    workload = _workload()
+    expected = _serial_fingerprints(workload)
+    registry = MetricsRegistry()
+    divergences = 0
+    failures: list[tuple[int, object]] = []
+    lock = threading.Lock()
+
+    with running_server(ServerConfig(port=0, workers=workers,
+                                     max_pending=clients * 4 + 16),
+                        metrics=registry) as srv:
+        barrier = threading.Barrier(clients + 1)
+
+        def client(client_index: int) -> None:
+            nonlocal divergences
+            barrier.wait()
+            for i in range(requests_per_client):
+                slot = (client_index + i) % len(workload)
+                status, body = srv.post("/rewrite", workload[slot])
+                if status != 200:
+                    with lock:
+                        failures.append((status, body))
+                    continue
+                if _response_fingerprint(body) != expected[slot]:
+                    with lock:
+                        divergences += 1
+
+        threads = [threading.Thread(target=client, args=(index,))
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        histogram = registry.histogram(
+            "server.seconds", labels={"endpoint": "POST /rewrite"})
+        snapshot = registry.snapshot()
+
+    if failures:
+        raise AssertionError(
+            f"{len(failures)} request(s) failed under load; first: "
+            f"{failures[0]}")
+    if divergences:
+        raise AssertionError(
+            f"{divergences} parity divergence(s): concurrent responses "
+            f"differ from the serial rewrite")
+
+    total = clients * requests_per_client
+    counters = snapshot["counters"]
+    return {
+        "scenario": f"{clients} client(s) x {requests_per_client}",
+        "clients": clients,
+        "requests": total,
+        "seconds": elapsed,
+        "rps": total / elapsed if elapsed > 0 else None,
+        "p50_ms": (histogram.quantile(0.50) or 0.0) * 1e3,
+        "p90_ms": (histogram.quantile(0.90) or 0.0) * 1e3,
+        "p99_ms": (histogram.quantile(0.99) or 0.0) * 1e3,
+        "memo_hits": counters.get("cache.rewrite.hits", 0),
+        "shed": counters.get("server.shed", 0),
+    }
+
+
+def run_shed_burst() -> dict:
+    """Admission control under a burst: tiny capacity, slow queries.
+
+    A 1-worker server with ``max_pending=2`` receives ``SHED_BURST``
+    concurrent star-query rewrites (the adversarial workload from the
+    trace-smoke scenario).  Everything beyond capacity must be shed
+    with 429 and counted on ``server.shed``; admitted requests finish
+    200 (or 408 when their deadline fires first) -- never an error.
+    """
+    registry = MetricsRegistry()
+    request = {"query": print_query(star_query(3)),
+               "views": {"V": print_query(star_view(3))},
+               "budget_ms": 2000}
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    with running_server(ServerConfig(port=0, workers=1,
+                                     max_pending=SHED_MAX_PENDING),
+                        metrics=registry) as srv:
+        barrier = threading.Barrier(SHED_BURST + 1)
+
+        def client() -> None:
+            barrier.wait()
+            status, _body = srv.post("/rewrite", request)
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=client)
+                   for _ in range(SHED_BURST)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        shed = registry.snapshot()["counters"].get("server.shed", 0)
+
+    rejected = sum(1 for status in statuses if status == 429)
+    served = sum(1 for status in statuses if status in (200, 408))
+    assert rejected + served == SHED_BURST, statuses
+    assert shed == rejected, (shed, rejected)
+    assert rejected > 0, "burst never exceeded capacity; raise SHED_BURST"
+    return {
+        "scenario": f"shed burst ({SHED_BURST} vs {SHED_MAX_PENDING})",
+        "requests": SHED_BURST,
+        "seconds": elapsed,
+        "served": served,
+        "rejected": rejected,
+        "shed": shed,
+    }
+
+
+def run_experiment() -> list[dict]:
+    rows = [run_load(clients) for clients in CLIENTS]
+    rows.append(run_shed_burst())
+    return rows
+
+
+def print_table(rows: list[dict]) -> None:
+    print(f"{'scenario':28} {'reqs':>5} {'seconds':>8} {'rps':>8} "
+          f"{'p50ms':>7} {'p90ms':>7} {'p99ms':>7} {'memo':>6} "
+          f"{'shed':>5}")
+    for row in rows:
+        rps = f"{row['rps']:>8.1f}" if row.get("rps") else f"{'-':>8}"
+        p50 = f"{row['p50_ms']:>7.2f}" if "p50_ms" in row else f"{'-':>7}"
+        p90 = f"{row['p90_ms']:>7.2f}" if "p90_ms" in row else f"{'-':>7}"
+        p99 = f"{row['p99_ms']:>7.2f}" if "p99_ms" in row else f"{'-':>7}"
+        memo = row.get("memo_hits", "-")
+        print(f"{row['scenario']:28} {row['requests']:>5} "
+              f"{row['seconds']:>8.3f} {rps} {p50} {p90} {p99} "
+              f"{memo:>6} {row.get('shed', 0):>5}")
+
+
+if __name__ == "__main__":
+    print_table(run_experiment())

@@ -48,6 +48,7 @@ import bench_evaluator
 import bench_mappings
 import bench_mediator
 import bench_rewriter
+import bench_serve
 
 EXPERIMENTS = {
     "E4": ("structural-constraint gain (Section 3.3)",
@@ -67,6 +68,8 @@ EXPERIMENTS = {
                  bench_ablation_minimize),
     "contained": ("maximally contained rewritings (Section 7)",
                   bench_contained),
+    "serve": ("rewrite-as-a-service under concurrent load",
+              bench_serve),
 }
 
 
@@ -100,6 +103,7 @@ def main(argv: list[str] | None = None) -> None:
                      f"available: {list(EXPERIMENTS)}")
 
     results = []
+    failed: list[str] = []
     for key, (title, module) in EXPERIMENTS.items():
         if args.experiments and key not in args.experiments:
             continue
@@ -107,7 +111,18 @@ def main(argv: list[str] | None = None) -> None:
         print(f"{key}: {title}")
         print("=" * 72)
         started = time.perf_counter()
-        rows = module.run_experiment()
+        try:
+            rows = module.run_experiment()
+        except Exception as exc:  # a broken series must not be recorded
+            elapsed = time.perf_counter() - started
+            failed.append(key)
+            print(f"FAILED after {elapsed:.1f}s: "
+                  f"{type(exc).__name__}: {exc}\n")
+            results.append({"name": key, "title": title,
+                            "seconds": round(elapsed, 3), "rows": [],
+                            "failed": True,
+                            "error": f"{type(exc).__name__}: {exc}"})
+            continue
         elapsed = time.perf_counter() - started
         module.print_table(rows)
         print(f"[{elapsed:.1f}s]\n")
@@ -128,14 +143,29 @@ def main(argv: list[str] | None = None) -> None:
         }
         encoded = json.dumps(payload, indent=2, default=str) + "\n"
         if args.json:
+            # The diagnostic document is still written on failure --
+            # failed rows carry failed=True + the error -- so CI
+            # artifacts show what broke.
             Path(args.json).write_text(encoded, encoding="utf-8")
             print(f"wrote {args.json} ({len(results)} experiment(s))")
         if args.record is not None:
+            if failed:
+                # A trajectory snapshot with silently missing series
+                # would poison every later compare.py diff; refuse it.
+                raise SystemExit(
+                    f"error: not recording a BENCH snapshot: "
+                    f"experiment(s) failed: {', '.join(failed)} "
+                    f"(fix the series or drop it from the run)")
             target = Path(args.record)
             target.mkdir(parents=True, exist_ok=True)
             snapshot = target / f"BENCH_{now.strftime('%Y-%m-%d')}.json"
             snapshot.write_text(encoded, encoding="utf-8")
             print(f"recorded {snapshot} ({len(results)} experiment(s))")
+
+    if failed:
+        raise SystemExit(
+            f"error: {len(failed)} experiment(s) failed: "
+            f"{', '.join(failed)}")
 
 
 if __name__ == "__main__":

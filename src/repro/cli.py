@@ -22,6 +22,9 @@ Usage (installed as ``python -m repro``)::
         [--no-memo] [--no-signature-prefilter]
     python -m repro metrics [QUERY.tsl --view NAME=VIEW.tsl ...] \
         [--dtd FILE.dtd] [--format prom|json]
+    python -m repro serve [--host H] [--port N] [--workers N] \
+        [--max-pending N] [--max-sessions N] [--budget-ms N] \
+        [--max-steps N]
     python -m repro import-xml DOC.xml -o DATA.json
     python -m repro fuzz [--seed N] [--iterations N] [--budget-seconds S] \
         [--oracle NAME ...] [--profile NAME ...] [--corpus DIR] \
@@ -455,6 +458,32 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_pending=args.max_pending, max_sessions=args.max_sessions,
+        default_budget_ms=args.budget_ms,
+        default_max_steps=args.max_steps)
+    server = ReproServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(workers={config.workers}, "
+              f"max_pending={config.max_pending})", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def _cmd_import_xml(args: argparse.Namespace) -> int:
     text = _read(args.document)
     db = xml_to_oem(text, name=args.name)
@@ -670,6 +699,32 @@ def build_parser() -> argparse.ArgumentParser:
                           default="text")
     _add_trace_flags(fuzz_cmd)
     fuzz_cmd.set_defaults(handler=_cmd_fuzz)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the concurrent rewrite-as-a-service HTTP "
+                      "server (POST /rewrite /evaluate /explain, "
+                      "GET /metrics /healthz; see docs/SERVING.md)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="TCP port (0 picks an ephemeral one; "
+                                "default: 8080)")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="rewrite worker threads sharing the "
+                                "session pool (default: 4)")
+    serve_cmd.add_argument("--max-pending", type=int, default=64,
+                           help="admitted in-flight request cap; beyond "
+                                "it requests are shed with 429 "
+                                "(default: 64)")
+    serve_cmd.add_argument("--max-sessions", type=int, default=32,
+                           help="distinct view-set sessions kept warm "
+                                "(default: 32)")
+    serve_cmd.add_argument("--budget-ms", type=float, metavar="N",
+                           help="default per-request deadline, measured "
+                                "from admission; expiry returns 408 "
+                                "with the partial result")
+    serve_cmd.add_argument("--max-steps", type=int, metavar="N",
+                           help="default per-request step budget")
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     import_cmd = commands.add_parser(
         "import-xml", help="convert an XML document to OEM JSON")

@@ -10,7 +10,7 @@ import json
 from typing import Any
 
 from ..errors import OemError
-from ..logic.terms import Constant, FunctionTerm, Term, Variable
+from ..logic.terms import Constant, FunctionTerm, SetValue, Term, Variable
 from .model import OemDatabase
 
 
@@ -22,6 +22,12 @@ def term_to_json(term: Term) -> Any:
         return {"v": term.name}
     if isinstance(term, FunctionTerm):
         return {"f": term.functor, "a": [term_to_json(t) for t in term.args]}
+    if isinstance(term, SetValue):
+        # Members are a frozenset; sort the encodings so the output is
+        # byte-stable across runs (hash order is not).
+        members = sorted((term_to_json(m) for m in term.members),
+                         key=lambda data: json.dumps(data, sort_keys=True))
+        return {"s": members, "src": term.source}
     raise OemError(f"cannot serialize term {term!r}")
 
 
@@ -36,6 +42,9 @@ def term_from_json(data: Any) -> Term:
     if "f" in data:
         return FunctionTerm(data["f"],
                             tuple(term_from_json(t) for t in data["a"]))
+    if "s" in data:
+        return SetValue(frozenset(term_from_json(t) for t in data["s"]),
+                        data.get("src", "db"))
     raise OemError(f"malformed term encoding: {data!r}")
 
 

@@ -27,10 +27,19 @@ Stale entries (cached against an older store version) are purged on
 every lookup and insert -- they can never serve a hit, so letting them
 pin LRU capacity would be a leak -- and counted in
 ``stats.invalidations``.
+
+Thread safety is **coarse-grained**: one re-entrant cache lock is held
+across every public operation, including the rewrite + evaluation a
+``lookup`` performs (LRU reorder, hit counters, and the statement set
+must not change mid-lookup).  The cache lock is the outermost lock of
+the stack -- cache > session > memo table > instrument (see
+:mod:`repro.rewriting.session`) -- so never call back into the cache
+while holding a session or table lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -92,6 +101,8 @@ class QueryCache:
     _session: RewriteSession | None = field(default=None, repr=False)
     _session_template: RewriteSession | None = field(default=None,
                                                      repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False)
 
     # -- metrics ---------------------------------------------------------------
 
@@ -110,17 +121,18 @@ class QueryCache:
         statement's answer keeps the session fully warm, because
         rewriting only reads statements, never answers.
         """
-        if self._session is None:
-            views = {name: entry.statement
-                     for name, entry in self.entries.items()}
-            if self._session_template is None:
-                self._session_template = RewriteSession(
-                    views, self.constraints, memo_size=self.memo_size,
-                    metrics=self.metrics, enabled=self.memoize)
-            else:
-                self._session_template.update_views(views)
-            self._session = self._session_template
-        return self._session
+        with self._lock:
+            if self._session is None:
+                views = {name: entry.statement
+                         for name, entry in self.entries.items()}
+                if self._session_template is None:
+                    self._session_template = RewriteSession(
+                        views, self.constraints, memo_size=self.memo_size,
+                        metrics=self.metrics, enabled=self.memoize)
+                else:
+                    self._session_template.update_views(views)
+                self._session = self._session_template
+            return self._session
 
     def _entries_changed(self) -> None:
         """The statement set changed: next lookup rebuilds the session."""
@@ -154,30 +166,31 @@ class QueryCache:
         new answer, new version, moved to the LRU tail -- instead of
         inserting a duplicate that would evict a distinct entry.
         """
-        self._purge_stale(version)
-        key = query_key(statement)
-        existing_name = self._by_key.get(key)
-        if existing_name is not None:
-            entry = self.entries[existing_name]
-            entry.answer = answer
-            entry.as_of_version = version
-            self.entries.move_to_end(existing_name)
-            self.stats.refreshes += 1
-            self._count("cache.entries.refreshes")
+        with self._lock:
+            self._purge_stale(version)
+            key = query_key(statement)
+            existing_name = self._by_key.get(key)
+            if existing_name is not None:
+                entry = self.entries[existing_name]
+                entry.answer = answer
+                entry.as_of_version = version
+                self.entries.move_to_end(existing_name)
+                self.stats.refreshes += 1
+                self._count("cache.entries.refreshes")
+                return entry
+            self._counter += 1
+            name = f"cached_{self._counter}"
+            renamed = Query(statement.head, statement.body, name=name)
+            entry = CacheEntry(name, renamed, answer, version, key=key)
+            self.entries[name] = entry
+            self._by_key[key] = name
+            while len(self.entries) > self.capacity:
+                _, evicted = self.entries.popitem(last=False)
+                self._by_key.pop(evicted.key, None)
+                self.stats.evictions += 1
+                self._count("cache.entries.evictions")
+            self._entries_changed()
             return entry
-        self._counter += 1
-        name = f"cached_{self._counter}"
-        renamed = Query(statement.head, statement.body, name=name)
-        entry = CacheEntry(name, renamed, answer, version, key=key)
-        self.entries[name] = entry
-        self._by_key[key] = name
-        while len(self.entries) > self.capacity:
-            _, evicted = self.entries.popitem(last=False)
-            self._by_key.pop(evicted.key, None)
-            self.stats.evictions += 1
-            self._count("cache.entries.evictions")
-        self._entries_changed()
-        return entry
 
     # -- lookup ----------------------------------------------------------------
 
@@ -189,33 +202,36 @@ class QueryCache:
         entries are purged first, so everything remaining is rewritable
         against; the rewrite itself runs through the shared session.
         """
-        self.stats.lookups += 1
-        self._purge_stale(version)
-        if self.entries:
-            session = self.session()
-            outcome = session.rewrite(query, total_only=True,
-                                      first_only=True)
-            if outcome.rewritings:
-                rewriting = outcome.rewritings[0]
-                sources = {name: self.entries[name].answer
-                           for name in rewriting.views_used}
-                for name in rewriting.views_used:
-                    self.entries[name].hits += 1
-                    self.entries.move_to_end(name)
-                self.stats.hits += 1
-                self._count("cache.lookup.hits")
-                return evaluate(rewriting.query, sources)
-        self.stats.misses += 1
-        self._count("cache.lookup.misses")
-        return None
+        with self._lock:
+            self.stats.lookups += 1
+            self._purge_stale(version)
+            if self.entries:
+                session = self.session()
+                outcome = session.rewrite(query, total_only=True,
+                                          first_only=True)
+                if outcome.rewritings:
+                    rewriting = outcome.rewritings[0]
+                    sources = {name: self.entries[name].answer
+                               for name in rewriting.views_used}
+                    for name in rewriting.views_used:
+                        self.entries[name].hits += 1
+                        self.entries.move_to_end(name)
+                    self.stats.hits += 1
+                    self._count("cache.lookup.hits")
+                    return evaluate(rewriting.query, sources)
+            self.stats.misses += 1
+            self._count("cache.lookup.misses")
+            return None
 
     def invalidate(self) -> None:
         """Drop every entry (a store update with no delta propagation)."""
-        self.stats.invalidations += len(self.entries)
-        self._count("cache.entries.invalidations", len(self.entries))
-        self.entries.clear()
-        self._by_key.clear()
-        self._entries_changed()
+        with self._lock:
+            self.stats.invalidations += len(self.entries)
+            self._count("cache.entries.invalidations", len(self.entries))
+            self.entries.clear()
+            self._by_key.clear()
+            self._entries_changed()
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)

@@ -27,10 +27,25 @@ A session is bound to one ``(views, constraints)`` pair;
 :meth:`RewriteSession.update_views` swaps the view set while keeping
 the view-independent tables (chase, minimize, equivalence, decompose)
 warm -- the pattern the cached-query manager uses when entries churn.
+
+**Thread safety and locking order.**  A session may be shared by many
+threads (the ``repro serve`` worker pool hammers one session per view
+set).  Every :class:`MemoTable` owns a lock guarding its LRU dict and
+counters; the session itself owns a lock guarding the prepared-view
+dict and the signature index.  Locks nest strictly::
+
+    QueryCache lock  >  session lock  >  memo-table lock  >  instrument lock
+
+(outer acquired first; never acquire a lock to the left while holding
+one to the right).  Expensive work -- the chase, the exponential
+search -- runs *outside* every lock: two threads may race to compute
+the same entry, but both compute the same (deterministic) value and
+``put`` is idempotent per key, so no entry is lost or duplicated.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Mapping, Sequence, Union
@@ -48,10 +63,18 @@ _MISS = object()
 
 
 class MemoTable:
-    """A bounded LRU mapping with hit/miss/eviction accounting."""
+    """A bounded LRU mapping with hit/miss/eviction accounting.
+
+    Safe for concurrent use: one lock guards the LRU dict *and* the
+    counters, so ``move_to_end`` reordering, eviction, and stats never
+    interleave mid-update.  Values must be immutable (or never mutated
+    after ``put``) -- the table hands the stored object straight back.
+    The lock is innermost except for the metric instruments it feeds
+    (see the module docstring for the full locking order).
+    """
 
     __slots__ = ("name", "capacity", "entries", "hits", "misses",
-                 "evictions", "_metrics")
+                 "evictions", "_metrics", "_lock")
 
     def __init__(self, name: str, capacity: int = DEFAULT_MEMO_SIZE,
                  metrics=None) -> None:
@@ -62,6 +85,7 @@ class MemoTable:
         self.misses = 0
         self.evictions = 0
         self._metrics = metrics
+        self._lock = threading.Lock()
 
     def _count(self, outcome: str) -> None:
         if self._metrics is not None:
@@ -86,37 +110,47 @@ class MemoTable:
         *default* is returned on a miss (the module-private sentinel
         when not given, so ``None`` is storable).
         """
-        value = self.entries.get(key, default)
-        if value is not default:
-            self.entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self.entries.get(key, default)
+            if value is not default:
+                self.entries.move_to_end(key)
+            return value
 
     def record_hit(self) -> None:
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         self._count("hits")
 
     def record_miss(self) -> None:
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         self._count("misses")
 
     def put(self, key, value) -> None:
-        self.entries[key] = value
-        self.entries.move_to_end(key)
-        while len(self.entries) > self.capacity:
-            self.entries.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self.entries[key] = value
+            self.entries.move_to_end(key)
+            while len(self.entries) > self.capacity:
+                self.entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             self._count("evictions")
 
     def clear(self) -> None:
-        self.entries.clear()
+        with self._lock:
+            self.entries.clear()
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)
 
     def stats(self) -> dict:
-        return {"size": len(self.entries), "capacity": self.capacity,
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"size": len(self.entries), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
 
 class RewriteSession:
@@ -153,6 +187,9 @@ class RewriteSession:
         self.enabled = enabled
         self._prepared_views: dict[str, Query] = {}
         self._signature_index = None
+        # Guards _prepared_views and _signature_index (the memo tables
+        # carry their own locks); see the module docstring for order.
+        self._lock = threading.RLock()
 
         def table(name: str) -> MemoTable:
             return MemoTable(name, memo_size, metrics)
@@ -172,21 +209,31 @@ class RewriteSession:
                                         Sequence[Query]]) -> None:
         """Swap the view set; keeps the view-independent memos warm."""
         from .rewriter import _as_view_dict
-        self.views = _as_view_dict(views)
-        self._prepared_views.clear()
-        self._signature_index = None
-        self._atoms.clear()
-        self._results.clear()
+        with self._lock:
+            self.views = _as_view_dict(views)
+            self._prepared_views.clear()
+            self._signature_index = None
+            self._atoms.clear()
+            self._results.clear()
 
     def prepared_view(self, name: str, *, tracer=None,
                       budget=None) -> Query:
-        """The chased + normalized form of view *name*, computed once."""
-        prepared = self._prepared_views.get(name)
+        """The chased + normalized form of view *name*, computed once.
+
+        The chase runs outside the session lock: two threads may race
+        to prepare the same view, but the chase is deterministic and
+        ``setdefault`` keeps the first copy, so every caller shares one
+        object.
+        """
+        with self._lock:
+            prepared = self._prepared_views.get(name)
         if prepared is None:
             prepared = chase(self.views[name], self.constraints,
                              tracer=tracer, budget=budget)
             if self.enabled:
-                self._prepared_views[name] = prepared
+                with self._lock:
+                    prepared = self._prepared_views.setdefault(
+                        name, prepared)
         return prepared
 
     def signature_index(self, *, tracer=None, budget=None):
@@ -202,7 +249,9 @@ class RewriteSession:
         """
         from ..analysis.viewset.signature import (LabelSignatureIndex,
                                                   view_signature)
-        if self._signature_index is None:
+        with self._lock:
+            index = self._signature_index
+        if index is None:
             signatures = {}
             for name in sorted(self.views):
                 try:
@@ -211,8 +260,12 @@ class RewriteSession:
                 except ChaseContradictionError:
                     continue
                 signatures[name] = view_signature(prepared)
-            self._signature_index = LabelSignatureIndex(signatures)
-        return self._signature_index
+            index = LabelSignatureIndex(signatures)
+            with self._lock:
+                if self._signature_index is None:
+                    self._signature_index = index
+                index = self._signature_index
+        return index
 
     # -- memoized pipeline stages --------------------------------------------
 

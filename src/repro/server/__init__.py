@@ -1,0 +1,26 @@
+"""Rewrite-as-a-service: the concurrent HTTP front-end (``repro serve``).
+
+The Section 1 mediator, served over the wire: an asyncio I/O loop
+(:mod:`repro.server.app`) in front of a pool of worker threads sharing
+canonically-keyed rewrite sessions (:mod:`repro.server.pool`), with the
+request/response schemas and the shared-renderer error model in
+:mod:`repro.server.schemas` and an in-process harness for tests and
+load generation in :mod:`repro.server.testing`.  See
+``docs/SERVING.md``.
+"""
+
+from .app import REASONS, ReproServer, ServerConfig
+from .pool import (DEFAULT_MAX_SESSIONS, DEFAULT_WORKERS, SessionPool,
+                   config_key)
+from .schemas import (SERVE_SCHEMA_VERSION, BadRequestError,
+                      EvaluateRequest, RewriteRequest)
+from .testing import ServerThread, running_server
+
+__all__ = [
+    "ReproServer", "ServerConfig", "REASONS",
+    "SessionPool", "config_key", "DEFAULT_WORKERS",
+    "DEFAULT_MAX_SESSIONS",
+    "RewriteRequest", "EvaluateRequest", "BadRequestError",
+    "SERVE_SCHEMA_VERSION",
+    "ServerThread", "running_server",
+]

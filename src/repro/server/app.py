@@ -1,0 +1,392 @@
+"""Rewrite-as-a-service: an asyncio HTTP/JSON front-end.
+
+The paper's Section 1 deployment is a *mediator serving clients*; this
+module is that front-end: a single-threaded asyncio I/O loop in front
+of a :class:`~repro.server.pool.SessionPool` of worker threads driving
+shared, canonically-keyed :class:`~repro.rewriting.RewriteSession`\\ s.
+
+Endpoints (all JSON; see ``docs/SERVING.md`` for the full schemas):
+
+* ``POST /rewrite``   -- find equivalent rewritings; ``"explain": true``
+  attaches the EXPLAIN decision log, byte-identical to the in-process
+  ``rewrite(..., explain=...)`` output (memo replays included).
+* ``POST /explain``   -- the decision log alone (``repro explain``).
+* ``POST /evaluate``  -- evaluate a query over an inline OEM database.
+* ``GET /metrics``    -- Prometheus text exposition of the server
+  registry (request counters, shed counter, ``phase.seconds``).
+* ``GET /healthz``    -- liveness + pool occupancy.
+
+**Admission control and load shedding.**  POST requests are admitted up
+to ``max_pending`` in flight (queued + executing); beyond that the
+server answers ``429`` immediately and counts ``server.shed``.  Each
+admitted request gets a :class:`~repro.obs.Budget` whose deadline
+starts *at admission*, so time spent queued behind other requests
+counts against it -- a request that waits out its deadline is answered
+``408`` by the first cooperative-cancellation check without consuming a
+worker.  A search truncated by its deadline or step budget also maps to
+``408``, with the partial (sound but possibly incomplete) result in the
+body -- the *partial-result contract*: a 408 body is trustworthy as far
+as it goes.
+
+The HTTP implementation is deliberately minimal (stdlib-only
+HTTP/1.1 with keep-alive and Content-Length framing); the interesting
+machinery is the pool behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from ..errors import (BudgetExceededError, ChaseContradictionError,
+                      ReproError, RewritingError)
+from ..obs import Budget, MetricsRegistry, render_prometheus
+from ..oem.serialize import database_to_json
+from ..rewriting import Explanation
+from ..tsl import print_query
+from .pool import (DEFAULT_MAX_SESSIONS, DEFAULT_WORKERS, SessionPool,
+                   config_key)
+from .schemas import (SERVE_SCHEMA_VERSION, BadRequestError,
+                      EvaluateRequest, RewriteRequest)
+
+__all__ = ["ServerConfig", "ReproServer", "REASONS"]
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+#: Budget stop reasons that map to the 408 partial-result contract.
+_BUDGET_REASONS = ("deadline", "steps", "budget")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080              # 0 picks an ephemeral port
+    workers: int = DEFAULT_WORKERS
+    max_pending: int = 64         # admitted in-flight cap; beyond -> 429
+    max_sessions: int = DEFAULT_MAX_SESSIONS
+    memo_size: int | None = None  # None -> session default
+    default_budget_ms: float | None = None
+    default_max_steps: int | None = None
+    max_body_bytes: int = 16 * 1024 * 1024
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+
+
+class ReproServer:
+    """One serving instance: asyncio front-end + session pool."""
+
+    def __init__(self, config: ServerConfig | None = None, *,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        pool_kwargs = {"workers": self.config.workers,
+                       "max_sessions": self.config.max_sessions,
+                       "metrics": self.registry}
+        if self.config.memo_size is not None:
+            pool_kwargs["memo_size"] = self.config.memo_size
+        self.pool = SessionPool(**pool_kwargs)
+        self._in_flight = 0
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.shutdown()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                started = time.perf_counter()
+                try:
+                    status, payload, content_type = await self._dispatch(
+                        method, path, body)
+                except Exception as exc:  # last-resort 500
+                    status = 500
+                    payload = _json_bytes(
+                        {"error": {"message": f"internal error: {exc}"}})
+                    content_type = "application/json"
+                self._observe(method, path, status,
+                              time.perf_counter() - started)
+                keep_alive = headers.get("connection", "").lower() \
+                    != "close"
+                await self._write_response(writer, status, payload,
+                                           content_type, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled this connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One HTTP/1.1 request, or None at end of stream."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line.strip():
+            return None
+        try:
+            method, path, _version = \
+                request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line.strip():
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            return method, path, {"connection": "close"}, b"\x00toolarge"
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: bytes,
+                              content_type: str,
+                              keep_alive: bool) -> None:
+        reason = REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {connection}\r\n\r\n")
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    def _observe(self, method: str, path: str, status: int,
+                 seconds: float) -> None:
+        labels = {"endpoint": f"{method} {path}", "status": str(status)}
+        self.registry.increment("server.requests", labels=labels)
+        self.registry.observe("server.seconds", seconds,
+                              labels={"endpoint": f"{method} {path}"})
+
+    # -- routing + admission control -----------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> tuple[int, bytes, str]:
+        if body == b"\x00toolarge":
+            return 413, _json_bytes(
+                {"error": {"message": "request body too large"}}), \
+                "application/json"
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed()
+            return 200, _json_bytes(
+                {"status": "ok", "sessions": len(self.pool),
+                 "in_flight": self._in_flight}), "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed()
+            text = render_prometheus(self.registry)
+            return 200, text.encode("utf-8"), \
+                "text/plain; version=0.0.4; charset=utf-8"
+        if path in ("/rewrite", "/explain", "/evaluate"):
+            if method != "POST":
+                return self._method_not_allowed()
+            return await self._admit(path, body)
+        return 404, _json_bytes(
+            {"error": {"message": f"no such endpoint: {path}"}}), \
+            "application/json"
+
+    def _method_not_allowed(self) -> tuple[int, bytes, str]:
+        return 405, _json_bytes(
+            {"error": {"message": "method not allowed"}}), \
+            "application/json"
+
+    async def _admit(self, path: str,
+                     body: bytes) -> tuple[int, bytes, str]:
+        """Load-shed, start the admission-time budget, and dispatch."""
+        if self._in_flight >= self.config.max_pending:
+            self.registry.increment("server.shed")
+            return 429, _json_bytes(
+                {"error": {"message":
+                           f"server over capacity "
+                           f"({self._in_flight} requests in flight); "
+                           f"retry later"}}), "application/json"
+        try:
+            data = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _json_bytes(
+                {"error": {"message": f"request body is not valid "
+                                      f"JSON: {exc}"}}), \
+                "application/json"
+        budget = self._request_budget(data)
+        handler = {"/rewrite": self._do_rewrite,
+                   "/explain": self._do_explain,
+                   "/evaluate": self._do_evaluate}[path]
+        self._in_flight += 1
+        try:
+            status, payload = await self.pool.submit(handler, data,
+                                                     budget)
+        finally:
+            self._in_flight -= 1
+        return status, _json_bytes(payload), "application/json"
+
+    def _request_budget(self, data) -> Budget | None:
+        """The per-request budget, clocked from admission time.
+
+        The deadline/step limits come from the request when given, else
+        the server defaults.  Created *before* the request waits for a
+        worker, so queueing time counts against the deadline (the
+        cooperative-cancellation admission control of ``repro.obs``).
+        """
+        budget_ms = self.config.default_budget_ms
+        max_steps = self.config.default_max_steps
+        if isinstance(data, dict):
+            raw_ms = data.get("budget_ms")
+            if isinstance(raw_ms, (int, float)) \
+                    and not isinstance(raw_ms, bool) and raw_ms > 0:
+                budget_ms = float(raw_ms)
+            raw_steps = data.get("max_steps")
+            if isinstance(raw_steps, int) \
+                    and not isinstance(raw_steps, bool) and raw_steps > 0:
+                max_steps = raw_steps
+        if budget_ms is None and max_steps is None:
+            return None
+        return Budget(deadline_ms=budget_ms, max_steps=max_steps)
+
+    # -- endpoint workers (run on pool threads) ------------------------------
+
+    def _do_rewrite(self, data, budget) -> tuple[int, dict]:
+        try:
+            request = RewriteRequest.from_json(data)
+        except BadRequestError as exc:
+            return 400, exc.to_json()
+        return self._run_rewrite(request, budget, explain_only=False)
+
+    def _do_explain(self, data, budget) -> tuple[int, dict]:
+        try:
+            request = RewriteRequest.from_json(data, explain=True)
+        except BadRequestError as exc:
+            return 400, exc.to_json()
+        return self._run_rewrite(request, budget, explain_only=True)
+
+    def _run_rewrite(self, request: RewriteRequest, budget,
+                     explain_only: bool) -> tuple[int, dict]:
+        if budget is not None:
+            try:
+                budget.check()   # expired while queued -> 408, no search
+            except BudgetExceededError as exc:
+                return 408, self._timeout_payload(exc)
+        key = config_key(request.views, request.dtd_text)
+        session = self.pool.session_for(request.views,
+                                        request.constraints, key)
+        explanation = Explanation() if request.explain else None
+        memoized = session.lookup_result(request.query, request.flags,
+                                         need_explanation=request.explain)
+        memo = "hit" if memoized is not None else "miss"
+        try:
+            result = session.rewrite(
+                request.query, total_only=request.total_only,
+                max_candidates=request.max_candidates,
+                budget=budget, metrics=self.registry,
+                explain=explanation)
+        except ChaseContradictionError as exc:
+            return 422, {"error": {
+                "message": f"the query is unsatisfiable: {exc}"}}
+        except RewritingError as exc:
+            return 422, {"error": {"message": str(exc)}}
+
+        status = 200
+        if result.stats.truncated \
+                and result.stats.stop_reason in _BUDGET_REASONS:
+            status = 408
+        payload: dict = {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "memo": memo,
+            "truncated": result.stats.truncated,
+            "stop_reason": result.stats.stop_reason,
+        }
+        if explain_only:
+            payload["found"] = bool(result.rewritings)
+            payload["explanation"] = explanation.to_json()
+        else:
+            payload["rewritings"] = [
+                {"query": print_query(r.query), "flavor": "equivalent"}
+                for r in result.rewritings]
+            payload["stats"] = result.stats.to_json()
+            if explanation is not None:
+                payload["explanation"] = explanation.to_json()
+        return status, payload
+
+    def _do_evaluate(self, data, budget) -> tuple[int, dict]:
+        from ..tsl import evaluate
+        try:
+            request = EvaluateRequest.from_json(data)
+        except BadRequestError as exc:
+            return 400, exc.to_json()
+        if budget is not None:
+            try:
+                budget.check()
+            except BudgetExceededError as exc:
+                return 408, self._timeout_payload(exc)
+        try:
+            answer = evaluate(request.query, request.database)
+        except ReproError as exc:
+            return 422, {"error": {"message": str(exc)}}
+        return 200, {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "answer": database_to_json(answer),
+            "roots": len(answer.roots),
+            "objects": answer.stats()["objects"],
+        }
+
+    @staticmethod
+    def _timeout_payload(exc: BudgetExceededError) -> dict:
+        """The 408 body for a request that never reached the search.
+
+        Mirrors the truncated-search shape (empty partial result), so
+        clients handle both 408 flavors uniformly.
+        """
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "memo": "miss",
+            "truncated": True,
+            "stop_reason": exc.reason or "deadline",
+            "rewritings": [],
+            "error": {"message": str(exc)},
+        }

@@ -1,0 +1,123 @@
+"""A pool of shared rewrite sessions keyed by canonical view-set hash.
+
+The edgedb architecture this follows keeps a pool of long-lived
+compiler workers behind the I/O loop, sharing a normalized-query cache;
+here the normalized key is the canonical hash of
+:mod:`repro.rewriting.canon` and the long-lived worker state is a
+:class:`~repro.rewriting.session.RewriteSession` (prepared views + memo
+tables, all thread-safe since the locking work described in that
+module).
+
+Two requests naming the *same view set* -- even with views spelled in
+different variable names or conjunct orders, since the key is built
+from canonical query hashes -- are served by one session, so the
+second request hits the memo tables the first one warmed.  The session
+map is a bounded LRU: a multi-tenant server that sees many distinct
+view sets sheds the coldest.
+
+CPU-bound work (TSL parsing, the exponential search, evaluation) runs
+on a ``ThreadPoolExecutor`` owned by the pool; the asyncio front-end
+submits through :meth:`SessionPool.submit` and never blocks the event
+loop on a rewrite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from hashlib import blake2b
+from typing import Mapping
+
+from ..rewriting import RewriteSession
+from ..rewriting.canon import query_key
+from ..rewriting.chase import StructuralConstraints
+from ..rewriting.session import DEFAULT_MEMO_SIZE
+from ..tsl.ast import Query
+
+#: Default number of worker threads (the compiler-pool size).
+DEFAULT_WORKERS = 4
+
+#: Default cap on distinct (view set, constraints) sessions kept warm.
+DEFAULT_MAX_SESSIONS = 32
+
+
+def config_key(views: Mapping[str, Query],
+               dtd_text: str | None) -> str:
+    """The canonical hash of a (view set, constraints) configuration.
+
+    Built from each view's *canonical* query hash, so alpha-variant or
+    conjunct-reordered spellings of the same configuration share a
+    session (and therefore its memo tables).
+    """
+    digest = blake2b(digest_size=16)
+    for name in sorted(views):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(query_key(views[name]).encode("ascii"))
+        digest.update(b"\x01")
+    if dtd_text is not None:
+        digest.update(dtd_text.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class SessionPool:
+    """Shared sessions + the worker threads that drive them."""
+
+    def __init__(self, *, workers: int = DEFAULT_WORKERS,
+                 max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 memo_size: int = DEFAULT_MEMO_SIZE,
+                 metrics=None) -> None:
+        self.workers = max(1, workers)
+        self.max_sessions = max(1, max_sessions)
+        self.memo_size = memo_size
+        self.metrics = metrics
+        self._sessions: "OrderedDict[str, RewriteSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve")
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def session_for(self, views: Mapping[str, Query],
+                    constraints: StructuralConstraints | None,
+                    key: str) -> RewriteSession:
+        """The shared session for configuration *key* (LRU, created once).
+
+        Callable from any worker thread.  The session is created under
+        the pool lock (cheap -- views are chased lazily on first use),
+        and the coldest session is dropped beyond ``max_sessions``.
+        """
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                if self.metrics is not None:
+                    self.metrics.increment("server.sessions.reused")
+                return session
+            session = RewriteSession(views, constraints,
+                                     memo_size=self.memo_size,
+                                     metrics=self.metrics)
+            self._sessions[key] = session
+            if self.metrics is not None:
+                self.metrics.increment("server.sessions.created")
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                if self.metrics is not None:
+                    self.metrics.increment("server.sessions.evicted")
+            return session
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- work dispatch -------------------------------------------------------
+
+    def submit(self, fn, *args):
+        """Run *fn* on a pool worker; awaitable from the event loop."""
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(self._executor, fn, *args)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,220 @@
+"""Wire schemas for the rewrite service: request parsing + error model.
+
+Every POST body is a JSON object; responses are JSON stamped with
+``SERVE_SCHEMA_VERSION``.  Parsing is two-layered:
+
+* **shape validation** -- field presence and JSON types.  Violations
+  raise :class:`BadRequestError` with a plain message (HTTP 400).
+* **TSL parsing** -- queries/views/DTD text go through the same
+  parse + validate pipeline as the CLI, and syntax/validation failures
+  are rendered through the shared :mod:`repro.analysis` diagnostic
+  renderer (caret excerpt in ``message``, machine-readable
+  ``diagnostics``), exactly the ``repro lint``/``rewrite`` error
+  surface, over HTTP 400.
+
+The request dataclasses carry *parsed* payloads (ASTs, constraint
+objects, decoded databases); the HTTP layer never re-parses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..analysis import Diagnostic, Severity, render_text
+from ..errors import ReproError, TslError
+from ..oem.model import OemDatabase
+from ..oem.serialize import database_from_json
+from ..rewriting import StructuralConstraints, parse_dtd
+from ..tsl import parse_query, validate
+from ..tsl.ast import Query
+
+#: Bumped when a response payload shape changes incompatibly.
+SERVE_SCHEMA_VERSION = 1
+
+#: Diagnostic code under which bare syntax errors are reported (shared
+#: with the CLI's lint report).
+SYNTAX_CODE = "TSL000"
+
+
+class BadRequestError(ReproError):
+    """A request failed validation; maps to HTTP 400.
+
+    ``diagnostics`` carries the structured findings when the failure
+    came from TSL parsing/validation (empty for shape errors).
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: list[dict] | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.diagnostics = diagnostics or []
+
+    def to_json(self) -> dict:
+        return {"error": {"message": self.message,
+                          "diagnostics": self.diagnostics}}
+
+
+def _tsl_error(exc: TslError, text: str, file: str) -> BadRequestError:
+    """The 400 payload for a TSL parse/validation failure in *file*."""
+    code = getattr(exc, "code", None) or SYNTAX_CODE
+    message = getattr(exc, "message", None) or str(exc)
+    diag = Diagnostic(code, Severity.ERROR, message,
+                      span=getattr(exc, "span", None), file=file)
+    return BadRequestError(render_text(diag, text=text),
+                           diagnostics=[diag.to_dict()])
+
+
+def _require_object(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise BadRequestError(f"{what} must be a JSON object, "
+                              f"got {type(data).__name__}")
+    return data
+
+
+def _get_str(data: Mapping[str, Any], key: str, *,
+             required: bool = True) -> str | None:
+    value = data.get(key)
+    if value is None:
+        if required:
+            raise BadRequestError(f"missing required field {key!r}")
+        return None
+    if not isinstance(value, str):
+        raise BadRequestError(f"field {key!r} must be a string")
+    return value
+
+
+def _get_bool(data: Mapping[str, Any], key: str,
+              default: bool = False) -> bool:
+    value = data.get(key, default)
+    if not isinstance(value, bool):
+        raise BadRequestError(f"field {key!r} must be a boolean")
+    return value
+
+
+def _get_number(data: Mapping[str, Any], key: str,
+                integral: bool = False):
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(f"field {key!r} must be a number")
+    if integral and not isinstance(value, int):
+        raise BadRequestError(f"field {key!r} must be an integer")
+    if value <= 0:
+        raise BadRequestError(f"field {key!r} must be positive")
+    return value
+
+
+def parse_query_text(text: str, *, file: str = "query",
+                     name: str | None = None,
+                     validated: bool = True) -> Query:
+    """Parse (and for the target query, validate) one TSL text.
+
+    Failures map to HTTP 400 through the shared diagnostic renderer.
+    Views are parsed but not validated, mirroring the CLI's
+    ``--view NAME=FILE`` handling.
+    """
+    try:
+        query = parse_query(text, name=name)
+        return validate(query) if validated else query
+    except TslError as exc:
+        raise _tsl_error(exc, text, file) from exc
+
+
+def _parse_views(data: Mapping[str, Any]) -> dict[str, Query]:
+    raw = data.get("views")
+    if raw is None:
+        raise BadRequestError("missing required field 'views'")
+    views_obj = _require_object(raw, "field 'views'")
+    views: dict[str, Query] = {}
+    for name, text in views_obj.items():
+        if not isinstance(text, str):
+            raise BadRequestError(
+                f"view {name!r} must be TSL text (a string)")
+        views[name] = parse_query_text(text, file=f"view:{name}",
+                                       name=name, validated=False)
+    # An empty view set is legal (the rewrite just finds nothing), so
+    # corpus cases replay over the wire exactly as in-process.
+    return views
+
+
+def _parse_dtd(data: Mapping[str, Any]) -> tuple[str | None,
+                                                 StructuralConstraints | None]:
+    text = _get_str(data, "dtd", required=False)
+    if text is None:
+        return None, None
+    try:
+        return text, parse_dtd(text)
+    except ReproError as exc:
+        raise BadRequestError(f"field 'dtd' is not a valid DTD: {exc}") \
+            from exc
+
+
+@dataclass
+class RewriteRequest:
+    """Parsed ``POST /rewrite`` (and ``POST /explain``) body."""
+
+    query: Query
+    views: dict[str, Query]
+    dtd_text: str | None
+    constraints: StructuralConstraints | None
+    total_only: bool = False
+    max_candidates: int | None = None
+    budget_ms: float | None = None
+    max_steps: int | None = None
+    explain: bool = False
+    #: The flags tuple the session memo keys results under -- must
+    #: mirror ``rewrite()``'s (heuristic, total_only, prune_subsumed,
+    #: first_only, max_candidates) order.
+    flags: tuple = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.flags = (True, self.total_only, True, False,
+                      self.max_candidates)
+
+    @classmethod
+    def from_json(cls, data: Any, *,
+                  explain: bool = False) -> "RewriteRequest":
+        body = _require_object(data, "request body")
+        query = parse_query_text(_get_str(body, "query"))
+        views = _parse_views(body)
+        dtd_text, constraints = _parse_dtd(body)
+        return cls(
+            query=query,
+            views=views,
+            dtd_text=dtd_text,
+            constraints=constraints,
+            total_only=_get_bool(body, "total_only"),
+            max_candidates=_get_number(body, "max_candidates",
+                                       integral=True),
+            budget_ms=_get_number(body, "budget_ms"),
+            max_steps=_get_number(body, "max_steps", integral=True),
+            explain=explain or _get_bool(body, "explain"),
+        )
+
+
+@dataclass
+class EvaluateRequest:
+    """Parsed ``POST /evaluate`` body: one query over an inline database."""
+
+    query: Query
+    database: OemDatabase
+    budget_ms: float | None = None
+
+    @classmethod
+    def from_json(cls, data: Any) -> "EvaluateRequest":
+        body = _require_object(data, "request body")
+        query = parse_query_text(_get_str(body, "query"))
+        raw_db = body.get("database")
+        if raw_db is None:
+            raise BadRequestError("missing required field 'database'")
+        try:
+            database = database_from_json(
+                dict(_require_object(raw_db, "field 'database'")))
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            raise BadRequestError(
+                f"field 'database' is not a valid OEM encoding: "
+                f"{exc}") from exc
+        return cls(query=query, database=database,
+                   budget_ms=_get_number(body, "budget_ms"))

@@ -1,0 +1,114 @@
+"""Test/benchmark harness: run a :class:`ReproServer` in-process.
+
+The server is asyncio; tests and the ``bench_serve`` load generator are
+synchronous and multi-threaded.  :class:`ServerThread` bridges the two:
+it runs the event loop on a daemon thread, exposes the bound (ephemeral)
+port, and gives callers a tiny synchronous JSON client over
+``http.client`` so concurrent load is just "many threads, one
+:meth:`ServerThread.request` each".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from contextlib import contextmanager
+
+from .app import ReproServer, ServerConfig
+
+__all__ = ["ServerThread", "running_server"]
+
+
+class ServerThread:
+    """A live server on an ephemeral port, driven from a daemon thread."""
+
+    def __init__(self, config: ServerConfig | None = None, *,
+                 metrics=None) -> None:
+        config = config or ServerConfig(port=0)
+        self.server = ReproServer(config, metrics=metrics)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-loop")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            # Cancel lingering keep-alive connection handlers before
+            # closing, so shutdown is silent.
+            pending = [task for task in asyncio.all_tasks(self._loop)
+                       if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def registry(self):
+        return self.server.registry
+
+    # -- synchronous client --------------------------------------------------
+
+    def request(self, method: str, path: str, payload: dict | None = None,
+                *, timeout: float = 30.0) -> tuple[int, object]:
+        """One HTTP round trip; returns (status, decoded JSON or text)."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return response.status, json.loads(raw.decode("utf-8"))
+            return response.status, raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def post(self, path: str, payload: dict, **kwargs):
+        return self.request("POST", path, payload, **kwargs)
+
+    def get(self, path: str, **kwargs):
+        return self.request("GET", path, None, **kwargs)
+
+
+@contextmanager
+def running_server(config: ServerConfig | None = None, *, metrics=None):
+    """``with running_server() as srv: srv.post("/rewrite", ...)``."""
+    thread = ServerThread(config, metrics=metrics).start()
+    try:
+        yield thread
+    finally:
+        thread.stop()

@@ -3,6 +3,8 @@
 import json
 import threading
 
+import pytest
+
 from repro.obs import METRICS, MetricsRegistry
 
 
@@ -78,6 +80,41 @@ class TestThreading:
         snap = registry.snapshot()
         assert snap["counters"]["shared"] == 4000
         assert snap["histograms"]["values"]["count"] == 4000
+
+    def test_concurrent_observes_never_lose_counts(self):
+        # The serving pool records request latency from many worker
+        # threads into one labeled histogram; every observe() must land
+        # in the count, the sum, and exactly one bucket.
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency", buckets=(0.25, 0.5, 0.75), labels={"e": "x"})
+        threads, per_thread = 8, 2500
+
+        def work(index):
+            barrier.wait()
+            for i in range(per_thread):
+                histogram.observe(((index + i) % 4) * 0.25)
+
+        barrier = threading.Barrier(threads)
+        pool = [threading.Thread(target=work, args=(i,))
+                for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        total = threads * per_thread
+        assert histogram.count == total
+        # Every thread observed the same 0/0.25/0.5/0.75 cycle, so the
+        # sum and the per-bucket split are exact, not approximate.
+        assert histogram.total == pytest.approx(
+            total / 4 * (0.0 + 0.25 + 0.5 + 0.75))
+        cumulative = histogram.cumulative()
+        assert cumulative[-1] == (float("inf"), total)
+        # Inclusive `le` boundaries: 0.0 and 0.25 land in the first
+        # bucket, 0.5 and 0.75 add a quarter each.
+        assert [count for _le, count in cumulative] == [
+            total // 2, 3 * total // 4, total, total]
 
 
 class TestBuckets:

@@ -1,0 +1,190 @@
+"""Concurrency regressions: one shared session, many threads.
+
+The serving pool (``repro.server``) drives one :class:`RewriteSession`
+from several worker threads at once.  These tests hammer the memo
+machinery directly -- no HTTP -- and pin the invariants the locking
+added for the service must preserve:
+
+* no lost or duplicated entries (the table never exceeds capacity, and
+  every key maps to the value its key determines);
+* stats that sum correctly (hits + misses == probes, both on the table
+  counters and on the exported ``cache.*`` metrics);
+* shared prepared state: every thread sees the *same* prepared-view
+  and signature-index objects;
+* parity: concurrent ``rewrite()`` results are fingerprint-identical
+  to a serial fresh-session run.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry
+from repro.oem import identical
+from repro.repository import QueryCache
+from repro.rewriting import RewriteSession, paper_dtd
+from repro.rewriting.canon import program_key
+from repro.rewriting.session import MemoTable, _MISS
+from repro.tsl import evaluate
+from repro.workloads import (conference_query, query_q3, query_q5,
+                             query_q7, view_v1)
+
+THREADS = 8
+ROUNDS = 200
+
+
+def hammer(worker, threads=THREADS):
+    """Run *worker(index)* on N threads, releasing them together."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def run(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=run, args=(i,))
+            for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMemoTableUnderContention:
+    def test_no_lost_or_duplicated_entries_and_stats_sum(self):
+        registry = MetricsRegistry()
+        capacity = 8
+        keyspace = 32  # > capacity, so eviction churns constantly
+        table = MemoTable("hammer", capacity, registry)
+        probes_per_thread = ROUNDS
+
+        def worker(index):
+            # Recompute deterministically on a miss, as the session
+            # does: the value is a pure function of the key, so racing
+            # puts are idempotent.
+            for i in range(probes_per_thread):
+                key = (index + i) % keyspace
+                value = table.get(key)
+                if value is _MISS:
+                    table.put(key, key * 2)
+                else:
+                    assert value == key * 2, \
+                        f"key {key} served foreign value {value}"
+
+        hammer(worker)
+
+        stats = table.stats()
+        total_probes = THREADS * probes_per_thread
+        assert stats["hits"] + stats["misses"] == total_probes
+        assert stats["size"] == len(table) <= capacity
+        # Every surviving entry still maps to its own value.
+        for key in range(keyspace):
+            value = table.peek(key)
+            if value is not _MISS:
+                assert value == key * 2
+        # The exported counters agree with the table's own counters.
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.hammer.hits"] == stats["hits"]
+        assert counters["cache.hammer.misses"] == stats["misses"]
+        assert counters["cache.hammer.evictions"] == stats["evictions"]
+
+    def test_eviction_accounting_balances(self):
+        table = MemoTable("balance", 4)
+        inserted = 128
+
+        def worker(index):
+            for i in range(inserted):
+                table.put((index, i), i)
+
+        hammer(worker)
+        stats = table.stats()
+        # Inserts are all distinct keys: whatever is not resident was
+        # evicted exactly once.
+        assert stats["size"] + stats["evictions"] == THREADS * inserted
+        assert stats["size"] <= 4
+
+
+class TestSharedSessionUnderContention:
+    def test_concurrent_rewrites_match_serial_and_stats_sum(self):
+        queries = [query_q3(), query_q5(), query_q7()]
+        serial = RewriteSession({"V1": view_v1()}, paper_dtd())
+        expected = [program_key([r.query for r in
+                                 serial.rewrite(q).rewritings])
+                    for q in queries]
+
+        session = RewriteSession({"V1": view_v1()}, paper_dtd())
+        rounds = 6
+        mismatches = []
+        lock = threading.Lock()
+
+        def worker(index):
+            for i in range(rounds * len(queries)):
+                slot = (index + i) % len(queries)
+                result = session.rewrite(queries[slot])
+                got = program_key([r.query for r in result.rewritings])
+                if got != expected[slot]:
+                    with lock:
+                        mismatches.append((slot, got))
+
+        hammer(worker)
+        assert not mismatches
+
+        stats = session.stats()["rewrite"]
+        calls = THREADS * rounds * len(queries)
+        # Every rewrite() probes the result memo exactly once.
+        assert stats["hits"] + stats["misses"] == calls
+        # All threads converged on one entry per distinct query -- no
+        # duplicated entries under the canonical keying.
+        assert stats["size"] == len(queries)
+        assert stats["evictions"] == 0
+
+    def test_prepared_views_and_signature_index_are_shared(self):
+        session = RewriteSession({"V1": view_v1()}, paper_dtd())
+        seen_views = []
+        seen_indexes = []
+        lock = threading.Lock()
+
+        def worker(index):
+            prepared = session.prepared_view("V1")
+            signature = session.signature_index()
+            with lock:
+                seen_views.append(id(prepared))
+                seen_indexes.append(id(signature))
+
+        hammer(worker)
+        assert len(set(seen_views)) == 1, \
+            "threads saw different prepared-view objects"
+        assert len(set(seen_indexes)) == 1, \
+            "threads saw different signature indexes"
+
+
+class TestQueryCacheUnderContention:
+    def test_concurrent_lookups_count_and_serve_consistently(self, biblio_db):
+        conferences = ["sigmod", "vldb", "icde", "pods"]
+        cache = QueryCache(capacity=16)
+        for conference in conferences:
+            statement = conference_query(conference)
+            cache.insert(statement, evaluate(statement, biblio_db), 0)
+        baseline = {c: evaluate(conference_query(c), biblio_db)
+                    for c in conferences}
+        rounds = 12
+        failures = []
+        lock = threading.Lock()
+
+        def worker(index):
+            for i in range(rounds):
+                conference = conferences[(index + i) % len(conferences)]
+                answer = cache.lookup(conference_query(conference), 0)
+                if answer is None \
+                        or not identical(answer, baseline[conference]):
+                    with lock:
+                        failures.append(conference)
+
+        hammer(worker)
+        assert not failures
+        assert cache.stats.lookups == THREADS * rounds
+        assert cache.stats.hits == THREADS * rounds
+        assert len(cache) == len(conferences)

@@ -1,0 +1,192 @@
+"""Serving parity: the wire path must equal the in-process path.
+
+Three batteries, from ISSUE satellites:
+
+* **Corpus replay** -- every regression case in ``tests/corpus/`` goes
+  through ``POST /rewrite`` with ``explain`` and must produce EXPLAIN
+  JSON byte-identical to ``rewrite(..., explain=Explanation())`` run
+  in-process on a fresh session (unsatisfiable cases must 422 exactly
+  when the in-process chase raises).
+* **Concurrency parity** -- K concurrent clients hammering one shared
+  session pool must produce rewriting sets canonically
+  fingerprint-identical to the same workload run serially on a fresh
+  session.
+* **Memo-replay identity** -- a memoized (replayed) EXPLAIN response
+  is byte-identical to the cold one that populated the memo.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.errors import ChaseContradictionError
+from repro.obs import MetricsRegistry
+from repro.rewriting import Explanation, RewriteSession, paper_dtd
+from repro.rewriting.canon import program_key
+from repro.rewriting.constraints import PAPER_DTD, parse_dtd
+from repro.server import ServerConfig, running_server
+from repro.oracle import load_corpus
+from repro.tsl import parse_query, print_query
+from repro.workloads import query_q3, query_q5, query_q7, view_v1
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def canonical_json(data) -> str:
+    """The byte-comparison form: key order and whitespace pinned."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def wire_body(case) -> dict:
+    body = {"query": print_query(case.query),
+            "views": {name: print_query(view)
+                      for name, view in sorted(case.views.items())},
+            "explain": True}
+    if case.dtd_text is not None:
+        body["dtd"] = case.dtd_text
+    return body
+
+
+def fingerprint(queries) -> str:
+    return program_key(list(queries))
+
+
+class TestCorpusReplay:
+    """Every corpus case, wire vs in-process, byte-for-byte."""
+
+    @pytest.mark.parametrize(
+        "path,case", CORPUS,
+        ids=[os.path.splitext(os.path.basename(p))[0] for p, _ in CORPUS])
+    def test_wire_explain_matches_in_process(self, path, case):
+        constraints = parse_dtd(case.dtd_text) if case.dtd_text else None
+        session = RewriteSession(case.views, constraints)
+        explanation = Explanation()
+        try:
+            result = session.rewrite(case.query, explain=explanation)
+        except ChaseContradictionError:
+            result = None
+
+        with running_server(ServerConfig(port=0, workers=1)) as srv:
+            status, body = srv.post("/rewrite", wire_body(case))
+
+        if result is None:
+            assert status == 422
+            assert "unsatisfiable" in body["error"]["message"]
+            return
+        assert status == 200
+        assert canonical_json(body["explanation"]) \
+            == canonical_json(explanation.to_json())
+        assert fingerprint(parse_query(r["query"])
+                           for r in body["rewritings"]) \
+            == fingerprint(r.query for r in result.rewritings)
+
+
+class TestConcurrencyParity:
+    """K concurrent rewrites == the same workload serially, fresh."""
+
+    CLIENTS = 8
+    ROUNDS = 4
+
+    def workload(self) -> list[dict]:
+        views = {"V1": print_query(view_v1())}
+        return [{"query": print_query(query), "views": views,
+                 "dtd": PAPER_DTD}
+                for query in (query_q3(), query_q5(), query_q7())]
+
+    def serial_expectations(self, workload):
+        """Fingerprints + EXPLAIN JSON from a fresh serial session."""
+        session = RewriteSession({"V1": view_v1()}, paper_dtd())
+        expected = []
+        for entry in workload:
+            explanation = Explanation()
+            result = session.rewrite(parse_query(entry["query"]),
+                                     explain=explanation)
+            expected.append(
+                (fingerprint(r.query for r in result.rewritings),
+                 canonical_json(explanation.to_json())))
+        return expected
+
+    def test_concurrent_pool_matches_serial_fresh_session(self):
+        workload = self.workload()
+        expected = self.serial_expectations(workload)
+        responses: dict[int, list] = {i: [] for i in range(len(workload))}
+        failures: list = []
+        lock = threading.Lock()
+
+        with running_server(ServerConfig(port=0, workers=4),
+                            metrics=MetricsRegistry()) as srv:
+            barrier = threading.Barrier(self.CLIENTS)
+
+            def client(client_index: int) -> None:
+                barrier.wait()
+                for i in range(self.ROUNDS * len(workload)):
+                    slot = (client_index + i) % len(workload)
+                    body = dict(workload[slot], explain=True)
+                    status, payload = srv.post("/rewrite", body)
+                    with lock:
+                        if status != 200:
+                            failures.append((status, payload))
+                        else:
+                            responses[slot].append(payload)
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(self.CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not failures, failures[:3]
+        total = sum(len(v) for v in responses.values())
+        assert total == self.CLIENTS * self.ROUNDS * len(workload)
+        for slot, (expected_fp, expected_explain) in enumerate(expected):
+            for payload in responses[slot]:
+                assert fingerprint(parse_query(r["query"])
+                                   for r in payload["rewritings"]) \
+                    == expected_fp
+                assert canonical_json(payload["explanation"]) \
+                    == expected_explain
+        # The pool actually shared work: all but the first few requests
+        # per slot replay from the memo.
+        memo_hits = sum(1 for slot in responses
+                        for payload in responses[slot]
+                        if payload["memo"] == "hit")
+        assert memo_hits > total // 2
+
+
+class TestMemoReplayIdentity:
+    """Cold vs replayed EXPLAIN over the wire: byte-identical."""
+
+    def test_memo_replay_explain_is_byte_identical(self):
+        body = {"query": print_query(query_q3()),
+                "views": {"V1": print_query(view_v1())},
+                "dtd": PAPER_DTD, "explain": True}
+        with running_server(ServerConfig(port=0, workers=1)) as srv:
+            status1, cold = srv.post("/rewrite", body)
+            status2, warm = srv.post("/rewrite", body)
+        assert (status1, status2) == (200, 200)
+        assert (cold["memo"], warm["memo"]) == ("miss", "hit")
+        assert canonical_json(warm["explanation"]) \
+            == canonical_json(cold["explanation"])
+        assert warm["rewritings"] == cold["rewritings"]
+
+    def test_alpha_variant_view_text_shares_the_session(self):
+        """Canonical config keys: renamed view text hits the same memo."""
+        view = view_v1()
+        variant = print_query(view).replace("P'", "Pz").replace(
+            "Y'", "Yw")
+        assert variant != print_query(view)
+        body = {"query": print_query(query_q3()),
+                "views": {"V1": print_query(view)}, "dtd": PAPER_DTD}
+        with running_server(ServerConfig(port=0, workers=1)) as srv:
+            status1, cold = srv.post("/rewrite", body)
+            status2, warm = srv.post(
+                "/rewrite", dict(body, views={"V1": variant}))
+            _status, health = srv.get("/healthz")
+        assert (status1, status2) == (200, 200)
+        assert warm["memo"] == "hit"
+        assert health["sessions"] == 1

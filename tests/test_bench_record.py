@@ -1,0 +1,116 @@
+"""benchmarks/run_all.py: failure handling around --json / --record.
+
+Regression (ISSUE satellite): a raising bench series used to abort the
+whole run *after* other experiments had burned their time, and a
+``--record`` snapshot could be written with the series silently
+missing -- poisoning every later ``compare.py`` trajectory diff.  Now a
+failed series is marked ``failed`` in the ``--json`` document (which is
+still written, as a diagnostic artifact), ``--record`` refuses to write
+a snapshot, and the process exits nonzero.
+"""
+
+import importlib.util
+import json
+import types
+from pathlib import Path
+
+import pytest
+
+RUN_ALL = Path(__file__).parent.parent / "benchmarks" / "run_all.py"
+
+
+@pytest.fixture
+def run_all(monkeypatch):
+    """The run_all module, loaded fresh with importable bench deps."""
+    monkeypatch.syspath_prepend(str(RUN_ALL.parent))
+    spec = importlib.util.spec_from_file_location("run_all_under_test",
+                                                  RUN_ALL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def stub_experiment(rows=None, error=None):
+    """A fake bench module: fixed rows, or a deterministic crash."""
+    module = types.ModuleType("bench_stub")
+    if error is not None:
+        def run_experiment():
+            raise error
+    else:
+        def run_experiment():
+            return rows
+
+    def print_table(table_rows):
+        for row in table_rows:
+            print(row)
+
+    module.run_experiment = run_experiment
+    module.print_table = print_table
+    return module
+
+
+@pytest.fixture
+def experiments(run_all, monkeypatch):
+    good = stub_experiment(rows=[{"scenario": "ok", "seconds": 0.1}])
+    bad = stub_experiment(error=TypeError("boom"))
+    monkeypatch.setattr(run_all, "EXPERIMENTS", {
+        "good": ("a passing series", good),
+        "bad": ("a crashing series", bad),
+    })
+    return run_all
+
+
+class TestFailureHandling:
+    def test_all_green_records_a_snapshot(self, run_all, monkeypatch,
+                                          tmp_path, capsys):
+        good = stub_experiment(rows=[{"scenario": "ok", "seconds": 0.1}])
+        monkeypatch.setattr(run_all, "EXPERIMENTS",
+                            {"good": ("a passing series", good)})
+        run_all.main(["--record", str(tmp_path)])
+        snapshots = list(tmp_path.glob("BENCH_*.json"))
+        assert len(snapshots) == 1
+        payload = json.loads(snapshots[0].read_text())
+        assert payload["schema_version"] == run_all.SCHEMA_VERSION
+        assert payload["benchmarks"][0]["rows"]
+
+    def test_failed_series_exits_nonzero(self, experiments, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            experiments.main([])
+        assert "bad" in str(excinfo.value)
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "TypeError: boom" in out
+
+    def test_failure_does_not_abort_later_series(self, run_all,
+                                                 monkeypatch, capsys):
+        # The crash comes first; the good series must still run.
+        good = stub_experiment(rows=[{"scenario": "ok", "seconds": 0.1}])
+        bad = stub_experiment(error=RuntimeError("early"))
+        monkeypatch.setattr(run_all, "EXPERIMENTS", {
+            "bad": ("a crashing series", bad),
+            "good": ("a passing series", good),
+        })
+        with pytest.raises(SystemExit):
+            run_all.main([])
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "{'scenario': 'ok'" in out
+
+    def test_json_document_marks_the_failed_row(self, experiments,
+                                                tmp_path, capsys):
+        target = tmp_path / "results.json"
+        with pytest.raises(SystemExit):
+            experiments.main(["--json", str(target)])
+        payload = json.loads(target.read_text())
+        by_name = {row["name"]: row for row in payload["benchmarks"]}
+        assert by_name["bad"]["failed"] is True
+        assert "TypeError: boom" in by_name["bad"]["error"]
+        assert by_name["bad"]["rows"] == []
+        assert "failed" not in by_name["good"]
+
+    def test_record_refuses_a_snapshot_with_failures(self, experiments,
+                                                     tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            experiments.main(["--record", str(tmp_path)])
+        assert "not recording" in str(excinfo.value)
+        assert not list(tmp_path.glob("BENCH_*.json"))
