@@ -49,6 +49,7 @@ import bench_mappings
 import bench_mediator
 import bench_rewriter
 import bench_serve
+import bench_store
 
 EXPERIMENTS = {
     "E4": ("structural-constraint gain (Section 3.3)",
@@ -70,6 +71,8 @@ EXPERIMENTS = {
                   bench_contained),
     "serve": ("rewrite-as-a-service under concurrent load",
               bench_serve),
+    "store": ("persistence: durable store + warm-start cache",
+              bench_store),
 }
 
 

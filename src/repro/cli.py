@@ -24,7 +24,12 @@ Usage (installed as ``python -m repro``)::
         [--dtd FILE.dtd] [--format prom|json]
     python -m repro serve [--host H] [--port N] [--workers N] \
         [--max-pending N] [--max-sessions N] [--budget-ms N] \
-        [--max-steps N]
+        [--max-steps N] [--cache-dir ROOT]
+    python -m repro db init ROOT [--name N] [--shards N] [--force]
+    python -m repro db ingest ROOT --db DATA.json [--compact]
+    python -m repro db stats ROOT
+    python -m repro db flush ROOT
+    python -m repro db compact ROOT
     python -m repro import-xml DOC.xml -o DATA.json
     python -m repro fuzz [--seed N] [--iterations N] [--budget-seconds S] \
         [--oracle NAME ...] [--profile NAME ...] [--corpus DIR] \
@@ -460,6 +465,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .server import ReproServer, ServerConfig
 
@@ -467,7 +473,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, workers=args.workers,
         max_pending=args.max_pending, max_sessions=args.max_sessions,
         default_budget_ms=args.budget_ms,
-        default_max_steps=args.max_steps)
+        default_max_steps=args.max_steps,
+        cache_dir=args.cache_dir)
     server = ReproServer(config)
 
     async def _run() -> None:
@@ -477,10 +484,101 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"max_pending={config.max_pending})", file=sys.stderr)
         await server.serve_forever()
 
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        # A supervisor stops the service with SIGTERM; route it through
+        # the same graceful path as ctrl-C so warm memos still flush.
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread; signals stay with the embedder
+
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+        # The loop died before stop() ran; persist the warm session
+        # memos so the next start answers repeats as memo hits.
+        server.pool.save_sessions()
+        server.pool.shutdown()
+    return 0
+
+
+def _db_shard_entries(layout) -> list[int]:
+    """Entry count per persisted cache shard (0 for absent files)."""
+    import json
+
+    manifest = layout.read_manifest()
+    counts = []
+    for index in range(manifest.get("cache_shards", 0)):
+        path = layout.shard_path(index)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            counts.append(len(document.get("entries", [])))
+        except (OSError, ValueError):
+            counts.append(0)
+    return counts
+
+
+def _cmd_db_init(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    store = DurableStore.create(args.root, args.name,
+                                cache_shards=args.shards,
+                                force=args.force)
+    store.close()
+    print(f"initialized store {args.name!r} at {args.root} "
+          f"({args.shards} cache shards)", file=sys.stderr)
+    return 0
+
+
+def _cmd_db_ingest(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    db = loads(_read(args.db))
+    with DurableStore.open(args.root) as store:
+        records = store.ingest(db)
+        if args.compact:
+            store.compact()
+        version = store.version
+    print(f"ingested {records} records; store version {version}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_db_stats(args: argparse.Namespace) -> int:
+    """Deterministic storage statistics (byte-stable across runs)."""
+    import json
+
+    from .storage import DurableStore, SessionRegistry
+
+    with DurableStore.open(args.root) as store:
+        payload = {"store": store.stats(),
+                   "cache": {"shards": store.cache_shards,
+                             "entries": _db_shard_entries(store.layout)},
+                   "sessions": SessionRegistry(store.layout).stats()}
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_db_flush(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    with DurableStore.open(args.root) as store:
+        store.flush()
+    print(f"flushed {args.root}", file=sys.stderr)
+    return 0
+
+
+def _cmd_db_compact(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    with DurableStore.open(args.root) as store:
+        outcome = store.compact()
+    print(f"compacted {args.root}: version {outcome['version']}, "
+          f"{outcome['objects']} objects, "
+          f"{outcome['snapshot_bytes']} snapshot bytes", file=sys.stderr)
     return 0
 
 
@@ -724,7 +822,54 @@ def build_parser() -> argparse.ArgumentParser:
                                 "with the partial result")
     serve_cmd.add_argument("--max-steps", type=int, metavar="N",
                            help="default per-request step budget")
+    serve_cmd.add_argument("--cache-dir", metavar="ROOT",
+                           help="persist rewrite-session memos under "
+                                "this storage root (repro db init; "
+                                "see docs/PERSISTENCE.md) so a "
+                                "restarted server serves repeats as "
+                                "memo hits")
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    db_cmd = commands.add_parser(
+        "db", help="manage a persistent store directory (snapshot + "
+                   "WAL + cache shards; see docs/PERSISTENCE.md)")
+    db_sub = db_cmd.add_subparsers(dest="db_command", required=True)
+
+    db_init = db_sub.add_parser(
+        "init", help="initialize an empty store directory")
+    db_init.add_argument("root")
+    db_init.add_argument("--name", default="db",
+                         help="database/source name (default: db)")
+    db_init.add_argument("--shards", type=int, default=8,
+                         help="query-cache shard count, fixed at init "
+                              "(default: 8)")
+    db_init.add_argument("--force", action="store_true",
+                         help="re-initialize an existing store")
+    db_init.set_defaults(handler=_cmd_db_init)
+
+    db_ingest = db_sub.add_parser(
+        "ingest", help="bulk-load an OEM JSON database through the WAL")
+    db_ingest.add_argument("root")
+    db_ingest.add_argument("--db", required=True, metavar="DATA.json",
+                           help="database file (repro import-xml output)")
+    db_ingest.add_argument("--compact", action="store_true",
+                           help="fold the WAL into a snapshot afterwards")
+    db_ingest.set_defaults(handler=_cmd_db_ingest)
+
+    db_stats = db_sub.add_parser(
+        "stats", help="print deterministic storage statistics as JSON")
+    db_stats.add_argument("root")
+    db_stats.set_defaults(handler=_cmd_db_stats)
+
+    db_flush = db_sub.add_parser(
+        "flush", help="fsync the write-ahead log")
+    db_flush.add_argument("root")
+    db_flush.set_defaults(handler=_cmd_db_flush)
+
+    db_compact = db_sub.add_parser(
+        "compact", help="fold the WAL into a fresh snapshot")
+    db_compact.add_argument("root")
+    db_compact.set_defaults(handler=_cmd_db_compact)
 
     import_cmd = commands.add_parser(
         "import-xml", help="convert an XML document to OEM JSON")

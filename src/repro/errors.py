@@ -190,3 +190,11 @@ class ConfigError(MediatorError):
 
 class RepositoryError(ReproError):
     """Base class for repository-layer errors."""
+
+
+class StorageError(ReproError):
+    """Base class for the persistent-storage layer (:mod:`repro.storage`).
+
+    Raised on missing/corrupt on-disk state, schema-version mismatches,
+    and attempts to re-initialize an existing store directory.
+    """

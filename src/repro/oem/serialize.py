@@ -7,7 +7,7 @@ is flat (one record per object) to preserve sharing and cycles exactly.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Iterable
 
 from ..errors import OemError
 from ..logic.terms import Constant, FunctionTerm, SetValue, Term, Variable
@@ -48,10 +48,27 @@ def term_from_json(data: Any) -> Term:
     raise OemError(f"malformed term encoding: {data!r}")
 
 
-def database_to_json(db: OemDatabase) -> dict[str, Any]:
-    """Encode a database as a JSON-compatible dict."""
+def term_sort_key(term: Term) -> str:
+    """A total, run-stable order over terms (their canonical JSON form)."""
+    return json.dumps(term_to_json(term), sort_keys=True)
+
+
+def database_to_json(db: OemDatabase, *,
+                     sort_oids: bool = False) -> dict[str, Any]:
+    """Encode a database as a JSON-compatible dict.
+
+    With ``sort_oids`` the objects, each object's children, and the
+    roots are emitted in the total order of :func:`term_sort_key`
+    instead of insertion order, so two databases with the same contents
+    produce byte-identical encodings regardless of construction order
+    (the on-disk snapshot format of :mod:`repro.storage` relies on
+    this).  OEM is unordered (Section 2), so sorting loses nothing.
+    """
+    oids: Iterable = db.oids()
+    if sort_oids:
+        oids = sorted(oids, key=term_sort_key)
     objects = []
-    for oid in db.oids():
+    for oid in oids:
         record: dict[str, Any] = {
             "oid": term_to_json(oid),
             "label": db.label(oid),
@@ -59,12 +76,18 @@ def database_to_json(db: OemDatabase) -> dict[str, Any]:
         if db.is_atomic(oid):
             record["value"] = db.atomic_value(oid)
         else:
-            record["children"] = [term_to_json(c) for c in db.children(oid)]
+            children: Iterable = db.children(oid)
+            if sort_oids:
+                children = sorted(children, key=term_sort_key)
+            record["children"] = [term_to_json(c) for c in children]
         objects.append(record)
+    roots: Iterable = db.roots
+    if sort_oids:
+        roots = sorted(roots, key=term_sort_key)
     return {
         "name": db.name,
         "objects": objects,
-        "roots": [term_to_json(r) for r in db.roots],
+        "roots": [term_to_json(r) for r in roots],
     }
 
 

@@ -41,12 +41,28 @@ signature
     it off, and every view the signature judges inadmissible for the
     query profile truly has no containment mapping into the prepared
     target, confirmed by the brute-force enumerator.
+
+persist
+    Transparency of the disk layer (:mod:`repro.storage`) and
+    soundness of label-based incremental maintenance: the durable
+    store reloads the case database byte-identically through both the
+    WAL-replay and the snapshot path with a stable version; a sharded
+    query cache and a rewrite-session memo round-trip through
+    save/close/reload and serve the cached query (resp. rewrite
+    result) as a hit with byte-identical answers and canonical
+    fingerprints; re-saving a reloaded cache reproduces the shard
+    files byte for byte; and an update touching labels a cached
+    statement can match invalidates its entry while a provably
+    disjoint update patches it in place with the answer intact.
 """
 
 from __future__ import annotations
 
+import json
+import tempfile
 import traceback
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Protocol
 
 from ..analysis.viewset.signature import query_profile, view_signature
@@ -54,6 +70,7 @@ from ..errors import ChaseContradictionError, CompositionError, ReproError
 from ..logic.terms import FunctionTerm
 from ..oem.equivalence import explain_difference, identical
 from ..oem.model import OemDatabase
+from ..oem.serialize import database_to_json
 from ..rewriting.canon import query_key
 from ..rewriting.chase import chase
 from ..rewriting.composition import compose
@@ -61,6 +78,9 @@ from ..rewriting.equivalence import equivalent, minimize, prepare_program
 from ..rewriting.mappings import find_mappings
 from ..rewriting.rewriter import rewrite
 from ..rewriting.session import RewriteSession
+from ..storage import (DurableStore, SessionRegistry, ShardedCacheStore,
+                       ShardedQueryCache, StorageLayout)
+from ..storage.maintenance import statement_labels
 from ..tsl.ast import Query, SetPatternTerm
 from ..tsl.evaluator import evaluate, evaluate_program
 from ..tsl.normalize import normalize, path_to_condition, query_paths
@@ -525,11 +545,212 @@ class SignatureOracle:
         return result
 
 
+class PersistOracle:
+    """Disk round trips must be invisible; maintenance must be sound.
+
+    Runs the case through the whole :mod:`repro.storage` stack inside a
+    temporary directory:
+
+    * **store** -- ingest the case database into a
+      :class:`~repro.storage.durable.DurableStore`, close, reopen (WAL
+      replay), compact, reopen (snapshot): both reloads must be
+      byte-identical under the sorted OEM serialization with a stable
+      store version;
+    * **cache** -- evaluate the query and every view, insert into a
+      :class:`~repro.storage.shard.ShardedQueryCache`, save, reload
+      into a fresh cache: the canonical-key/answer map must round-trip
+      byte-identically, the query must hit exactly, and re-saving the
+      reloaded cache must reproduce the shard files byte for byte;
+    * **memo** -- rewrite through a session, persist the result memo
+      via :class:`~repro.storage.registry.SessionRegistry`, reload into
+      a fresh session: the lookup must hit with the same canonical
+      rewriting fingerprints;
+    * **maintenance** -- an update touching only a label the statement
+      provably cannot match patches the entry in place (still a hit,
+      answer intact), while an update touching a label it can match --
+      or any update, when the statement has a label variable --
+      invalidates the entry outright.
+    """
+
+    name = "persist"
+    SHARDS = 2
+
+    def __init__(self, max_candidates: int = 128) -> None:
+        self.max_candidates = max_candidates
+
+    @staticmethod
+    def _canonical(db: OemDatabase) -> str:
+        return json.dumps(database_to_json(db, sort_oids=True),
+                          sort_keys=True)
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        with tempfile.TemporaryDirectory(prefix="repro-persist-") as tmp:
+            root = Path(tmp)
+            version = self._check_store(case, root / "store", result)
+            self._check_cache(case, root, version, result)
+            self._check_session(case, root / "store", version, result)
+        return result
+
+    def _check_store(self, case: Case, root: Path,
+                     result: OracleResult) -> int:
+        store = DurableStore.create(root, case.db.name,
+                                    cache_shards=self.SHARDS)
+        store.ingest(case.db)
+        store.close()
+        expected = self._canonical(case.db)
+        reopened = DurableStore.open(root)          # the WAL-replay path
+        version = reopened.version
+        result.checks += 1
+        if self._canonical(reopened.db) != expected:
+            result.failures.append(Failure(
+                self.name, "store-roundtrip",
+                "database differs after close/reopen (WAL replay)"))
+        reopened.compact()
+        reopened.close()
+        again = DurableStore.open(root)             # the snapshot path
+        result.checks += 1
+        if again.version != version \
+                or self._canonical(again.db) != expected:
+            result.failures.append(Failure(
+                self.name, "store-compact-stable",
+                f"database or version changed across compact/reopen "
+                f"(version {version} -> {again.version})"))
+        again.close()
+        return version
+
+    def _check_cache(self, case: Case, root: Path, version: int,
+                     result: OracleResult) -> None:
+        constraints = case.constraints
+        layout = StorageLayout(root / "store")
+        cache = ShardedQueryCache(shards=self.SHARDS, capacity=64,
+                                  constraints=constraints)
+        expected: dict[str, str] = {}
+        for statement in (case.query, *case.views.values()):
+            answer = evaluate(statement, case.db)
+            entry = cache.insert(statement, answer, version)
+            expected[entry.key] = self._canonical(answer)
+        disk = ShardedCacheStore(layout, self.SHARDS)
+        disk.save(cache, version)
+        reloaded = ShardedQueryCache(shards=self.SHARDS, capacity=64,
+                                     constraints=constraints)
+        disk.load(reloaded, version)
+        loaded = {entry.key: self._canonical(entry.answer)
+                  for shard in reloaded.shards
+                  for entry in shard.snapshot_entries()}
+        result.checks += 1
+        if loaded != expected:
+            missing = sorted(set(expected) - set(loaded))
+            extra = sorted(set(loaded) - set(expected))
+            changed = sorted(key for key in set(loaded) & set(expected)
+                             if loaded[key] != expected[key])
+            result.failures.append(Failure(
+                self.name, "cache-roundtrip",
+                f"reloaded cache differs: missing={missing[:3]} "
+                f"changed={changed[:3]} extra={extra[:3]}"))
+        resave = ShardedCacheStore(StorageLayout(root / "resave"),
+                                   self.SHARDS)
+        resave.save(reloaded, version)
+        result.checks += 1
+        unstable = [index for index in range(self.SHARDS)
+                    if layout.shard_path(index).read_bytes()
+                    != resave.layout.shard_path(index).read_bytes()]
+        if unstable:
+            result.failures.append(Failure(
+                self.name, "cache-resave-stable",
+                f"re-saving the reloaded cache changed shard file(s) "
+                f"{unstable}"))
+        key = query_key(case.query)
+        result.checks += 1
+        answer = reloaded.lookup(case.query, version)
+        if answer is None or self._canonical(answer) != expected[key]:
+            result.failures.append(Failure(
+                self.name, "cache-hit-after-reload",
+                "cached query is not served byte-identically from the "
+                "reloaded cache"))
+        self._check_maintenance(case, reloaded, key, expected.get(key),
+                                version, result)
+
+    def _check_maintenance(self, case: Case, cache: ShardedQueryCache,
+                           key: str, canonical_answer: str | None,
+                           version: int, result: OracleResult) -> None:
+        labels = statement_labels(case.query, case.constraints)
+        if labels is not None and not labels:
+            return  # contradictory body: no update can ever affect it
+        current = version
+        if labels is not None:
+            cache.apply_update(frozenset({"__persist_disjoint__"}),
+                               current + 1, from_version=current)
+            current += 1
+            result.checks += 1
+            answer = cache.lookup(case.query, current)
+            if answer is None:
+                result.failures.append(Failure(
+                    self.name, "maintenance-patches",
+                    f"update touching no label of {sorted(labels)} "
+                    f"dropped a patchable entry"))
+            elif self._canonical(answer) != canonical_answer:
+                result.failures.append(Failure(
+                    self.name, "maintenance-patch-sound",
+                    "patched entry serves a different answer"))
+        touched = (frozenset({sorted(labels, key=repr)[0]})
+                   if labels else frozenset({"__persist_probe__"}))
+        cache.apply_update(touched, current + 1, from_version=current)
+        result.checks += 1
+        if cache.has_key(key):
+            result.failures.append(Failure(
+                self.name, "maintenance-invalidates",
+                f"update touching {sorted(touched)} left the entry for "
+                f"a statement with labels "
+                f"{'unknown' if labels is None else sorted(labels)} "
+                f"live in the cache"))
+
+    def _check_session(self, case: Case, store_root: Path, version: int,
+                       result: OracleResult) -> None:
+        constraints = case.constraints
+        session = RewriteSession(case.views, constraints)
+        outcome = session.rewrite(case.query,
+                                  max_candidates=self.max_candidates)
+        entries = session.result_entries()
+        if not entries:
+            return  # truncated search: nothing memoized to persist
+        registry = SessionRegistry(StorageLayout(store_root))
+        registry.save("persist-oracle", session, version)
+        fresh = RewriteSession(case.views, constraints)
+        loaded = registry.load_into("persist-oracle", fresh, version)
+        result.checks += 1
+        if loaded["entries"] != len(entries):
+            result.failures.append(Failure(
+                self.name, "memo-roundtrip",
+                f"saved {len(entries)} memo entries, reloaded "
+                f"{loaded['entries']} (dropped {loaded['dropped']})"))
+        (_key, flags) = entries[0][0]
+        value = fresh.lookup_result(case.query, flags)
+        result.checks += 1
+        if value is None:
+            result.failures.append(Failure(
+                self.name, "memo-hit-after-reload",
+                "reloaded session misses on the persisted rewrite"))
+            return
+        warm, _explanation = value
+        expect = {(query_key(r.query), tuple(sorted(r.views_used)))
+                  for r in outcome.rewritings}
+        actual = {(query_key(r.query), tuple(sorted(r.views_used)))
+                  for r in warm.rewritings}
+        if actual != expect:
+            result.failures.append(Failure(
+                self.name, "memo-fingerprint",
+                f"reloaded rewrite result differs: only_reloaded="
+                f"{sorted(actual - expect)} only_original="
+                f"{sorted(expect - actual)}"))
+
+
 ORACLES: dict[str, Callable[[], Oracle]] = {
     "semantic": SemanticOracle,
     "containment": ContainmentOracle,
     "memo": MemoOracle,
     "metamorphic": MetamorphicOracle,
+    "persist": PersistOracle,
     "signature": SignatureOracle,
 }
 

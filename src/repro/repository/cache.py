@@ -53,7 +53,13 @@ from ..tsl.evaluator import evaluate
 
 @dataclass
 class CacheEntry:
-    """One cached query: its statement and materialized answer."""
+    """One cached query: its statement and materialized answer.
+
+    ``labels`` memoizes :func:`repro.storage.maintenance
+    .statement_labels` for incremental maintenance (``labels_known``
+    distinguishes "not computed yet" from the legitimate ``None``
+    meaning "has a label variable, unknowable").
+    """
 
     name: str
     statement: Query
@@ -61,6 +67,8 @@ class CacheEntry:
     as_of_version: int
     key: str = ""
     hits: int = 0
+    labels: frozenset | None = field(default=None, repr=False)
+    labels_known: bool = field(default=False, repr=False)
 
 
 @dataclass
@@ -71,6 +79,7 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     refreshes: int = 0
+    patches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -146,7 +155,17 @@ class QueryCache:
         They are skipped by lookup but -- before this fix -- were never
         removed, so after a store-version bump they pinned LRU capacity
         (and inflated ``len()``) forever.
+
+        Every public operation leaves the cache *uniform-version* (this
+        purge runs first, and :meth:`apply_update` retags or drops every
+        entry), so checking one entry decides for all of them -- the
+        purge is O(1) on the hot no-op path instead of O(entries).
         """
+        if not self.entries:
+            return
+        probe = next(iter(self.entries.values()))
+        if probe.as_of_version == version:
+            return
         stale = [name for name, entry in self.entries.items()
                  if entry.as_of_version != version]
         for name in stale:
@@ -158,17 +177,22 @@ class QueryCache:
             self._entries_changed()
 
     def insert(self, statement: Query, answer: OemDatabase,
-               version: int) -> CacheEntry:
+               version: int, *, key: str | None = None) -> CacheEntry:
         """Cache a (query, answer) pair; evicts LRU beyond capacity.
 
         A statement already cached (same canonical hash, so renamed or
         conjunct-reordered copies count) refreshes the existing entry --
         new answer, new version, moved to the LRU tail -- instead of
         inserting a duplicate that would evict a distinct entry.
+
+        *key* lets a caller that already canonicalized the statement
+        (the shard router hashes it to pick a shard) skip the second
+        hash; it must equal ``query_key(statement)``.
         """
         with self._lock:
             self._purge_stale(version)
-            key = query_key(statement)
+            if key is None:
+                key = query_key(statement)
             existing_name = self._by_key.get(key)
             if existing_name is not None:
                 entry = self.entries[existing_name]
@@ -201,10 +225,25 @@ class QueryCache:
         rewriting over the cached answers), None on a miss.  Stale
         entries are purged first, so everything remaining is rewritable
         against; the rewrite itself runs through the shared session.
+
+        A query whose canonical hash matches a cached statement exactly
+        is served straight from that entry -- canonically equal
+        statements have identical answers on every database, so no
+        rewrite search (or session over 100k statements) is needed.
+        This is what keeps lookups O(1) at persistent-store scale.
         """
         with self._lock:
             self.stats.lookups += 1
             self._purge_stale(version)
+            exact = self._by_key.get(query_key(query))
+            if exact is not None:
+                entry = self.entries[exact]
+                entry.hits += 1
+                self.entries.move_to_end(exact)
+                self.stats.hits += 1
+                self._count("cache.lookup.hits")
+                self._count("cache.lookup.exact")
+                return entry.answer
             if self.entries:
                 session = self.session()
                 outcome = session.rewrite(query, total_only=True,
@@ -230,6 +269,86 @@ class QueryCache:
             self._count("cache.entries.invalidations", len(self.entries))
             self.entries.clear()
             self._by_key.clear()
+            self._entries_changed()
+
+    # -- incremental maintenance -----------------------------------------------
+
+    def apply_update(self, touched: frozenset, version: int,
+                     from_version: int | None = None) -> dict:
+        """Propagate a store update that touched the given labels.
+
+        Entries whose statements provably cannot match any touched
+        label are *patched* -- retagged to the new store *version* with
+        their answer kept -- and everything else is invalidated (see
+        :mod:`repro.storage.maintenance` for the soundness argument).
+        Returns ``{"patched": n, "invalidated": n}``.
+
+        Patching is only sound for entries that were fresh *before*
+        the update; *from_version* (the pre-update store version)
+        guards against retagging an entry that already missed a delta.
+        """
+        from ..storage.maintenance import may_overlap, statement_labels
+        with self._lock:
+            dropped = []
+            for name, entry in self.entries.items():
+                if (from_version is not None
+                        and entry.as_of_version != from_version):
+                    dropped.append(name)
+                    continue
+                if not entry.labels_known:
+                    entry.labels = statement_labels(entry.statement,
+                                                    self.constraints)
+                    entry.labels_known = True
+                if may_overlap(entry.labels, touched):
+                    dropped.append(name)
+                else:
+                    entry.as_of_version = version
+            for name in dropped:
+                entry = self.entries.pop(name)
+                self._by_key.pop(entry.key, None)
+            if dropped:
+                self.stats.invalidations += len(dropped)
+                self._count("cache.entries.invalidations", len(dropped))
+                self._entries_changed()
+            patched = len(self.entries)
+            self.stats.patches += patched
+            self._count("cache.entries.patches", patched)
+            return {"patched": patched, "invalidated": len(dropped)}
+
+    def has_key(self, key: str) -> bool:
+        """Whether an entry with canonical hash *key* is live.
+
+        Unlike :meth:`lookup` this never rewrites, never counts stats,
+        and ignores versions -- it answers the structural question the
+        maintenance invariants are stated in ("after this update, is
+        the entry still there?")."""
+        with self._lock:
+            return key in self._by_key
+
+    # -- persistence hooks (repro.storage.cachestore) --------------------------
+
+    def snapshot_entries(self) -> list[CacheEntry]:
+        """The live entries in LRU order (oldest first), under the lock."""
+        with self._lock:
+            return list(self.entries.values())
+
+    def restore_entries(self, entries: list[CacheEntry]) -> None:
+        """Adopt persisted entries wholesale (oldest-first LRU order).
+
+        Entry names are kept so ``stats``/``db stats`` output is
+        byte-stable across a save/load cycle; the name counter resumes
+        past the highest restored ``cached_<n>`` so new inserts cannot
+        collide.
+        """
+        with self._lock:
+            self.entries.clear()
+            self._by_key.clear()
+            for entry in entries[-self.capacity:] if self.capacity else []:
+                self.entries[entry.name] = entry
+                self._by_key[entry.key] = entry.name
+                suffix = entry.name.rsplit("_", 1)[-1]
+                if suffix.isdigit():
+                    self._counter = max(self._counter, int(suffix))
             self._entries_changed()
 
     def __len__(self) -> int:

@@ -9,13 +9,27 @@ Answering precedence for :meth:`Repository.query`:
 
 This is the full Section 1 "Use of Rewriting in semistructured
 repositories" story, measured by benchmark E10.
+
+Two optional substrates from :mod:`repro.storage` extend the facade to
+production shape:
+
+* :meth:`Repository.open` runs it over a :class:`~repro.storage
+  .durable.DurableStore` with the query cache sharded
+  (:class:`~repro.storage.shard.ShardedQueryCache`) and persisted per
+  shard -- :meth:`flush` / :meth:`close` write the warm cache back;
+* the mutation wrappers (:meth:`add_atomic` ...) propagate each update
+  incrementally: views and cached answers whose statements provably
+  cannot match the touched labels are patched in place, the rest are
+  invalidated (:mod:`repro.storage.maintenance`).
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from dataclasses import dataclass, field
 
-from ..oem.model import OemDatabase
+from ..logic.terms import Atom
+from ..oem.model import OemDatabase, OidLike, as_oid
 from ..rewriting.chase import StructuralConstraints
 from ..rewriting.rewriter import rewrite
 from ..tsl.ast import Query
@@ -45,14 +59,23 @@ class Repository:
     constraints: StructuralConstraints | None = None
     cache_capacity: int = 16
     cache_memoize: bool = True
+    cache_shards: int = 0
     metrics: object | None = None
+    _cache_store: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.views = ViewManager(self.store)
-        self.cache = QueryCache(capacity=self.cache_capacity,
-                                constraints=self.constraints,
-                                memoize=self.cache_memoize,
-                                metrics=self.metrics)
+        if self.cache_shards > 0:
+            from ..storage.shard import ShardedQueryCache
+            self.cache = ShardedQueryCache(
+                shards=self.cache_shards, capacity=self.cache_capacity,
+                constraints=self.constraints, memoize=self.cache_memoize,
+                metrics=self.metrics)
+        else:
+            self.cache = QueryCache(capacity=self.cache_capacity,
+                                    constraints=self.constraints,
+                                    memoize=self.cache_memoize,
+                                    metrics=self.metrics)
 
     @classmethod
     def from_database(cls, db: OemDatabase,
@@ -64,6 +87,94 @@ class Repository:
                    cache_capacity=cache_capacity,
                    cache_memoize=cache_memoize, metrics=metrics)
         return repo
+
+    @classmethod
+    def open(cls, root: str | Path,
+             constraints: StructuralConstraints | None = None,
+             cache_capacity: int = 1024, *, cache_memoize: bool = True,
+             autocompact_ops: int = 0, metrics=None) -> "Repository":
+        """Open a persistent repository rooted at *root*.
+
+        The base store loads snapshot + WAL
+        (:class:`~repro.storage.durable.DurableStore`); the query cache
+        is sharded per the store manifest and warmed from the persisted
+        shard files (entries recorded against another store version are
+        discarded).  Pair with :meth:`flush` / :meth:`close` to write
+        the warm cache back.
+        """
+        from ..storage.cachestore import ShardedCacheStore
+        from ..storage.durable import DurableStore
+        store = DurableStore.open(root, autocompact_ops=autocompact_ops,
+                                  metrics=metrics)
+        repo = cls(store, constraints=constraints,
+                   cache_capacity=cache_capacity,
+                   cache_memoize=cache_memoize,
+                   cache_shards=max(1, store.cache_shards),
+                   metrics=metrics)
+        repo._cache_store = ShardedCacheStore(store.layout,
+                                              repo.cache_shards)
+        repo._cache_store.load(repo.cache, store.version)
+        return repo
+
+    # -- persistence ----------------------------------------------------------
+
+    def flush(self) -> dict:
+        """Persist the warm cache shards and fsync the store's WAL."""
+        stats = {"cache": None}
+        if self._cache_store is not None:
+            stats["cache"] = self._cache_store.save(self.cache,
+                                                    self.store.version)
+        flush = getattr(self.store, "flush", None)
+        if flush is not None:
+            flush()
+        return stats
+
+    def close(self) -> None:
+        """Flush, then release the store's file handles."""
+        self.flush()
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Repository":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- updates with incremental maintenance ----------------------------------
+
+    def _propagate(self, touched: frozenset, from_version: int) -> None:
+        version = self.store.version
+        self.views.apply_update(touched, version, from_version)
+        self.cache.apply_update(touched, version, from_version)
+
+    def add_atomic(self, oid: OidLike, label: Atom, value: Atom) -> OidLike:
+        before = self.store.version
+        result = self.store.add_atomic(oid, label, value)
+        self._propagate(frozenset({label}), before)
+        return result
+
+    def add_set(self, oid: OidLike, label: Atom) -> OidLike:
+        before = self.store.version
+        result = self.store.add_set(oid, label)
+        self._propagate(frozenset({label}), before)
+        return result
+
+    def add_child(self, parent: OidLike, child: OidLike) -> None:
+        """Add an edge; touches both endpoint labels (a new match must
+        place the parent -- and possibly the child -- at some step)."""
+        before = self.store.version
+        self.store.add_child(parent, child)
+        touched = frozenset({self.store.db.label(as_oid(parent)),
+                             self.store.db.label(as_oid(child))})
+        self._propagate(touched, before)
+
+    def add_root(self, oid: OidLike) -> None:
+        before = self.store.version
+        self.store.add_root(oid)
+        self._propagate(frozenset({self.store.db.label(as_oid(oid))}),
+                        before)
 
     # -- views ----------------------------------------------------------------
 

@@ -59,10 +59,17 @@ class Store:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the store (data + version) as JSON."""
+        """Persist the store (data + version) as JSON.
+
+        Objects, children, and roots are emitted in the canonical term
+        order (``sort_oids``) with sorted keys, so saving the same
+        logical store always produces the same bytes regardless of
+        insertion order.
+        """
         payload = {"version": self.version,
-                   "database": database_to_json(self.db)}
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+                   "database": database_to_json(self.db, sort_oids=True)}
+        Path(path).write_text(json.dumps(payload, sort_keys=True),
+                              encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path) -> "Store":

@@ -21,12 +21,20 @@ from .store import Store
 
 @dataclass
 class MaterializedView:
-    """One named view, its data, and the store version it reflects."""
+    """One named view, its data, and the store version it reflects.
+
+    ``labels`` memoizes the constant step labels of the definition for
+    incremental maintenance (see :mod:`repro.storage.maintenance`);
+    ``labels_known`` distinguishes "not computed" from the legitimate
+    ``None`` meaning "has a label variable".
+    """
 
     name: str
     definition: Query
     data: OemDatabase
     as_of_version: int
+    labels: frozenset | None = field(default=None, repr=False)
+    labels_known: bool = field(default=False, repr=False)
 
 
 @dataclass
@@ -75,6 +83,41 @@ class ViewManager:
     def fresh_views(self) -> dict[str, MaterializedView]:
         """All views, refreshed to the current store version."""
         return {name: self.refresh(name) for name in sorted(self.views)}
+
+    def apply_update(self, touched: frozenset, version: int,
+                     from_version: int | None = None) -> dict:
+        """Incrementally maintain the views after a store update.
+
+        A view whose definition provably cannot match any *touched*
+        label is **patched**: retagged to the new store *version* with
+        its materialization kept, skipping the full re-evaluation that
+        :meth:`refresh` would pay.  Every other view is left stale and
+        re-evaluates lazily on its next use (the Lore recomputation
+        path).  See :mod:`repro.storage.maintenance` for why the label
+        test is sound.
+
+        Patching is only sound for a view that was *fresh before* this
+        update -- an already-stale view missed earlier deltas, and
+        retagging it would hide that.  *from_version* (the store
+        version the update started from) enforces this; ``None`` trusts
+        the caller to have kept every view fresh.
+        """
+        from ..storage.maintenance import may_overlap, statement_labels
+        patched = stale = 0
+        for view in self.views.values():
+            if (from_version is not None
+                    and view.as_of_version != from_version):
+                stale += 1
+                continue
+            if not view.labels_known:
+                view.labels = statement_labels(view.definition)
+                view.labels_known = True
+            if may_overlap(view.labels, touched):
+                stale += 1
+            else:
+                view.as_of_version = version
+                patched += 1
+        return {"patched": patched, "stale": stale}
 
     def definitions(self) -> dict[str, Query]:
         return {name: view.definition

@@ -142,6 +142,12 @@ class MemoTable:
         with self._lock:
             self.entries.clear()
 
+    def items_snapshot(self) -> list:
+        """The (key, value) pairs in LRU order (oldest first), under
+        the lock -- the persistence layer's consistent read."""
+        with self._lock:
+            return list(self.entries.items())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self.entries)
@@ -457,6 +463,12 @@ class RewriteSession:
         explanation = explain.snapshot() if explain is not None else None
         self._results.put((probe.key, flags),
                           (query, result, explanation))
+
+    def result_entries(self) -> list:
+        """The rewrite-result memo's ``((key, flags), (query, result,
+        explanation))`` pairs in LRU order -- what
+        :class:`repro.storage.registry.SessionRegistry` persists."""
+        return self._results.items_snapshot()
 
     # -- introspection -------------------------------------------------------
 

@@ -77,6 +77,7 @@ class ServerConfig:
     default_budget_ms: float | None = None
     default_max_steps: int | None = None
     max_body_bytes: int = 16 * 1024 * 1024
+    cache_dir: str | None = None  # persistent session memos (repro db init)
 
 
 def _json_bytes(payload: dict) -> bytes:
@@ -95,6 +96,16 @@ class ReproServer:
                        "metrics": self.registry}
         if self.config.memo_size is not None:
             pool_kwargs["memo_size"] = self.config.memo_size
+        self.layout = None
+        if self.config.cache_dir is not None:
+            from ..storage import SessionRegistry, StorageLayout
+            from ..storage.durable import current_store_version
+            self.layout = StorageLayout(self.config.cache_dir)
+            if not self.layout.exists():
+                self.layout.create("db", cache_shards=8)
+            pool_kwargs["registry"] = SessionRegistry(self.layout)
+            pool_kwargs["store_version"] = \
+                current_store_version(self.layout)
         self.pool = SessionPool(**pool_kwargs)
         self._in_flight = 0
         self._server: asyncio.AbstractServer | None = None
@@ -112,6 +123,7 @@ class ReproServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self.pool.save_sessions()   # durable memos survive the restart
         self.pool.shutdown()
 
     async def serve_forever(self) -> None:
@@ -215,9 +227,13 @@ class ReproServer:
         if path == "/healthz":
             if method != "GET":
                 return self._method_not_allowed()
-            return 200, _json_bytes(
-                {"status": "ok", "sessions": len(self.pool),
-                 "in_flight": self._in_flight}), "application/json"
+            health = {"status": "ok", "sessions": len(self.pool),
+                      "in_flight": self._in_flight,
+                      "pool": self.pool.stats()}
+            store = self._store_status()
+            if store is not None:
+                health["store"] = store
+            return 200, _json_bytes(health), "application/json"
         if path == "/metrics":
             if method != "GET":
                 return self._method_not_allowed()
@@ -231,6 +247,54 @@ class ReproServer:
         return 404, _json_bytes(
             {"error": {"message": f"no such endpoint: {path}"}}), \
             "application/json"
+
+    def _store_status(self) -> dict | None:
+        """The ``store`` section of ``/healthz`` (persistent mode only).
+
+        Everything here is read from the storage directory, so it
+        reflects what a restart would find: the store version, cache
+        shard occupancy, persisted session memos, and the newest flush
+        timestamp (the max mtime over cache/session documents).
+        """
+        if self.layout is None:
+            return None
+        from ..storage.durable import current_store_version
+        from ..errors import StorageError
+        layout = self.layout
+        try:
+            manifest = layout.read_manifest()
+            version = current_store_version(layout)
+        except StorageError as exc:
+            return {"root": str(layout.root), "error": str(exc)}
+        shards = []
+        last_flush: float | None = None
+        for index in range(manifest.get("cache_shards", 0)):
+            path = layout.shard_path(index)
+            if not path.exists():
+                shards.append(0)
+                continue
+            last_flush = max(last_flush or 0.0, path.stat().st_mtime)
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+                shards.append(len(document.get("entries", [])))
+            except (OSError, ValueError):
+                shards.append(0)
+        sessions = self.pool.registry.stats() \
+            if self.pool.registry is not None else {"sessions": 0,
+                                                    "entries": {}}
+        if layout.sessions_dir.exists():
+            for path in layout.sessions_dir.glob("session-*.json"):
+                last_flush = max(last_flush or 0.0,
+                                 path.stat().st_mtime)
+        return {
+            "root": str(layout.root),
+            "store_version": version,
+            "cache_shards": manifest.get("cache_shards", 0),
+            "shard_entries": shards,
+            "persisted_sessions": sessions["sessions"],
+            "persisted_memo_entries": sum(sessions["entries"].values()),
+            "last_flush": last_flush,
+        }
 
     def _method_not_allowed(self) -> tuple[int, bytes, str]:
         return 405, _json_bytes(

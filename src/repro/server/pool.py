@@ -63,16 +63,31 @@ def config_key(views: Mapping[str, Query],
 
 
 class SessionPool:
-    """Shared sessions + the worker threads that drive them."""
+    """Shared sessions + the worker threads that drive them.
+
+    With a :class:`~repro.storage.registry.SessionRegistry` attached,
+    sessions become durable: a newly created session is warmed from its
+    persisted result memo (same config key), and a session is written
+    back when evicted from the LRU and on :meth:`save_sessions` --
+    so a restarted server answers a previously rewritten query as a
+    memo hit.
+    """
 
     def __init__(self, *, workers: int = DEFAULT_WORKERS,
                  max_sessions: int = DEFAULT_MAX_SESSIONS,
                  memo_size: int = DEFAULT_MEMO_SIZE,
-                 metrics=None) -> None:
+                 metrics=None, registry=None,
+                 store_version: int | None = None) -> None:
         self.workers = max(1, workers)
         self.max_sessions = max(1, max_sessions)
         self.memo_size = memo_size
         self.metrics = metrics
+        self.registry = registry
+        self.store_version = store_version
+        self.created = 0
+        self.reused = 0
+        self.evicted = 0
+        self.loaded_entries = 0
         self._sessions: "OrderedDict[str, RewriteSession]" = OrderedDict()
         self._lock = threading.Lock()
         self._executor = ThreadPoolExecutor(
@@ -87,26 +102,69 @@ class SessionPool:
 
         Callable from any worker thread.  The session is created under
         the pool lock (cheap -- views are chased lazily on first use),
-        and the coldest session is dropped beyond ``max_sessions``.
+        and the coldest session is dropped beyond ``max_sessions``
+        (persisted first when a registry is attached).
         """
         with self._lock:
             session = self._sessions.get(key)
             if session is not None:
                 self._sessions.move_to_end(key)
+                self.reused += 1
                 if self.metrics is not None:
                     self.metrics.increment("server.sessions.reused")
                 return session
             session = RewriteSession(views, constraints,
                                      memo_size=self.memo_size,
                                      metrics=self.metrics)
+            if self.registry is not None:
+                loaded = self.registry.load_into(key, session,
+                                                 self.store_version)
+                self.loaded_entries += loaded["entries"]
+                if self.metrics is not None and loaded["entries"]:
+                    self.metrics.increment("server.sessions.memo_loaded",
+                                           loaded["entries"])
             self._sessions[key] = session
+            self.created += 1
             if self.metrics is not None:
                 self.metrics.increment("server.sessions.created")
             while len(self._sessions) > self.max_sessions:
-                self._sessions.popitem(last=False)
+                cold_key, cold = self._sessions.popitem(last=False)
+                if self.registry is not None:
+                    self.registry.save(cold_key, cold, self.store_version
+                                       if self.store_version is not None
+                                       else 0)
+                self.evicted += 1
                 if self.metrics is not None:
                     self.metrics.increment("server.sessions.evicted")
             return session
+
+    def save_sessions(self) -> dict:
+        """Persist every live session's result memo (no-op without a
+        registry).  Returns ``{"sessions": n, "entries": n}``."""
+        stats = {"sessions": 0, "entries": 0}
+        if self.registry is None:
+            return stats
+        with self._lock:
+            items = list(self._sessions.items())
+        for key, session in items:
+            saved = self.registry.save(key, session, self.store_version
+                                       if self.store_version is not None
+                                       else 0)
+            stats["sessions"] += 1
+            stats["entries"] += saved["entries"]
+        return stats
+
+    def stats(self) -> dict:
+        """Occupancy and lifecycle counters (feeds ``GET /healthz``)."""
+        with self._lock:
+            return {"sessions": len(self._sessions),
+                    "max_sessions": self.max_sessions,
+                    "workers": self.workers,
+                    "created": self.created,
+                    "reused": self.reused,
+                    "evicted": self.evicted,
+                    "memo_entries_loaded": self.loaded_entries,
+                    "persistent": self.registry is not None}
 
     def __len__(self) -> int:
         with self._lock:

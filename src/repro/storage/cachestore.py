@@ -1,0 +1,151 @@
+"""Persistence for :class:`~repro.repository.cache.QueryCache` shards.
+
+Each shard serializes to one schema-versioned JSON document holding its
+entries **sorted by canonical key** (so the file bytes depend only on
+the logical contents, never on insertion order) with an ``lru`` index
+recording the recency order to restore.  Statements round-trip through
+the structural query codec (:mod:`repro.tsl.serialize` -- total over
+the AST, where TSL text is not) and answers through the sorted OEM
+JSON codec, so a reloaded entry is byte-identical to the saved one
+under re-serialization -- the ``persist`` oracle checks exactly that.
+
+Loading is **forgiving**: a cache document is an optimization, never
+the source of truth, so a missing file, an unknown schema version, a
+wrong shard count, or entries tagged with a different store version are
+silently discarded (counted in the returned stats) rather than raised.
+The store snapshot/WAL, by contrast, refuses to load anything
+questionable (:mod:`repro.storage.durable`).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..oem.serialize import database_from_json, database_to_json
+from ..repository.cache import CacheEntry, QueryCache
+from ..tsl.serialize import query_from_json, query_to_json
+from .format import (KIND_CACHE_SHARD, STORAGE_SCHEMA_VERSION,
+                     StorageLayout, atomic_write_json)
+from .shard import ShardedQueryCache
+
+__all__ = ["CacheStore", "ShardedCacheStore"]
+
+
+def _entry_to_json(entry: CacheEntry, lru: int) -> dict:
+    return {
+        "name": entry.name,
+        "key": entry.key,
+        "statement": query_to_json(entry.statement),
+        "version": entry.as_of_version,
+        "hits": entry.hits,
+        "lru": lru,
+        "answer": database_to_json(entry.answer, sort_oids=True),
+    }
+
+
+def _entry_from_json(record: dict) -> CacheEntry:
+    statement = query_from_json(record["statement"])
+    return CacheEntry(
+        name=record["name"],
+        statement=statement,
+        answer=database_from_json(record["answer"]),
+        as_of_version=record["version"],
+        key=record["key"],
+        hits=record["hits"],
+    )
+
+
+class CacheStore:
+    """Save/load one :class:`QueryCache` to/from one shard file."""
+
+    def __init__(self, path, *, shard: int = 0, shards: int = 1) -> None:
+        self.path = path
+        self.shard = shard
+        self.shards = shards
+
+    def save(self, cache: QueryCache, store_version: int) -> dict:
+        """Write the shard document crash-safely; returns save stats."""
+        entries = cache.snapshot_entries()
+        records = [_entry_to_json(entry, lru) for lru, entry
+                   in enumerate(entries)]
+        records.sort(key=lambda record: record["key"])
+        document = {
+            "schema_version": STORAGE_SCHEMA_VERSION,
+            "kind": KIND_CACHE_SHARD,
+            "shard": self.shard,
+            "shards": self.shards,
+            "store_version": store_version,
+            "entries": records,
+        }
+        size = atomic_write_json(self.path, document)
+        return {"entries": len(records), "bytes": size}
+
+    def load(self, cache: QueryCache, store_version: int) -> dict:
+        """Restore entries valid at *store_version*; returns load stats.
+
+        Anything unusable -- absent file, foreign/newer schema, stale
+        shard geometry, entries from another store version -- is
+        dropped, not raised: a discarded cache only costs re-computation.
+        """
+        stats = {"entries": 0, "dropped": 0}
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return stats
+        if (not isinstance(document, dict)
+                or document.get("kind") != KIND_CACHE_SHARD
+                or document.get("schema_version") != STORAGE_SCHEMA_VERSION
+                or document.get("shard") != self.shard
+                or document.get("shards") != self.shards):
+            return stats
+        records = document.get("entries", [])
+        if document.get("store_version") != store_version:
+            stats["dropped"] = len(records)
+            return stats
+        entries: list[tuple[int, CacheEntry]] = []
+        for record in records:
+            entry = _entry_from_json(record)
+            if entry.as_of_version != store_version:
+                stats["dropped"] += 1
+                continue
+            entries.append((record["lru"], entry))
+        entries.sort(key=lambda pair: pair[0])
+        cache.restore_entries([entry for _lru, entry in entries])
+        stats["entries"] = len(cache)
+        stats["dropped"] += len(entries) - len(cache)
+        return stats
+
+
+class ShardedCacheStore:
+    """Route a :class:`ShardedQueryCache` over the layout's shard files."""
+
+    def __init__(self, layout: StorageLayout, shards: int) -> None:
+        self.layout = layout
+        self.shards = shards
+        self.stores = [CacheStore(layout.shard_path(i), shard=i,
+                                  shards=shards) for i in range(shards)]
+
+    def save(self, cache: ShardedQueryCache, store_version: int) -> dict:
+        if cache.shard_count != self.shards:
+            raise ValueError(
+                f"cache has {cache.shard_count} shards, store expects "
+                f"{self.shards}")
+        self.layout.cache_dir.mkdir(parents=True, exist_ok=True)
+        totals = {"entries": 0, "bytes": 0}
+        for store, shard in zip(self.stores, cache.shards):
+            outcome = store.save(shard, store_version)
+            totals["entries"] += outcome["entries"]
+            totals["bytes"] += outcome["bytes"]
+        return totals
+
+    def load(self, cache: ShardedQueryCache, store_version: int) -> dict:
+        if cache.shard_count != self.shards:
+            raise ValueError(
+                f"cache has {cache.shard_count} shards, store expects "
+                f"{self.shards}")
+        totals = {"entries": 0, "dropped": 0}
+        for store, shard in zip(self.stores, cache.shards):
+            outcome = store.load(shard, store_version)
+            totals["entries"] += outcome["entries"]
+            totals["dropped"] += outcome["dropped"]
+        return totals

@@ -1,0 +1,140 @@
+"""Rebalance-free sharding of the query cache by canonical hash.
+
+One giant :class:`~repro.repository.cache.QueryCache` serializes every
+lookup behind a single lock and rebuilds one monolithic rewrite session
+whenever any statement churns.  :class:`ShardedQueryCache` splits the
+entries across N independent caches, routing each statement by its
+canonical hash with **highest-random-weight** (rendezvous) hashing:
+shard ``s`` owns key ``k`` iff ``blake2b(f"{s}|{k}")`` is maximal over
+all shards.  HRW needs no stored routing table, assigns keys uniformly,
+and -- unlike plain modulo -- moves only ``1/N`` of the keys when a
+shard is added, though the on-disk format pins the shard count anyway
+(the manifest records it; changing it means re-initializing the cache
+directory, never silently misrouting persisted entries).
+
+Exact-hash lookups and inserts touch exactly one shard.  Rewriting-based
+lookups (the paper's actual contribution) consult every shard in routing
+order until one answers -- a cached statement on any shard may cover the
+query.  Maintenance (``apply_update``/``invalidate``) fans out to all
+shards.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+from ..oem.model import OemDatabase
+from ..repository.cache import CacheEntry, QueryCache
+from ..rewriting.canon import query_key
+from ..rewriting.chase import StructuralConstraints
+from ..rewriting.session import DEFAULT_MEMO_SIZE
+from ..tsl.ast import Query
+
+__all__ = ["shard_for", "ShardedQueryCache"]
+
+
+def shard_for(key: str, shards: int) -> int:
+    """The HRW owner of canonical hash *key* among ``range(shards)``."""
+    if shards <= 1:
+        return 0
+    return max(range(shards),
+               key=lambda s: blake2b(f"{s}|{key}".encode(),
+                                     digest_size=8).digest())
+
+
+class ShardedQueryCache:
+    """N :class:`QueryCache` shards behind the one-cache interface.
+
+    *capacity* is the **total** budget, split evenly (remainder to the
+    low shards); per-shard stats are aggregated by :meth:`stats`.
+    *metrics* receives the usual ``cache.*`` counters (shared across
+    shards) plus nothing shard-specific -- per-shard occupancy is a
+    gauge-like property better read from :meth:`stats`.
+    """
+
+    def __init__(self, shards: int = 8, capacity: int = 1024, *,
+                 constraints: StructuralConstraints | None = None,
+                 memoize: bool = True, memo_size: int = DEFAULT_MEMO_SIZE,
+                 metrics=None) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shard_count = shards
+        self.capacity = capacity
+        base, extra = divmod(capacity, shards)
+        self.shards = [
+            QueryCache(capacity=base + (1 if i < extra else 0),
+                       constraints=constraints, memoize=memoize,
+                       memo_size=memo_size, metrics=metrics)
+            for i in range(shards)
+        ]
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_of(self, key: str) -> QueryCache:
+        return self.shards[shard_for(key, self.shard_count)]
+
+    # -- the one-cache interface -----------------------------------------------
+
+    def insert(self, statement: Query, answer: OemDatabase,
+               version: int, *, key: str | None = None) -> CacheEntry:
+        if key is None:
+            key = query_key(statement)
+        return self.shard_of(key).insert(statement, answer, version,
+                                         key=key)
+
+    def lookup(self, query: Query, version: int) -> OemDatabase | None:
+        """Exact hit on the owning shard, else rewrite on each in turn.
+
+        The owning shard is tried first (it is the only one that can
+        answer exactly); the others only see the query if a rewriting
+        search is needed.  Each shard's lookup counts its own
+        stats/metrics, so aggregate hit rates stay meaningful.
+        """
+        key = query_key(query)
+        owner = shard_for(key, self.shard_count)
+        answer = self.shards[owner].lookup(query, version)
+        if answer is not None:
+            return answer
+        for index, shard in enumerate(self.shards):
+            if index == owner:
+                continue
+            answer = shard.lookup(query, version)
+            if answer is not None:
+                return answer
+        return None
+
+    def apply_update(self, touched: frozenset, version: int,
+                     from_version: int | None = None) -> dict:
+        patched = invalidated = 0
+        for shard in self.shards:
+            outcome = shard.apply_update(touched, version, from_version)
+            patched += outcome["patched"]
+            invalidated += outcome["invalidated"]
+        return {"patched": patched, "invalidated": invalidated}
+
+    def has_key(self, key: str) -> bool:
+        """Whether the owning shard holds an entry for canonical *key*."""
+        return self.shard_of(key).has_key(key)
+
+    def invalidate(self) -> None:
+        for shard in self.shards:
+            shard.invalidate()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregated counters plus the per-shard occupancy breakdown."""
+        totals = {"lookups": 0, "hits": 0, "misses": 0, "evictions": 0,
+                  "invalidations": 0, "refreshes": 0, "patches": 0}
+        entries = []
+        for shard in self.shards:
+            for name in totals:
+                totals[name] += getattr(shard.stats, name)
+            entries.append(len(shard))
+        totals["shards"] = self.shard_count
+        totals["entries"] = sum(entries)
+        totals["entries_per_shard"] = entries
+        return totals

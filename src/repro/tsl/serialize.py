@@ -1,0 +1,94 @@
+"""Structural JSON (de)serialization of TSL queries.
+
+The TSL printer/parser round-trips every query a *user* can write, but
+the rewriting machinery manufactures queries whose variables carry
+rename-apart suffixes (``P~8``) that the lexer rightly refuses, and
+whose head oids may box set patterns (:class:`SetPatternTerm`, the
+Example 3.2 set mappings) that have no surface syntax at all.  The
+persistence layer (:mod:`repro.storage.registry`) stores such queries
+-- composition rules are rename-apart artifacts -- so it needs a codec
+that is total over the AST, not over the surface syntax.  This one
+mirrors the term codec of :mod:`repro.oem.serialize`: structural,
+byte-stable under ``sort_keys``, and exact (spans excepted -- they are
+parser metadata, excluded from AST equality).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import TslError
+from ..logic.terms import FunctionTerm
+from ..oem.serialize import term_from_json, term_to_json
+from .ast import Condition, ObjectPattern, Query, SetPattern, SetPatternTerm
+
+
+def _tsl_term_to_json(term: Any) -> Any:
+    """The OEM term codec, extended with boxed set patterns.
+
+    Function terms recurse here (not into the OEM codec) so a
+    :class:`SetPatternTerm` nested inside a head oid's arguments is
+    reached.
+    """
+    if isinstance(term, SetPatternTerm):
+        return {"sp": [pattern_to_json(p) for p in term.pattern.patterns]}
+    if isinstance(term, FunctionTerm):
+        return {"f": term.functor,
+                "a": [_tsl_term_to_json(t) for t in term.args]}
+    return term_to_json(term)
+
+
+def _tsl_term_from_json(data: Any) -> Any:
+    if isinstance(data, dict) and "sp" in data:
+        return SetPatternTerm(SetPattern(tuple(pattern_from_json(p)
+                                               for p in data["sp"])))
+    if isinstance(data, dict) and "f" in data:
+        return FunctionTerm(data["f"],
+                            tuple(_tsl_term_from_json(t)
+                                  for t in data["a"]))
+    return term_from_json(data)
+
+
+def pattern_to_json(pattern: ObjectPattern) -> dict[str, Any]:
+    """Encode an object pattern (set values nest recursively)."""
+    if isinstance(pattern.value, SetPattern):
+        value: Any = {"set": [pattern_to_json(p)
+                              for p in pattern.value.patterns]}
+    else:
+        value = _tsl_term_to_json(pattern.value)
+    return {"oid": _tsl_term_to_json(pattern.oid),
+            "label": _tsl_term_to_json(pattern.label),
+            "value": value}
+
+
+def pattern_from_json(data: dict[str, Any]) -> ObjectPattern:
+    value = data["value"]
+    if isinstance(value, dict) and "set" in value:
+        decoded: Any = SetPattern(tuple(pattern_from_json(p)
+                                        for p in value["set"]))
+    else:
+        decoded = _tsl_term_from_json(value)
+    return ObjectPattern(_tsl_term_from_json(data["oid"]),
+                         _tsl_term_from_json(data["label"]), decoded)
+
+
+def query_to_json(query: Query) -> dict[str, Any]:
+    """Encode a query; total over the AST (unlike the TSL printer)."""
+    return {
+        "head": pattern_to_json(query.head),
+        "body": [{"pattern": pattern_to_json(c.pattern),
+                  "source": c.source} for c in query.body],
+        "name": query.name,
+    }
+
+
+def query_from_json(data: Any) -> Query:
+    """Decode :func:`query_to_json` output back to an identical query."""
+    if not isinstance(data, dict) or "head" not in data:
+        raise TslError(f"malformed query encoding: {data!r}")
+    return Query(
+        pattern_from_json(data["head"]),
+        tuple(Condition(pattern_from_json(c["pattern"]), c["source"])
+              for c in data["body"]),
+        name=data.get("name"),
+    )

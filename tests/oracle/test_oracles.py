@@ -22,6 +22,9 @@ equivalence_mod = importlib.import_module("repro.rewriting.equivalence")
 mappings_mod = importlib.import_module("repro.rewriting.mappings")
 session_mod = importlib.import_module("repro.rewriting.session")
 signature_mod = importlib.import_module("repro.analysis.viewset.signature")
+durable_mod = importlib.import_module("repro.storage.durable")
+cachestore_mod = importlib.import_module("repro.storage.cachestore")
+maintenance_mod = importlib.import_module("repro.storage.maintenance")
 
 
 @pytest.mark.parametrize("oracle_name", sorted(ORACLES))
@@ -145,6 +148,52 @@ def test_signature_oracle_parity_campaign():
     assert report.ok, "\n".join(f.message for f in report.failures)
     assert report.iterations_run == 500
     assert report.checks["signature"] > 500
+
+
+def test_lossy_wal_is_caught(monkeypatch):
+    # A WAL that silently drops records diverges the reopened database
+    # from the live one -- the persist oracle's store round trip.
+    orig = durable_mod.DurableStore._append
+    state = {"records": 0}
+
+    def lossy(self, record):
+        state["records"] += 1
+        if state["records"] % 3 == 0:
+            return  # drop every third record on the floor
+        orig(self, record)
+
+    monkeypatch.setattr(durable_mod.DurableStore, "_append", lossy)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=4,
+                                 oracles=("persist",), shrink=False))
+    assert not report.ok
+    assert "store-roundtrip" in {f.invariant for f in report.failures}
+
+
+def test_lossy_cache_load_is_caught(monkeypatch):
+    # A cache store that forgets its entries must trip the round-trip
+    # comparison (and the exact-hit check behind it).
+    monkeypatch.setattr(
+        cachestore_mod.CacheStore, "load",
+        lambda self, cache, store_version: {"entries": 0, "dropped": 0})
+    report = run_fuzz(FuzzConfig(seed=0, iterations=4,
+                                 oracles=("persist",), shrink=False))
+    assert not report.ok
+    invariants = {f.invariant for f in report.failures}
+    assert invariants & {"cache-roundtrip", "cache-hit-after-reload"}
+
+
+def test_ignored_label_overlap_is_caught(monkeypatch):
+    # An overlap test that never fires turns every invalidation into a
+    # patch -- a stale entry stays live after an update that can change
+    # its answer.  (QueryCache.apply_update imports may_overlap at call
+    # time, so the module attribute is the right patch point.)
+    monkeypatch.setattr(maintenance_mod, "may_overlap",
+                        lambda labels, touched: False)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=4,
+                                 oracles=("persist",), shrink=False))
+    assert not report.ok
+    assert {f.invariant for f in report.failures} \
+        == {"maintenance-invalidates"}
 
 
 def test_mutation_failures_replay_from_corpus(monkeypatch, tmp_path):

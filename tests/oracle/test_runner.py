@@ -41,7 +41,7 @@ def test_report_json_is_serializable():
     assert data["ok"] is True
     assert data["iterations"] == 4
     assert set(data["checks"]) == {"containment", "memo", "metamorphic",
-                                   "semantic", "signature"}
+                                   "persist", "semantic", "signature"}
     assert data["failures"] == []
 
 

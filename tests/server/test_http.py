@@ -70,6 +70,49 @@ class TestPlumbing:
             assert "too large" in body["error"]["message"]
 
 
+class TestPersistentHealthz:
+    """``/healthz`` grows a ``store`` section when ``cache_dir`` is set."""
+
+    def test_store_section_tracks_persisted_state(self, tmp_path):
+        config = ServerConfig(port=0, workers=1,
+                              cache_dir=str(tmp_path / "store"))
+        with running_server(config,
+                            metrics=MetricsRegistry()) as persistent:
+            status, body = persistent.get("/healthz")
+            assert status == 200
+            pool = body["pool"]
+            assert pool["persistent"] is True
+            assert pool["memo_entries_loaded"] == 0
+            store = body["store"]
+            # No snapshot or WAL yet: the version is unknown, not 0.
+            assert store["store_version"] is None
+            assert store["cache_shards"] == 8
+            assert store["shard_entries"] == [0] * 8
+            assert store["persisted_sessions"] == 0
+            # Warm one session; shutdown flushes its memo to disk.
+            assert persistent.post("/rewrite", rewrite_body())[0] == 200
+
+        with running_server(config,
+                            metrics=MetricsRegistry()) as restarted:
+            status, body = restarted.get("/healthz")
+            store = body["store"]
+            assert store["persisted_sessions"] == 1
+            assert store["persisted_memo_entries"] >= 1
+            assert store["last_flush"] is not None
+            # The reloaded memo serves the very first request as a hit.
+            status, answer = restarted.post("/rewrite", rewrite_body())
+            assert status == 200
+            assert answer["memo"] == "hit"
+            status, body = restarted.get("/healthz")
+            assert body["pool"]["memo_entries_loaded"] >= 1
+
+    def test_in_memory_server_has_no_store_section(self, srv):
+        status, body = srv.get("/healthz")
+        assert status == 200
+        assert body["pool"]["persistent"] is False
+        assert "store" not in body
+
+
 class TestRewriteEndpoint:
     def test_rewrite_found_with_stats_and_memo_marker(self, srv):
         status, first = srv.post("/rewrite", rewrite_body())

@@ -1,0 +1,159 @@
+"""Cache-shard persistence: exact round trips, forgiving loads."""
+
+import json
+
+import pytest
+
+from repro.oem.serialize import database_to_json
+from repro.repository.cache import QueryCache
+from repro.rewriting.canon import query_key
+from repro.storage import ShardedCacheStore, ShardedQueryCache, StorageLayout
+from repro.storage.cachestore import CacheStore
+from repro.tsl.evaluator import evaluate
+from repro.tsl.parser import parse_query
+from repro.workloads import figure3_database
+
+QUERIES = (
+    "<ans(P) pub {<B booktitle 'SIGMOD'>}> :- "
+    "<P pub {<B booktitle 'SIGMOD'>}>@db",
+    "<rows(P) rec {<T L V>}> :- <P pub {<T L V>}>@db",
+    "<people(P) rec N> :- <P person {<X name N>}>@db",
+)
+
+
+def canonical(db) -> str:
+    return json.dumps(database_to_json(db, sort_oids=True), sort_keys=True)
+
+
+def filled_cache(shards: int = 2, version: int = 3) -> ShardedQueryCache:
+    db = figure3_database()
+    cache = ShardedQueryCache(shards=shards, capacity=16)
+    for text in QUERIES:
+        query = parse_query(text)
+        cache.insert(query, evaluate(query, db), version)
+    return cache
+
+
+class TestSingleShard:
+    def test_round_trip_preserves_entries_and_lru_order(self, tmp_path):
+        db = figure3_database()
+        cache = QueryCache(capacity=8)
+        for text in QUERIES:
+            query = parse_query(text)
+            cache.insert(query, evaluate(query, db), 1)
+        cache.lookup(parse_query(QUERIES[0]), 1)  # reorder the LRU
+        store = CacheStore(tmp_path / "shard.json")
+        store.save(cache, store_version=1)
+        restored = QueryCache(capacity=8)
+        assert store.load(restored, store_version=1) \
+            == {"entries": 3, "dropped": 0}
+        assert [e.key for e in restored.snapshot_entries()] \
+            == [e.key for e in cache.snapshot_entries()]
+        for before, after in zip(cache.snapshot_entries(),
+                                 restored.snapshot_entries()):
+            assert canonical(before.answer) == canonical(after.answer)
+            assert before.statement == after.statement
+            assert before.hits == after.hits
+
+    def test_restored_counter_resumes_past_loaded_names(self, tmp_path):
+        db = figure3_database()
+        cache = QueryCache(capacity=8)
+        query = parse_query(QUERIES[0])
+        cache.insert(query, evaluate(query, db), 1)
+        store = CacheStore(tmp_path / "shard.json")
+        store.save(cache, store_version=1)
+        restored = QueryCache(capacity=8)
+        store.load(restored, store_version=1)
+        other = parse_query(QUERIES[1])
+        entry = restored.insert(other, evaluate(other, db), 1)
+        assert entry.name == "cached_2"
+
+    def test_load_is_forgiving(self, tmp_path):
+        path = tmp_path / "shard.json"
+        fresh = QueryCache(capacity=8)
+        # Absent file.
+        assert CacheStore(path).load(fresh, 1) \
+            == {"entries": 0, "dropped": 0}
+        # Unparseable file.
+        path.write_text("{nope")
+        assert CacheStore(path).load(fresh, 1) \
+            == {"entries": 0, "dropped": 0}
+        # Wrong kind / schema.
+        path.write_text(json.dumps({"kind": "other", "schema_version": 1}))
+        assert CacheStore(path).load(fresh, 1) \
+            == {"entries": 0, "dropped": 0}
+        assert len(fresh) == 0
+
+    def test_wrong_store_version_drops_wholesale(self, tmp_path):
+        db = figure3_database()
+        cache = QueryCache(capacity=8)
+        query = parse_query(QUERIES[0])
+        cache.insert(query, evaluate(query, db), 7)
+        store = CacheStore(tmp_path / "shard.json")
+        store.save(cache, store_version=7)
+        fresh = QueryCache(capacity=8)
+        assert store.load(fresh, store_version=8) \
+            == {"entries": 0, "dropped": 1}
+        assert len(fresh) == 0
+
+    def test_wrong_shard_geometry_is_discarded(self, tmp_path):
+        db = figure3_database()
+        cache = QueryCache(capacity=8)
+        query = parse_query(QUERIES[0])
+        cache.insert(query, evaluate(query, db), 1)
+        path = tmp_path / "shard.json"
+        CacheStore(path, shard=0, shards=2).save(cache, 1)
+        fresh = QueryCache(capacity=8)
+        assert CacheStore(path, shard=0, shards=4).load(fresh, 1) \
+            == {"entries": 0, "dropped": 0}
+
+    def test_restore_respects_capacity(self, tmp_path):
+        db = figure3_database()
+        cache = QueryCache(capacity=8)
+        for text in QUERIES:
+            query = parse_query(text)
+            cache.insert(query, evaluate(query, db), 1)
+        store = CacheStore(tmp_path / "shard.json")
+        store.save(cache, 1)
+        small = QueryCache(capacity=2)
+        stats = store.load(small, 1)
+        assert len(small) == 2
+        assert stats == {"entries": 2, "dropped": 1}
+        # The newest (LRU-tail) entries survive.
+        survivors = {e.key for e in small.snapshot_entries()}
+        originals = [e.key for e in cache.snapshot_entries()]
+        assert survivors == set(originals[-2:])
+
+
+class TestShardedStore:
+    def test_round_trip_through_layout(self, tmp_path):
+        layout = StorageLayout(tmp_path / "root")
+        cache = filled_cache(shards=2)
+        disk = ShardedCacheStore(layout, shards=2)
+        saved = disk.save(cache, store_version=3)
+        assert saved["entries"] == 3
+        reloaded = ShardedQueryCache(shards=2, capacity=16)
+        loaded = disk.load(reloaded, store_version=3)
+        assert loaded == {"entries": 3, "dropped": 0}
+        query = parse_query(QUERIES[0])
+        assert reloaded.has_key(query_key(query))
+        hit = reloaded.lookup(query, version=3)
+        assert canonical(hit) == canonical(
+            evaluate(query, figure3_database()))
+
+    def test_shard_count_mismatch_raises(self, tmp_path):
+        layout = StorageLayout(tmp_path / "root")
+        disk = ShardedCacheStore(layout, shards=2)
+        with pytest.raises(ValueError):
+            disk.save(ShardedQueryCache(shards=4, capacity=16), 1)
+        with pytest.raises(ValueError):
+            disk.load(ShardedQueryCache(shards=4, capacity=16), 1)
+
+    def test_entries_land_on_their_owning_shard_files(self, tmp_path):
+        layout = StorageLayout(tmp_path / "root")
+        cache = filled_cache(shards=2)
+        ShardedCacheStore(layout, shards=2).save(cache, 3)
+        for index, shard in enumerate(cache.shards):
+            document = json.loads(layout.shard_path(index).read_text())
+            assert document["shard"] == index
+            assert len(document["entries"]) == len(shard)

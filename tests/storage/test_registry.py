@@ -1,0 +1,122 @@
+"""Session-memo persistence: warm restarts serve memo hits."""
+
+import json
+
+from repro.rewriting.canon import query_key
+from repro.rewriting.session import RewriteSession
+from repro.storage import SessionRegistry, StorageLayout
+from repro.tsl.parser import parse_query
+from repro.workloads import query_q3, view_v1
+
+
+def fingerprint(result) -> set:
+    return {(query_key(r.query), tuple(sorted(r.views_used)))
+            for r in result.rewritings}
+
+
+def warmed_session():
+    session = RewriteSession({"V1": view_v1()}, None)
+    outcome = session.rewrite(query_q3())
+    assert outcome.rewritings
+    return session, outcome
+
+
+class TestRoundTrip:
+    def test_reloaded_session_serves_a_memo_hit(self, tmp_path):
+        session, outcome = warmed_session()
+        registry = SessionRegistry(StorageLayout(tmp_path))
+        saved = registry.save("cfg", session, store_version=4)
+        assert saved["entries"] == 1
+        fresh = RewriteSession({"V1": view_v1()}, None)
+        loaded = registry.load_into("cfg", fresh, store_version=4)
+        assert loaded == {"entries": 1, "dropped": 0}
+        (_key, flags), _value = session.result_entries()[0]
+        value = fresh.lookup_result(query_q3(), flags)
+        assert value is not None
+        warm, explanation = value
+        assert fingerprint(warm) == fingerprint(outcome)
+        # Compositions travel too -- they are what EXPLAIN/evaluation
+        # downstream consume.
+        assert all(r.composition for r in warm.rewritings)
+        # The decision log does not persist; explain lookups recompute.
+        assert explanation is None
+
+    def test_reload_preserves_the_exact_match_guard(self, tmp_path):
+        # The memo key is canonical, but lookup_result also demands the
+        # stored query equal the probe exactly (the hash-collision
+        # guard).  A reloaded entry must behave identically: the exact
+        # spelling hits, an alpha-variant spelling is a sound miss that
+        # recomputes.
+        session, _outcome = warmed_session()
+        registry = SessionRegistry(StorageLayout(tmp_path))
+        registry.save("cfg", session, store_version=0)
+        fresh = RewriteSession({"V1": view_v1()}, None)
+        registry.load_into("cfg", fresh, store_version=0)
+        (_key, flags), _value = session.result_entries()[0]
+        renamed = parse_query(
+            "<f(PP) stanford yes> :- <PP p {<XX YY leland>}>@db")
+        assert query_key(renamed) == query_key(query_q3())
+        assert fresh.lookup_result(query_q3(), flags) is not None
+        assert fresh.lookup_result(renamed, flags) is None
+
+
+class TestDiscards:
+    def test_different_store_version_discards_wholesale(self, tmp_path):
+        session, _outcome = warmed_session()
+        registry = SessionRegistry(StorageLayout(tmp_path))
+        registry.save("cfg", session, store_version=4)
+        fresh = RewriteSession({"V1": view_v1()}, None)
+        loaded = registry.load_into("cfg", fresh, store_version=5)
+        assert loaded == {"entries": 0, "dropped": 1}
+
+    def test_none_store_version_skips_the_check(self, tmp_path):
+        session, _outcome = warmed_session()
+        registry = SessionRegistry(StorageLayout(tmp_path))
+        registry.save("cfg", session, store_version=4)
+        fresh = RewriteSession({"V1": view_v1()}, None)
+        assert registry.load_into("cfg", fresh)["entries"] == 1
+
+    def test_missing_or_corrupt_document_is_silent(self, tmp_path):
+        layout = StorageLayout(tmp_path)
+        registry = SessionRegistry(layout)
+        fresh = RewriteSession({"V1": view_v1()}, None)
+        assert registry.load_into("absent", fresh) \
+            == {"entries": 0, "dropped": 0}
+        layout.sessions_dir.mkdir(parents=True)
+        layout.session_path("bad").write_text("{nope")
+        assert registry.load_into("bad", fresh) \
+            == {"entries": 0, "dropped": 0}
+
+    def test_config_key_mismatch_is_discarded(self, tmp_path):
+        session, _outcome = warmed_session()
+        layout = StorageLayout(tmp_path)
+        registry = SessionRegistry(layout)
+        registry.save("cfg", session, store_version=0)
+        # A document renamed onto another config key must not warm it.
+        document = layout.session_path("cfg").read_text()
+        layout.session_path("other").write_text(document)
+        fresh = RewriteSession({"V1": view_v1()}, None)
+        assert registry.load_into("other", fresh, store_version=0) \
+            == {"entries": 0, "dropped": 0}
+
+
+class TestStats:
+    def test_stats_count_entries_per_config(self, tmp_path):
+        session, _outcome = warmed_session()
+        registry = SessionRegistry(StorageLayout(tmp_path))
+        assert registry.stats() == {"sessions": 0, "entries": {}}
+        registry.save("cfg-a", session, store_version=0)
+        registry.save("cfg-b", session, store_version=0)
+        stats = registry.stats()
+        assert stats["sessions"] == 2
+        assert stats["entries"] == {"cfg-a": 1, "cfg-b": 1}
+
+    def test_document_shape_is_schema_versioned(self, tmp_path):
+        session, _outcome = warmed_session()
+        layout = StorageLayout(tmp_path)
+        SessionRegistry(layout).save("cfg", session, store_version=7)
+        document = json.loads(layout.session_path("cfg").read_text())
+        assert document["kind"] == "repro-session-memo"
+        assert document["schema_version"] == 1
+        assert document["store_version"] == 7
+        assert document["config_key"] == "cfg"

@@ -1,0 +1,104 @@
+"""HRW routing and the sharded query cache facade."""
+
+from collections import Counter
+
+from repro.storage import ShardedQueryCache, shard_for
+from repro.rewriting.canon import query_key
+from repro.tsl.evaluator import evaluate
+from repro.tsl.parser import parse_query
+from repro.workloads import figure3_database
+
+SIGMOD = ("<ans(P) pub {<B booktitle 'SIGMOD'>}> :- "
+          "<P pub {<B booktitle 'SIGMOD'>}>@db")
+
+
+def sigmod_query():
+    return parse_query(SIGMOD)
+
+
+class TestShardFor:
+    def test_deterministic_and_in_range(self):
+        for shards in (1, 2, 8, 16):
+            for key in ("a", "b", "0f3e", "x" * 64):
+                owner = shard_for(key, shards)
+                assert owner == shard_for(key, shards)
+                assert 0 <= owner < shards
+
+    def test_spreads_keys_across_shards(self):
+        owners = Counter(shard_for(f"key-{i}", 8) for i in range(400))
+        assert len(owners) == 8
+        assert max(owners.values()) < 3 * min(owners.values())
+
+    def test_single_shard_short_circuits(self):
+        assert shard_for("anything", 1) == 0
+
+
+class TestShardedQueryCache:
+    def test_capacity_split_with_remainder_to_low_shards(self):
+        cache = ShardedQueryCache(shards=3, capacity=10)
+        assert [shard.capacity for shard in cache.shards] == [4, 3, 3]
+
+    def test_insert_routes_to_owner_and_exact_lookup_hits(self):
+        db = figure3_database()
+        query = sigmod_query()
+        cache = ShardedQueryCache(shards=4, capacity=16)
+        answer = evaluate(query, db)
+        entry = cache.insert(query, answer, version=1)
+        key = query_key(query)
+        owner = shard_for(key, 4)
+        assert len(cache.shards[owner]) == 1
+        assert cache.has_key(key)
+        assert cache.lookup(query, version=1) is answer
+        assert entry.key == key
+
+    def test_rewrite_lookup_consults_other_shards(self):
+        db = figure3_database()
+        cache = ShardedQueryCache(shards=4, capacity=16)
+        view = parse_query(
+            "<v(P) pub {<c(P,L,W) L W>}> :- <P pub {<X L W>}>@db")
+        cache.insert(view, evaluate(view, db), version=1)
+        probe = parse_query(
+            "<ans(P) pub {<c2(P) title T>}> :- <P pub {<X title T>}>@db")
+        answer = cache.lookup(probe, version=1)
+        assert answer is not None
+        assert answer.stats()["objects"] > 0
+
+    def test_apply_update_fans_out(self):
+        db = figure3_database()
+        cache = ShardedQueryCache(shards=4, capacity=16)
+        query = sigmod_query()
+        cache.insert(query, evaluate(query, db), version=1)
+        outcome = cache.apply_update(frozenset({"booktitle"}), 2,
+                                     from_version=1)
+        assert outcome == {"patched": 0, "invalidated": 1}
+        assert len(cache) == 0
+        cache.insert(query, evaluate(query, db), version=2)
+        outcome = cache.apply_update(frozenset({"unrelated"}), 3,
+                                     from_version=2)
+        assert outcome == {"patched": 1, "invalidated": 0}
+        assert cache.lookup(query, version=3) is not None
+
+    def test_stats_aggregate_and_per_shard_breakdown(self):
+        db = figure3_database()
+        cache = ShardedQueryCache(shards=2, capacity=8)
+        query = sigmod_query()
+        cache.insert(query, evaluate(query, db), version=1)
+        cache.lookup(query, version=1)
+        stats = cache.stats()
+        assert stats["shards"] == 2
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert sum(stats["entries_per_shard"]) == 1
+        assert len(stats["entries_per_shard"]) == 2
+
+    def test_invalidate_clears_every_shard(self):
+        db = figure3_database()
+        cache = ShardedQueryCache(shards=4, capacity=16)
+        for text in (SIGMOD,
+                     "<ans2(P) rec {<T title V>}> :- "
+                     "<P pub {<T title V>}>@db"):
+            query = parse_query(text)
+            cache.insert(query, evaluate(query, db), version=1)
+        assert len(cache) == 2
+        cache.invalidate()
+        assert len(cache) == 0

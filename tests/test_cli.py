@@ -240,8 +240,8 @@ class TestFuzz:
         assert data["ok"] is True
         assert data["iterations"] == 4
         assert set(data["checks"]) == {"containment", "memo",
-                                       "metamorphic", "semantic",
-                                       "signature"}
+                                       "metamorphic", "persist",
+                                       "semantic", "signature"}
 
     def test_oracle_and_profile_selection(self, capsys):
         assert main(["fuzz", "--seed", "1", "--iterations", "3",
