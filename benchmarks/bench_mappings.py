@@ -6,7 +6,14 @@ number of mappings."  The self-similar star family exhibits it (b^b
 mappings for b identical branches); the distinct-label variant and the
 chain family stay at one mapping and polynomial time.
 
-Series reported: branches/depth -> #mappings, time.
+The wide family measures the target-path index
+(:mod:`repro.rewriting.index`): k flat conditions with k distinct
+constant labels give the scan k^2 doomed ``map_path_into`` attempts
+where the index does k postings lookups.  Parity is asserted inside the
+experiment -- the indexed and scanned searches must return the identical
+mapping list before the speedup row is emitted.
+
+Series reported: branches/depth/width -> #mappings, time, speedup.
 """
 
 from __future__ import annotations
@@ -15,10 +22,12 @@ import time
 
 from repro.rewriting import body_mappings
 from repro.tsl import query_paths
-from repro.workloads import chain_query, chain_view, star_query, star_view
+from repro.workloads import (chain_query, chain_view, k_conditions_query,
+                             star_query, star_view)
 
 STAR_SIZES = (2, 3, 4, 5)
 CHAIN_SIZES = (4, 8, 16, 32)
+WIDE_SIZES = (16, 32, 64, 128)
 
 
 def count_star_mappings(branches: int, distinct: bool = False) -> int:
@@ -31,6 +40,12 @@ def count_chain_mappings(depth: int) -> int:
     view = chain_view(depth)
     query = chain_query(depth)
     return len(body_mappings(query_paths(view), query_paths(query)))
+
+
+def wide_mappings(width: int, use_index: bool = True):
+    """Map a k-condition body onto itself, with or without the index."""
+    paths = query_paths(k_conditions_query(width))
+    return body_mappings(paths, paths, use_index=use_index)
 
 
 def run_experiment() -> list[dict]:
@@ -53,14 +68,35 @@ def run_experiment() -> list[dict]:
         elapsed = time.perf_counter() - started
         rows.append({"family": "chain", "size": depth,
                      "mappings": count, "seconds": elapsed})
+    for width in WIDE_SIZES:
+        started = time.perf_counter()
+        indexed = wide_mappings(width)
+        indexed_s = time.perf_counter() - started
+        started = time.perf_counter()
+        scanned = wide_mappings(width, use_index=False)
+        scan_s = time.perf_counter() - started
+        # The index must be invisible: identical list, identical order.
+        assert indexed == scanned, f"index parity broken at width {width}"
+        rows.append({"family": "wide(indexed)", "size": width,
+                     "mappings": len(indexed), "seconds": indexed_s})
+        rows.append({"family": "wide(scan)", "size": width,
+                     "mappings": len(scanned), "seconds": scan_s})
+        rows.append({"family": "wide(indexed-vs-scan)", "size": width,
+                     "mappings": len(indexed), "parity": True,
+                     "speedup": scan_s / max(indexed_s, 1e-9)})
     return rows
 
 
 def print_table(rows: list[dict]) -> None:
-    print(f"{'family':18} {'size':>4} {'mappings':>10} {'seconds':>10}")
+    print(f"{'family':22} {'size':>4} {'mappings':>10} "
+          f"{'seconds':>10} {'speedup':>9}")
     for row in rows:
-        print(f"{row['family']:18} {row['size']:>4} "
-              f"{row['mappings']:>10} {row['seconds']:>10.4f}")
+        seconds = (f"{row['seconds']:>10.4f}"
+                   if "seconds" in row else " " * 10)
+        speedup = (f"{row['speedup']:>8.1f}x"
+                   if "speedup" in row else "")
+        print(f"{row['family']:22} {row['size']:>4} "
+              f"{row['mappings']:>10} {seconds} {speedup}")
 
 
 # -- pytest-benchmark entry points ------------------------------------------
@@ -81,6 +117,18 @@ def test_chain_polynomial(benchmark):
     count = benchmark(count_chain_mappings, 32)
     assert count == 1
     benchmark.extra_info["mappings"] = count
+
+
+def test_wide_indexed(benchmark):
+    result = benchmark(wide_mappings, 64)
+    assert len(result) == 1
+    benchmark.extra_info["mappings"] = len(result)
+
+
+def test_wide_indexed_scan_parity():
+    for width in (8, 32):
+        assert wide_mappings(width) == wide_mappings(width,
+                                                     use_index=False)
 
 
 def test_exponential_shape():

@@ -34,7 +34,8 @@ SCHEMA_VERSION = 1
 #: never counted as perf regressions (a different candidate count is a
 #: behavior change worth seeing, not a slowdown).
 COUNTER_HINTS = ("rewritings", "tested", "candidates", "hits", "misses",
-                 "count", "rules", "mappings", "atoms", "size")
+                 "count", "rules", "mappings", "atoms", "size",
+                 "speedup")
 
 
 def load_snapshot(path: str) -> dict:

@@ -15,11 +15,12 @@ Usage (installed as ``python -m repro``)::
         [--dtd FILE.dtd] [--total] [--contained] [--format text|json] \
         [--trace OUT] [--trace-format jsonl|chrome|text] \
         [--budget-ms N] [--max-steps N] [--max-candidates N] \
-        [--no-memo] [--memo-size N] [--no-signature-prefilter]
+        [--no-memo] [--memo-size N] [--no-signature-prefilter] \
+        [--no-path-index]
     python -m repro explain QUERY.tsl --view NAME=VIEW.tsl ... \
         [--dtd FILE.dtd] [--total] [--format text|json] \
         [--budget-ms N] [--max-steps N] [--max-candidates N] \
-        [--no-memo] [--no-signature-prefilter]
+        [--no-memo] [--no-signature-prefilter] [--no-path-index]
     python -m repro metrics [QUERY.tsl --view NAME=VIEW.tsl ...] \
         [--dtd FILE.dtd] [--format prom|json]
     python -m repro serve [--host H] [--port N] [--workers N] \
@@ -197,6 +198,7 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
             query, total_only=args.total,
             max_candidates=args.max_candidates,
             signature_prefilter=not args.no_signature_prefilter,
+            path_index=not args.no_path_index,
             tracer=tracer, budget=budget)
         rewritings = [(r.query, "equivalent") for r in result.rewritings]
         truncated, stop_reason = result.truncated, result.stats.stop_reason
@@ -249,6 +251,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         query, total_only=args.total,
         max_candidates=args.max_candidates,
         signature_prefilter=not args.no_signature_prefilter,
+        path_index=not args.no_path_index,
         tracer=tracer, budget=budget, explain=explanation)
     _write_trace_if_requested(tracer, args)
     if args.format == "json":
@@ -705,6 +708,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "pre-filter that skips views whose "
                                   "body labels cannot map into the "
                                   "query")
+    rewrite_cmd.add_argument("--no-path-index",
+                             action="store_true",
+                             help="disable the sound path index that "
+                                  "restricts mapping searches to "
+                                  "statically compatible query "
+                                  "conditions (exhaustive scan)")
     rewrite_cmd.add_argument("--no-memo", action="store_true",
                              help="disable the rewrite session's memo "
                                   "tables (prepared views + canonical-"
@@ -742,6 +751,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="disable the label-signature "
                                   "pre-filter (every view then reaches "
                                   "mapping enumeration)")
+    explain_cmd.add_argument("--no-path-index",
+                             action="store_true",
+                             help="disable the path index (mapping "
+                                  "searches scan every query "
+                                  "condition)")
     explain_cmd.add_argument("--no-memo", action="store_true",
                              help="disable the rewrite session's memo "
                                   "tables")

@@ -17,6 +17,7 @@ Terms are immutable and hashable.  Three concrete kinds exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, Mapping, Union
 
 from ..span import Span
@@ -171,6 +172,17 @@ def fn(functor: str, *args: Term) -> FunctionTerm:
 def variables_of(term: Term) -> set[Variable]:
     """Return the set of distinct variables occurring in *term*."""
     return set(term.variables())
+
+
+@lru_cache(maxsize=65536)
+def cached_variable_set(term: Term) -> frozenset[Variable]:
+    """The distinct variables of *term*, cached by term equality.
+
+    One-way matching (:func:`repro.logic.unify.match`) consults the
+    pattern's variable set on every call; terms are immutable (spans are
+    excluded from equality), so the set is safe to memoize globally.
+    """
+    return frozenset(term.variables())
 
 
 def rename_term(term: Term, suffix: str) -> Term:

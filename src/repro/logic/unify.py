@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Iterable
 
 from .subst import Substitution
-from .terms import Constant, FunctionTerm, Term, Variable
+from .terms import (Constant, FunctionTerm, Term, Variable,
+                    cached_variable_set)
 
 
 def _occurs(v: Variable, term: Term) -> bool:
@@ -79,7 +80,11 @@ def match(pattern: Term, target: Term,
     the view's variables onto the query's terms, never the reverse.
     """
     subst = subst or Substitution()
-    bindable = set(pattern.variables()) | set(subst)
+    # Only variables reachable from the pattern are ever popped off the
+    # stack, so the pattern's (cached) variable set suffices: a variable
+    # in subst's domain but not the pattern fails ``a not in subst``
+    # under the old ``| set(subst)`` form just the same.
+    bindable = cached_variable_set(pattern)
     stack: list[tuple[Term, Term]] = [(pattern, target)]
     while stack:
         a, b = stack.pop()

@@ -42,6 +42,16 @@ signature
     query profile truly has no containment mapping into the prepared
     target, confirmed by the brute-force enumerator.
 
+index
+    Transparency of the target-path index
+    (:mod:`repro.rewriting.index`): for every chased view,
+    :func:`~repro.rewriting.mappings.find_mappings` with the index on
+    must return the *identical list* of mappings (same order, same
+    coverage sets) as the unindexed scan -- the index only skips
+    target paths that provably cannot match, so the surviving search
+    tree is the same.  Checked at the ``body_mappings`` level too, so
+    a divergence is pinned to the narrowest kernel.
+
 persist
     Transparency of the disk layer (:mod:`repro.storage`) and
     soundness of label-based incremental maintenance: the durable
@@ -75,7 +85,7 @@ from ..rewriting.canon import query_key
 from ..rewriting.chase import chase
 from ..rewriting.composition import compose
 from ..rewriting.equivalence import equivalent, minimize, prepare_program
-from ..rewriting.mappings import find_mappings
+from ..rewriting.mappings import body_mappings, find_mappings
 from ..rewriting.rewriter import rewrite
 from ..rewriting.session import RewriteSession
 from ..storage import (DurableStore, SessionRegistry, ShardedCacheStore,
@@ -545,6 +555,68 @@ class SignatureOracle:
         return result
 
 
+class IndexOracle:
+    """The target-path index must be invisible to the mapping search.
+
+    :class:`~repro.rewriting.index.PathIndex` statically prunes target
+    paths that :func:`~repro.rewriting.mappings.map_path_into` would
+    reject unconditionally, and candidates come back in ascending scan
+    order -- so the indexed search explores the *same tree* as the full
+    scan and must produce the identical mapping **list**, not merely the
+    same set.  For every chased view against the prepared target:
+
+    * **find-parity** -- ``find_mappings`` with ``use_index=True`` (the
+      default) and ``False`` return equal lists of
+      :class:`~repro.rewriting.mappings.Mapping` (substitution *and*
+      coverage, in order);
+    * **body-parity** -- ``body_mappings`` over the raw path lists
+      agrees the same way, pinning any divergence below the coverage
+      layer.
+    """
+
+    name = "index"
+
+    def check(self, case: Case) -> OracleResult:
+        result = OracleResult()
+        constraints = case.constraints
+        prepared = prepare_program([case.query], constraints)
+        if not prepared:
+            return result  # contradictory body: nothing to map into
+        target = prepared[0]
+        target_paths = query_paths(target)
+        for name, view in sorted(case.views.items()):
+            try:
+                chased_view = chase(view, constraints)
+            except ChaseContradictionError:
+                continue  # unsatisfiable view: rewriter skips it anyway
+            result.checks += 1
+            indexed = find_mappings(chased_view, target)
+            scanned = find_mappings(chased_view, target, use_index=False)
+            if indexed != scanned:
+                only_on = [str(m.subst) for m in indexed
+                           if m not in scanned]
+                only_off = [str(m.subst) for m in scanned
+                            if m not in indexed]
+                result.failures.append(Failure(
+                    self.name, "indexed-mappings-differ",
+                    f"view {name}: indexed and scan find_mappings "
+                    f"disagree: only_indexed={only_on} "
+                    f"only_scan={only_off}"))
+                continue
+            view_paths = query_paths(chased_view)
+            result.checks += 1
+            body_on = body_mappings(view_paths, target_paths)
+            body_off = body_mappings(view_paths, target_paths,
+                                     use_index=False)
+            if body_on != body_off:
+                result.failures.append(Failure(
+                    self.name, "indexed-body-mappings-differ",
+                    f"view {name}: body_mappings diverges under the "
+                    f"index: indexed={len(body_on)} "
+                    f"scan={len(body_off)}"))
+        return result
+
+
 class PersistOracle:
     """Disk round trips must be invisible; maintenance must be sound.
 
@@ -748,6 +820,7 @@ class PersistOracle:
 ORACLES: dict[str, Callable[[], Oracle]] = {
     "semantic": SemanticOracle,
     "containment": ContainmentOracle,
+    "index": IndexOracle,
     "memo": MemoOracle,
     "metamorphic": MetamorphicOracle,
     "persist": PersistOracle,

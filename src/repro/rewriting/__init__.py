@@ -1,11 +1,14 @@
 """The paper's primary contribution: rewriting TSL queries using views."""
 
+from .index import IndexStats, PathIndex, statically_compatible
 from .mappings import (Mapping, body_mappings, component_mapping, coverage,
-                       find_mappings, map_path_into, query_maps_into)
+                       find_mappings, map_path_into,
+                       most_constrained_order, query_maps_into)
 from .canon import (Canonical, canonicalize, component_key, condition_key,
-                    program_key, query_key)
+                    intern_condition, intern_term, program_key, query_key)
 from .chase import StructuralConstraints, chase
-from .session import DEFAULT_MEMO_SIZE, MemoTable, RewriteSession
+from .session import (DEFAULT_MEMO_SIZE, MemoTable, RewriteSession,
+                      ViewPlan)
 from .composition import compose
 from .equivalence import (equivalence_obstacle, equivalent, minimize,
                           prepare_program, programs_equivalent)
@@ -22,6 +25,8 @@ from .dataguide import DataGuide, build_dataguide, dtd_from_dataguide
 __all__ = [
     "Mapping", "find_mappings", "body_mappings", "map_path_into",
     "coverage", "component_mapping", "query_maps_into",
+    "most_constrained_order",
+    "PathIndex", "IndexStats", "statically_compatible",
     "chase", "StructuralConstraints",
     "compose",
     "equivalent", "programs_equivalent", "minimize", "prepare_program",
@@ -31,8 +36,8 @@ __all__ = [
     "Rewriting", "RewriteResult", "RewriteStats", "CandidateAtom",
     "view_instantiations",
     "Canonical", "canonicalize", "query_key", "condition_key",
-    "component_key", "program_key",
-    "RewriteSession", "MemoTable", "DEFAULT_MEMO_SIZE",
+    "component_key", "program_key", "intern_term", "intern_condition",
+    "RewriteSession", "MemoTable", "DEFAULT_MEMO_SIZE", "ViewPlan",
     "maximally_contained_rewritings", "programs_contained", "contained_in",
     "ContainedRewriting", "ContainedResult",
     "Dtd", "ChildSpec", "parse_dtd", "paper_dtd", "parse_xml_data",

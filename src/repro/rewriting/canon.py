@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 from typing import Iterable, Sequence
 
 from ..logic.subst import Substitution
@@ -81,8 +82,46 @@ def _pattern_skeleton(pattern: ObjectPattern) -> str:
             f"{_term_skeleton(pattern.label)} {rendered}>")
 
 
+@lru_cache(maxsize=65536)
 def _condition_skeleton(condition: Condition) -> str:
     return f"{_pattern_skeleton(condition.pattern)}@{condition.source}"
+
+
+@lru_cache(maxsize=65536)
+def _condition_str(condition: Condition) -> str:
+    """``str(condition)``, cached -- rendering dominates refinement."""
+    return str(condition)
+
+
+# --------------------------------------------------------------------------
+# Hash-consing (interning) of terms and conditions
+# --------------------------------------------------------------------------
+
+#: Interning pools are cleared wholesale when full -- hash-consing is an
+#: optimization, never a source of truth, so dropping entries only costs
+#: a little sharing.
+_POOL_CAPACITY = 65536
+_TERM_POOL: dict = {}
+_CONDITION_POOL: dict[Condition, Condition] = {}
+
+
+def intern_term(term):
+    """Return the pooled representative equal to *term* (hash-consing).
+
+    Equal terms collapse to one object, so later equality checks hit the
+    ``is``-shortcut and per-object caches (skeletons, variable sets) are
+    computed once per structure instead of once per copy.
+    """
+    if len(_TERM_POOL) >= _POOL_CAPACITY:
+        _TERM_POOL.clear()
+    return _TERM_POOL.setdefault(term, term)
+
+
+def intern_condition(condition: Condition) -> Condition:
+    """Return the pooled representative equal to *condition*."""
+    if len(_CONDITION_POOL) >= _POOL_CAPACITY:
+        _CONDITION_POOL.clear()
+    return _CONDITION_POOL.setdefault(condition, condition)
 
 
 # --------------------------------------------------------------------------
@@ -130,16 +169,23 @@ class Canonical:
     #: original variable -> canonical ``$i`` variable (injective).
     forward: Substitution
 
-    @property
+    @cached_property
     def key(self) -> str:
+        # cached_property works on this frozen dataclass because it is
+        # not slotted: the computed digest lands in the instance
+        # __dict__, bypassing the frozen __setattr__.
         return _digest(_render_query(self.query))
 
 
+@lru_cache(maxsize=8192)
 def canonicalize(query: Query) -> Canonical:
     """The canonical form of *query* (normal-form body, ``$i`` variables).
 
     The result is equivalent to the input: the body is only split to
     single paths, reordered (conjunction is a set), and renamed apart.
+
+    Cached by query equality (spans excluded): canonicalization runs on
+    every memo probe, so repeated probes of the same query are free.
     """
     current = normalize(query)
     body = list(current.body)
@@ -150,7 +196,8 @@ def canonicalize(query: Query) -> Canonical:
         # Refine: sort by the fully-rendered canonical conjunct (ties
         # between equal skeletons now resolve by variable wiring), then
         # renumber; stop when the order is stable.
-        rendered = [(str(c.substitute(forward)), c) for c in body]
+        rendered = [(_condition_str(intern_condition(c.substitute(forward))),
+                     c) for c in body]
         rendered.sort(key=lambda item: item[0])
         reordered = [c for _, c in rendered]
         renumbered = _number_variables(current.head, reordered)
@@ -159,7 +206,7 @@ def canonicalize(query: Query) -> Canonical:
         body, forward = reordered, renumbered
     return Canonical(
         Query(current.head.substitute(forward),
-              tuple(c.substitute(forward) for c in body)),
+              tuple(intern_condition(c.substitute(forward)) for c in body)),
         forward)
 
 
@@ -181,7 +228,8 @@ def query_key(query: Query) -> str:
 def condition_key(condition: Condition) -> str:
     """A stable hash of one condition up to variable renaming."""
     forward = _number_variables(None, [condition])
-    return _digest(str(condition.substitute(forward)))
+    return _digest(_condition_str(intern_condition(
+        condition.substitute(forward))))
 
 
 def component_key(component: ComponentQuery) -> str:

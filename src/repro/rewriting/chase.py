@@ -159,8 +159,56 @@ def _saturate_unions(paths: list[Path]) -> list[Path]:
     test cannot recombine facts contributed through different prefixes
     (the fusion-spread bodies that compositions produce).
 
+    Incremental worklist: each path registers, per shared-oid key, its
+    prefixes and continuations; a *new* prefix grafts every continuation
+    already at that key and a *new* continuation grafts onto every
+    prefix, so no pair is re-examined once processed (the legacy
+    :func:`_saturate_unions_legacy` recomputed all occurrences from
+    scratch every sweep).  Grafted paths join the worklist, so the
+    result is the same closure; output order is insertion order, which
+    -- unlike the legacy set-iteration -- is deterministic across
+    processes.
+
     Terminates because paths are acyclic over a finite step alphabet.
     """
+    seen = set(paths)
+    ordered = list(paths)
+    # (source, oid term) -> insertion-ordered prefix / continuation sets.
+    prefixes: dict[tuple[str, Term], dict[tuple, None]] = {}
+    suffixes: dict[tuple[str, Term], dict[tuple, None]] = {}
+    position = 0
+    while position < len(ordered):
+        path = ordered[position]
+        position += 1
+        steps = path.steps
+        last = len(steps) - 1
+        for depth in range(len(steps)):
+            key = (path.source, steps[depth][0])
+            key_prefixes = prefixes.setdefault(key, {})
+            key_suffixes = suffixes.setdefault(key, {})
+            grafts: list[Path] = []
+            prefix = steps[:depth + 1]
+            if prefix not in key_prefixes:
+                key_prefixes[prefix] = None
+                for suffix_steps, leaf in key_suffixes:
+                    grafts.append(Path(prefix + suffix_steps, leaf,
+                                       path.source))
+            if depth < last:
+                suffix = (steps[depth + 1:], path.leaf)
+                if suffix not in key_suffixes:
+                    key_suffixes[suffix] = None
+                    for existing in key_prefixes:
+                        grafts.append(Path(existing + suffix[0],
+                                           path.leaf, path.source))
+            for grafted in grafts:
+                if grafted not in seen:
+                    seen.add(grafted)
+                    ordered.append(grafted)
+    return ordered
+
+
+def _saturate_unions_legacy(paths: list[Path]) -> list[Path]:
+    """Sweep-until-stable reference implementation (same closure)."""
     seen = set(paths)
     ordered = list(paths)
     changed = True
@@ -197,8 +245,21 @@ def _drop_subsumed_empty_paths(paths: list[Path]) -> list[Path]:
     """Drop a ``{}``-leaf path whose steps are a prefix of a longer path.
 
     This realizes rule 3 (set-value union) under normal form: the union of
-    ``{}`` with a non-empty set pattern is the non-empty one.
+    ``{}`` with a non-empty set pattern is the non-empty one.  One pass
+    collects every proper step-prefix; membership replaces the legacy
+    all-pairs scan.
     """
+    proper_prefixes: set[tuple[str, tuple]] = set()
+    for path in paths:
+        for depth in range(1, len(path.steps)):
+            proper_prefixes.add((path.source, path.steps[:depth]))
+    return [path for path in paths
+            if not (isinstance(path.leaf, SetPattern)
+                    and (path.source, path.steps) in proper_prefixes)]
+
+
+def _drop_subsumed_empty_paths_legacy(paths: list[Path]) -> list[Path]:
+    """All-pairs reference implementation (same kept set)."""
     kept: list[Path] = []
     for path in paths:
         if isinstance(path.leaf, SetPattern):
@@ -216,6 +277,60 @@ def _drop_subsumed_empty_paths(paths: list[Path]) -> list[Path]:
 
 def _label_inference_step(query: Query, paths: list[Path],
                           constraints: StructuralConstraints) -> Query | None:
+    """Bind every inferable variable label in one batch (Section 3.3).
+
+    Produces the same binding *sequence* as the one-at-a-time legacy
+    rule -- scan from the top, fire the first inferable position, rescan
+    -- but tracks fired bindings in a local map instead of substituting
+    and re-normalizing the whole query per binding, then applies them
+    with a single substitute/normalize.  Sound to batch: the chase only
+    reaches label inference with the key dependency at fixpoint, and
+    binding a label variable to a constant cannot wake the key rules
+    (labels of a shared oid are already unified, values are untouched).
+    """
+    bindings: dict[Variable, Constant] = {}
+
+    def resolve(term: Term) -> Term:
+        return bindings.get(term, term) if isinstance(term, Variable) \
+            else term
+
+    changed = True
+    while changed:
+        changed = False
+        for path in paths:
+            if path.source != constraints.source:
+                continue
+            steps = path.steps
+            for depth in range(len(steps)):
+                label = resolve(steps[depth][1])
+                if not isinstance(label, Variable):
+                    continue
+                inferred = None
+                if depth > 0:
+                    parent_label = resolve(steps[depth - 1][1])
+                    if isinstance(parent_label, Constant):
+                        if depth + 1 < len(steps):
+                            child_label = resolve(steps[depth + 1][1])
+                            if isinstance(child_label, Constant):
+                                inferred = constraints.infer_middle_label(
+                                    parent_label.value, child_label.value)
+                        if inferred is None:
+                            inferred = constraints.only_child_label(
+                                parent_label.value)
+                if inferred is not None:
+                    bindings[label] = Constant(inferred)
+                    changed = True
+                    break
+            if changed:
+                break
+    if not bindings:
+        return None
+    return normalize(query.substitute(Substitution(bindings)))
+
+
+def _label_inference_step_legacy(query: Query, paths: list[Path],
+                                 constraints: StructuralConstraints
+                                 ) -> Query | None:
     """Bind one inferable variable label (Section 3.3); None at fixpoint."""
     for path in paths:
         if path.source != constraints.source:
@@ -276,7 +391,7 @@ def _labeled_fd_step(query: Query, paths: list[Path],
 def chase(query: Query,
           constraints: StructuralConstraints | None = None,
           max_steps: int = 10_000, *,
-          tracer=None, budget=None) -> Query:
+          tracer=None, budget=None, legacy: bool = False) -> Query:
     """Chase *query* to a fixpoint; raises on contradiction.
 
     Applies, interleaved until none fires: the oid key-dependency rules
@@ -285,6 +400,12 @@ def chase(query: Query,
     ``chase`` span with an iteration counter; *budget* is ticked once
     per fixpoint iteration and may raise
     :class:`~repro.errors.BudgetExceededError`.
+
+    ``legacy=True`` selects the one-binding-per-iteration /
+    sweep-until-stable reference implementations of label inference and
+    union saturation -- same fixpoint, quadratically more rebuild work;
+    kept for differential benchmarking (``bench_chase``) and as the
+    provenance of the fast kernels.
     """
     tracer = tracer or NULL_TRACER
     with tracer.span("chase") as span:
@@ -295,12 +416,21 @@ def chase(query: Query,
             paths = query_paths(current)
             stepped = _key_dependency_step(current, paths)
             if stepped is None and constraints is not None:
-                stepped = _label_inference_step(current, paths, constraints)
+                if legacy:
+                    stepped = _label_inference_step_legacy(
+                        current, paths, constraints)
+                else:
+                    stepped = _label_inference_step(
+                        current, paths, constraints)
                 if stepped is None:
                     stepped = _labeled_fd_step(current, paths, constraints)
             if stepped is None:
-                saturated = _saturate_unions(paths)
-                reduced = _drop_subsumed_empty_paths(saturated)
+                if legacy:
+                    saturated = _saturate_unions_legacy(paths)
+                    reduced = _drop_subsumed_empty_paths_legacy(saturated)
+                else:
+                    saturated = _saturate_unions(paths)
+                    reduced = _drop_subsumed_empty_paths(saturated)
                 if set(reduced) != set(paths):
                     current = _rebuild(current, reduced)
                     continue

@@ -72,26 +72,35 @@ def components_subsumed(left: Sequence[ComponentQuery],
 def programs_equivalent(left: Iterable[Query], right: Iterable[Query],
                         constraints: StructuralConstraints | None = None,
                         minimize_rules: bool = False, *,
-                        tracer=None, budget=None, session=None) -> bool:
+                        tracer=None, budget=None, session=None,
+                        right_components=None) -> bool:
     """Theorem 4.3: decompose both unions and test mutual mappings.
 
     *session* memoizes the sub-steps (chase, minimize, decomposition);
     the verdict itself is memoized by
     :meth:`~repro.rewriting.session.RewriteSession.programs_equivalent`,
-    which delegates here on a miss.
+    which delegates here on a miss.  *right_components*, when given,
+    must be the prepared + decomposed form of *right* under the same
+    *constraints* and *minimize_rules*; the rewriter precomputes the
+    target query's components once and shares them across every
+    candidate's Step 2 test.
     """
     tracer = tracer or NULL_TRACER
     with tracer.span("equivalence") as span:
         left_rules = prepare_program(left, constraints, minimize_rules,
                                      budget=budget, session=session)
-        right_rules = prepare_program(right, constraints, minimize_rules,
-                                      budget=budget, session=session)
         if session is not None:
             left_components = session.decompose(left_rules)
-            right_components = session.decompose(right_rules)
         else:
             left_components = decompose_program(left_rules)
-            right_components = decompose_program(right_rules)
+        if right_components is None:
+            right_rules = prepare_program(right, constraints,
+                                          minimize_rules, budget=budget,
+                                          session=session)
+            if session is not None:
+                right_components = session.decompose(right_rules)
+            else:
+                right_components = decompose_program(right_rules)
         span.add("components",
                  len(left_components) + len(right_components))
         outcome = (components_subsumed(left_components, right_components,

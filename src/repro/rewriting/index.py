@@ -1,0 +1,154 @@
+"""Label/source/depth inverted index over target paths (hot-path kernel).
+
+:func:`~repro.rewriting.mappings.body_mappings` is a backtracking search
+that, at every node, tries to map one source path into *every* target
+path.  Most of those attempts are doomed before any variable is bound:
+``map_path_into`` matches one-way (only source-side variables bind), so a
+source path whose step carries a *constant* label can only ever map into
+a target path carrying the *same* constant label at the same depth, and
+likewise for constant oids and constant leaves.  Those facts are static
+-- they do not depend on the substitution accumulated so far -- so they
+can be indexed once per target body and consulted in O(1) per search
+node instead of re-discovered by a failed match.
+
+:class:`PathIndex` builds postings ``(source, depth, label) -> [target
+indices]`` plus a per-source bucket, and :meth:`PathIndex.candidates`
+intersects the relevant postings for a source path, final-filtering with
+:func:`statically_compatible`.  Candidates are returned in ascending
+target order, so an indexed search enumerates mappings in *exactly* the
+order the unindexed scan does -- parity is list equality, not just set
+equality (the "index" fuzz oracle relies on this).
+
+Soundness: every pair :meth:`candidates` prunes is one where
+``map_path_into`` provably returns ``None`` for *any* substitution.
+Target-side variables are never bound by ``match``, and the substitution
+only rewrites the source side, so a constant/constant mismatch (or a
+source/depth/leaf-shape mismatch) can never be repaired later in the
+search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.terms import Constant
+from ..tsl.ast import SetPattern
+from ..tsl.normalize import Path
+
+__all__ = ["IndexStats", "PathIndex", "statically_compatible"]
+
+
+@dataclass
+class IndexStats:
+    """Tally of index effectiveness for one mapping search.
+
+    ``hits`` counts (source path, target path) pairs the index let
+    through; ``skips`` counts pairs it proved impossible without running
+    ``map_path_into``.  Both are counted once per source path -- the
+    candidate set is substitution-independent, so it is computed before
+    the backtracking search, not per search node.
+    """
+
+    hits: int = 0
+    skips: int = 0
+
+    def merge(self, other: "IndexStats") -> None:
+        self.hits += other.hits
+        self.skips += other.skips
+
+
+def statically_compatible(a: Path, b: Path) -> bool:
+    """True unless *a* can never map into *b* under any substitution.
+
+    Mirrors the unconditional failure branches of ``map_path_into`` /
+    ``_map_leaf``: source and length checks, constant-vs-constant step
+    components, and the leaf shape rules.  A ``True`` here does *not*
+    imply a mapping exists (variables may still clash) -- it only means
+    the attempt is not statically doomed.
+    """
+    if a.source != b.source or len(a.steps) > len(b.steps):
+        return False
+    for (a_oid, a_label), (b_oid, b_label) in zip(a.steps, b.steps):
+        # match() binds only source-side variables: a constant on the
+        # source side must literally reappear on the target side.
+        if isinstance(a_label, Constant) and (
+                not isinstance(b_label, Constant)
+                or b_label.value != a_label.value):
+            return False
+        if isinstance(a_oid, Constant) and (
+                not isinstance(b_oid, Constant)
+                or b_oid.value != a_oid.value):
+            return False
+    n, m = len(a.steps), len(b.steps)
+    a_leaf = a.leaf
+    if isinstance(a_leaf, SetPattern):
+        # "is a set object": b must continue deeper or itself end in {}.
+        return n < m or isinstance(b.leaf, SetPattern)
+    if isinstance(a_leaf, Constant):
+        # A constant leaf refuses set mappings (n < m) and the bare-set
+        # absorption (b.leaf a SetPattern); it must equal b's leaf.
+        return (n == m and isinstance(b.leaf, Constant)
+                and b.leaf.value == a_leaf.value)
+    return True
+
+
+class PathIndex:
+    """Inverted index over one target body's paths.
+
+    Build once per target query (or per registered view, inside a
+    precompiled plan); query with :meth:`candidates` for each source
+    path of a mapping search.
+    """
+
+    __slots__ = ("paths", "_by_source", "_label_postings")
+
+    def __init__(self, target_paths: list[Path] | tuple[Path, ...]):
+        self.paths: tuple[Path, ...] = tuple(target_paths)
+        by_source: dict[str | None, list[int]] = {}
+        postings: dict[tuple[str | None, int, object], list[int]] = {}
+        for position, path in enumerate(self.paths):
+            by_source.setdefault(path.source, []).append(position)
+            for depth, (_oid, label) in enumerate(path.steps):
+                if isinstance(label, Constant):
+                    postings.setdefault(
+                        (path.source, depth, label.value),
+                        []).append(position)
+        self._by_source = by_source
+        self._label_postings = postings
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def candidates(self, source_path: Path) -> list[int]:
+        """Ascending target indices *source_path* could map into.
+
+        Starts from the same-source bucket, narrows by the smallest
+        posting among the source path's constant labels (a target must
+        carry every one of them at the right depth), then final-filters
+        with :func:`statically_compatible`.  Ascending order keeps the
+        enumeration order identical to the full scan.
+        """
+        base = self._by_source.get(source_path.source)
+        if not base:
+            return []
+        for depth, (_oid, label) in enumerate(source_path.steps):
+            if isinstance(label, Constant):
+                posting = self._label_postings.get(
+                    (source_path.source, depth, label.value))
+                if not posting:
+                    return []
+                if len(posting) < len(base):
+                    base = posting
+        paths = self.paths
+        return [position for position in base
+                if statically_compatible(source_path, paths[position])]
+
+    def stats_for(self,
+                  candidate_lists: list[list[int]]) -> IndexStats:
+        """Hit/skip tally for precomputed candidate lists."""
+        total = len(self.paths)
+        stats = IndexStats()
+        for candidates in candidate_lists:
+            stats.hits += len(candidates)
+            stats.skips += total - len(candidates)
+        return stats

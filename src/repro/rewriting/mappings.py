@@ -30,6 +30,7 @@ from ..tsl.ast import Query, SetPattern, SetPatternTerm
 from ..tsl.decompose import ComponentQuery
 from ..tsl.normalize import (Path, condition_paths, path_pattern,
                              path_to_condition, query_paths)
+from .index import IndexStats, PathIndex
 
 EMPTY_SET_TERM = SetPatternTerm(SetPattern(()))
 
@@ -151,16 +152,60 @@ def rename_paths_apart(source_paths: list[Path],
     return renamed, renamed_initial
 
 
+def _strip_apart(name: str) -> str:
+    # Strip to fixpoint: component_mapping pre-renames its paths apart,
+    # then body_mappings renames again, so domains can carry stacked
+    # markers.  Within one search every domain variable carries the same
+    # number of markers (renaming is uniform), so stripping all of them
+    # cannot collide two distinct variables.
+    while name.endswith(_APART):
+        name = name[:-len(_APART)]
+    return name
+
+
 def _unrename(subst: Substitution) -> Substitution:
     return Substitution({
-        Variable(v.name.removesuffix(_APART)): t
+        Variable(_strip_apart(v.name)): t
         for v, t in subst.items()})
+
+
+def _constrainedness(path: Path, bound: frozenset[Variable]) -> int:
+    """Sort score: steps + constants + already-bound variable occurrences.
+
+    Higher scores fail faster: every constant and every bound variable is
+    a point where :func:`map_path_into` can refute a target immediately,
+    so trying those paths first prunes the search tree near the root.
+    """
+    score = len(path.steps)
+    for oid, label in path.steps:
+        for term in (oid, label):
+            if isinstance(term, Constant):
+                score += 1
+            else:
+                score += sum(1 for v in term.variables() if v in bound)
+    leaf = path.leaf
+    if isinstance(leaf, Constant):
+        score += 1
+    elif isinstance(leaf, Term):
+        score += sum(1 for v in leaf.variables() if v in bound)
+    return score
+
+
+def most_constrained_order(paths: list[Path],
+                           bound: frozenset[Variable]) -> list[int]:
+    """Path indices, most-constrained-first (stable for equal scores)."""
+    return sorted(range(len(paths)),
+                  key=lambda i: -_constrainedness(paths[i], bound))
 
 
 def body_mappings(source_paths: list[Path], target_paths: list[Path],
                   initial: Substitution | None = None,
                   limit: int | None = None,
-                  budget=None) -> list[Substitution]:
+                  budget=None, *,
+                  index: PathIndex | None = None,
+                  use_index: bool = True,
+                  index_stats: IndexStats | None = None
+                  ) -> list[Substitution]:
     """All substitutions mapping every source path into some target path.
 
     Source and target may freely share variable names: the source side is
@@ -172,14 +217,33 @@ def body_mappings(source_paths: list[Path], target_paths: list[Path],
     Pass ``limit=1`` when only existence matters -- the search stops at
     the first complete mapping.  *budget* is ticked once per search node
     and may raise :class:`~repro.errors.BudgetExceededError`.
+
+    By default a :class:`~repro.rewriting.index.PathIndex` over
+    *target_paths* restricts each source path to statically compatible
+    targets; pass a prebuilt *index* to share one across calls, or
+    ``use_index=False`` for the exhaustive scan (same results, same
+    order).  *index_stats*, when given, accumulates hit/skip tallies.
     """
     renamed_paths, start = rename_paths_apart(source_paths, initial)
     results: list[Substitution] = []
     seen: set[Substitution] = set()
-    # Most-constrained-first: longer paths and paths with more constants
-    # fail faster, which prunes the search tree dramatically.
-    order = sorted(range(len(renamed_paths)),
-                   key=lambda i: -len(renamed_paths[i].steps))
+    # Most-constrained-first: longer paths, paths with more constants,
+    # and paths over already-bound variables fail faster, which prunes
+    # the search tree dramatically.
+    order = most_constrained_order(renamed_paths, frozenset(start))
+    if use_index:
+        if index is None:
+            index = PathIndex(target_paths)
+        # Renaming only touches variables, never constants, so static
+        # compatibility of the renamed path equals that of the original.
+        candidate_lists = [index.candidates(renamed_paths[i])
+                           for i in order]
+        if index_stats is not None:
+            index_stats.merge(index.stats_for(candidate_lists))
+        choices = [[target_paths[t] for t in candidates]
+                   for candidates in candidate_lists]
+    else:
+        choices = [target_paths for _ in order]
 
     def extend(position: int, subst: Substitution) -> bool:
         if budget is not None:
@@ -191,7 +255,7 @@ def body_mappings(source_paths: list[Path], target_paths: list[Path],
                 results.append(unrenamed)
             return limit is not None and len(results) >= limit
         source = renamed_paths[order[position]]
-        for target in target_paths:
+        for target in choices[position]:
             extended = map_path_into(source, target, subst)
             if extended is not None:
                 if extend(position + 1, extended):
@@ -209,29 +273,50 @@ def body_mapping_exists(source_paths: list[Path], target_paths: list[Path],
 
 
 def coverage(source_paths: list[Path], target_paths: list[Path],
-             subst: Substitution) -> frozenset[int]:
+             subst: Substitution, *,
+             index: PathIndex | None = None,
+             use_index: bool = True) -> frozenset[int]:
     """Target path indices some source path maps into under fixed *subst*."""
     renamed_paths, fixed = rename_paths_apart(source_paths, subst)
     covered: set[int] = set()
+    if use_index and index is None:
+        index = PathIndex(target_paths)
     for source in renamed_paths:
-        for index, target in enumerate(target_paths):
-            if map_path_into(source, target, fixed) == fixed:
-                covered.add(index)
+        if use_index:
+            positions = index.candidates(source)
+        else:
+            positions = range(len(target_paths))
+        for position in positions:
+            if position in covered:
+                continue
+            if map_path_into(source, target_paths[position],
+                             fixed) == fixed:
+                covered.add(position)
     return frozenset(covered)
 
 
 def find_mappings(view: Query, query: Query, *,
-                  budget=None) -> list[Mapping]:
+                  budget=None,
+                  index: PathIndex | None = None,
+                  use_index: bool = True,
+                  index_stats: IndexStats | None = None) -> list[Mapping]:
     """Step 1A: all mappings from the body of *view* to the body of *query*.
 
     Inputs are normalized defensively; apply the chase first for the full
-    algorithm of Section 3.4.
+    algorithm of Section 3.4.  One :class:`PathIndex` over the query body
+    is shared by the mapping search and every coverage computation; pass
+    a prebuilt *index* (e.g. from a view plan) to share it across views.
     """
     source_paths = query_paths(view)
     target_paths = query_paths(query)
-    return [Mapping(subst, coverage(source_paths, target_paths, subst))
+    if use_index and index is None:
+        index = PathIndex(target_paths)
+    return [Mapping(subst, coverage(source_paths, target_paths, subst,
+                                    index=index, use_index=use_index))
             for subst in body_mappings(source_paths, target_paths,
-                                       budget=budget)]
+                                       budget=budget, index=index,
+                                       use_index=use_index,
+                                       index_stats=index_stats)]
 
 
 def query_maps_into(a: Query, b: Query) -> bool:

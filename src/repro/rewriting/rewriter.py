@@ -38,10 +38,12 @@ from ..obs.metrics import PHASE_SECONDS
 from ..tsl.ast import Condition, Query
 from ..tsl.normalize import normalize, path_to_condition, query_paths
 from ..tsl.validate import is_safe
+from .canon import program_key
 from .chase import StructuralConstraints, chase
 from .composition import compose
 from .equivalence import (equivalence_obstacle, minimize, prepare_program,
                           programs_equivalent)
+from .index import IndexStats, PathIndex
 from .mappings import Mapping as ContainmentMapping
 from .mappings import find_mappings, mapping_obstacle
 
@@ -126,6 +128,8 @@ class RewriteStats:
 
     mappings: int = 0
     views_pruned_signature: int = 0
+    index_hits: int = 0
+    index_skips: int = 0
     candidates_enumerated: int = 0
     candidates_tested: int = 0
     candidates_pruned_by_heuristic: int = 0
@@ -186,6 +190,7 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
                         session=None, explain=None,
                         signature_index=None,
                         signature_prefilter: bool = False,
+                        path_index: bool = True,
                         stats: "RewriteStats | None" = None
                         ) -> list[CandidateAtom]:
     """Step 1A: mappings from each view body into body(Q), as atoms.
@@ -193,9 +198,10 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
     Each mapping ``θ`` yields the condition ``θ(head(Vi))@Vi`` together
     with the set of Q-conditions it covers.  With a
     :class:`~repro.rewriting.session.RewriteSession` the per-view chase
-    is done once per session (prepared views), not once per call.  An
-    :class:`~repro.rewriting.explain.Explanation` receives one event per
-    mapping found, or the refutation obstacle for views with none.
+    (and its derived plan artifacts) is done once per session, not once
+    per call.  An :class:`~repro.rewriting.explain.Explanation` receives
+    one event per mapping found, or the refutation obstacle for views
+    with none.
 
     The label-signature pre-filter (a sound necessary condition, see
     :mod:`repro.analysis.viewset.signature`) skips views that provably
@@ -207,6 +213,12 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
     counted on ``stats.views_pruned_signature`` and recorded as
     ``pruned-signature`` events on *explain*.  *query* must already be
     chased (as in ``_search``) for the profile to be sound.
+
+    With *path_index* (default) one
+    :class:`~repro.rewriting.index.PathIndex` over the query's body is
+    built here and shared by every per-view mapping search; target
+    pairs the index lets through / proves impossible are tallied on
+    ``stats.index_hits`` / ``stats.index_skips``.
     """
     tracer = tracer or NULL_TRACER
     atoms: list[CandidateAtom] = []
@@ -215,6 +227,8 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
         from ..analysis.viewset.signature import (query_profile,
                                                   view_signature)
         profile = query_profile(query)
+    target_index = PathIndex(query_paths(query)) if path_index else None
+    index_stats = IndexStats() if path_index else None
     for name in sorted(views):
         if signature_index is not None:
             signature = signature_index.signature(name)
@@ -228,8 +242,8 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
                 continue
         with tracer.span("enumerate_mappings", view=name) as span:
             if session is not None:
-                view = session.prepared_view(name, tracer=tracer,
-                                             budget=budget)
+                view = session.view_plan(name, tracer=tracer,
+                                         budget=budget).query
             else:
                 view = chase(views[name], constraints, tracer=tracer,
                              budget=budget)
@@ -245,7 +259,10 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
                     continue
             found = 0
             mapping: ContainmentMapping
-            for mapping in find_mappings(view, query, budget=budget):
+            for mapping in find_mappings(view, query, budget=budget,
+                                         index=target_index,
+                                         use_index=path_index,
+                                         index_stats=index_stats):
                 instantiated = view.head.substitute(mapping.subst)
                 atoms.append(CandidateAtom(Condition(instantiated, name),
                                            mapping.covers, name))
@@ -259,6 +276,9 @@ def view_instantiations(query: Query, views: Mapping[str, Query],
                                             query_paths(query))
                 explain.mapping_refuted(name, obstacle)
                 span.set("refuted", True)
+    if stats is not None and index_stats is not None:
+        stats.index_hits += index_stats.hits
+        stats.index_skips += index_stats.skips
     return atoms
 
 
@@ -272,6 +292,7 @@ def rewrite(query: Query,
             first_only: bool = False,
             max_candidates: int | None = None,
             signature_prefilter: bool = True,
+            path_index: bool = True,
             tracer=None,
             budget=None,
             metrics=None,
@@ -309,6 +330,16 @@ def rewrite(query: Query,
         counted in ``stats.views_pruned_signature``.  Deliberately not
         part of the session memo key: on or off, the memoized result is
         the same.
+    path_index:
+        Use the label/source/depth path index
+        (:mod:`repro.rewriting.index`) to restrict every mapping search
+        to statically compatible target conditions (default True).  The
+        pruning is sound, so -- like the signature pre-filter -- the
+        rewriting set and the mapping enumeration order are unchanged
+        and the flag is not part of the session memo key; tallies land
+        in ``stats.index_hits`` / ``stats.index_skips``.  ``False``
+        (the ``--no-path-index`` escape hatch) restores the exhaustive
+        scan.
     tracer:
         Optional :class:`repro.obs.Tracer`; records the span tree
         ``rewrite`` > ``prepare``/``enumerate_mappings``/``candidate`` >
@@ -371,7 +402,7 @@ def rewrite(query: Query,
             try:
                 _search(query, views, constraints, heuristic, total_only,
                         prune_subsumed, first_only, max_candidates,
-                        signature_prefilter, result,
+                        signature_prefilter, path_index, result,
                         tracer, budget, session, metrics, explain)
             except BudgetExceededError as exc:
                 result.stats.truncated = True
@@ -393,7 +424,7 @@ def _search(query: Query, views: dict[str, Query],
             constraints: StructuralConstraints | None,
             heuristic: bool, total_only: bool, prune_subsumed: bool,
             first_only: bool, max_candidates: int | None,
-            signature_prefilter: bool,
+            signature_prefilter: bool, path_index: bool,
             result: RewriteResult, tracer, budget,
             session=None, metrics=None, explain=None) -> None:
     """The Section 3.4 search loop, mutating *result* in place.
@@ -412,6 +443,19 @@ def _search(query: Query, views: dict[str, Query],
     target_paths = query_paths(target)
     k = len(target_paths)
     all_indices = frozenset(range(k))
+    # Every candidate's Step 2 tests equivalence against the same right
+    # side ([target]); prepare + decompose it once and share across all
+    # candidates (batched equivalence).  Computed exactly the way
+    # programs_equivalent would, so the shared components are
+    # byte-identical to the per-candidate ones they replace.
+    from ..tsl.decompose import decompose_program
+    target_key = program_key([target])
+    prepared_target = prepare_program([target], constraints,
+                                      budget=budget, session=session)
+    if session is not None:
+        target_components = session.decompose(prepared_target)
+    else:
+        target_components = decompose_program(prepared_target)
 
     if explain is not None:
         # Explanations need the per-mapping events, so Step 1A bypasses
@@ -424,15 +468,18 @@ def _search(query: Query, views: dict[str, Query],
                                     session=session, explain=explain,
                                     signature_index=index,
                                     signature_prefilter=signature_prefilter,
+                                    path_index=path_index,
                                     stats=result.stats)
     elif session is not None:
         atoms = session.candidate_atoms(
             target, tracer=tracer, budget=budget,
-            signature_prefilter=signature_prefilter, stats=result.stats)
+            signature_prefilter=signature_prefilter,
+            path_index=path_index, stats=result.stats)
     else:
         atoms = view_instantiations(target, views, constraints,
                                     tracer=tracer, budget=budget,
                                     signature_prefilter=signature_prefilter,
+                                    path_index=path_index,
                                     stats=result.stats)
     result.stats.mappings = len(atoms)
     if not total_only:
@@ -508,7 +555,9 @@ def _search(query: Query, views: dict[str, Query],
                              conditions=len(body)) as span:
                 accepted, verdict, reason, detail = _test_candidate(
                     candidate, target, views, constraints, result, tracer,
-                    budget, session, metrics, explain is not None)
+                    budget, session, metrics, explain is not None,
+                    target_key=target_key,
+                    target_components=target_components)
                 span.set("accepted", accepted is not None)
                 if explain is not None:
                     span.set("verdict", verdict)
@@ -564,6 +613,9 @@ def _record_metrics(metrics, stats: RewriteStats) -> None:
     # rewrite.views_pruned_signature above is the raw stats-field dump.
     metrics.increment("rewrite.pruned.signature",
                       stats.views_pruned_signature)
+    # Path-index effectiveness, same naming convention.
+    metrics.increment("rewrite.index.hits", stats.index_hits)
+    metrics.increment("rewrite.index.skips", stats.index_skips)
     if stats.truncated:
         metrics.increment("rewrite.truncated_runs")
     if stats.stop_reason is not None:
@@ -575,7 +627,9 @@ def _test_candidate(candidate: Query, target: Query,
                     constraints: StructuralConstraints | None,
                     result: RewriteResult, tracer=NULL_TRACER,
                     budget=None, session=None, metrics=None,
-                    explain_active: bool = False
+                    explain_active: bool = False, *,
+                    target_key: str | None = None,
+                    target_components=None
                     ) -> tuple[Rewriting | None, str, str | None,
                                dict | None]:
     """Steps 1C + 2 for one candidate.
@@ -583,7 +637,9 @@ def _test_candidate(candidate: Query, target: Query,
     Returns ``(rewriting_or_None, verdict, reason, detail)``.  The
     verdict/reason strings are cheap to produce; the expensive
     equivalence-failure diagnosis (which graph component has no mapping)
-    only runs when *explain_active*.
+    only runs when *explain_active*.  *target_key* /
+    *target_components* are ``_search``'s once-per-run precomputation
+    of the right side of the Step 2 test.
     """
     try:
         with _phase(metrics, "chase"):
@@ -609,11 +665,13 @@ def _test_candidate(candidate: Query, target: Query,
     with _phase(metrics, "equivalence"):
         if session is not None:
             equivalent_verdict = session.programs_equivalent(
-                composed, [target], tracer=tracer, budget=budget)
+                composed, [target], tracer=tracer, budget=budget,
+                right_key=target_key,
+                right_components=target_components)
         else:
             equivalent_verdict = programs_equivalent(
                 composed, [target], constraints, tracer=tracer,
-                budget=budget)
+                budget=budget, right_components=target_components)
     if not equivalent_verdict:
         reason, detail = _equivalence_failure_reason(
             composed, target, constraints, session, budget,

@@ -48,18 +48,49 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Mapping, Sequence, Union
 
 from ..errors import ChaseContradictionError
+from ..logic.terms import Variable
 from ..obs.metrics import PHASE_SECONDS
 from ..tsl.ast import Query
+from ..tsl.normalize import Path, query_paths
 from .canon import Canonical, canonicalize, program_key, rebase
 from .chase import StructuralConstraints, chase
+from .index import PathIndex
 
 #: Default per-table memo capacity.
 DEFAULT_MEMO_SIZE = 1024
 
 _MISS = object()
+
+
+@dataclass(frozen=True, eq=False)
+class ViewPlan:
+    """Everything precompilable about one registered view.
+
+    Built once per (view set, constraints) pair by
+    :meth:`RewriteSession.view_plan` and shared by every rewrite call:
+    the chased + normalized body, its single-path decomposition, the
+    variable set, the label signature (for the pre-filter), and a
+    :class:`~repro.rewriting.index.PathIndex` over the view's own paths
+    (for mapping searches that *target* this view body, e.g. the
+    equivalence machinery).  Identity equality: plans are per-session
+    singletons, never compared structurally.
+    """
+
+    name: str
+    #: chased + normalized view body (what ``prepared_view`` returns).
+    query: Query
+    #: ``query_paths(query)`` -- Step 1A's source-path list.
+    paths: tuple[Path, ...]
+    #: every variable of the prepared body (renaming-apart support).
+    variables: frozenset[Variable]
+    #: label signature of the prepared body (pre-filter input).
+    signature: object
+    #: inverted index over ``paths``.
+    index: PathIndex
 
 
 class MemoTable:
@@ -192,6 +223,7 @@ class RewriteSession:
         self.metrics = metrics
         self.enabled = enabled
         self._prepared_views: dict[str, Query] = {}
+        self._view_plans: dict[str, ViewPlan] = {}
         self._signature_index = None
         # Guards _prepared_views and _signature_index (the memo tables
         # carry their own locks); see the module docstring for order.
@@ -218,6 +250,7 @@ class RewriteSession:
         with self._lock:
             self.views = _as_view_dict(views)
             self._prepared_views.clear()
+            self._view_plans.clear()
             self._signature_index = None
             self._atoms.clear()
             self._results.clear()
@@ -242,30 +275,57 @@ class RewriteSession:
                         name, prepared)
         return prepared
 
+    def view_plan(self, name: str, *, tracer=None,
+                  budget=None) -> ViewPlan:
+        """The precompiled :class:`ViewPlan` for view *name*.
+
+        Extends :meth:`prepared_view` (whose chased query the plan
+        embeds) with the derived artifacts every rewrite call otherwise
+        recomputes: the path decomposition, the variable set, the label
+        signature, and the per-view path index.  Raises
+        :class:`~repro.errors.ChaseContradictionError` exactly when
+        ``prepared_view`` does.  Same race discipline: built outside the
+        session lock, first copy wins.
+        """
+        from ..analysis.viewset.signature import view_signature
+        with self._lock:
+            plan = self._view_plans.get(name)
+        if plan is None:
+            prepared = self.prepared_view(name, tracer=tracer,
+                                          budget=budget)
+            paths = tuple(query_paths(prepared))
+            plan = ViewPlan(name=name, query=prepared, paths=paths,
+                            variables=frozenset(prepared.all_variables()),
+                            signature=view_signature(prepared),
+                            index=PathIndex(paths))
+            if self.enabled:
+                with self._lock:
+                    plan = self._view_plans.setdefault(name, plan)
+        return plan
+
     def signature_index(self, *, tracer=None, budget=None):
         """The label-signature index of this session's view set.
 
-        Built lazily from the prepared (chased) views -- sharing the
-        per-view chase with Step 1A -- and invalidated by
+        Built lazily from the precompiled view plans -- sharing the
+        per-view chase and signature with Step 1A -- and invalidated by
         :meth:`update_views`.  Views whose body is contradictory are
         left out: the pre-filter never prunes a view it has no
         signature for.  The index is a pure function of the (views,
         constraints) pair, so it is kept even with ``enabled=False``
         (it is not a memo of per-query work).
         """
-        from ..analysis.viewset.signature import (LabelSignatureIndex,
-                                                  view_signature)
+        from ..analysis.viewset.signature import LabelSignatureIndex
         with self._lock:
             index = self._signature_index
         if index is None:
             signatures = {}
             for name in sorted(self.views):
                 try:
-                    prepared = self.prepared_view(name, tracer=tracer,
-                                                  budget=budget)
+                    plan = self.view_plan(name, tracer=tracer,
+                                          budget=budget)
                 except ChaseContradictionError:
                     continue
-                signatures[name] = view_signature(prepared)
+                signatures[name] = plan.signature
             index = LabelSignatureIndex(signatures)
             with self._lock:
                 if self._signature_index is None:
@@ -339,17 +399,29 @@ class RewriteSession:
     def programs_equivalent(self, left: Sequence[Query],
                             right: Sequence[Query],
                             minimize_rules: bool = False, *,
-                            tracer=None, budget=None) -> bool:
-        """Memoized equivalence verdict (symmetric, canonical-keyed)."""
+                            tracer=None, budget=None,
+                            right_key: str | None = None,
+                            right_components=None) -> bool:
+        """Memoized equivalence verdict (symmetric, canonical-keyed).
+
+        Batching support: when one *right* side is tested against many
+        candidates (the rewriter's Step 2), pass its precomputed
+        *right_key* (``program_key(right)``) and *right_components*
+        (prepared + decomposed) so neither is redone per candidate.
+        Both must describe exactly *right* under this session's
+        constraints.
+        """
         from .equivalence import programs_equivalent
         left = list(left)
         right = list(right)
         if not self.enabled:
             return programs_equivalent(left, right, self.constraints,
                                        minimize_rules, tracer=tracer,
-                                       budget=budget)
+                                       budget=budget,
+                                       right_components=right_components)
         left_key = program_key(left)
-        right_key = program_key(right)
+        if right_key is None:
+            right_key = program_key(right)
         key = (left_key, right_key, minimize_rules)
         value = self._equivalence.get(key)
         if value is _MISS:
@@ -361,23 +433,26 @@ class RewriteSession:
             return value
         verdict = programs_equivalent(left, right, self.constraints,
                                       minimize_rules, tracer=tracer,
-                                      budget=budget, session=self)
+                                      budget=budget, session=self,
+                                      right_components=right_components)
         self._equivalence.put(key, verdict)
         return verdict
 
     # -- candidate atoms and whole-result memoization ------------------------
 
     def candidate_atoms(self, target: Query, *, tracer=None, budget=None,
-                        signature_prefilter: bool = False, stats=None):
+                        signature_prefilter: bool = False,
+                        path_index: bool = True, stats=None):
         """Memoized Step 1A over the prepared views.
 
         ``covers`` indices are positions in the target's path list, so a
         hit is only served for a structurally identical target.  With
         *signature_prefilter*, Step 1A consults
-        :meth:`signature_index`; the memo key includes the flag (the
-        atoms are identical either way -- the pre-filter is sound -- but
-        the pruned-view count stored with the entry is not), and a hit
-        replays that count onto *stats*.
+        :meth:`signature_index`; the memo key includes that flag and
+        *path_index* (the atoms are identical either way -- pre-filter
+        and path index are both sound -- but the pruned/hit/skip counts
+        stored with the entry are not), and a hit replays those counts
+        onto *stats*.
         """
         from .rewriter import RewriteStats, view_instantiations
         index = self.signature_index(tracer=tracer, budget=budget) \
@@ -386,27 +461,33 @@ class RewriteSession:
             return view_instantiations(target, self.views,
                                        self.constraints, tracer=tracer,
                                        budget=budget, session=self,
-                                       signature_index=index, stats=stats)
+                                       signature_index=index,
+                                       path_index=path_index, stats=stats)
         probe = canonicalize(target)
-        key = (probe.key, signature_prefilter)
+        key = (probe.key, signature_prefilter, path_index)
         value = self._atoms.peek(key)
         if value is not _MISS:
-            stored, atoms, pruned = value
+            stored, atoms, pruned, hits, skips = value
             if stored == target:
                 self._atoms.record_hit()
                 if stats is not None:
                     stats.views_pruned_signature += pruned
+                    stats.index_hits += hits
+                    stats.index_skips += skips
                 return list(atoms)
         self._atoms.record_miss()
         counter = RewriteStats()
         atoms = view_instantiations(target, self.views, self.constraints,
                                     tracer=tracer, budget=budget,
                                     session=self, signature_index=index,
-                                    stats=counter)
+                                    path_index=path_index, stats=counter)
         if stats is not None:
             stats.views_pruned_signature += counter.views_pruned_signature
+            stats.index_hits += counter.index_hits
+            stats.index_skips += counter.index_skips
         self._atoms.put(key, (target, tuple(atoms),
-                              counter.views_pruned_signature))
+                              counter.views_pruned_signature,
+                              counter.index_hits, counter.index_skips))
         return atoms
 
     def rewrite(self, query: Query, **kwargs):

@@ -22,6 +22,7 @@ equivalence_mod = importlib.import_module("repro.rewriting.equivalence")
 mappings_mod = importlib.import_module("repro.rewriting.mappings")
 session_mod = importlib.import_module("repro.rewriting.session")
 signature_mod = importlib.import_module("repro.analysis.viewset.signature")
+index_mod = importlib.import_module("repro.rewriting.index")
 durable_mod = importlib.import_module("repro.storage.durable")
 cachestore_mod = importlib.import_module("repro.storage.cachestore")
 maintenance_mod = importlib.import_module("repro.storage.maintenance")
@@ -72,9 +73,12 @@ def test_broken_equivalence_is_caught(monkeypatch):
 
 
 def test_sloppy_mapping_match_is_caught(monkeypatch):
-    # An enumerator that tolerates constant mismatches finds mappings
-    # the brute-force cross-check does not -- and admits unsound
-    # rewritings the semantic oracle refutes by evaluation.
+    # An enumerator that tolerates constant mismatches finds extra
+    # mappings -- but only on the exhaustive scan, because the path
+    # index statically prunes exactly those constant-clash targets
+    # before the sloppy matcher ever sees them.  The index oracle's
+    # scan-vs-indexed parity check is what trips; with the index
+    # disabled the brute-force cross-check catches it the old way.
     orig = mappings_mod.match
 
     def sloppy(a, b, subst=None):
@@ -88,8 +92,7 @@ def test_sloppy_mapping_match_is_caught(monkeypatch):
     report = run_fuzz(FuzzConfig(seed=0, iterations=8, shrink=False))
     assert not report.ok
     invariants = {f.invariant for f in report.failures}
-    assert "mappings-differ" in invariants
-    assert invariants & {"rewriting-sound", "composition-sound"}
+    assert invariants & {"mappings-differ", "indexed-mappings-differ"}
 
 
 def test_corrupted_memo_hit_is_caught(monkeypatch):
@@ -148,6 +151,36 @@ def test_signature_oracle_parity_campaign():
     assert report.ok, "\n".join(f.message for f in report.failures)
     assert report.iterations_run == 500
     assert report.checks["signature"] > 500
+
+
+def test_overpruning_path_index_is_caught(monkeypatch):
+    # A path index that drops one genuine candidate makes the indexed
+    # search miss mappings the exhaustive scan still finds; the index
+    # oracle reports the list divergence.
+    orig = index_mod.PathIndex.candidates
+
+    def overpruned(self, source_path):
+        out = orig(self, source_path)
+        return out[:-1] if out else out
+
+    monkeypatch.setattr(index_mod.PathIndex, "candidates", overpruned)
+    report = run_fuzz(FuzzConfig(seed=0, iterations=16,
+                                 oracles=("index",), shrink=False))
+    assert not report.ok
+    invariants = {f.invariant for f in report.failures}
+    assert invariants & {"indexed-mappings-differ",
+                         "indexed-body-mappings-differ"}
+
+
+def test_index_oracle_parity_campaign():
+    # Acceptance criterion: indexed and unindexed mapping search agree
+    # on the full mapping list over >= 500 seeded iterations across all
+    # generator profiles.
+    report = run_fuzz(FuzzConfig(seed=7, iterations=500,
+                                 oracles=("index",)))
+    assert report.ok, "\n".join(f.message for f in report.failures)
+    assert report.iterations_run == 500
+    assert report.checks["index"] > 500
 
 
 def test_lossy_wal_is_caught(monkeypatch):

@@ -40,8 +40,9 @@ def test_report_json_is_serializable():
     data = json.loads(json.dumps(report.to_json()))
     assert data["ok"] is True
     assert data["iterations"] == 4
-    assert set(data["checks"]) == {"containment", "memo", "metamorphic",
-                                   "persist", "semantic", "signature"}
+    assert set(data["checks"]) == {"containment", "index", "memo",
+                                   "metamorphic", "persist", "semantic",
+                                   "signature"}
     assert data["failures"] == []
 
 

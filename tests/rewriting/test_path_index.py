@@ -1,0 +1,329 @@
+"""The target-path index and the hot-path kernels built around it.
+
+Covers the PR's tentpole invariant -- the indexed mapping search is
+*observationally identical* to the exhaustive scan (same mapping lists,
+same order) -- plus the satellite fixes: the most-constrained-first sort
+key counts constants and bound variables, ``component_mapping`` returns
+substitutions over fully un-renamed domains, the fast chase kernels
+agree with their legacy counterparts, view plans are cached per session,
+and the ``rewrite.index.*`` metrics / ``path_index`` flag plumbing.
+"""
+
+import pytest
+
+from repro.logic.subst import Substitution
+from repro.obs import MetricsRegistry
+from repro.rewriting import (PathIndex, RewriteSession, ViewPlan,
+                             most_constrained_order, paper_dtd,
+                             programs_equivalent, rewrite,
+                             statically_compatible)
+from repro.rewriting.canon import program_key, query_key
+from repro.rewriting.chase import chase
+from repro.rewriting.equivalence import prepare_program
+from repro.rewriting.mappings import (_unrename, body_mappings,
+                                      component_mapping, coverage,
+                                      find_mappings, map_path_into,
+                                      rename_paths_apart)
+from repro.rewriting.rewriter import RewriteStats
+from repro.tsl import parse_query, query_paths
+from repro.tsl.decompose import decompose_program
+from repro.logic.terms import Variable
+from repro.workloads import (condition_view, k_conditions_query, query_q3,
+                             query_q7, star_query, star_view, view_v1)
+
+
+def _paths(text):
+    return query_paths(parse_query(text))
+
+
+def fingerprint(result):
+    return {(query_key(r.query), tuple(sorted(r.views_used)))
+            for r in result.rewritings}
+
+
+# --------------------------------------------------------------------------
+# PathIndex: pruning is sound, candidates preserve scan order
+# --------------------------------------------------------------------------
+
+class TestPathIndex:
+    def test_source_mismatch_is_statically_incompatible(self):
+        [a] = _paths("<f(X) r 1> :- <P p V>@db1")
+        [b] = _paths("<f(X) r 1> :- <P p V>@db2")
+        assert not statically_compatible(a, b)
+
+    def test_deeper_source_is_statically_incompatible(self):
+        [a] = _paths("<f(X) r 1> :- <P p {<X name V>}>@db")
+        [b] = _paths("<f(X) r 1> :- <Q p W>@db")
+        assert not statically_compatible(a, b)
+
+    def test_label_constant_clash_is_statically_incompatible(self):
+        [a] = _paths("<f(X) r 1> :- <P alpha V>@db")
+        [b] = _paths("<f(X) r 1> :- <Q beta W>@db")
+        assert not statically_compatible(a, b)
+
+    def test_variable_label_is_compatible_with_anything(self):
+        [a] = _paths("<f(X) r 1> :- <P L V>@db")
+        [b] = _paths("<f(X) r 1> :- <Q beta W>@db")
+        assert statically_compatible(a, b)
+
+    def test_candidates_are_ascending_and_sound(self):
+        targets = _paths(
+            "<f(X) r 1> :- <P alpha V>@db AND <Q beta W>@db AND "
+            "<R alpha {<S gamma U>}>@db")
+        index = PathIndex(targets)
+        for text in ("<f(X) r 1> :- <A alpha B>@db",
+                     "<f(X) r 1> :- <A L B>@db",
+                     "<f(X) r 1> :- <A beta 7>@db"):
+            [source] = _paths(text)
+            candidates = index.candidates(source)
+            assert candidates == sorted(candidates)
+            # Soundness: every skipped target provably rejects the path.
+            [renamed], start = rename_paths_apart([source], None)
+            for position in set(range(len(targets))) - set(candidates):
+                assert map_path_into(renamed, targets[position],
+                                     start) is None
+
+
+# --------------------------------------------------------------------------
+# Satellite: most-constrained-first counts constants and bound variables
+# --------------------------------------------------------------------------
+
+class TestMostConstrainedOrder:
+    def test_constant_rich_short_path_precedes_long_variable_path(self):
+        # One step but two constants + a constant leaf beats two steps
+        # of pure variables -- the old length-only key got this wrong.
+        paths = _paths(
+            "<f(X) r 1> :- <A L1 {<B L2 V>}>@db AND <P alpha leland>@db")
+        long_variable, constant_rich = paths
+        order = most_constrained_order(paths, frozenset())
+        assert order == [1, 0]
+        assert paths[order[0]] is constant_rich
+        assert paths[order[1]] is long_variable
+
+    def test_bound_variables_count_toward_the_score(self):
+        paths = _paths("<f(X) r 1> :- <P L V>@db AND <Q M W>@db")
+        assert most_constrained_order(paths, frozenset()) == [0, 1]
+        bound = frozenset({Variable("Q"), Variable("M")})
+        assert most_constrained_order(paths, bound) == [1, 0]
+
+    def test_search_results_are_order_insensitive(self):
+        # The ordering is a performance heuristic: the mapping *set*
+        # matches the brute result regardless (parity is the oracle's
+        # job; here we just pin the list against the unindexed scan).
+        source = _paths(
+            "<f(X) r 1> :- <A L1 {<B L2 V>}>@db AND <P alpha leland>@db")
+        target = _paths(
+            "<f(X) r 1> :- <P alpha leland>@db AND "
+            "<C gamma {<D delta U>}>@db")
+        assert body_mappings(source, target) == \
+            body_mappings(source, target, use_index=False)
+
+
+# --------------------------------------------------------------------------
+# Satellite: component_mapping domains carry no rename markers
+# --------------------------------------------------------------------------
+
+class TestComponentMappingDomains:
+    def test_unrename_strips_stacked_markers(self):
+        doubled = Substitution({Variable("X††"): Variable("Y")})
+        assert _unrename(doubled) == \
+            Substitution({Variable("X"): Variable("Y")})
+
+    def test_self_mapping_domain_is_marker_free(self):
+        # component_mapping renames its paths apart *before* handing
+        # them to body_mappings (which renames again); the result must
+        # come back over the original variables, not half-stripped ones.
+        for rule in (view_v1(), query_q3(), star_view(2)):
+            prepared = prepare_program([rule], None)
+            for component in decompose_program(prepared):
+                subst = component_mapping(component, component)
+                assert subst is not None
+                for variable, image in subst.items():
+                    assert "†" not in variable.name, subst
+                    for v in image.variables():
+                        assert "†" not in v.name, subst
+
+
+# --------------------------------------------------------------------------
+# Tentpole: indexed search == exhaustive scan, list-for-list
+# --------------------------------------------------------------------------
+
+class TestIndexedScanParity:
+    WORKLOADS = [
+        (view_v1, query_q3),
+        (view_v1, query_q7),
+        (lambda: star_view(3), lambda: star_query(3)),
+        (lambda: star_view(3, distinct_labels=True),
+         lambda: star_query(3, distinct_labels=True)),
+        (lambda: condition_view(1), lambda: k_conditions_query(4)),
+        (lambda: star_view(2), lambda: k_conditions_query(3)),
+    ]
+
+    @pytest.mark.parametrize("make_view,make_query", WORKLOADS)
+    def test_find_mappings_lists_are_identical(self, make_view,
+                                               make_query):
+        view = chase(make_view(), None)
+        query = chase(make_query(), None)
+        assert find_mappings(view, query) == \
+            find_mappings(view, query, use_index=False)
+
+    @pytest.mark.parametrize("make_view,make_query", WORKLOADS)
+    def test_body_mappings_lists_are_identical(self, make_view,
+                                               make_query):
+        source = query_paths(chase(make_view(), None))
+        target = query_paths(chase(make_query(), None))
+        assert body_mappings(source, target) == \
+            body_mappings(source, target, use_index=False)
+
+    def test_coverage_parity_under_every_found_mapping(self):
+        view = chase(star_view(3), None)
+        query = chase(star_query(3), None)
+        source = query_paths(view)
+        target = query_paths(query)
+        mappings = body_mappings(source, target)
+        assert mappings
+        for subst in mappings:
+            assert coverage(source, target, subst) == \
+                coverage(source, target, subst, use_index=False)
+
+    def test_shared_prebuilt_index_matches_fresh_one(self):
+        query = chase(star_query(3), None)
+        index = PathIndex(query_paths(query))
+        for view in (star_view(3), condition_view(1)):
+            chased = chase(view, None)
+            assert find_mappings(chased, query, index=index) == \
+                find_mappings(chased, query)
+
+
+# --------------------------------------------------------------------------
+# Fast chase kernels vs their legacy counterparts
+# --------------------------------------------------------------------------
+
+class TestChaseLegacyParity:
+    CASES = [
+        (query_q3, None),
+        (query_q7, None),
+        (query_q3, "dtd"),
+        (query_q7, "dtd"),
+        (view_v1, "dtd"),
+        (lambda: star_query(4), None),
+        (lambda: k_conditions_query(5), None),
+    ]
+
+    @pytest.mark.parametrize("make_query,constraints", CASES)
+    def test_fast_and_legacy_chase_agree(self, make_query, constraints):
+        dtd = paper_dtd() if constraints == "dtd" else None
+        query = make_query()
+        assert query_key(chase(query, dtd)) == \
+            query_key(chase(query, dtd, legacy=True))
+
+    def test_fast_chase_is_deterministic(self):
+        dtd = paper_dtd()
+        keys = {query_key(chase(query_q3(), dtd)) for _ in range(5)}
+        assert len(keys) == 1
+
+
+# --------------------------------------------------------------------------
+# View plans: built once, embed the prepared view, invalidated on swap
+# --------------------------------------------------------------------------
+
+class TestViewPlans:
+    def test_plan_is_cached_and_complete(self):
+        session = RewriteSession({"V1": view_v1()})
+        plan = session.view_plan("V1")
+        assert isinstance(plan, ViewPlan)
+        assert session.view_plan("V1") is plan
+        assert plan.query is session.prepared_view("V1")
+        assert list(plan.paths) == query_paths(plan.query)
+        assert isinstance(plan.index, PathIndex)
+        assert plan.variables == frozenset(plan.query.all_variables())
+
+    def test_update_views_invalidates_plans(self):
+        session = RewriteSession({"V1": view_v1()})
+        plan = session.view_plan("V1")
+        session.update_views({"V1": view_v1()})
+        assert session.view_plan("V1") is not plan
+
+
+# --------------------------------------------------------------------------
+# Batched equivalence: precomputed right components change nothing
+# --------------------------------------------------------------------------
+
+class TestRightComponents:
+    @pytest.mark.parametrize("left,right,expected", [
+        (query_q3, query_q3, True),
+        (query_q3, query_q7, False),
+        (lambda: star_query(2), lambda: star_query(2), True),
+    ])
+    def test_precomputed_components_give_the_same_verdict(self, left,
+                                                          right,
+                                                          expected):
+        target = [right()]
+        components = decompose_program(prepare_program(target, None))
+        assert programs_equivalent([left()], target) is expected
+        assert programs_equivalent(
+            [left()], target, right_components=components) is expected
+
+
+# --------------------------------------------------------------------------
+# Flag + metrics plumbing (mirrors the signature pre-filter's contract)
+# --------------------------------------------------------------------------
+
+class TestFlagAndMetrics:
+    def views(self):
+        return {"V1": condition_view(1), "V2": condition_view(2)}
+
+    def test_no_path_index_gives_identical_rewritings(self):
+        query = k_conditions_query(2)
+        on = rewrite(query, self.views())
+        off = rewrite(query, self.views(), path_index=False)
+        assert fingerprint(on) == fingerprint(off)
+        assert on.rewritings
+        assert off.stats.index_hits == 0
+        assert off.stats.index_skips == 0
+
+    def test_index_counters_are_emitted(self):
+        registry = MetricsRegistry()
+        session = RewriteSession(self.views())
+        result = session.rewrite(k_conditions_query(2), metrics=registry)
+        counters = registry.snapshot()["counters"]
+        assert counters["rewrite.index.hits"] == result.stats.index_hits
+        assert counters["rewrite.index.skips"] == result.stats.index_skips
+        assert result.stats.index_hits > 0
+
+    def test_index_skips_on_label_disjoint_views(self):
+        # condition_view(9) matches none of q's labels: with the
+        # signature pre-filter off, only the path index stands between
+        # it and a doomed mapping search.
+        views = {"V1": condition_view(1), "V9": condition_view(9)}
+        result = rewrite(k_conditions_query(1), views,
+                         signature_prefilter=False)
+        assert result.stats.index_skips > 0
+
+    def test_memo_hit_across_path_index_settings(self):
+        # Sound pruning: path_index is deliberately NOT part of the
+        # result-memo key, so a warm session serves the same entry.
+        from repro.rewriting import Explanation
+        session = RewriteSession(self.views())
+        query = k_conditions_query(2)
+        cold = session.rewrite(query, explain=Explanation())
+        warm_explain = Explanation()
+        warm = session.rewrite(query, path_index=False,
+                               explain=warm_explain)
+        assert fingerprint(warm) == fingerprint(cold)
+        assert warm_explain.memo == "hit"
+
+    def test_atoms_memo_replays_index_counts(self):
+        session = RewriteSession(self.views())
+        target = chase(k_conditions_query(2), None)
+        cold_stats = RewriteStats()
+        cold = session.candidate_atoms(target, stats=cold_stats)
+        warm_stats = RewriteStats()
+        warm = session.candidate_atoms(target, stats=warm_stats)
+        assert warm == cold
+        assert (warm_stats.index_hits, warm_stats.index_skips) == \
+            (cold_stats.index_hits, cold_stats.index_skips)
+        off_stats = RewriteStats()
+        session.candidate_atoms(target, path_index=False,
+                                stats=off_stats)
+        assert off_stats.index_hits == 0

@@ -239,7 +239,7 @@ class TestFuzz:
         data = json.loads(capsys.readouterr().out)
         assert data["ok"] is True
         assert data["iterations"] == 4
-        assert set(data["checks"]) == {"containment", "memo",
+        assert set(data["checks"]) == {"containment", "index", "memo",
                                        "metamorphic", "persist",
                                        "semantic", "signature"}
 
