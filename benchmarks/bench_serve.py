@@ -16,7 +16,12 @@ the paper's workload, and reports:
   query -- zero divergences under concurrency, or the bench raises;
 * a **load-shed series**: a deliberately tiny server (1 worker,
   ``max_pending=2``) under a burst, asserting the 429 + ``server.shed``
-  admission-control contract.
+  admission-control contract;
+* a **recorder-overhead series**: the same load run with the flight
+  recorder off and on.  The recorder is always-on in production, so the
+  bench *asserts* the on-row's p50 stays within the noise floor of the
+  off-row (a ratio bound plus an absolute floor, both stricter than the
+  CI compare gate) and stamps both rows with ``within_noise``.
 """
 
 from __future__ import annotations
@@ -44,6 +49,14 @@ WORKERS = 4
 #: Burst size + capacity for the load-shed series.
 SHED_BURST = 12
 SHED_MAX_PENDING = 2
+
+#: Recorder-overhead series: concurrency level and the noise floor the
+#: always-on recorder must stay within (p50 on <= max(ratio * off,
+#: off + floor)).  Deliberately stricter than the CI compare gate
+#: (3.0x / 0.25s) so a recorder slowdown fails here first.
+OVERHEAD_CLIENTS = 4
+OVERHEAD_RATIO = 2.0
+OVERHEAD_FLOOR_MS = 0.5
 
 
 def _dtd_text() -> str:
@@ -78,7 +91,7 @@ def _response_fingerprint(body: dict) -> str:
 
 
 def run_load(clients: int, requests_per_client: int = REQUESTS_PER_CLIENT,
-             workers: int = WORKERS) -> dict:
+             workers: int = WORKERS, recorder: bool = True) -> dict:
     """One concurrency level: clients x requests against a fresh server."""
     workload = _workload()
     expected = _serial_fingerprints(workload)
@@ -88,7 +101,8 @@ def run_load(clients: int, requests_per_client: int = REQUESTS_PER_CLIENT,
     lock = threading.Lock()
 
     with running_server(ServerConfig(port=0, workers=workers,
-                                     max_pending=clients * 4 + 16),
+                                     max_pending=clients * 4 + 16,
+                                     recorder=recorder),
                         metrics=registry) as srv:
         barrier = threading.Barrier(clients + 1)
 
@@ -198,9 +212,40 @@ def run_shed_burst() -> dict:
     }
 
 
+def run_recorder_overhead() -> list[dict]:
+    """Flight-recorder cost: the same load with the recorder off and on.
+
+    The recorder is always-on in the server, so this is the series that
+    keeps it honest: the on-row's p50 must stay within
+    ``max(OVERHEAD_RATIO * off, off + OVERHEAD_FLOOR_MS)`` or the bench
+    fails outright.  Both rows carry distinct string identities
+    (``recorder="off"|"on"``) so ``compare.py`` tracks them separately
+    and never diffs an on-run against an off-baseline.
+    """
+    rows = []
+    for state in ("off", "on"):
+        row = run_load(OVERHEAD_CLIENTS, recorder=(state == "on"))
+        row["scenario"] = "recorder overhead"
+        row["recorder"] = state
+        rows.append(row)
+    off, on = rows
+    limit_ms = max(off["p50_ms"] * OVERHEAD_RATIO,
+                   off["p50_ms"] + OVERHEAD_FLOOR_MS)
+    within = on["p50_ms"] <= limit_ms
+    for row in rows:
+        row["within_noise"] = within
+    if not within:
+        raise AssertionError(
+            f"flight recorder overhead outside the noise floor: p50 "
+            f"{off['p50_ms']:.3f}ms off -> {on['p50_ms']:.3f}ms on "
+            f"(limit {limit_ms:.3f}ms)")
+    return rows
+
+
 def run_experiment() -> list[dict]:
     rows = [run_load(clients) for clients in CLIENTS]
     rows.append(run_shed_burst())
+    rows.extend(run_recorder_overhead())
     return rows
 
 
@@ -209,12 +254,15 @@ def print_table(rows: list[dict]) -> None:
           f"{'p50ms':>7} {'p90ms':>7} {'p99ms':>7} {'memo':>6} "
           f"{'shed':>5}")
     for row in rows:
+        scenario = row["scenario"]
+        if scenario == "recorder overhead":
+            scenario = f"{scenario} ({row['recorder']})"
         rps = f"{row['rps']:>8.1f}" if row.get("rps") else f"{'-':>8}"
         p50 = f"{row['p50_ms']:>7.2f}" if "p50_ms" in row else f"{'-':>7}"
         p90 = f"{row['p90_ms']:>7.2f}" if "p90_ms" in row else f"{'-':>7}"
         p99 = f"{row['p99_ms']:>7.2f}" if "p99_ms" in row else f"{'-':>7}"
         memo = row.get("memo_hits", "-")
-        print(f"{row['scenario']:28} {row['requests']:>5} "
+        print(f"{scenario:28} {row['requests']:>5} "
               f"{row['seconds']:>8.3f} {rps} {p50} {p90} {p99} "
               f"{memo:>6} {row.get('shed', 0):>5}")
 

@@ -19,7 +19,10 @@ machine-readable record the perf trajectory is built from.
 ``benchmarks/compare.py`` diffs to flag regressions between runs.  The
 payload is schema-versioned (``schema_version``) and includes the
 process-wide :data:`repro.obs.METRICS` snapshot, so phase-latency
-histograms recorded during the run travel with the timings.
+histograms recorded during the run travel with the timings.  Every row
+is additionally stamped with the flight-recorder state
+(``recorder: "on"`` unless the series measured otherwise), which keys
+into the row identity ``compare.py`` matches on.
 """
 
 from __future__ import annotations
@@ -129,6 +132,15 @@ def main(argv: list[str] | None = None) -> None:
         elapsed = time.perf_counter() - started
         module.print_table(rows)
         print(f"[{elapsed:.1f}s]\n")
+        # Every recorded row carries the flight-recorder state as part
+        # of its identity (compare.py keys rows by string fields), so a
+        # recorder-on run is never diffed against a recorder-off
+        # baseline.  Rows that measured a specific state (the serve
+        # overhead series) already say so; everything else ran with the
+        # always-on default.
+        for row in rows:
+            if isinstance(row, dict):
+                row.setdefault("recorder", "on")
         results.append({"name": key, "title": title,
                         "seconds": round(elapsed, 3), "rows": rows})
 

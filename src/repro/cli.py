@@ -22,10 +22,13 @@ Usage (installed as ``python -m repro``)::
         [--budget-ms N] [--max-steps N] [--max-candidates N] \
         [--no-memo] [--no-signature-prefilter] [--no-path-index]
     python -m repro metrics [QUERY.tsl --view NAME=VIEW.tsl ...] \
-        [--dtd FILE.dtd] [--format prom|json]
+        [--dtd FILE.dtd] [--format prom|json] [--url http://HOST:PORT]
     python -m repro serve [--host H] [--port N] [--workers N] \
         [--max-pending N] [--max-sessions N] [--budget-ms N] \
-        [--max-steps N] [--cache-dir ROOT]
+        [--max-steps N] [--cache-dir ROOT] [--access-log PATH] \
+        [--slow-ms N] [--recorder-capacity N] [--no-recorder]
+    python -m repro top --url http://HOST:PORT [--interval S] \
+        [--once] [--count N]
     python -m repro db init ROOT [--name N] [--shards N] [--force]
     python -m repro db ingest ROOT --db DATA.json [--compact]
     python -m repro db stats ROOT
@@ -261,8 +264,33 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0 if result.rewritings else 1
 
 
+def _metrics_url(base: str) -> str:
+    """Normalize --url: accept the server base or the full /metrics URL."""
+    base = base.rstrip("/")
+    return base if base.endswith("/metrics") else f"{base}/metrics"
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json as json_module
+
+    if getattr(args, "url", None):
+        # Scrape a live server instead of running an in-process
+        # workload; shares the client helper with `repro top`.
+        from .server.client import ClientError, fetch_text, \
+            parse_prometheus
+        if args.query or args.view or args.dtd:
+            raise ReproError("metrics --url scrapes a live server; it "
+                             "takes no query/--view/--dtd")
+        try:
+            text = fetch_text(_metrics_url(args.url))
+        except ClientError as exc:
+            raise ReproError(str(exc)) from exc
+        if args.format == "json":
+            print(json_module.dumps(parse_prometheus(text), indent=2,
+                                    default=str))
+        else:
+            print(text, end="")
+        return 0
 
     registry = MetricsRegistry()
     if args.query:
@@ -477,7 +505,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending, max_sessions=args.max_sessions,
         default_budget_ms=args.budget_ms,
         default_max_steps=args.max_steps,
-        cache_dir=args.cache_dir)
+        cache_dir=args.cache_dir,
+        recorder=not args.no_recorder,
+        recorder_capacity=args.recorder_capacity,
+        slow_ms=args.slow_ms,
+        access_log=args.access_log)
     server = ReproServer(config)
 
     async def _run() -> None:
@@ -505,6 +537,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # memos so the next start answers repeats as memo hits.
         server.pool.save_sessions()
         server.pool.shutdown()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll a live server's /debug + /metrics into a text dashboard."""
+    import time as time_module
+
+    from .server.client import (ClientError, gather_status,
+                                render_dashboard)
+
+    iterations = 1 if args.once else args.count
+    rendered = 0
+    while iterations is None or rendered < iterations:
+        try:
+            status = gather_status(args.url)
+        except ClientError as exc:
+            raise ReproError(str(exc)) from exc
+        screen = render_dashboard(status)
+        if not args.once and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H" + screen, flush=True)
+        else:
+            print(screen, flush=True)
+        rendered += 1
+        if iterations is not None and rendered >= iterations:
+            break
+        try:
+            time_module.sleep(args.interval)
+        except KeyboardInterrupt:
+            break
     return 0
 
 
@@ -774,6 +835,11 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument("--view", action="append", default=[],
                              metavar="NAME=FILE")
     metrics_cmd.add_argument("--dtd", help="structural constraints file")
+    metrics_cmd.add_argument("--url", metavar="URL",
+                             help="scrape a live server's /metrics "
+                                  "instead of running the in-process "
+                                  "workload (base URL or full /metrics "
+                                  "URL)")
     metrics_cmd.add_argument("--format", choices=("prom", "json"),
                              default="prom",
                              help="Prometheus text exposition (default) "
@@ -836,6 +902,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "with the partial result")
     serve_cmd.add_argument("--max-steps", type=int, metavar="N",
                            help="default per-request step budget")
+    serve_cmd.add_argument("--access-log", metavar="PATH",
+                           help="append one JSON object per request "
+                                "(request id, trace id, status, "
+                                "duration) to PATH; '-' logs to stderr")
+    serve_cmd.add_argument("--slow-ms", type=float, default=250.0,
+                           metavar="N",
+                           help="flight-recorder tail-capture "
+                                "threshold: requests slower than N ms "
+                                "retain their full trace + EXPLAIN "
+                                "(default 250)")
+    serve_cmd.add_argument("--recorder-capacity", type=int, default=256,
+                           metavar="N",
+                           help="completed requests retained in the "
+                                "flight-recorder ring (default 256)")
+    serve_cmd.add_argument("--no-recorder", action="store_true",
+                           help="disable the always-on flight recorder "
+                                "(the /debug endpoints answer with an "
+                                "empty ring)")
     serve_cmd.add_argument("--cache-dir", metavar="ROOT",
                            help="persist rewrite-session memos under "
                                 "this storage root (repro db init; "
@@ -843,6 +927,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "restarted server serves repeats as "
                                 "memo hits")
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    top_cmd = commands.add_parser(
+        "top", help="live dashboard over a running server: latency "
+                    "quantiles, shed rate, cache hit rates, and the "
+                    "slowest recent requests (polls /debug + /metrics)")
+    top_cmd.add_argument("--url", required=True, metavar="URL",
+                         help="base URL of the server, e.g. "
+                              "http://127.0.0.1:8080")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         metavar="S",
+                         help="seconds between polls (default 2)")
+    top_cmd.add_argument("--once", action="store_true",
+                         help="render a single frame and exit "
+                              "(scripts / CI)")
+    top_cmd.add_argument("--count", type=int, default=None, metavar="N",
+                         help="stop after N frames (default: run until "
+                              "interrupted)")
+    top_cmd.set_defaults(handler=_cmd_top)
 
     db_cmd = commands.add_parser(
         "db", help="manage a persistent store directory (snapshot + "

@@ -22,19 +22,22 @@ guards.  See ``docs/OBSERVABILITY.md``.
 """
 
 from .budget import Budget, BudgetExceededError
-from .metrics import (DEFAULT_BUCKETS, METRICS, Counter, Histogram,
+from .metrics import (DEFAULT_BUCKETS, METRICS, Counter, Gauge, Histogram,
                       MetricsRegistry)
 from .trace import (NULL_TRACER, NullTracer, Span, SpanRecord, Tracer,
                     as_tracer)
 from .export import (TRACE_FORMATS, from_jsonl, render_prometheus,
                      to_chrome, to_jsonl, to_text, write_trace)
+from .recorder import (RECORDER_SCHEMA_VERSION, FlightRecorder,
+                       RequestRecord)
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanRecord",
     "as_tracer",
-    "MetricsRegistry", "Counter", "Histogram", "METRICS",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "METRICS",
     "DEFAULT_BUCKETS",
     "Budget", "BudgetExceededError",
     "to_jsonl", "from_jsonl", "to_chrome", "to_text", "write_trace",
     "TRACE_FORMATS", "render_prometheus",
+    "FlightRecorder", "RequestRecord", "RECORDER_SCHEMA_VERSION",
 ]

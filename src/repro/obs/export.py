@@ -11,8 +11,9 @@ Traces -- three consumers, three formats:
 Metrics -- :func:`render_prometheus` turns a
 :class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
 exposition format (version 0.0.4): one ``# TYPE`` line per metric
-family, ``_total`` counters, and cumulative ``_bucket{le=...}`` /
-``_sum`` / ``_count`` series per histogram, in stable sorted order.
+family, ``_total`` counters, unsuffixed gauges, and cumulative
+``_bucket{le=...}`` / ``_sum`` / ``_count`` series per histogram, in
+stable sorted order.
 """
 
 from __future__ import annotations
@@ -141,11 +142,11 @@ def _format_value(value: float) -> str:
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format.
 
-    Counters get a ``_total`` suffix; histograms expand into the
-    ``_bucket`` (cumulative, ``le``-labeled, ``+Inf`` included) /
-    ``_sum`` / ``_count`` triple.  Families are sorted by name and
-    series by label set, so output order is deterministic -- the
-    golden-file tests rely on it.
+    Counters get a ``_total`` suffix; gauges keep their bare name;
+    histograms expand into the ``_bucket`` (cumulative, ``le``-labeled,
+    ``+Inf`` included) / ``_sum`` / ``_count`` triple.  Families are
+    sorted by name and series by label set, so output order is
+    deterministic -- the golden-file tests rely on it.
     """
     collected = registry.collect()
     lines: list[str] = []
@@ -159,6 +160,16 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         for counter in families[family_name]:
             lines.append(f"{prom}{_label_block(counter.labels)} "
                          f"{_format_value(counter.value)}")
+
+    gauge_families: dict[str, list] = {}
+    for gauge in collected["gauges"]:
+        gauge_families.setdefault(gauge.name, []).append(gauge)
+    for family_name in sorted(gauge_families):
+        prom = prometheus_name(family_name)
+        lines.append(f"# TYPE {prom} gauge")
+        for gauge in gauge_families[family_name]:
+            lines.append(f"{prom}{_label_block(gauge.labels)} "
+                         f"{_format_value(gauge.value)}")
 
     histogram_families: dict[str, list] = {}
     for histogram in collected["histograms"]:

@@ -27,7 +27,7 @@ import threading
 from bisect import bisect_left
 from typing import Mapping
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "METRICS",
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS",
            "DEFAULT_BUCKETS", "PHASE_SECONDS"]
 
 #: Histogram name for pipeline phase latencies; the phase is a label
@@ -74,6 +74,39 @@ class Counter:
     def inc(self, amount: int | float = 1) -> None:
         with self._lock:
             self.value += amount
+
+    def to_json(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, occupancy).
+
+    Unlike a :class:`Counter` a gauge is *set* to the current level of
+    something rather than accumulated, so scrapes report state, not
+    history.  ``inc``/``dec`` are provided for callers that track a
+    level incrementally (in-flight request counts).
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str = "", labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self.value -= amount
 
     def to_json(self) -> int | float:
         return self.value
@@ -197,6 +230,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._gauges: dict[tuple[str, Labels], Gauge] = {}
         self._histograms: dict[tuple[str, Labels], Histogram] = {}
 
     def counter(self, name: str,
@@ -206,6 +240,15 @@ class MetricsRegistry:
             instrument = self._counters.get(key)
             if instrument is None:
                 instrument = self._counters[key] = Counter(*key)
+            return instrument
+
+    def gauge(self, name: str,
+              labels: Mapping[str, object] | None = None) -> Gauge:
+        key = (name, _freeze_labels(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(*key)
             return instrument
 
     def histogram(self, name: str,
@@ -232,15 +275,20 @@ class MetricsRegistry:
                 labels: Mapping[str, object] | None = None) -> None:
         self.histogram(name, labels).observe(value)
 
+    def set_gauge(self, name: str, value: int | float,
+                  labels: Mapping[str, object] | None = None) -> None:
+        self.gauge(name, labels).set(value)
+
     def collect(self) -> dict:
         """Structured instrument listing (for exposition renderers).
 
-        ``{"counters": [Counter, ...], "histograms": [Histogram, ...]}``,
+        ``{"counters": [...], "gauges": [...], "histograms": [...]}``,
         each list sorted by (name, labels) so output is stable.
         """
         with self._lock:
             return {
                 "counters": [c for _, c in sorted(self._counters.items())],
+                "gauges": [g for _, g in sorted(self._gauges.items())],
                 "histograms": [h for _, h in
                                sorted(self._histograms.items())],
             }
@@ -254,6 +302,8 @@ class MetricsRegistry:
         return {
             "counters": {labeled_name(c.name, c.labels): c.to_json()
                          for c in collected["counters"]},
+            "gauges": {labeled_name(g.name, g.labels): g.to_json()
+                       for g in collected["gauges"]},
             "histograms": {labeled_name(h.name, h.labels): h.to_json()
                            for h in collected["histograms"]},
         }
@@ -262,6 +312,7 @@ class MetricsRegistry:
         """Drop every instrument (tests and benchmark repetitions)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

@@ -1,0 +1,196 @@
+"""Flight recorder: a bounded ring of completed request records.
+
+The server keeps this *always on*: every finished HTTP request leaves a
+compact :class:`RequestRecord` (request id, endpoint, config/query keys,
+status, per-phase latencies aggregated from the request's trace spans,
+rewrite counters, truncation reason) in a thread-safe ring buffer of
+fixed capacity, so the last N requests can be reconstructed after the
+fact from ``GET /debug/requests`` without having enabled anything up
+front.
+
+**Tail-based capture** keeps the expensive detail only where it pays
+off: requests that ran slower than a threshold, ended in 4xx/5xx, or
+explicitly asked for an explanation additionally retain their full span
+tree and EXPLAIN JSON (the same schema-versioned document ``python -m
+repro explain`` prints, byte-identical).  Everything else keeps only the
+summary, which bounds both memory and the per-request overhead -- the
+``recorder overhead`` row in ``benchmarks/bench_serve.py`` measures the
+on-vs-off p50 delta and asserts it stays inside the noise floor.
+
+Thread-safety: a single lock guards the deque.  ``record`` is O(1);
+``snapshot`` copies under the lock so readers never observe a
+half-applied write (hammered by ``tests/obs/test_recorder.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["RequestRecord", "FlightRecorder", "RECORDER_SCHEMA_VERSION"]
+
+#: Version stamp on every recorder / debug-endpoint payload.  Bump when
+#: the record shape changes incompatibly.
+RECORDER_SCHEMA_VERSION = 1
+
+#: Default ring capacity (completed requests retained).
+DEFAULT_CAPACITY = 256
+
+#: Default slow-request threshold (milliseconds) for tail-based capture.
+DEFAULT_SLOW_MS = 250.0
+
+
+@dataclass
+class RequestRecord:
+    """One completed request, as the flight recorder remembers it.
+
+    ``phases`` maps span name -> total milliseconds spent in spans of
+    that name (nested spans attribute time to every enclosing phase, the
+    same attribution ``phase.seconds`` uses).  ``trace`` and ``explain``
+    are only populated for tail-captured requests (slow / error /
+    explain-requested); they hold the full span tree as span JSON and
+    the EXPLAIN document respectively.
+    """
+
+    request_id: str
+    trace_id: str
+    method: str
+    path: str
+    endpoint: str
+    status: int
+    ts: float
+    seconds: float
+    config_key: str | None = None
+    query_key: str | None = None
+    memo: str | None = None
+    truncated: bool = False
+    stop_reason: str | None = None
+    phases: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    slow: bool = False
+    error: bool = False
+    trace: list | None = None
+    explain: dict | None = None
+
+    @property
+    def detailed(self) -> bool:
+        """True when the full span tree / EXPLAIN were retained."""
+        return self.trace is not None or self.explain is not None
+
+    def to_json(self, detail: bool = False) -> dict:
+        payload = {
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "method": self.method,
+            "path": self.path,
+            "endpoint": self.endpoint,
+            "status": self.status,
+            "ts": self.ts,
+            "duration_ms": self.seconds * 1e3,
+            "config_key": self.config_key,
+            "query_key": self.query_key,
+            "memo": self.memo,
+            "truncated": self.truncated,
+            "stop_reason": self.stop_reason,
+            "phases_ms": dict(self.phases),
+            "counters": dict(self.counters),
+            "slow": self.slow,
+            "error": self.error,
+            "detailed": self.detailed,
+        }
+        if detail:
+            payload["trace"] = self.trace
+            payload["explain"] = self.explain
+        return payload
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring buffer of :class:`RequestRecord`\\ s.
+
+    ``capacity`` bounds retained records (oldest evicted first);
+    ``slow_ms`` is the tail-capture latency threshold the server uses
+    when deciding whether to retain detail.  ``enabled=False`` turns
+    :meth:`record` into a no-op while keeping the introspection
+    endpoints answering (with an empty ring) -- the off half of the
+    recorder-overhead benchmark.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 slow_ms: float = DEFAULT_SLOW_MS,
+                 enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"recorder capacity must be >= 1, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self.slow_ms = slow_ms
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._ring: deque[RequestRecord] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def is_slow(self, seconds: float) -> bool:
+        return seconds * 1e3 >= self.slow_ms
+
+    def record(self, record: RequestRecord) -> None:
+        """Append one completed request (O(1); drops the oldest)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._ring.append(record)
+            self._recorded += 1
+
+    def snapshot(self) -> list[RequestRecord]:
+        """Retained records, newest first (consistent copy)."""
+        with self._lock:
+            return list(reversed(self._ring))
+
+    def get(self, request_id: str) -> RequestRecord | None:
+        """The retained record with this id, newest match wins."""
+        with self._lock:
+            for record in reversed(self._ring):
+                if record.request_id == request_id:
+                    return record
+        return None
+
+    def slow_requests(self) -> list[RequestRecord]:
+        """Tail-captured records (slow or error), newest first."""
+        with self._lock:
+            return [r for r in reversed(self._ring) if r.slow or r.error]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.capacity,
+                "slow_ms": self.slow_ms,
+                "size": len(self._ring),
+                "recorded": self._recorded,
+                "dropped": max(0, self._recorded - self.capacity),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._recorded = 0
+
+
+def aggregate_phases(spans) -> dict[str, float]:
+    """Total milliseconds per span name across a span iterable.
+
+    Nested spans contribute to every enclosing name (the wall-clock
+    attribution ``phase.seconds`` uses), so the per-name totals answer
+    "where did this request spend its time" at a glance.
+    """
+    phases: dict[str, float] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        phases[span.name] = phases.get(span.name, 0.0) + span.duration * 1e3
+    return phases
+
+
+def now() -> float:
+    """Wall-clock timestamp for records (patchable in tests)."""
+    return time.time()

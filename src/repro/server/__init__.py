@@ -9,7 +9,8 @@ load generation in :mod:`repro.server.testing`.  See
 ``docs/SERVING.md``.
 """
 
-from .app import REASONS, ReproServer, ServerConfig
+from .app import (REASONS, ReproServer, RequestContext, ServerConfig,
+                  normalize_endpoint)
 from .pool import (DEFAULT_MAX_SESSIONS, DEFAULT_WORKERS, SessionPool,
                    config_key)
 from .schemas import (SERVE_SCHEMA_VERSION, BadRequestError,
@@ -17,7 +18,8 @@ from .schemas import (SERVE_SCHEMA_VERSION, BadRequestError,
 from .testing import ServerThread, running_server
 
 __all__ = [
-    "ReproServer", "ServerConfig", "REASONS",
+    "ReproServer", "ServerConfig", "RequestContext", "REASONS",
+    "normalize_endpoint",
     "SessionPool", "config_key", "DEFAULT_WORKERS",
     "DEFAULT_MAX_SESSIONS",
     "RewriteRequest", "EvaluateRequest", "BadRequestError",

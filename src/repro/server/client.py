@@ -1,0 +1,270 @@
+"""Stdlib HTTP client helpers for a live repro server.
+
+``python -m repro top`` and ``python -m repro metrics --url`` share
+this module: tiny urllib fetchers, a parser for the Prometheus text
+exposition ``/metrics`` emits, a bucket-quantile estimator matching the
+server-side :meth:`~repro.obs.metrics.Histogram.quantile`, and the
+``top`` dashboard renderer (pure data -> text, so tests can drive it
+without a terminal).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ClientError", "fetch_text", "fetch_json", "parse_prometheus",
+           "quantile_from_buckets", "gather_status", "render_dashboard"]
+
+
+class ClientError(RuntimeError):
+    """A fetch from the live server failed (connection or HTTP error)."""
+
+
+def fetch_text(url: str, timeout: float = 10.0) -> str:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ClientError(f"fetching {url}: {exc}") from exc
+
+
+def fetch_json(url: str, timeout: float = 10.0) -> object:
+    text = fetch_text(url, timeout=timeout)
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ClientError(f"{url} did not return JSON: {exc}") from exc
+
+
+def _parse_labels(block: str) -> dict[str, str]:
+    """``endpoint="POST /rewrite",le="0.5"`` -> dict (handles escapes)."""
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(block):
+        equals = block.find("=", index)
+        if equals < 0:
+            break
+        name = block[index:equals].strip().lstrip(",").strip()
+        index = equals + 1
+        if index >= len(block) or block[index] != '"':
+            break
+        index += 1
+        value_chars: list[str] = []
+        while index < len(block):
+            char = block[index]
+            if char == "\\" and index + 1 < len(block):
+                escaped = block[index + 1]
+                value_chars.append({"n": "\n"}.get(escaped, escaped))
+                index += 2
+                continue
+            if char == '"':
+                index += 1
+                break
+            value_chars.append(char)
+            index += 1
+        labels[name] = "".join(value_chars)
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse the text exposition into counters/gauges/histograms.
+
+    Returns ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``
+    where counter/gauge keys are ``name{k="v",...}`` exactly as exposed,
+    and each histogram (keyed by its label set minus ``le``) carries
+    ``{"buckets": [(bound, cumulative), ...], "sum": s, "count": n}``.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        try:
+            series, value_text = line.rsplit(" ", 1)
+            value = _parse_value(value_text)
+        except ValueError:
+            continue
+        brace = series.find("{")
+        if brace >= 0:
+            name = series[:brace]
+            labels = _parse_labels(series[brace + 1:series.rfind("}")])
+        else:
+            name, labels = series, {}
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base is not None and types.get(base) == "histogram":
+                plain = {k: v for k, v in labels.items() if k != "le"}
+                key = base + _labels_suffix(plain)
+                entry = histograms.setdefault(
+                    key, {"buckets": [], "sum": 0.0, "count": 0})
+                if suffix == "_bucket":
+                    entry["buckets"].append(
+                        (_parse_value(labels.get("le", "+Inf")),
+                         int(value)))
+                elif suffix == "_sum":
+                    entry["sum"] = value
+                else:
+                    entry["count"] = int(value)
+                break
+        else:
+            key = name + _labels_suffix(labels)
+            if types.get(name) == "gauge":
+                gauges[key] = value
+            else:
+                counters[key] = value
+    for entry in histograms.values():
+        entry["buckets"].sort(key=lambda pair: pair[0])
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+def _labels_suffix(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def quantile_from_buckets(buckets: list[tuple[float, int]],
+                          q: float) -> float | None:
+    """Estimate the *q*-quantile from cumulative (bound, count) pairs.
+
+    Same linear interpolation as
+    :meth:`repro.obs.metrics.Histogram.quantile`, minus the min/max
+    clamp (a scrape doesn't carry the observed extremes), so it is the
+    client-side ``histogram_quantile`` estimate.
+    """
+    if not buckets or buckets[-1][1] == 0:
+        return None
+    total = buckets[-1][1]
+    rank = q * total
+    previous_bound, previous_cumulative = 0.0, 0
+    for bound, cumulative in buckets:
+        if cumulative >= rank and cumulative > previous_cumulative:
+            if bound == float("inf"):
+                return previous_bound
+            fraction = (rank - previous_cumulative) \
+                / (cumulative - previous_cumulative)
+            return previous_bound + (bound - previous_bound) * fraction
+        if bound != float("inf"):
+            previous_bound = bound
+        previous_cumulative = cumulative
+    return previous_bound
+
+
+# --------------------------------------------------------------------------
+# The `repro top` dashboard
+# --------------------------------------------------------------------------
+
+def gather_status(base_url: str, timeout: float = 10.0) -> dict:
+    """One poll of a live server: health, ring, caches, metrics."""
+    base = base_url.rstrip("/")
+    return {
+        "base_url": base,
+        "healthz": fetch_json(f"{base}/healthz", timeout=timeout),
+        "requests": fetch_json(f"{base}/debug/requests", timeout=timeout),
+        "cache": fetch_json(f"{base}/debug/cache", timeout=timeout),
+        "metrics": parse_prometheus(
+            fetch_text(f"{base}/metrics", timeout=timeout)),
+    }
+
+
+def _endpoint_latencies(metrics: dict) -> list[tuple[str, dict]]:
+    rows = []
+    for key, entry in sorted(metrics["histograms"].items()):
+        if not key.startswith("repro_server_seconds{"):
+            continue
+        labels = _parse_labels(key[key.find("{") + 1:key.rfind("}")])
+        endpoint = labels.get("endpoint", "?")
+        rows.append((endpoint, entry))
+    return rows
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.1f}ms"
+
+
+def render_dashboard(status: dict) -> str:
+    """The ``repro top`` screen for one :func:`gather_status` poll."""
+    healthz = status["healthz"]
+    metrics = status["metrics"]
+    pool = healthz.get("pool", {})
+    recorder = status["requests"].get("recorder", {})
+    counters = metrics["counters"]
+    total_requests = sum(
+        value for key, value in counters.items()
+        if key.startswith("repro_server_requests_total"))
+    shed = counters.get("repro_server_shed_total", 0)
+    shed_rate = (shed / (total_requests + shed)) \
+        if (total_requests + shed) else 0.0
+
+    lines = [
+        f"repro top -- {status['base_url']}  "
+        f"{time.strftime('%Y-%m-%dT%H:%M:%S')}",
+        f"requests: {int(total_requests)} served, {int(shed)} shed "
+        f"({shed_rate:.1%}), in flight {healthz.get('in_flight', 0)}, "
+        f"queue {pool.get('pending', 0)}, active {pool.get('active', 0)}",
+        f"sessions: {healthz.get('sessions', 0)} live / "
+        f"{pool.get('max_sessions', '?')} max  "
+        f"(created {pool.get('created', 0)}, reused "
+        f"{pool.get('reused', 0)}, evicted {pool.get('evicted', 0)})",
+        f"recorder: {recorder.get('size', 0)}/"
+        f"{recorder.get('capacity', 0)} records, "
+        f"{recorder.get('recorded', 0)} recorded, "
+        f"{recorder.get('dropped', 0)} dropped",
+        "",
+        "latency            p50      p90      p99    count",
+    ]
+    for endpoint, entry in _endpoint_latencies(metrics):
+        quantiles = [quantile_from_buckets(entry["buckets"], q)
+                     for q in (0.50, 0.90, 0.99)]
+        lines.append(f"  {endpoint:<16} "
+                     + " ".join(f"{_fmt_ms(value):>8}"
+                                for value in quantiles)
+                     + f" {entry['count']:>8}")
+
+    tables = status["cache"].get("tables", {})
+    if tables:
+        lines.append("")
+        lines.append("cache table        size     hits   misses  hit rate")
+        for table, stats in sorted(tables.items()):
+            rate = stats.get("hit_rate")
+            rate_text = "-" if rate is None else f"{rate:.1%}"
+            lines.append(f"  {table:<16} {stats['size']:>6} "
+                         f"{stats['hits']:>8} {stats['misses']:>8} "
+                         f"{rate_text:>9}")
+
+    records = status["requests"].get("requests", [])
+    slowest = sorted(records, key=lambda r: r.get("duration_ms", 0.0),
+                     reverse=True)[:5]
+    if slowest:
+        lines.append("")
+        lines.append("slowest recent requests")
+        for record in slowest:
+            lines.append(
+                f"  {record.get('request_id', '?'):<18} "
+                f"{record.get('endpoint', '?'):<18} "
+                f"{record.get('status', '?'):>4} "
+                f"{record.get('duration_ms', 0.0):>8.1f}ms "
+                f"memo={record.get('memo')} "
+                f"stop={record.get('stop_reason')}")
+    return "\n".join(lines)

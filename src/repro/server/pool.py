@@ -90,6 +90,8 @@ class SessionPool:
         self.loaded_entries = 0
         self._sessions: "OrderedDict[str, RewriteSession]" = OrderedDict()
         self._lock = threading.Lock()
+        self._pending = 0   # submitted, waiting for a worker
+        self._active = 0    # executing on a worker right now
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve")
 
@@ -164,7 +166,25 @@ class SessionPool:
                     "reused": self.reused,
                     "evicted": self.evicted,
                     "memo_entries_loaded": self.loaded_entries,
+                    "pending": self._pending,
+                    "active": self._active,
                     "persistent": self.registry is not None}
+
+    def queue_stats(self) -> dict:
+        """Point-in-time executor load (feeds the runtime gauges)."""
+        with self._lock:
+            return {"pending": self._pending, "active": self._active}
+
+    def debug_info(self) -> list[dict]:
+        """Per-session memo-table statistics, coldest first.
+
+        Session stats are gathered *outside* the pool lock (the
+        documented locking order puts memo-table locks below it).
+        """
+        with self._lock:
+            items = list(self._sessions.items())
+        return [{"config_key": key, "tables": session.stats()}
+                for key, session in items]
 
     def __len__(self) -> int:
         with self._lock:
@@ -173,9 +193,27 @@ class SessionPool:
     # -- work dispatch -------------------------------------------------------
 
     def submit(self, fn, *args):
-        """Run *fn* on a pool worker; awaitable from the event loop."""
+        """Run *fn* on a pool worker; awaitable from the event loop.
+
+        Tracks queue depth (submitted but not yet started) and active
+        worker count for the ``server.queue.depth`` /
+        ``server.pool.active`` gauges.
+        """
         loop = asyncio.get_running_loop()
-        return loop.run_in_executor(self._executor, fn, *args)
+        with self._lock:
+            self._pending += 1
+
+        def run():
+            with self._lock:
+                self._pending -= 1
+                self._active += 1
+            try:
+                return fn(*args)
+            finally:
+                with self._lock:
+                    self._active -= 1
+
+        return loop.run_in_executor(self._executor, run)
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True, cancel_futures=True)

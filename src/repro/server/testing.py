@@ -77,23 +77,42 @@ class ServerThread:
     # -- synchronous client --------------------------------------------------
 
     def request(self, method: str, path: str, payload: dict | None = None,
-                *, timeout: float = 30.0) -> tuple[int, object]:
+                *, headers: dict | None = None,
+                timeout: float = 30.0) -> tuple[int, object]:
         """One HTTP round trip; returns (status, decoded JSON or text)."""
+        status, _response_headers, decoded = self.request_full(
+            method, path, payload, headers=headers, timeout=timeout)
+        return status, decoded
+
+    def request_full(self, method: str, path: str,
+                     payload: dict | None = None, *,
+                     headers: dict | None = None,
+                     timeout: float = 30.0) -> tuple[int, dict, object]:
+        """Like :meth:`request`, also returning the response headers.
+
+        Header names are lower-cased in the returned dict, so tests can
+        read ``headers["x-repro-request-id"]`` regardless of casing.
+        """
         conn = http.client.HTTPConnection("127.0.0.1", self.port,
                                           timeout=timeout)
         try:
             body = None
-            headers = {}
+            request_headers = dict(headers or {})
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
+                request_headers.setdefault("Content-Type",
+                                           "application/json")
+            conn.request(method, path, body=body, headers=request_headers)
             response = conn.getresponse()
             raw = response.read()
-            content_type = response.getheader("Content-Type", "")
+            response_headers = {name.lower(): value
+                                for name, value in response.getheaders()}
+            content_type = response_headers.get("content-type", "")
             if content_type.startswith("application/json"):
-                return response.status, json.loads(raw.decode("utf-8"))
-            return response.status, raw.decode("utf-8")
+                decoded: object = json.loads(raw.decode("utf-8"))
+            else:
+                decoded = raw.decode("utf-8")
+            return response.status, response_headers, decoded
         finally:
             conn.close()
 

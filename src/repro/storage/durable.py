@@ -28,6 +28,7 @@ for a snapshot.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import IO
 
@@ -143,6 +144,10 @@ class DurableStore(Store):
         if self.metrics is not None and amount:
             self.metrics.increment(name, amount)
 
+    def _observe(self, name: str, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, seconds)
+
     # -- the write-ahead log ---------------------------------------------------
 
     def _append(self, record: dict) -> None:
@@ -152,8 +157,12 @@ class DurableStore(Store):
             self.layout.store_dir.mkdir(parents=True, exist_ok=True)
             self._wal_handle = open(self.layout.wal, "a",
                                     encoding="utf-8")
+        started = time.perf_counter() if self.metrics is not None else 0.0
         self._wal_handle.write(json_line(record))
         self._wal_handle.flush()
+        if self.metrics is not None:
+            self._observe("store.wal.append.seconds",
+                          time.perf_counter() - started)
         self.wal_records += 1
         self._count("store.ops")
         if self.autocompact_ops and self.wal_records >= self.autocompact_ops:
@@ -220,8 +229,13 @@ class DurableStore(Store):
     def flush(self) -> None:
         """Make every appended WAL record durable (fsync)."""
         if self._wal_handle is not None:
+            started = time.perf_counter() if self.metrics is not None \
+                else 0.0
             self._wal_handle.flush()
             os.fsync(self._wal_handle.fileno())
+            if self.metrics is not None:
+                self._observe("store.wal.fsync.seconds",
+                              time.perf_counter() - started)
         self._count("store.flushes")
 
     def compact(self) -> dict:
@@ -232,6 +246,7 @@ class DurableStore(Store):
         records are replayed onto a state that already contains them --
         every ``add_*`` is idempotent, so replay converges.
         """
+        started = time.perf_counter() if self.metrics is not None else 0.0
         snapshot = {
             "schema_version": STORAGE_SCHEMA_VERSION,
             "kind": KIND_SNAPSHOT,
@@ -246,6 +261,9 @@ class DurableStore(Store):
         if self.layout.wal.exists():
             self.layout.wal.unlink()
         self.wal_records = 0
+        if self.metrics is not None:
+            self._observe("store.compact.seconds",
+                          time.perf_counter() - started)
         self._count("store.compactions")
         return {"snapshot_bytes": size, "version": self.version,
                 "objects": len(self.db)}

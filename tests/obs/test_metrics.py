@@ -20,6 +20,49 @@ class TestCounters:
         assert registry.counter("x") is registry.counter("x")
 
 
+class TestGauges:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 5)
+        registry.set_gauge("depth", 2)
+        assert registry.snapshot()["gauges"]["depth"] == 2
+
+    def test_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("in_flight")
+        gauge.inc()
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 3
+
+    def test_gauge_handle_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_labeled_gauges_are_separate(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("occupancy", 7, labels={"shard": "0"})
+        registry.set_gauge("occupancy", 9, labels={"shard": "1"})
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["occupancy{shard=0}"] == 7
+        assert gauges["occupancy{shard=1}"] == 9
+
+    def test_concurrent_incs_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+
+        def work():
+            for _ in range(1000):
+                gauge.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value == 4000
+
+
 class TestHistograms:
     def test_observe_summarizes(self):
         registry = MetricsRegistry()
@@ -56,8 +99,10 @@ class TestSnapshotReset:
         registry = MetricsRegistry()
         registry.increment("a")
         registry.observe("b", 1.0)
+        registry.set_gauge("c", 3)
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
 
     def test_process_wide_default_exists(self):
         assert isinstance(METRICS, MetricsRegistry)

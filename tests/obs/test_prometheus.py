@@ -14,6 +14,9 @@ def golden_registry() -> MetricsRegistry:
     registry.increment("cache.hits", 3)
     registry.increment("calls", 2, labels={"phase": "chase"})
     registry.increment("calls", labels={"phase": "compose"})
+    registry.set_gauge("queue.depth", 4)
+    registry.set_gauge("shard.entries", 11, labels={"shard": "0"})
+    registry.set_gauge("shard.entries", 7, labels={"shard": "1"})
     histogram = registry.histogram("phase.seconds",
                                    labels={"phase": "rewrite"},
                                    buckets=(0.001, 0.01, 0.1))
@@ -32,6 +35,13 @@ class TestNames:
         registry = MetricsRegistry()
         registry.increment("cache.hits")
         assert "repro_cache_hits_total 1" in render_prometheus(registry)
+
+    def test_gauges_render_bare_with_type_line(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pool.queue.depth", 3)
+        rendered = render_prometheus(registry)
+        assert "# TYPE repro_pool_queue_depth gauge" in rendered
+        assert "repro_pool_queue_depth 3" in rendered
 
 
 class TestLabelsAndEscaping:

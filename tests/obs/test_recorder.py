@@ -1,0 +1,178 @@
+"""Flight recorder: ring semantics, tail capture, and thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder, RequestRecord
+from repro.obs.recorder import RECORDER_SCHEMA_VERSION, aggregate_phases
+from repro.obs.trace import Tracer
+
+
+def make_record(request_id: str, *, status: int = 200,
+                seconds: float = 0.001, slow: bool = False,
+                error: bool = False) -> RequestRecord:
+    return RequestRecord(
+        request_id=request_id, trace_id="t" * 32, method="POST",
+        path="/rewrite", endpoint="POST /rewrite", status=status,
+        ts=1000.0, seconds=seconds, slow=slow, error=error)
+
+
+class TestRing:
+    def test_capacity_bound_holds(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(10):
+            recorder.record(make_record(f"r{index}"))
+        snapshot = recorder.snapshot()
+        assert len(snapshot) == 3
+        stats = recorder.stats()
+        assert stats["recorded"] == 10
+        assert stats["dropped"] == 7
+        assert stats["size"] == 3
+
+    def test_snapshot_is_newest_first(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(5):
+            recorder.record(make_record(f"r{index}"))
+        assert [r.request_id for r in recorder.snapshot()] == \
+            ["r4", "r3", "r2", "r1", "r0"]
+
+    def test_get_by_id_and_miss(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(make_record("abc"))
+        assert recorder.get("abc").request_id == "abc"
+        assert recorder.get("nope") is None
+
+    def test_evicted_record_is_gone(self):
+        recorder = FlightRecorder(capacity=2)
+        for index in range(3):
+            recorder.record(make_record(f"r{index}"))
+        assert recorder.get("r0") is None
+        assert recorder.get("r2") is not None
+
+    def test_slow_requests_filters_tail(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record(make_record("fast"))
+        recorder.record(make_record("slow", slow=True))
+        recorder.record(make_record("bad", status=500, error=True))
+        assert [r.request_id for r in recorder.slow_requests()] == \
+            ["bad", "slow"]
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = FlightRecorder(capacity=4, enabled=False)
+        recorder.record(make_record("r"))
+        assert recorder.snapshot() == []
+        assert recorder.stats()["enabled"] is False
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_is_slow_uses_threshold(self):
+        recorder = FlightRecorder(slow_ms=100.0)
+        assert recorder.is_slow(0.25)
+        assert not recorder.is_slow(0.05)
+
+    def test_clear_resets_ring_and_counters(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(make_record("r"))
+        recorder.clear()
+        assert recorder.snapshot() == []
+        assert recorder.stats()["recorded"] == 0
+
+
+class TestRecordJson:
+    def test_summary_omits_detail_fields(self):
+        record = make_record("r1")
+        payload = record.to_json()
+        assert "trace" not in payload and "explain" not in payload
+        assert payload["detailed"] is False
+        json.dumps(payload)  # must be serializable
+
+    def test_detail_includes_trace_and_explain(self):
+        record = make_record("r1", slow=True)
+        record.trace = [{"id": 0, "name": "request"}]
+        record.explain = {"schema_version": 1, "events": []}
+        payload = record.to_json(detail=True)
+        assert payload["detailed"] is True
+        assert payload["trace"] == [{"id": 0, "name": "request"}]
+        assert payload["explain"]["schema_version"] == 1
+
+    def test_schema_version_is_stable(self):
+        assert RECORDER_SCHEMA_VERSION == 1
+
+
+class TestAggregatePhases:
+    def test_sums_durations_by_span_name(self):
+        tracer = Tracer()
+        with tracer.span("request"):
+            with tracer.span("rewrite"):
+                with tracer.span("chase"):
+                    pass
+                with tracer.span("chase"):
+                    pass
+        phases = aggregate_phases(tracer.spans)
+        assert set(phases) == {"request", "rewrite", "chase"}
+        assert phases["chase"] >= 0.0
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        tracer.span("open")   # never exited
+        assert aggregate_phases(tracer.spans) == {}
+
+
+class TestConcurrency:
+    def test_hammer_from_8_threads(self):
+        # No lost or duplicated records, the capacity bound holds, and
+        # snapshots taken *while* writers run are always consistent.
+        capacity = 64
+        recorder = FlightRecorder(capacity=capacity)
+        threads, per_thread = 8, 500
+        barrier = threading.Barrier(threads + 1)
+        snapshot_errors: list[str] = []
+
+        def writer(index: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                recorder.record(make_record(f"w{index}-{i}"))
+
+        def snapshotter() -> None:
+            barrier.wait()
+            for _ in range(200):
+                snap = recorder.snapshot()
+                if len(snap) > capacity:
+                    snapshot_errors.append(
+                        f"snapshot over capacity: {len(snap)}")
+                ids = [r.request_id for r in snap]
+                if len(ids) != len(set(ids)):
+                    snapshot_errors.append("duplicate ids in snapshot")
+                for record in snap:
+                    if not isinstance(record, RequestRecord):
+                        snapshot_errors.append("torn record")
+
+        pool = [threading.Thread(target=writer, args=(i,))
+                for i in range(threads)] + \
+               [threading.Thread(target=snapshotter)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert snapshot_errors == []
+        stats = recorder.stats()
+        assert stats["recorded"] == threads * per_thread
+        assert stats["size"] == capacity
+        assert stats["dropped"] == threads * per_thread - capacity
+        final = recorder.snapshot()
+        assert len(final) == capacity
+        ids = [r.request_id for r in final]
+        assert len(ids) == len(set(ids)), "duplicated records"
+        # Each writer's surviving records are its *last* ones and appear
+        # in per-writer order (the ring never reorders or resurrects).
+        for index in range(threads):
+            mine = [int(request_id.split("-")[1]) for request_id in ids
+                    if request_id.startswith(f"w{index}-")]
+            assert mine == sorted(mine, reverse=True)
+            if mine:
+                assert mine[0] == per_thread - 1

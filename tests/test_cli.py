@@ -359,6 +359,76 @@ class TestMetricsCmd:
         assert main(["metrics", query, "--view", f"V1={view}"]) == 0
 
 
+@pytest.fixture(scope="module")
+def live_server():
+    """One live server warmed with a couple of requests, for the remote
+    client commands (`metrics --url`, `top`)."""
+    from repro.rewriting.constraints import PAPER_DTD
+    from repro.server import ServerConfig, running_server
+    from repro.tsl import print_query
+    from repro.workloads import query_q3, view_v1
+
+    body = {"query": print_query(query_q3()),
+            "views": {"V1": print_query(view_v1())},
+            "dtd": PAPER_DTD}
+    with running_server(ServerConfig(port=0, workers=2)) as thread:
+        assert thread.post("/rewrite", body)[0] == 200
+        assert thread.post("/rewrite", body)[0] == 200
+        yield f"http://127.0.0.1:{thread.port}"
+
+
+class TestMetricsUrl:
+    def test_scrapes_live_exposition(self, live_server, capsys):
+        assert main(["metrics", "--url", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "repro_server_requests_total" in out
+        assert "# TYPE repro_server_seconds histogram" in out
+        assert "gauge" in out
+
+    def test_full_metrics_url_accepted(self, live_server, capsys):
+        assert main(["metrics", "--url", f"{live_server}/metrics"]) == 0
+        assert "repro_server_requests_total" in capsys.readouterr().out
+
+    def test_json_parses_scrape(self, live_server, capsys):
+        assert main(["metrics", "--url", live_server,
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert any(key.startswith("repro_server_requests_total")
+                   for key in data["counters"])
+        assert any(key.startswith("repro_server_seconds")
+                   for key in data["histograms"])
+        assert "repro_server_sessions_live" in data["gauges"]
+
+    def test_url_rejects_workload_args(self, live_server, capsys):
+        assert main(["metrics", "--url", live_server, "ignored.tsl"]) == 2
+        assert "no query" in capsys.readouterr().err
+
+    def test_unreachable_server_reports_error(self, capsys):
+        assert main(["metrics", "--url", "http://127.0.0.1:9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTopCmd:
+    def test_once_renders_dashboard(self, live_server, capsys):
+        assert main(["top", "--url", live_server, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "POST /rewrite" in out
+        assert "p50" in out and "p99" in out
+        assert "cache table" in out
+        assert "slowest recent requests" in out
+
+    def test_count_limits_frames(self, live_server, capsys):
+        assert main(["top", "--url", live_server, "--count", "2",
+                     "--interval", "0"]) == 0
+        assert capsys.readouterr().out.count("repro top") == 2
+
+    def test_unreachable_server_reports_error(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:9",
+                     "--once"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestEvaluateTrace:
     def test_evaluate_trace_written(self, query_file, db_file, tmp_path,
                                     capsys):
